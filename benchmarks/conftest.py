@@ -1,0 +1,71 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each file regenerates one of the paper's evaluation artifacts:
+
+* ``test_table1_coverage.py``  — Table 1 (fault coverage);
+* ``test_figure10_software.py`` — Figure 10 (software-only overheads);
+* ``test_figure11_hardware.py`` — Figure 11 (hardware-assist estimate);
+* ``test_ablations.py``         — per-optimization and per-operator
+  ablations discussed in Sections 3.3/4.2/6.1.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  The benchmarked
+callables are the *generated-Python* builds (wall clock) and the
+experiment kernels; printed summaries land in the pytest report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen.python_gen import compile_to_python
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.analysis import to_affine
+from repro.programs import ALL_BENCHMARKS
+
+RESILIENT = InstrumentationOptions(
+    index_set_splitting=False, hoist_inspectors=False
+)
+OPTIMIZED = InstrumentationOptions(
+    index_set_splitting=True, hoist_inspectors=True
+)
+
+
+def compiled_builds(name: str, scale: str = "small"):
+    """(params, values, {config: CompiledProgram}) for one benchmark."""
+    module = ALL_BENCHMARKS[name]
+    program = module.program()
+    params = dict(
+        module.SMALL_PARAMS if scale == "small" else module.DEFAULT_PARAMS
+    )
+    values = module.initial_values(params)
+    resilient, _ = instrument_program(program, RESILIENT)
+    optimized, _ = instrument_program(program, OPTIMIZED)
+    builds = {
+        "original": compile_to_python(program),
+        "resilient": compile_to_python(resilient),
+        "optimized": compile_to_python(optimized),
+    }
+    return params, values, builds
+
+
+def arrays_for(compiled, params, values):
+    """Fresh numpy arrays (originals copied, shadows zeroed)."""
+    arrays = {}
+    for decl in compiled.program.arrays:
+        dtype = np.float64 if decl.elem_type == "f64" else np.int64
+        if decl.name in values:
+            arrays[decl.name] = np.array(values[decl.name], dtype=dtype)
+        else:
+            shape = tuple(
+                int(to_affine(d, set(params)).evaluate(params))
+                for d in decl.dims
+            )
+            arrays[decl.name] = np.zeros(shape, dtype=dtype)
+    for decl in compiled.program.scalars:
+        if decl.name in values:
+            arrays[decl.name] = values[decl.name]
+    return arrays

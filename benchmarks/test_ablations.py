@@ -1,0 +1,157 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* index-set splitting alone vs. inspector hoisting alone (the paper:
+  LU's gains come from splitting, CG's entirely from hoisting);
+* one vs. two checksum channels (software cost of Section 6.1's
+  hardening);
+* checksum operator comparison (modadd vs. xor vs. the Maxino set) on
+  identical fault campaigns.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.figure10 import build_benchmark
+from repro.instrument.operators import operator_by_name
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.costmodel import CostModel
+from repro.runtime.faults import flip_random_bits_in_words
+from repro.runtime.interpreter import run_program
+
+
+def _copy(values):
+    return {k: (v.copy() if hasattr(v, "copy") else v) for k, v in values.items()}
+
+
+def _overhead(name, options):
+    module = ALL_BENCHMARKS[name]
+    params = module.SMALL_PARAMS
+    values = module.initial_values(params)
+    baseline = run_program(
+        module.program(), params, initial_values=_copy(values)
+    )
+    instrumented, _ = instrument_program(module.program(), options)
+    resilient = run_program(
+        instrumented, params, initial_values=_copy(values)
+    )
+    assert not resilient.mismatches
+    return CostModel().overhead(baseline.counts, resilient.counts)
+
+
+def test_ablation_splitting_vs_hoisting_cg(benchmark):
+    """Paper Section 6.2.1: all of CG's benefit accrues from inspector
+    hoisting; index-set splitting does not affect it."""
+
+    def measure():
+        return {
+            "none": _overhead(
+                "cg",
+                InstrumentationOptions(
+                    index_set_splitting=False, hoist_inspectors=False
+                ),
+            ),
+            "split_only": _overhead(
+                "cg",
+                InstrumentationOptions(
+                    index_set_splitting=True, hoist_inspectors=False
+                ),
+            ),
+            "hoist_only": _overhead(
+                "cg",
+                InstrumentationOptions(
+                    index_set_splitting=False, hoist_inspectors=True
+                ),
+            ),
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    hoist_gain = result["none"] - result["hoist_only"]
+    split_gain = result["none"] - result["split_only"]
+    assert hoist_gain > 0, "hoisting must help CG"
+    assert hoist_gain > 4 * max(split_gain, 0.001), (
+        f"CG's gains should come from hoisting: {result}"
+    )
+
+
+def test_ablation_splitting_helps_affine(benchmark):
+    """Splitting alone recovers overhead on the affine stencils."""
+
+    def measure():
+        results = {}
+        for name in ("seidel", "jacobi1d"):
+            unsplit = _overhead(
+                name, InstrumentationOptions(index_set_splitting=False)
+            )
+            split = _overhead(
+                name, InstrumentationOptions(index_set_splitting=True)
+            )
+            results[name] = (unsplit, split)
+        return results
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, (unsplit, split) in result.items():
+        assert split < unsplit, f"{name}: splitting must help ({result})"
+
+
+def test_ablation_two_checksums_software_cost(benchmark):
+    """Tracking the second (rotated) checksum in software roughly
+    doubles the checksum arithmetic — the paper's motivation for
+    hardware support of multiple checksums (Section 6.2.2)."""
+    module = ALL_BENCHMARKS["cholesky"]
+    params = module.SMALL_PARAMS
+    values = module.initial_values(params)
+    instrumented, _ = instrument_program(
+        module.program(), InstrumentationOptions(index_set_splitting=True)
+    )
+
+    def measure():
+        one = run_program(
+            instrumented, params, initial_values=_copy(values), channels=1
+        )
+        two = run_program(
+            instrumented, params, initial_values=_copy(values), channels=2
+        )
+        assert not one.mismatches and not two.mismatches
+        return one.counts.checksum_ops, two.counts.checksum_ops
+
+    ops1, ops2 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert ops2 == 2 * ops1
+
+
+@pytest.mark.parametrize(
+    "operator", ["modadd", "xor", "ones_complement", "fletcher", "adler", "modadd+rotadd"]
+)
+def test_ablation_operator_coverage(benchmark, operator):
+    """Maxino-style comparison: % of 2-bit errors missed per operator
+    on identical campaigns.  Integer addition beats XOR (the paper's
+    stated reason for choosing it)."""
+    op = operator_by_name(operator)
+    benchmark.group = "operator-coverage"
+
+    def campaign():
+        rng = random.Random(2024)
+        trials = 6_000
+        missed = 0
+        for _ in range(trials):
+            words = [rng.getrandbits(64) for _ in range(64)]
+            corrupted = list(words)
+            flip_random_bits_in_words(corrupted, 2, rng)
+            if not op.detects(words, corrupted, base_address=0x1000):
+                missed += 1
+        return 100.0 * missed / trials
+
+    missed_pct = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    if operator == "xor":
+        # XOR misses every aligned double flip: ~ 1/64 = 1.56%.
+        assert missed_pct > 0.8
+    elif operator == "modadd":
+        assert missed_pct < 1.2  # ~0.78%
+    elif operator == "modadd+rotadd":
+        assert missed_pct < 0.15
+    else:
+        assert missed_pct < 1.2

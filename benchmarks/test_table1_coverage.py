@@ -1,0 +1,58 @@
+"""Table 1 — fault coverage of the modulo-addition checksums.
+
+Benchmarks the campaign kernel and regenerates the table's rows at a
+reduced trial count (the full 100 000-trial protocol is
+``python -m repro.experiments.table1 --trials 100000``).  Assertions
+pin the paper-reproducing rates: 2-bit random-data misses near 0.78%,
+all-0/all-1 misses near 0.024%, two-checksum misses an order of
+magnitude rarer, and ≥3-bit errors essentially always caught.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.table1 import Table1Config, run_cell, run_table1
+
+TRIALS = 8_000
+
+
+@pytest.mark.parametrize("pattern", ["all0", "all1", "random"])
+@pytest.mark.parametrize("size", [100, 10_000])
+def test_two_bit_coverage(benchmark, pattern, size):
+    rng = random.Random(1234)
+
+    def campaign():
+        return run_cell(size, 2, pattern, TRIALS, rng)
+
+    one, two = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    if pattern == "random":
+        assert 0.4 <= one <= 1.2, f"paper: ~0.76-0.79%, got {one}%"
+    else:
+        assert one <= 0.15, f"paper: ~0.014-0.025%, got {one}%"
+    assert two <= one
+
+
+@pytest.mark.parametrize("bits", [3, 4, 5, 6])
+def test_multi_bit_coverage(benchmark, bits):
+    rng = random.Random(99)
+
+    def campaign():
+        return run_cell(100, bits, "random", TRIALS, rng)
+
+    one, two = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert one <= 0.25, f"{bits}-bit misses should be rare, got {one}%"
+    assert two == 0.0, f"paper: two checksums catch all {bits}-bit errors"
+
+
+def test_full_table_rows(benchmark):
+    """All 30 cells of the (reduced-trials) table in one sweep."""
+    config = Table1Config(
+        sizes=(100, 10_000),
+        bit_counts=(2, 3, 4),
+        trials=2_000,
+    )
+    rows = benchmark.pedantic(run_table1, args=(config,), rounds=1, iterations=1)
+    assert len(rows) == 2 * 3 * 3
+    worst = max(r.undetected_one for r in rows)
+    assert worst <= 1.5  # >99% detection in every cell (paper Section 6.1)

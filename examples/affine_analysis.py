@@ -1,0 +1,84 @@
+"""Affine analysis walkthrough: dependences, use counts, splitting.
+
+Reproduces the paper's Section 3 development on the full three-statement
+Cholesky factorization:
+
+* exact flow dependences (last writers, Section 3.1),
+* Algorithm 1's symbolic use counts (e.g. ``n-1-k`` for the pivot),
+* live-in counts feeding the Algorithm 3 prologue,
+* Algorithm 2 index-set splitting and its measured effect on the
+  dynamic operation counts.
+
+Usage:  python examples/affine_analysis.py
+"""
+
+import numpy as np
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.poly.dependences import compute_flow_dependences
+from repro.poly.model import extract_model
+from repro.poly.usecount import compute_live_in_counts, compute_use_counts
+from repro.programs import cholesky
+from repro.runtime.costmodel import CostModel
+from repro.runtime.interpreter import run_program
+
+
+def main() -> None:
+    program = cholesky.program()
+    print("=== program ===")
+    from repro.ir.printer import program_to_text
+
+    print(program_to_text(program))
+
+    model = extract_model(program)
+    dependences = compute_flow_dependences(model)
+    print("=== exact flow dependences (last-writer, non-transitive) ===")
+    for dep in dependences:
+        print(
+            f"  {dep.source.label} -> {dep.target.label}"
+            f"  via read {dep.read.ref}"
+        )
+
+    print()
+    print("=== Algorithm 1: compile-time use counts ===")
+    table = compute_use_counts(model, dependences)
+    for entry in table.entries():
+        print(f"  {entry.statement.label}: {entry.count}")
+
+    print()
+    print("=== live-in counts (Algorithm 3 prologue) ===")
+    for array, count in compute_live_in_counts(model, dependences).items():
+        print(f"  {array}: {count}")
+
+    print()
+    print("=== Algorithm 2: index-set splitting, measured ===")
+    params = {"n": 20}
+    values = cholesky.initial_values(params)
+    baseline = run_program(
+        program, params, initial_values={"A": values["A"].copy()}
+    )
+    cost = CostModel()
+    for label, options in [
+        ("resilient (conditionals in loops)", InstrumentationOptions()),
+        (
+            "resilient + index-set splitting",
+            InstrumentationOptions(index_set_splitting=True),
+        ),
+    ]:
+        instrumented, _ = instrument_program(program, options)
+        result = run_program(
+            instrumented, params, initial_values={"A": values["A"].copy()}
+        )
+        assert not result.mismatches
+        overhead = cost.overhead(baseline.counts, result.counts)
+        print(
+            f"  {label:36s}: {overhead:5.3f}x normalized time, "
+            f"branches={result.counts.branches}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Checksum-operator trade-offs (Sections 5 and 6.1).
+
+Compares the Maxino operator set on identical 2-bit fault campaigns —
+showing why the paper picks integer modulo addition over XOR — and
+demonstrates the two-checksum (address-rotated) scheme closing the
+aligned-cancellation hole.
+
+Usage:  python examples/checksum_tradeoffs.py [trials]
+"""
+
+import random
+import sys
+
+from repro.instrument.operators import operator_by_name
+from repro.runtime.faults import flip_random_bits_in_words
+
+OPERATORS = [
+    "modadd",
+    "xor",
+    "ones_complement",
+    "fletcher",
+    "adler",
+    "modadd+rotadd",
+]
+
+
+def campaign(op_name: str, trials: int, words: int = 128) -> float:
+    op = operator_by_name(op_name)
+    rng = random.Random(20140609)  # PLDI'14 opening day
+    missed = 0
+    for _ in range(trials):
+        data = [rng.getrandbits(64) for _ in range(words)]
+        corrupted = list(data)
+        flip_random_bits_in_words(corrupted, 2, rng)
+        if not op.detects(data, corrupted, base_address=0x1000):
+            missed += 1
+    return 100.0 * missed / trials
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    print(f"2-bit fault campaigns, {trials} trials each, random 64-bit data\n")
+    print(f"{'operator':>18} | {'% undetected':>12} | commutative (usable as def/use)")
+    print("-" * 66)
+    for name in OPERATORS:
+        op = operator_by_name(name)
+        missed = campaign(name, trials)
+        usable = "yes" if op.commutative else "no"
+        print(f"{name:>18} | {missed:>11.3f}% | {usable}")
+    print()
+    print("Expected analytically: xor ~1.56% (misses every aligned double")
+    print("flip), modadd ~0.78% (only opposite-polarity alignments cancel),")
+    print("modadd+rotadd ~0.02% (the second, address-rotated sum catches")
+    print("almost all remaining alignments) — the paper's Table 1 bands.")
+
+
+if __name__ == "__main__":
+    main()

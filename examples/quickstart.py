@@ -1,0 +1,75 @@
+"""Quickstart: protect a program, inject a fault, catch it.
+
+Runs the paper's running example (Figure 2's Cholesky column kernel)
+through the full pipeline:
+
+1. parse the mini-language source,
+2. instrument it with def/use checksums (Algorithms 1 and 3),
+3. execute fault-free — checksums balance,
+4. flip two bits in a live value mid-run — the verifier flags it.
+
+Usage:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import instrument_program, parse_program, program_to_text, run_program
+from repro.runtime.faults import ScheduledBitFlip
+
+SOURCE = """
+program cholesky_column(n) {
+  array A[n][n];
+  for j = 0 .. n - 1 {
+    S1: A[j][j] = sqrt(A[j][j]);
+    for i = j + 1 .. n - 1 {
+      S2: A[i][j] = A[i][j] / A[j][j];
+    }
+  }
+}
+"""
+
+
+def spd_matrix(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    return m @ m.T + n * np.eye(n)
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    resilient, report = instrument_program(program)
+
+    print("=== instrumented program (paper Figure 5 shape) ===")
+    print(program_to_text(resilient))
+    print("compile-time use counts:", report.static_counts)
+
+    n = 8
+    values = {"A": spd_matrix(n)}
+
+    print("=== fault-free run ===")
+    clean = run_program(resilient, {"n": n}, initial_values={"A": values["A"].copy()})
+    print("checksums:", clean.checksums)
+    print("mismatches:", clean.mismatches or "none — def_cs == use_cs")
+
+    print()
+    print("=== run with an injected 2-bit flip in A[0][0] ===")
+    # A[0][0] is the first column's divisor: it is read n-1 times after
+    # its definition, so corrupting it while live must be detected.
+    injector = ScheduledBitFlip("A", (0, 0), bit_positions=[17, 44], at_load=2)
+    faulty = run_program(
+        resilient,
+        {"n": n},
+        initial_values={"A": values["A"].copy()},
+        injector=injector,
+    )
+    print("fault injected:", injector.fired)
+    print("detected:", faulty.error_detected)
+    for mismatch in faulty.mismatches:
+        print("  ", mismatch)
+    assert faulty.error_detected, "the corrupted divisor must be flagged"
+    print()
+    print("OK: transient memory error detected by the def/use checksums.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Irregular iterative codes: inspectors and hoisting (Section 4).
+
+Walks the CG benchmark (sparse matrix-vector iteration with
+data-dependent accesses ``p[colidx[i][k]]``) through:
+
+* the per-array protection plans (Section 5's classification),
+* the generated Figure-9-style code: hoisted inspector, inspector-
+  provided def counts, ``iter``-scaled epilogue,
+* the measured benefit of hoisting the inspector out of the while loop
+  (the paper: CG 81.1s -> 52.7s from hoisting alone),
+* detection of a fault injected into the sparse structure itself.
+
+Usage:  python examples/sparse_iterative.py
+"""
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.printer import program_to_text
+from repro.programs import cg
+from repro.runtime.costmodel import CostModel
+from repro.runtime.faults import ScheduledBitFlip
+from repro.runtime.interpreter import run_program
+
+
+def copy_values(values):
+    return {k: (v.copy() if hasattr(v, "copy") else v) for k, v in values.items()}
+
+
+def main() -> None:
+    program = cg.program()
+    instrumented, report = instrument_program(program)
+
+    print("=== per-array protection plans ===")
+    for name, plan in report.plans.items():
+        print(f"  {name:8s} {plan.kind.value:14s} ({plan.reason})")
+
+    print()
+    print("=== instrumented program (inspector hoisted, Figure 9) ===")
+    print(program_to_text(instrumented))
+
+    params = dict(cg.SMALL_PARAMS)
+    values = cg.initial_values(params)
+
+    print("=== fault-free run balances ===")
+    clean = run_program(instrumented, params, initial_values=copy_values(values))
+    assert not clean.mismatches
+    print("  mismatches: none")
+
+    print()
+    print("=== inspector hoisting, measured ===")
+    baseline = run_program(program, params, initial_values=copy_values(values))
+    cost = CostModel()
+    for label, options in [
+        ("inspector re-run every iteration", InstrumentationOptions(hoist_inspectors=False)),
+        ("inspector hoisted (Section 4.2)", InstrumentationOptions(hoist_inspectors=True)),
+    ]:
+        variant, _ = instrument_program(program, options)
+        result = run_program(variant, params, initial_values=copy_values(values))
+        assert not result.mismatches
+        print(
+            f"  {label:34s}: {cost.overhead(baseline.counts, result.counts):5.3f}x"
+        )
+
+    print()
+    print("=== corrupting the indexing structure is detected ===")
+    injector = ScheduledBitFlip("colidx", (0, 0), [1], at_load=40)
+    faulty = run_program(
+        instrumented,
+        params,
+        initial_values=copy_values(values),
+        injector=injector,
+        wild_reads=True,
+    )
+    print("  fault injected:", injector.fired)
+    print("  detected:", faulty.error_detected)
+    assert faulty.error_detected
+    print()
+    print("OK: the def/use checksums also cover the sparse index arrays.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reproduction of "Compiler-Assisted Detection of Transient Memory
+Errors" (Tavarageri, Krishnamoorthy, Sadayappan — PLDI 2014).
+
+A from-scratch implementation of the paper's compiler pass and every
+substrate it depends on: an integer-set library with symbolic counting,
+a polyhedral dependence analyzer, the def/use checksum instrumenter
+(Algorithms 1-3, index-set splitting, inspectors), a fault-injecting
+runtime that models the paper's memory-subsystem fault model, and the
+experiment harnesses regenerating Table 1, Figure 10 and Figure 11.
+
+Quickstart::
+
+    from repro import instrument_program, run_program, parse_program
+
+    program = parse_program(source_text)
+    resilient, report = instrument_program(program)
+    result = run_program(resilient, params={"n": 32}, initial_values=...)
+    assert not result.mismatches          # fault-free run balances
+
+See ``examples/quickstart.py`` for fault injection and detection.
+"""
+
+from repro.instrument import InstrumentationOptions, instrument_program
+from repro.ir import parse_program, program_to_text
+from repro.runtime import run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InstrumentationOptions",
+    "instrument_program",
+    "parse_program",
+    "program_to_text",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,293 @@
+"""Command-line interface.
+
+Exposes the compiler and the experiment harnesses as a small toolchain:
+
+    python -m repro instrument kernel.mini --split -o resilient.mini
+    python -m repro run resilient.mini --param n=16 --init A=randspd
+    python -m repro analyze kernel.mini
+    python -m repro campaign kernel.mini --param n=12 --trials 100
+    python -m repro table1 / figure10 / figure11 ...
+
+``run`` initializers: ``<array>=zeros`` (default), ``rand`` (uniform
+[-1,1]), ``randpos`` (uniform [0.5,1.5]), ``randspd`` (symmetric
+positive definite, square 2-D arrays), ``arange``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.analysis import validate_program
+from repro.ir.parser import parse_program
+from repro.ir.printer import program_to_text
+
+
+def _load(path: str):
+    with open(path) as handle:
+        program = parse_program(handle.read())
+    validate_program(program)
+    return program
+
+
+def _parse_params(pairs: list[str]) -> dict[str, int]:
+    params = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"--param needs name=value, got {pair!r}")
+        params[name] = int(value)
+    return params
+
+
+def _initial_values(program, params, specs: list[str], seed: int):
+    from repro.ir.analysis import to_affine
+
+    rng = np.random.default_rng(seed)
+    how = {}
+    for spec in specs:
+        name, _, kind = spec.partition("=")
+        how[name] = kind or "rand"
+    values = {}
+    for decl in program.arrays:
+        shape = tuple(
+            int(to_affine(d, set(program.params)).evaluate(params))
+            for d in decl.dims
+        )
+        kind = how.get(decl.name, "zeros")
+        if kind == "zeros":
+            array = np.zeros(shape)
+        elif kind == "rand":
+            array = rng.uniform(-1.0, 1.0, size=shape)
+        elif kind == "randpos":
+            array = rng.uniform(0.5, 1.5, size=shape)
+        elif kind == "arange":
+            array = np.arange(int(np.prod(shape)), dtype=float).reshape(shape)
+        elif kind == "randspd":
+            if len(shape) != 2 or shape[0] != shape[1]:
+                raise SystemExit(f"randspd needs a square 2-D array: {decl.name}")
+            m = rng.standard_normal(shape)
+            array = m @ m.T + shape[0] * np.eye(shape[0])
+        else:
+            raise SystemExit(f"unknown initializer {kind!r} for {decl.name}")
+        if decl.elem_type == "i64":
+            array = array.astype(np.int64)
+        values[decl.name] = array
+    return values
+
+
+def cmd_instrument(args) -> int:
+    program = _load(args.file)
+    if args.baseline == "duplication":
+        from repro.instrument.duplication import duplicate_program
+
+        duplicated = duplicate_program(program)
+        text = program_to_text(duplicated)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+        else:
+            print(text)
+        return 0
+    options = InstrumentationOptions(
+        index_set_splitting=args.split,
+        hoist_inspectors=not args.no_hoist,
+        localize=args.localize,
+    )
+    instrumented, report = instrument_program(program, options)
+    text = program_to_text(instrumented)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    print("# protection plans:", file=sys.stderr)
+    for name, plan in report.plans.items():
+        print(f"#   {name}: {plan.kind.value} ({plan.reason})", file=sys.stderr)
+    if report.static_counts:
+        print("# compile-time use counts:", file=sys.stderr)
+        for label, count in report.static_counts.items():
+            print(f"#   {label}: {count}", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.runtime.interpreter import run_program
+
+    program = _load(args.file)
+    params = _parse_params(args.param)
+    values = _initial_values(program, params, args.init, args.seed)
+    result = run_program(
+        program,
+        params,
+        initial_values=values,
+        channels=args.channels,
+        register_budget=args.register_budget,
+    )
+    if args.register_budget is not None:
+        print(f"register spills: {result.spills}")
+    print(f"statements executed: {result.statements_executed}")
+    print(f"loads={result.counts.loads} stores={result.counts.stores} "
+          f"checksum_ops={result.counts.checksum_ops}")
+    print(f"checksums: {result.checksums}")
+    if result.mismatches:
+        print("CHECKSUM MISMATCH — transient memory error detected:")
+        for mismatch in result.mismatches:
+            print(f"  {mismatch}")
+        return 1
+    print("checksums balanced (no error detected)")
+    if args.dump:
+        for name in args.dump:
+            print(f"{name} = {result.memory.to_array(name)}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.poly.dependences import compute_flow_dependences
+    from repro.poly.model import extract_model
+    from repro.poly.usecount import compute_live_in_counts, compute_use_counts
+
+    program = _load(args.file)
+    model = extract_model(program)
+    print(f"program {program.name}: {len(model.statements)} analyzable "
+          f"statement(s), {len(model.unanalyzable)} dynamic")
+    dependences = compute_flow_dependences(model)
+    print("\nexact flow dependences:")
+    for dep in dependences:
+        print(f"  {dep.source.label} -> {dep.target.label} via {dep.read.ref}")
+    table = compute_use_counts(model, dependences)
+    print("\nuse counts (Algorithm 1):")
+    for entry in table.entries():
+        status = "" if entry.exact else "  [fell back to dynamic]"
+        print(f"  {entry.statement.label}: {entry.count}{status}")
+    print("\nlive-in counts:")
+    for array, count in compute_live_in_counts(model, dependences).items():
+        print(f"  {array}: {count}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    import random
+
+    from repro.runtime.faults import RandomCellFlipper
+    from repro.runtime.interpreter import run_program
+
+    program = _load(args.file)
+    params = _parse_params(args.param)
+    values = _initial_values(program, params, args.init, args.seed)
+    instrumented, _ = instrument_program(
+        program, InstrumentationOptions(index_set_splitting=True)
+    )
+
+    def fresh():
+        return {k: v.copy() for k, v in values.items()}
+
+    clean = run_program(instrumented, params, initial_values=fresh())
+    if clean.mismatches:
+        raise SystemExit("fault-free run flagged an error; check the program")
+    total_loads = clean.memory.load_count
+    arrays = [d.name for d in program.arrays]
+    detected = 0
+    for trial in range(args.trials):
+        injector = RandomCellFlipper(
+            num_bits=args.bits,
+            expected_loads=total_loads,
+            rng=random.Random(args.seed + trial),
+            target_arrays=arrays,
+        )
+        outcome = run_program(
+            instrumented,
+            params,
+            initial_values=fresh(),
+            injector=injector,
+            wild_reads=True,
+        )
+        detected += outcome.error_detected
+    print(
+        f"{detected}/{args.trials} random {args.bits}-bit faults detected "
+        f"({100 * detected / args.trials:.1f}%); the rest hit dead or "
+        "pre-definition data (see EXPERIMENTS.md)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compiler-assisted transient-memory-error detection "
+        "(PLDI 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inst = sub.add_parser("instrument", help="insert def/use checksums")
+    p_inst.add_argument("file")
+    p_inst.add_argument("-o", "--output")
+    p_inst.add_argument("--split", action="store_true",
+                        help="apply index-set splitting (Algorithm 2)")
+    p_inst.add_argument("--no-hoist", action="store_true",
+                        help="re-run inspectors every while iteration")
+    p_inst.add_argument("--localize", action="store_true",
+                        help="per-array checksum groups (in-memory only; "
+                        "the qualified names do not re-parse)")
+    p_inst.add_argument("--baseline", choices=("duplication",),
+                        default=None,
+                        help="emit a baseline transform instead of the "
+                        "def/use checksum scheme")
+    p_inst.set_defaults(func=cmd_instrument)
+
+    p_run = sub.add_parser("run", help="execute a program on the simulator")
+    p_run.add_argument("file")
+    p_run.add_argument("--param", action="append", default=[], metavar="n=16")
+    p_run.add_argument("--init", action="append", default=[],
+                       metavar="A=randspd")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--channels", type=int, default=1,
+                       help="checksum channels (2 = rotated second checksum)")
+    p_run.add_argument("--register-budget", type=int, default=None,
+                       help="per-bundle register file size (enables the "
+                       "Section 5 spill modeling)")
+    p_run.add_argument("--dump", action="append", default=None,
+                       metavar="ARRAY", help="print an array after the run")
+    p_run.set_defaults(func=cmd_run)
+
+    p_an = sub.add_parser("analyze", help="show dependences and use counts")
+    p_an.add_argument("file")
+    p_an.set_defaults(func=cmd_analyze)
+
+    p_camp = sub.add_parser("campaign", help="random fault-injection campaign")
+    p_camp.add_argument("file")
+    p_camp.add_argument("--param", action="append", default=[], metavar="n=16")
+    p_camp.add_argument("--init", action="append", default=[])
+    p_camp.add_argument("--trials", type=int, default=100)
+    p_camp.add_argument("--bits", type=int, default=2)
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.set_defaults(func=cmd_campaign)
+
+    for name in ("table1", "figure10", "figure11"):
+        p_exp = sub.add_parser(name, help=f"run the {name} experiment")
+        p_exp.add_argument("rest", nargs=argparse.REMAINDER)
+        p_exp.set_defaults(func=_experiment_runner(name))
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+def _experiment_runner(name: str):
+    def run(args) -> int:
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{name}")
+        module.main(args.rest)
+        return 0
+
+    return run
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""IR-to-Python compilation for wall-clock benchmarking."""
+
+from repro.codegen.python_gen import CompiledProgram, compile_to_python
+
+__all__ = ["CompiledProgram", "compile_to_python"]

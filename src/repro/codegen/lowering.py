@@ -1,0 +1,190 @@
+"""Lowering to pseudo-assembly (Section 6.2.2's estimation substrate).
+
+The paper estimates hardware-assisted overheads by inserting a
+*checksum instruction* before every floating-point (or memory)
+operation of the compiled binary and pricing it as a nop.  To make
+that estimation mechanistic rather than a scalar discount, this module
+lowers each (possibly instrumented) assignment to a pseudo-instruction
+sequence; :mod:`repro.runtime.pipeline_model` then prices the sequence
+on a small port-throughput machine where checksum work either competes
+for the integer ALUs (software scheme) or runs on dedicated checksum
+units (the paper's hardware design: "one checksum unit could be
+associated with every functional unit").
+
+Lowering conventions (matching the interpreter's bundle semantics):
+
+* one ``LD`` per *distinct* data cell read by the bundle (register
+  reuse), one ``ST`` per store (+ one for a duplicated store);
+* RHS arithmetic maps 1:1 (``FADD``/``FMUL``/``FDIV``/``FSQRT``/
+  ``FMISC``/``IOP``); subscript arithmetic adds ``IOP``s;
+* each checksum contribution is one ``CHK`` (a multiply-accumulate);
+  evaluating a non-trivial count expression adds its ``IOP``/``BR``
+  cost; an auxiliary contribution is a second ``CHK``;
+* shadow-counter work (increments, pre-overwrite adjustments) is
+  ordinary ``LD``/``IOP``/``ST``/``CHK`` traffic — the bookkeeping the
+  paper's hardware design deliberately keeps in software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Select,
+    UnOp,
+    VarRef,
+)
+
+OPS = (
+    "LD",
+    "ST",
+    "FADD",
+    "FMUL",
+    "FDIV",
+    "FSQRT",
+    "FMISC",
+    "IOP",
+    "BR",
+    "CHK",
+)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One pseudo-instruction."""
+
+    op: str
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValueError(f"unknown pseudo-op {self.op!r}")
+
+
+def _expr_ops(expr: Expr, float_context: bool, out: list[Instr]) -> None:
+    """Arithmetic instructions of an expression (loads handled apart)."""
+    if isinstance(expr, (Const, VarRef)):
+        return
+    if isinstance(expr, ArrayRef):
+        for index in expr.indices:
+            _expr_ops(index, False, out)
+            if not isinstance(index, (Const, VarRef)):
+                pass  # its ops were just appended
+            out.append(Instr("IOP"))  # address arithmetic
+        return
+    if isinstance(expr, BinOp):
+        _expr_ops(expr.left, float_context, out)
+        _expr_ops(expr.right, float_context, out)
+        if expr.op in ("+", "-"):
+            out.append(Instr("FADD" if float_context else "IOP"))
+        elif expr.op == "*":
+            out.append(Instr("FMUL" if float_context else "IOP"))
+        elif expr.op in ("/", "%"):
+            out.append(Instr("FDIV" if float_context else "IOP"))
+        elif expr.op in ("&&", "||"):
+            out.append(Instr("BR"))
+        else:  # comparison
+            out.append(Instr("IOP"))
+        return
+    if isinstance(expr, UnOp):
+        _expr_ops(expr.operand, float_context, out)
+        out.append(Instr("IOP"))
+        return
+    if isinstance(expr, Call):
+        for arg in expr.args:
+            _expr_ops(arg, float_context, out)
+        if expr.func == "sqrt":
+            out.append(Instr("FSQRT"))
+        elif expr.func in ("exp", "sin", "cos", "abs"):
+            out.append(Instr("FMISC"))
+        else:  # min/max/floor/mod
+            out.append(Instr("IOP"))
+        return
+    if isinstance(expr, Select):
+        _expr_ops(expr.cond, False, out)
+        out.append(Instr("BR"))
+        # Charge the heavier branch (in-order worst case).
+        left: list[Instr] = []
+        right: list[Instr] = []
+        _expr_ops(expr.if_true, float_context, left)
+        _expr_ops(expr.if_false, float_context, right)
+        out.extend(left if len(left) >= len(right) else right)
+        return
+    raise TypeError(f"cannot lower {expr!r}")
+
+
+def _distinct_loads(assign: Assign, data_names: set[str]) -> int:
+    from repro.ir.accesses import data_reads_of
+
+    seen: set[str] = set()
+    for ref in data_reads_of(assign, data_names):
+        seen.add(str(ref))
+    return len(seen)
+
+
+def _count_cost(count: Expr, out: list[Instr]) -> None:
+    """Evaluating a non-trivial scale factor is integer work."""
+    if isinstance(count, Const):
+        return
+    _expr_ops(count, False, out)
+
+
+def lower_assign(
+    assign: Assign,
+    data_names: set[str],
+    float_types: bool = True,
+) -> list[Instr]:
+    """The pseudo-instruction block of one (instrumented) assignment."""
+    out: list[Instr] = []
+    for _ in range(_distinct_loads(assign, data_names)):
+        out.append(Instr("LD"))
+    _expr_ops(assign.rhs, float_types, out)
+    if isinstance(assign.lhs, ArrayRef):
+        for index in assign.lhs.indices:
+            _expr_ops(index, False, out)
+            out.append(Instr("IOP"))
+    instr = assign.instrumentation
+    if instr:
+        for use in instr.uses:
+            _count_cost(use.count, out)
+            out.append(Instr("CHK"))
+        for _ in instr.counter_increments:
+            out.extend([Instr("LD"), Instr("IOP"), Instr("ST")])
+        if instr.pre_overwrite is not None:
+            # Old value may already be loaded; the counter is not.
+            out.extend(
+                [
+                    Instr("LD"),   # shadow counter
+                    Instr("IOP"),  # count - 1
+                    Instr("CHK"),  # def adjustment
+                    Instr("CHK"),  # e_use
+                    Instr("ST"),   # counter reset
+                ]
+            )
+    out.append(Instr("ST"))
+    if instr and instr.duplicate_store is not None:
+        out.append(Instr("ST"))
+    if instr and instr.definition is not None:
+        _count_cost(instr.definition.count, out)
+        out.append(Instr("CHK"))
+        if instr.definition.aux:
+            out.append(Instr("CHK"))
+    return out
+
+
+def lower_free_checksum_add(value: Expr, count: Expr, data_names: set[str]) -> list[Instr]:
+    """A prologue/epilogue ``add_to_chksm``: one load + the count math
+    + one checksum op."""
+    out: list[Instr] = [Instr("LD")]
+    if isinstance(value, ArrayRef):
+        for index in value.indices:
+            _expr_ops(index, False, out)
+            out.append(Instr("IOP"))
+    _count_cost(count, out)
+    out.append(Instr("CHK"))
+    return out

@@ -1,0 +1,297 @@
+"""Compile mini-language programs to plain Python for timing.
+
+The interpreter measures *operation counts* faithfully but its own
+dispatch cost would swamp a wall-clock comparison.  For the Figure 10
+measurements the IR is therefore compiled to straight-line Python: the
+original and the instrumented program become two ordinary functions,
+and their runtime ratio reflects the cost of the inserted operations —
+the same methodology as the paper's compiled-C measurements, with
+Python as the ISA.
+
+Design choices:
+
+* arrays are numpy arrays indexed with tuples; scalars are Python
+  locals (the fault boundary is irrelevant here — no faults are
+  injected into timed runs);
+* checksum accumulators sum the *values* (float adds) rather than bit
+  patterns — one multiply-accumulate per contribution, matching the
+  per-contribution cost of the integer scheme without paying Python's
+  struct-packing overhead on every access;
+* the verifier compares def/use sums with a relative tolerance (float
+  summation order differs between the def and use sides).
+
+The generated source is kept on the :class:`CompiledProgram` for
+inspection and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    ChecksumAssert,
+    ChecksumReset as _ChecksumResetType,
+    Const,
+    CounterIncrement,
+    Expr,
+    If,
+    Loop,
+    Program,
+    Select,
+    Stmt,
+    UnOp,
+    VarRef,
+    WhileLoop,
+)
+
+_CHECKSUM_VARS = {
+    "def": "_cs_def",
+    "use": "_cs_use",
+    "e_def": "_cs_e_def",
+    "e_use": "_cs_e_use",
+}
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled program plus its generated source."""
+
+    program: Program
+    source: str
+    entry: Callable
+
+    def __call__(
+        self, params: Mapping[str, int], arrays: Mapping[str, object]
+    ) -> dict:
+        """Run; returns {'checksums': {...}, 'mismatch': bool}."""
+        return self.entry(params, arrays)
+
+
+class _Emitter:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.lines: list[str] = []
+        self.indent = 0
+        self.scalar_names = {d.name for d in program.scalars}
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    # -- expressions -----------------------------------------------------
+    def expr(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            return repr(e.value)
+        if isinstance(e, VarRef):
+            if e.name in self.scalar_names:
+                return f"_s_{e.name}"
+            return e.name
+        if isinstance(e, ArrayRef):
+            indices = ", ".join(self.expr(i) for i in e.indices)
+            return f"{e.array}[{indices}]"
+        if isinstance(e, BinOp):
+            op = e.op
+            if op == "&&":
+                return f"({self.expr(e.left)} and {self.expr(e.right)})"
+            if op == "||":
+                return f"({self.expr(e.left)} or {self.expr(e.right)})"
+            if op == "/":
+                # Match interpreter semantics: int/int floors.
+                return f"_div({self.expr(e.left)}, {self.expr(e.right)})"
+            return f"({self.expr(e.left)} {op} {self.expr(e.right)})"
+        if isinstance(e, UnOp):
+            if e.op == "!":
+                return f"(not {self.expr(e.operand)})"
+            return f"({e.op}{self.expr(e.operand)})"
+        if isinstance(e, Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"_{e.func}({args})"
+        if isinstance(e, Select):
+            return (
+                f"({self.expr(e.if_true)} if {self.expr(e.cond)} "
+                f"else {self.expr(e.if_false)})"
+            )
+        raise TypeError(f"cannot compile expression {e!r}")
+
+    def index_tuple(self, ref: ArrayRef) -> str:
+        return ", ".join(self.expr(i) for i in ref.indices)
+
+    def lvalue(self, ref) -> str:
+        if isinstance(ref, ArrayRef):
+            return f"{ref.array}[{self.index_tuple(ref)}]"
+        return f"_s_{ref.name}"
+
+    # -- statements ---------------------------------------------------------
+    def statement(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, Loop):
+            lower = self.expr(stmt.lower)
+            upper = self.expr(stmt.upper)
+            self.emit(f"for {stmt.var} in range({lower}, ({upper}) + 1):")
+            self.indent += 1
+            if stmt.body:
+                for inner in stmt.body:
+                    self.statement(inner)
+            else:
+                self.emit("pass")
+            self.indent -= 1
+        elif isinstance(stmt, WhileLoop):
+            self.emit(f"while {self.expr(stmt.cond)}:")
+            self.indent += 1
+            if stmt.counter:
+                self.emit(f"_s_{stmt.counter} += 1")
+            for inner in stmt.body:
+                self.statement(inner)
+            if not stmt.body and not stmt.counter:
+                self.emit("pass")
+            self.indent -= 1
+        elif isinstance(stmt, If):
+            self.emit(f"if {self.expr(stmt.cond)}:")
+            self.indent += 1
+            if stmt.then_body:
+                for inner in stmt.then_body:
+                    self.statement(inner)
+            else:
+                self.emit("pass")
+            self.indent -= 1
+            if stmt.else_body:
+                self.emit("else:")
+                self.indent += 1
+                for inner in stmt.else_body:
+                    self.statement(inner)
+                self.indent -= 1
+        elif isinstance(stmt, ChecksumAdd):
+            target = _CHECKSUM_VARS[stmt.checksum]
+            value = self.expr(stmt.value)
+            count = self.expr(stmt.count)
+            if isinstance(stmt.count, Const) and stmt.count.value == 1:
+                self.emit(f"{target} += {value}")
+            else:
+                self.emit(f"{target} += ({value}) * ({count})")
+        elif isinstance(stmt, CounterIncrement):
+            target = self.lvalue(stmt.counter)
+            amount = self.expr(stmt.amount)
+            if isinstance(stmt.amount, Const) and stmt.amount.value == 1:
+                self.emit(f"{target} += 1")
+            else:
+                self.emit(f"{target} += {amount}")
+        elif isinstance(stmt, ChecksumAssert):
+            for left, right in stmt.pairs:
+                a = _CHECKSUM_VARS[left]
+                b = _CHECKSUM_VARS[right]
+                self.emit(f"_mismatch |= not _close({a}, {b})")
+        elif isinstance(stmt, _ChecksumResetType):
+            for name in _CHECKSUM_VARS.values():
+                self.emit(f"{name} = 0.0")
+        else:
+            raise TypeError(f"cannot compile statement {stmt!r}")
+
+    def _assign(self, stmt: Assign) -> None:
+        instr = stmt.instrumentation
+        if instr:
+            for use in instr.uses:
+                value = self.expr(use.ref)
+                count = self.expr(use.count)
+                target = _CHECKSUM_VARS[use.checksum]
+                if isinstance(use.count, Const) and use.count.value == 1:
+                    self.emit(f"{target} += {value}")
+                else:
+                    self.emit(f"{target} += ({value}) * ({count})")
+            for counter in instr.counter_increments:
+                self.emit(f"{self.lvalue(counter)} += 1")
+            if instr.pre_overwrite:
+                old = self.expr(stmt.lhs)
+                counter_lv = self.lvalue(instr.pre_overwrite.counter)
+                self.emit(f"_old = {old}")
+                self.emit(f"_cs_def += _old * ({counter_lv} - 1)")
+                self.emit(f"_cs_e_use += _old")
+                self.emit(f"{counter_lv} = 0")
+        self.emit(f"{self.lvalue(stmt.lhs)} = {self.expr(stmt.rhs)}")
+        if instr and instr.duplicate_store is not None:
+            self.emit(
+                f"{self.lvalue(instr.duplicate_store)} = {self.expr(stmt.lhs)}"
+            )
+        if instr and instr.definition:
+            d = instr.definition
+            new = self.expr(stmt.lhs)
+            count = self.expr(d.count)
+            target = _CHECKSUM_VARS[d.checksum]
+            if isinstance(d.count, Const) and d.count.value == 1:
+                self.emit(f"{target} += {new}")
+            else:
+                self.emit(f"{target} += ({new}) * ({count})")
+            if d.aux:
+                self.emit(f"_cs_e_def += {new}")
+
+
+_PRELUDE = '''\
+import math
+
+def _div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return a // b
+    return a / b
+
+_sqrt = math.sqrt
+_abs = abs
+_min = min
+_max = max
+_exp = math.exp
+_sin = math.sin
+_cos = math.cos
+_floor = math.floor
+
+def _mod(a, b):
+    return a % b
+
+def _close(a, b):
+    scale = max(abs(a), abs(b), 1.0)
+    return abs(a - b) <= 1e-6 * scale
+'''
+
+
+def compile_to_python(program: Program) -> CompiledProgram:
+    """Compile a program to a Python callable.
+
+    The callable takes ``(params, arrays)`` where ``arrays`` maps array
+    names to numpy arrays (mutated in place) and scalar names to float
+    initial values; it returns ``{"checksums": {...}, "mismatch":
+    bool, "scalars": {...}}``.
+    """
+    emitter = _Emitter(program)
+    emitter.emit("def _kernel(_params, _arrays):")
+    emitter.indent += 1
+    for param in program.params:
+        emitter.emit(f"{param} = _params[{param!r}]")
+    for decl in program.arrays:
+        emitter.emit(f"{decl.name} = _arrays[{decl.name!r}]")
+    for decl in program.scalars:
+        default = "0" if decl.elem_type == "i64" else "0.0"
+        emitter.emit(
+            f"_s_{decl.name} = _arrays.get({decl.name!r}, {default})"
+        )
+    for name in ("_cs_def", "_cs_use", "_cs_e_def", "_cs_e_use"):
+        emitter.emit(f"{name} = 0.0")
+    emitter.emit("_mismatch = False")
+    for stmt in program.body:
+        emitter.statement(stmt)
+    scalars = ", ".join(
+        f"{d.name!r}: _s_{d.name}" for d in program.scalars
+    )
+    emitter.emit(
+        "return {'checksums': {'def': _cs_def, 'use': _cs_use, "
+        "'e_def': _cs_e_def, 'e_use': _cs_e_use}, "
+        "'mismatch': _mismatch, 'scalars': {" + scalars + "}}"
+    )
+    source = _PRELUDE + "\n" + "\n".join(emitter.lines) + "\n"
+    namespace: dict = {}
+    exec(compile(source, f"<codegen:{program.name}>", "exec"), namespace)
+    return CompiledProgram(
+        program=program, source=source, entry=namespace["_kernel"]
+    )

@@ -1,0 +1,13 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+* :mod:`repro.experiments.table1` — fault coverage of the checksum
+  operator (Table 1): % undetected multi-bit errors, one vs. two
+  checksums, three data patterns, three array sizes.
+* :mod:`repro.experiments.figure10` — software-only overheads of the
+  resilient and resilient-optimized codes over the Table 2 benchmarks.
+* :mod:`repro.experiments.figure11` — estimated overheads with a
+  hardware checksum functional unit.
+* :mod:`repro.experiments.reporting` — row/series formatting.
+
+Each module is runnable: ``python -m repro.experiments.table1``.
+"""

@@ -1,0 +1,230 @@
+"""Figure 10 — normalized running time of the resilient codes
+(software-only, one checksum).
+
+For every Table 2 benchmark, three builds are compared:
+
+* **Original** — the uninstrumented program (normalized time 1.0);
+* **Resilient** — checksums inserted, no optimizations (use-count
+  conditionals in the loops; inspectors re-run every while iteration);
+* **Resilient-Optimized** — index-set splitting (Section 3.3) plus
+  inspector hoisting (Section 4.2).
+
+Two measurements are taken on the simulator substrate:
+
+1. the **cost model**: dynamic operation counts from the interpreter,
+   weighted per :class:`~repro.runtime.costmodel.CostParams` — the
+   default reported numbers (architecture-neutral, deterministic); and
+2. optional **wall-clock** of the generated-Python builds
+   (``--wall``), the closest analogue of the paper's compiled-C
+   timing.
+
+Paper anchors: geomean overhead 78.8% resilient, 40.2% optimized; LU
+30.3s → 13.2s with splitting (original 11.1s); CG 81.1s → 52.7s with
+inspector hoisting (original 33.7s); moldyn worst overall.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.codegen.python_gen import compile_to_python
+from repro.experiments.reporting import OverheadRow, format_overheads, geomean
+from repro.instrument.pipeline import InstrumentationOptions, instrument_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.costmodel import CostModel, OpCounts
+from repro.runtime.interpreter import run_program
+
+PAPER_GEOMEANS = {"resilient": 1.788, "optimized": 1.402}
+PAPER_ANCHORS = {
+    # benchmark: (original s, resilient s, optimized s) where reported
+    "lu": (11.1, 30.3, 13.2),
+    "cg": (33.7, 81.1, 52.7),
+}
+
+RESILIENT = InstrumentationOptions(
+    index_set_splitting=False, hoist_inspectors=False
+)
+OPTIMIZED = InstrumentationOptions(
+    index_set_splitting=True, hoist_inspectors=True
+)
+
+
+@dataclass
+class BenchmarkBuilds:
+    """Original + two instrumented variants of one benchmark."""
+
+    name: str
+    original: object
+    resilient: object
+    optimized: object
+    params: dict
+    values: dict
+
+
+def build_benchmark(name: str, scale: str = "default") -> BenchmarkBuilds:
+    module = ALL_BENCHMARKS[name]
+    program = module.program()
+    params = dict(
+        module.SMALL_PARAMS if scale == "small" else module.DEFAULT_PARAMS
+    )
+    values = module.initial_values(params)
+    resilient, _ = instrument_program(program, RESILIENT)
+    optimized, _ = instrument_program(program, OPTIMIZED)
+    return BenchmarkBuilds(
+        name=name,
+        original=program,
+        resilient=resilient,
+        optimized=optimized,
+        params=params,
+        values=values,
+    )
+
+
+def _copy_values(values: dict) -> dict:
+    return {
+        k: (v.copy() if hasattr(v, "copy") else v) for k, v in values.items()
+    }
+
+
+def measure_counts(builds: BenchmarkBuilds) -> dict[str, OpCounts]:
+    counts: dict[str, OpCounts] = {}
+    for key, program in (
+        ("original", builds.original),
+        ("resilient", builds.resilient),
+        ("optimized", builds.optimized),
+    ):
+        result = run_program(
+            program, builds.params, initial_values=_copy_values(builds.values)
+        )
+        if result.mismatches:
+            raise AssertionError(
+                f"{builds.name}/{key}: fault-free run flagged an error: "
+                f"{result.mismatches}"
+            )
+        counts[key] = result.counts
+    return counts
+
+
+def prepare_arrays(program, params: dict, values: dict) -> dict:
+    """Numpy arrays for a (possibly instrumented) program: originals
+    copied from ``values``, shadow regions zero-initialized."""
+    import numpy as np
+
+    from repro.ir.analysis import to_affine
+
+    arrays: dict = {}
+    for decl in program.arrays:
+        dtype = np.float64 if decl.elem_type == "f64" else np.int64
+        if decl.name in values:
+            arrays[decl.name] = np.array(values[decl.name], dtype=dtype)
+        else:
+            shape = tuple(
+                int(to_affine(d, set(params)).evaluate(params))
+                for d in decl.dims
+            )
+            arrays[decl.name] = np.zeros(shape, dtype=dtype)
+    for decl in program.scalars:
+        if decl.name in values:
+            arrays[decl.name] = values[decl.name]
+    return arrays
+
+
+def measure_wall(builds: BenchmarkBuilds, repeats: int = 3) -> dict[str, float]:
+    times: dict[str, float] = {}
+    for key, program in (
+        ("original", builds.original),
+        ("resilient", builds.resilient),
+        ("optimized", builds.optimized),
+    ):
+        compiled = compile_to_python(program)
+        best = float("inf")
+        for _ in range(repeats):
+            arrays = prepare_arrays(program, builds.params, builds.values)
+            start = time.perf_counter()
+            compiled(builds.params, arrays)
+            best = min(best, time.perf_counter() - start)
+        times[key] = best
+    return times
+
+
+def overhead_row(
+    name: str,
+    scale: str = "default",
+    wall: bool = False,
+    cost_model: CostModel | None = None,
+) -> OverheadRow:
+    cost_model = cost_model or CostModel()
+    builds = build_benchmark(name, scale)
+    counts = measure_counts(builds)
+    resilient = cost_model.overhead(counts["original"], counts["resilient"])
+    optimized = cost_model.overhead(counts["original"], counts["optimized"])
+    row = OverheadRow(
+        benchmark=name, resilient=resilient, resilient_optimized=optimized
+    )
+    if wall:
+        times = measure_wall(builds)
+        row.wall_resilient = times["resilient"] / times["original"]
+        row.wall_resilient_optimized = times["optimized"] / times["original"]
+    if name in PAPER_ANCHORS:
+        orig, res, opt = PAPER_ANCHORS[name]
+        row.note = f"paper: {res / orig:.2f} / {opt / orig:.2f}"
+    return row
+
+
+def run_figure10(
+    benchmarks: list[str] | None = None,
+    scale: str = "default",
+    wall: bool = False,
+) -> list[OverheadRow]:
+    names = benchmarks or list(ALL_BENCHMARKS)
+    return [overhead_row(name, scale, wall) for name in names]
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmarks", nargs="+", default=None)
+    parser.add_argument(
+        "--scale", choices=("small", "default"), default="default"
+    )
+    parser.add_argument(
+        "--wall", action="store_true", help="also time generated Python"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print Table 2 and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        print(format_table2())
+        return
+    rows = run_figure10(args.benchmarks, args.scale, args.wall)
+    print(
+        format_overheads(
+            rows,
+            "Figure 10: normalized running time (cost model; original = 1.0)",
+            paper_geomeans=PAPER_GEOMEANS,
+            show_wall=args.wall,
+        )
+    )
+
+
+def format_table2() -> str:
+    """Table 2: the benchmark inventory."""
+    lines = [
+        "Table 2: Benchmarks",
+        "",
+        f"{'benchmark':<10} {'description':<46} {'paper size':<28} {'repro size'}",
+        "-" * 110,
+    ]
+    for name, module in ALL_BENCHMARKS.items():
+        paper = ", ".join(f"{k}={v}" for k, v in module.PAPER_PROBLEM_SIZE.items())
+        ours = ", ".join(f"{k}={v}" for k, v in module.DEFAULT_PARAMS.items())
+        lines.append(
+            f"{name:<10} {module.DESCRIPTION:<46} {paper:<28} {ours}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Shared formatting for the overhead experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class OverheadRow:
+    """Normalized running times for one benchmark (original = 1.0)."""
+
+    benchmark: str
+    resilient: float
+    resilient_optimized: float
+    hardware: float | None = None
+    wall_resilient: float | None = None
+    wall_resilient_optimized: float | None = None
+    note: str = ""
+
+
+def geomean(values: list[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_overheads(
+    rows: list[OverheadRow],
+    title: str,
+    paper_geomeans: dict[str, float] | None = None,
+    show_wall: bool = False,
+) -> str:
+    lines = [title, ""]
+    header = f"{'benchmark':<10} {'resilient':>10} {'optimized':>10}"
+    if any(r.hardware is not None for r in rows):
+        header += f" {'hardware':>10}"
+    if show_wall:
+        header += f" {'wall-res':>10} {'wall-opt':>10}"
+    header += "  note"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        line = f"{row.benchmark:<10} {row.resilient:>10.3f} {row.resilient_optimized:>10.3f}"
+        if any(r.hardware is not None for r in rows):
+            line += (
+                f" {row.hardware:>10.3f}" if row.hardware is not None else " " * 11
+            )
+        if show_wall:
+            wr = row.wall_resilient
+            wo = row.wall_resilient_optimized
+            line += f" {wr:>10.3f}" if wr is not None else " " * 11
+            line += f" {wo:>10.3f}" if wo is not None else " " * 11
+        if row.note:
+            line += f"  {row.note}"
+        lines.append(line)
+    lines.append("-" * len(header))
+    gm_res = geomean([r.resilient for r in rows])
+    gm_opt = geomean([r.resilient_optimized for r in rows])
+    summary = f"{'geomean':<10} {gm_res:>10.3f} {gm_opt:>10.3f}"
+    if any(r.hardware is not None for r in rows):
+        gm_hw = geomean([r.hardware for r in rows if r.hardware is not None])
+        summary += f" {gm_hw:>10.3f}"
+    lines.append(summary)
+    if paper_geomeans:
+        paper_line = "paper     "
+        for key in ("resilient", "optimized", "hardware"):
+            if key in paper_geomeans:
+                paper_line += f" {paper_geomeans[key]:>10.3f}"
+        lines.append(paper_line)
+    return "\n".join(lines)

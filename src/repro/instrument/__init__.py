@@ -1,0 +1,59 @@
+"""The paper's primary contribution: checksum instrumentation passes.
+
+* :mod:`repro.instrument.operators` — checksum operator library
+  (integer modulo addition, XOR, one's-complement, Fletcher, Adler —
+  the Maxino comparison set the paper cites) and the rotated
+  two-checksum scheme of Section 6.1.
+* :mod:`repro.instrument.render` — piecewise polynomials and affine
+  expressions rendered as IR expressions (with redundancy "gisting"
+  against the statement domain).
+* :mod:`repro.instrument.classify` — per-array protection plans:
+  static (Section 3), dynamic counters (Section 4.1 / Algorithm 3), or
+  the iterative inspector scheme (Section 4.2).
+* :mod:`repro.instrument.affine` — checksum insertion with compile-time
+  use counts, including the live-in prologue.
+* :mod:`repro.instrument.general` — Algorithm 3's dynamic scheme with
+  shadow use counters and the auxiliary ``e_def``/``e_use`` checksums.
+* :mod:`repro.instrument.inspector` — inspectors for iterative codes
+  and their hoisting.
+* :mod:`repro.instrument.splitting` — Algorithm 2 index-set splitting.
+* :mod:`repro.instrument.pipeline` — the end-to-end instrumenter.
+"""
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    InstrumentationReport,
+    instrument_program,
+)
+from repro.instrument.duplication import duplicate_program
+from repro.instrument.epochs import instrument_with_epochs
+from repro.instrument.localize import localize_checksums
+from repro.instrument.operators import (
+    AdlerChecksum,
+    ChecksumOperator,
+    Crc64Checksum,
+    FletcherChecksum,
+    ModularAddChecksum,
+    OnesComplementChecksum,
+    RotatedModularAddChecksum,
+    XorChecksum,
+    operator_by_name,
+)
+
+__all__ = [
+    "InstrumentationOptions",
+    "InstrumentationReport",
+    "instrument_program",
+    "ChecksumOperator",
+    "ModularAddChecksum",
+    "XorChecksum",
+    "OnesComplementChecksum",
+    "FletcherChecksum",
+    "AdlerChecksum",
+    "Crc64Checksum",
+    "RotatedModularAddChecksum",
+    "operator_by_name",
+    "duplicate_program",
+    "instrument_with_epochs",
+    "localize_checksums",
+]

@@ -1,0 +1,170 @@
+"""Checksum insertion for statically analyzable (affine) references.
+
+Implements the Section 3 scheme for arrays classified ``STATIC``:
+
+* every read contributes once to the use checksum;
+* every definition contributes ``use_count`` times to the def checksum,
+  where ``use_count`` is Algorithm 1's piecewise polynomial rendered as
+  an IR expression over the statement's iterators (a ``Select`` chain
+  when the count varies across the domain — Figure 5's conditional);
+* live-in values (cells read before any write) contribute their
+  compile-time counts to the def checksum in a prologue (Algorithm 3,
+  lines 1–2).
+
+The pipeline calls :func:`static_use_count_expr` per statement and
+:func:`live_in_prologue` per array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isl.basic_set import BasicSet
+from repro.isl.piecewise import PiecewisePolynomial
+from repro.instrument.render import (
+    piecewise_constant_value,
+    piecewise_to_ir,
+)
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayRef,
+    ChecksumAdd,
+    Const,
+    Expr,
+    Loop,
+    Program,
+    Stmt,
+    VarRef,
+)
+from repro.poly.model import StatementInfo
+from repro.poly.usecount import StatementUseCount
+
+CELL_ITER_PREFIX = "__x"
+
+
+@dataclass
+class StaticDefPlan:
+    """Rendered def-checksum contribution for one statement."""
+
+    count_expr: Expr
+    is_zero: bool
+    """True when the definition is never used (no contribution needed)."""
+
+
+def static_use_count_expr(
+    entry: StatementUseCount, info: StatementInfo
+) -> StaticDefPlan:
+    """Render Algorithm 1's count as an IR expression for the def site.
+
+    Piece conditions implied by the statement's iteration domain are
+    omitted; a count that is identically zero yields ``is_zero=True``
+    (the def contributes nothing — its value is never consumed).
+    """
+    pwp = entry.count
+    if pwp.is_zero():
+        return StaticDefPlan(count_expr=Const(0), is_zero=True)
+    constant = piecewise_constant_value(pwp)
+    context = _domain_as_param_space(info.domain, pwp)
+    if constant is not None:
+        # Constant on its pieces — but the pieces may not cover the
+        # whole domain (zero outside). Rendering handles that; only a
+        # full cover lets us emit the bare constant.
+        expr = piecewise_to_ir(pwp, context)
+        return StaticDefPlan(count_expr=expr, is_zero=False)
+    expr = piecewise_to_ir(pwp, context)
+    return StaticDefPlan(count_expr=expr, is_zero=False)
+
+
+def _domain_as_param_space(domain: BasicSet, pwp: PiecewisePolynomial) -> BasicSet:
+    """The statement domain re-expressed in the count's (param) space."""
+    return BasicSet(pwp.space, domain.constraints)
+
+
+def cell_loop_nest(
+    decl: ArrayDecl,
+    body: list[Stmt],
+    iter_names: list[str] | None = None,
+) -> list[Stmt]:
+    """Wrap ``body`` in a loop nest over every cell of an array.
+
+    The loop iterators are ``__x0, __x1, ...`` (or ``iter_names``); the
+    body should reference cells as ``A[__x0][__x1]``.
+    """
+    names = iter_names or [f"{CELL_ITER_PREFIX}{k}" for k in range(len(decl.dims))]
+    result: tuple[Stmt, ...] = tuple(body)
+    for level in range(len(decl.dims) - 1, -1, -1):
+        upper = _minus_one(decl.dims[level])
+        result = (
+            Loop(var=names[level], lower=Const(0), upper=upper, body=result),
+        )
+    return list(result)
+
+
+def cell_ref(decl: ArrayDecl, iter_names: list[str] | None = None) -> ArrayRef:
+    names = iter_names or [f"{CELL_ITER_PREFIX}{k}" for k in range(len(decl.dims))]
+    return ArrayRef(decl.name, tuple(VarRef(n) for n in names))
+
+
+def _minus_one(dim: Expr) -> Expr:
+    from repro.ir.nodes import BinOp
+
+    if isinstance(dim, Const) and isinstance(dim.value, int):
+        return Const(dim.value - 1)
+    return BinOp("-", dim, Const(1))
+
+
+def live_in_prologue(
+    program: Program,
+    array: str,
+    live_count: PiecewisePolynomial,
+) -> list[Stmt]:
+    """Prologue statements adding live-in values to the def checksum.
+
+    ``live_count`` is over cell parameters ``__c0, __c1, ...``
+    (from :func:`repro.poly.usecount.compute_live_in_counts`); the
+    generated loops use iterators ``__x0, __x1, ...`` and the rename is
+    performed here.
+
+    For scalars the "loop nest" is empty and a single statement is
+    produced.
+    """
+    if live_count.is_zero():
+        return []
+    if program.has_array(array):
+        decl = program.array(array)
+        rank = len(decl.dims)
+    else:
+        decl = None
+        rank = 0
+    rename = {f"__c{k}": f"{CELL_ITER_PREFIX}{k}" for k in range(rank)}
+    renamed = live_count.rename(rename)
+    count_expr = piecewise_to_ir(renamed, _array_bounds_context(program, array, renamed))
+    if decl is None:
+        value: Expr = VarRef(array)
+        return [ChecksumAdd(checksum="def", value=value, count=count_expr)]
+    body: list[Stmt] = [
+        ChecksumAdd(checksum="def", value=cell_ref(decl), count=count_expr)
+    ]
+    return cell_loop_nest(decl, body)
+
+
+def _array_bounds_context(
+    program: Program, array: str, pwp: PiecewisePolynomial
+) -> BasicSet | None:
+    """Context 0 <= __xk <= dim_k - 1 for gisting prologue conditions."""
+    from repro.isl.constraints import Constraint
+    from repro.isl.linear import LinExpr
+    from repro.ir.analysis import to_affine
+
+    if not program.has_array(array):
+        return None
+    decl = program.array(array)
+    constraints = []
+    for k, dim in enumerate(decl.dims):
+        affine = to_affine(dim, set(program.params))
+        if affine is None:
+            return None
+        var = LinExpr.var(f"{CELL_ITER_PREFIX}{k}")
+        constraints.append(Constraint.ge(var, LinExpr.constant(0)))
+        constraints.append(Constraint.le(var, affine - 1))
+    return BasicSet(pwp.space, constraints)

@@ -1,0 +1,267 @@
+"""Post-instrumentation cleanup.
+
+Index-set splitting resolves use-count conditionals to constants, which
+leaves dead weight behind: checksum contributions with count 0, loops
+whose bodies became empty, redundant ``min``/``max`` chains and
+unfolded affine arithmetic (``__x0 - 1 + 1``).  This pass removes it:
+
+* checksum adds / def contributions with a constant 0 count disappear
+  (a zero-scaled contribution is a no-op);
+* instrumentation records that end up empty are detached;
+* loops and conditionals with empty bodies disappear;
+* affine subexpressions are re-rendered canonically and nested
+  ``min``/``max`` calls are flattened and deduplicated.
+
+The pass is semantics-preserving; the interpreter-equivalence tests
+run every benchmark with and without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.instrument.render import linexpr_to_ir
+from repro.ir.analysis import to_affine
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    Const,
+    CounterIncrement,
+    DefContribution,
+    Expr,
+    If,
+    Instrumentation,
+    Loop,
+    Program,
+    Select,
+    Stmt,
+    UnOp,
+    UseContribution,
+    VarRef,
+    WhileLoop,
+)
+
+
+def cleanup_program(program: Program) -> Program:
+    """Run all cleanups over a program."""
+    body = _clean_body(program.body)
+    return program.with_body(tuple(body))
+
+
+def _clean_body(body) -> list[Stmt]:
+    result: list[Stmt] = []
+    for stmt in body:
+        cleaned = _clean_statement(stmt)
+        if cleaned is not None:
+            result.append(cleaned)
+    return result
+
+
+def _clean_statement(stmt: Stmt) -> Stmt | None:
+    if isinstance(stmt, Assign):
+        instr = stmt.instrumentation
+        if instr:
+            uses = tuple(
+                UseContribution(
+                    ref=u.ref, checksum=u.checksum, count=_clean_expr(u.count)
+                )
+                for u in instr.uses
+                if not _is_zero(u.count)
+            )
+            definition = instr.definition
+            if definition is not None:
+                if _is_zero(definition.count):
+                    definition = None
+                else:
+                    definition = DefContribution(
+                        count=_clean_expr(definition.count),
+                        checksum=definition.checksum,
+                        aux=definition.aux,
+                    )
+            instr = Instrumentation(
+                uses=uses,
+                definition=definition,
+                counter_increments=instr.counter_increments,
+                pre_overwrite=instr.pre_overwrite,
+                duplicate_store=instr.duplicate_store,
+            )
+            if instr.is_empty():
+                instr = None
+        return Assign(
+            lhs=_clean_expr(stmt.lhs),
+            rhs=_clean_expr(stmt.rhs),
+            label=stmt.label,
+            instrumentation=instr,
+        )
+    if isinstance(stmt, Loop):
+        body = _clean_body(stmt.body)
+        if not body:
+            return None
+        lower = _clean_expr(stmt.lower)
+        upper = _clean_expr(stmt.upper)
+        if _definitely_empty_range(lower, upper):
+            return None
+        return Loop(var=stmt.var, lower=lower, upper=upper, body=tuple(body))
+    if isinstance(stmt, WhileLoop):
+        body = _clean_body(stmt.body)
+        return replace(stmt, cond=_clean_expr(stmt.cond), body=tuple(body))
+    if isinstance(stmt, If):
+        then_body = _clean_body(stmt.then_body)
+        else_body = _clean_body(stmt.else_body)
+        if not then_body and not else_body:
+            return None
+        return If(
+            cond=_clean_expr(stmt.cond),
+            then_body=tuple(then_body),
+            else_body=tuple(else_body),
+        )
+    if isinstance(stmt, ChecksumAdd):
+        if _is_zero(stmt.count):
+            return None
+        return ChecksumAdd(
+            checksum=stmt.checksum,
+            value=_clean_expr(stmt.value),
+            count=_clean_expr(stmt.count),
+        )
+    if isinstance(stmt, CounterIncrement):
+        return CounterIncrement(
+            counter=_clean_expr(stmt.counter), amount=_clean_expr(stmt.amount)
+        )
+    return stmt
+
+
+def _is_zero(expr: Expr) -> bool:
+    return isinstance(expr, Const) and expr.value == 0
+
+
+def _clean_expr(expr: Expr) -> Expr:
+    """Canonicalize affine subtrees; flatten min/max; recurse otherwise."""
+    affine = _try_affine(expr)
+    if affine is not None:
+        return affine
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _clean_expr(expr.left), _clean_expr(expr.right))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _clean_expr(expr.operand))
+    if isinstance(expr, Call):
+        if expr.func in ("min", "max"):
+            operands = _flatten_minmax(expr.func, expr)
+            cleaned: list[Expr] = []
+            for operand in operands:
+                candidate = _clean_expr(operand)
+                if candidate not in cleaned:
+                    cleaned.append(candidate)
+            cleaned = _drop_dominated(expr.func, cleaned)
+            if len(cleaned) == 1:
+                return cleaned[0]
+            result = cleaned[0]
+            for operand in cleaned[1:]:
+                result = Call(expr.func, (result, operand))
+            return result
+        return Call(expr.func, tuple(_clean_expr(a) for a in expr.args))
+    if isinstance(expr, Select):
+        return Select(
+            cond=_clean_expr(expr.cond),
+            if_true=_clean_expr(expr.if_true),
+            if_false=_clean_expr(expr.if_false),
+        )
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.array, tuple(_clean_expr(i) for i in expr.indices))
+    return expr
+
+
+def _try_affine(expr: Expr) -> Expr | None:
+    """Re-render a purely affine expression canonically.
+
+    Only rewrites when the tree contains arithmetic to normalize (a
+    bare VarRef/Const is already canonical).
+    """
+    if isinstance(expr, (VarRef, Const, ArrayRef)):
+        return None
+    from repro.ir.nodes import walk_expressions
+
+    names = set()
+    for node in walk_expressions(expr):
+        if isinstance(node, VarRef):
+            names.add(node.name)
+        elif isinstance(node, (ArrayRef, Call, Select)):
+            return None
+    affine = to_affine(expr, names)
+    if affine is None:
+        return None
+    return linexpr_to_ir(affine)
+
+
+def _flatten_minmax(func: str, expr: Expr) -> list[Expr]:
+    if isinstance(expr, Call) and expr.func == func:
+        result: list[Expr] = []
+        for arg in expr.args:
+            result.extend(_flatten_minmax(func, arg))
+        return result
+    return [expr]
+
+
+def _affine_difference(a: Expr, b: Expr):
+    """``a - b`` as a LinExpr when both operands are affine, else None."""
+    from repro.ir.nodes import walk_expressions
+
+    names: set[str] = set()
+    for operand in (a, b):
+        for node in walk_expressions(operand):
+            if isinstance(node, VarRef):
+                names.add(node.name)
+            elif isinstance(node, (ArrayRef, Call, Select)):
+                return None
+    left = to_affine(a, names)
+    right = to_affine(b, names)
+    if left is None or right is None:
+        return None
+    return left - right
+
+
+def _drop_dominated(func: str, operands: list[Expr]) -> list[Expr]:
+    """Remove min/max args provably dominated by another arg.
+
+    For ``max``, an arg ``a`` is redundant when some other arg ``b``
+    satisfies ``b - a >= 0`` identically (constant non-negative
+    difference); dually for ``min``.
+    """
+    kept: list[Expr] = []
+    for i, a in enumerate(operands):
+        dominated = False
+        for j, b in enumerate(operands):
+            if i == j:
+                continue
+            diff = _affine_difference(b, a)
+            if diff is None or not diff.is_constant():
+                continue
+            value = diff.constant_value()
+            if func == "max" and (value > 0 or (value == 0 and j < i)):
+                dominated = True
+                break
+            if func == "min" and (value < 0 or (value == 0 and j < i)):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(a)
+    return kept or operands[:1]
+
+
+def _definitely_empty_range(lower: Expr, upper: Expr) -> bool:
+    """True when the loop range [lower, upper] is provably empty.
+
+    ``lower`` is a max-combination and ``upper`` a min-combination of
+    affine terms; the range is empty whenever some max-term exceeds
+    some min-term by a positive constant.
+    """
+    lows = _flatten_minmax("max", lower)
+    highs = _flatten_minmax("min", upper)
+    for low in lows:
+        for high in highs:
+            diff = _affine_difference(low, high)
+            if diff is not None and diff.is_constant() and diff.constant_value() > 0:
+                return True
+    return False

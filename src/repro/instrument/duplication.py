@@ -1,0 +1,151 @@
+"""Duplication baseline (the paper's Section 1 strawman).
+
+    "Redundant execution of memory operations, which duplicates all
+    variables of interest and operations on them, can be used to detect
+    these errors in the memory subsystem.  However, this basic approach
+    significantly increases memory space and bandwidth requirements."
+
+This module implements that baseline so the claim can be measured:
+
+* every array and scalar gets a full shadow copy ``__dup_<name>``;
+* every store also writes the *same register value* to the shadow
+  (a second store — memory bandwidth ×2 on the write side);
+* every load is paired with a load of the shadow copy (bandwidth ×2 on
+  the read side); the two values are compared by feeding the primary
+  into the ``use`` checksum and the duplicate into the ``def`` checksum
+  — a checksum-compressed comparison with the same verifier interface
+  as the def/use scheme (a divergence unbalances the pair, up to the
+  usual cancellation odds);
+* a prologue clones the initial values.
+
+Space overhead is exactly 2×; the interesting measurements — extra
+loads, stores and arithmetic versus the def/use checksum scheme — live
+in ``benchmarks/test_baseline_duplication.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.instrument.affine import cell_loop_nest, cell_ref
+from repro.ir.accesses import data_reads_of, program_data_names
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    ChecksumAssert,
+    Const,
+    If,
+    Instrumentation,
+    Loop,
+    Program,
+    ScalarDecl,
+    Stmt,
+    UseContribution,
+    VarRef,
+    WhileLoop,
+)
+
+DUP_PREFIX = "__dup_"
+
+
+def dup_name(name: str) -> str:
+    return DUP_PREFIX + name
+
+
+def dup_ref(ref: ArrayRef | VarRef) -> ArrayRef | VarRef:
+    if isinstance(ref, ArrayRef):
+        return ArrayRef(dup_name(ref.array), ref.indices)
+    return VarRef(dup_name(ref.name))
+
+
+def duplicate_program(program: Program) -> Program:
+    """The duplication-protected version of ``program``.
+
+    The result runs under the ordinary interpreter/codegen: duplicate
+    stores ride on the instrumentation record, duplicate loads are
+    plain use contributions against the shadow regions, and the final
+    ``ChecksumAssert`` compares the compressed streams.
+    """
+    data_names = program_data_names(program)
+
+    dup_arrays = tuple(
+        ArrayDecl(
+            name=dup_name(d.name),
+            dims=d.dims,
+            elem_type=d.elem_type,
+            is_shadow=True,
+        )
+        for d in program.arrays
+    )
+    dup_scalars = tuple(
+        ScalarDecl(name=dup_name(d.name), elem_type=d.elem_type, is_shadow=True)
+        for d in program.scalars
+    )
+
+    def transform_assign(stmt: Assign) -> Assign:
+        uses = []
+        for ref in data_reads_of(stmt, data_names):
+            # Primary value into `use`, duplicate value into `def`:
+            # equality of the streams == equality of every pair (up to
+            # checksum cancellation).
+            uses.append(UseContribution(ref=ref, checksum="use", count=Const(1)))
+            uses.append(
+                UseContribution(ref=dup_ref(ref), checksum="def", count=Const(1))
+            )
+        instr = Instrumentation(
+            uses=tuple(uses),
+            definition=None,
+            counter_increments=(),
+            pre_overwrite=None,
+            duplicate_store=dup_ref(stmt.lhs),
+        )
+        return stmt.with_instrumentation(instr)
+
+    def transform_body(body: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+        result: list[Stmt] = []
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                result.append(transform_assign(stmt))
+            elif isinstance(stmt, Loop):
+                result.append(replace(stmt, body=transform_body(stmt.body)))
+            elif isinstance(stmt, WhileLoop):
+                result.append(replace(stmt, body=transform_body(stmt.body)))
+            elif isinstance(stmt, If):
+                result.append(
+                    replace(
+                        stmt,
+                        then_body=transform_body(stmt.then_body),
+                        else_body=transform_body(stmt.else_body),
+                    )
+                )
+            else:
+                result.append(stmt)
+        return tuple(result)
+
+    prologue: list[Stmt] = []
+    for decl in program.arrays:
+        shadow = ArrayDecl(
+            name=dup_name(decl.name),
+            dims=decl.dims,
+            elem_type=decl.elem_type,
+            is_shadow=True,
+        )
+        body: list[Stmt] = [
+            Assign(lhs=cell_ref(shadow), rhs=cell_ref(decl))
+        ]
+        prologue.extend(cell_loop_nest(decl, body))
+    for decl in program.scalars:
+        prologue.append(
+            Assign(lhs=VarRef(dup_name(decl.name)), rhs=VarRef(decl.name))
+        )
+
+    epilogue: list[Stmt] = [ChecksumAssert(pairs=(("def", "use"),))]
+
+    return Program(
+        name=program.name + "__duplicated",
+        params=program.params,
+        arrays=program.arrays + dup_arrays,
+        scalars=program.scalars + dup_scalars,
+        body=tuple(prologue) + transform_body(program.body) + tuple(epilogue),
+    )

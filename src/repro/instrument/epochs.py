@@ -1,0 +1,152 @@
+"""Epoch verification (Section 2's post-dominator remark, realized).
+
+    "At program termination, or at any post-dominator of all
+    definitions and uses tracked, we verify that the definition
+    checksum scaled by the tracked number of uses equals the use
+    checksum."
+
+End-of-program verification minimizes overhead but maximizes detection
+latency (the Hari et al. trade-off the paper cites).  Epoch
+instrumentation moves the verifier to the end of every iteration of a
+time loop: each iteration is instrumented as a self-contained region —
+its own live-in prologue, body contributions, adjustment epilogue,
+verifier, and a checksum reset — so a fault is flagged within one
+epoch of striking instead of at termination.
+
+The trade: the O(array) prologue/epilogue now runs once per epoch.
+``instrument_with_epochs`` makes that cost measurable against the
+latency gain (see ``benchmarks/test_epochs.py``).
+
+Applicability: the program's body must be a single affine outer loop
+(the usual time loop); the loop's body is instrumented as a standalone
+program with the existing pipeline, so everything Sections 3–5 provide
+(static counts, splitting, dynamic counters) works per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    InstrumentationReport,
+    instrument_program,
+)
+from repro.ir.nodes import ChecksumAssert, ChecksumReset, Loop, Program
+
+
+class EpochError(ValueError):
+    """The program does not have the single-outer-time-loop shape."""
+
+
+def instrument_with_epochs(
+    program: Program, options: InstrumentationOptions | None = None
+) -> tuple[Program, InstrumentationReport]:
+    """Verify-and-reset at the end of every outer-loop iteration."""
+    options = options or InstrumentationOptions()
+    if len(program.body) != 1 or not isinstance(program.body[0], Loop):
+        raise EpochError(
+            "epoch instrumentation needs a single outer (time) loop"
+        )
+    outer = program.body[0]
+    body_program = Program(
+        name=program.name + "__epoch_body",
+        params=program.params,
+        arrays=program.arrays,
+        scalars=program.scalars,
+        body=outer.body,
+    )
+    # The outer iterator is a parameter from the body's point of view —
+    # bounds and subscripts referencing it stay affine.
+    body_program = replace(
+        body_program, params=program.params + (outer.var,)
+    )
+    if options.localize:
+        raise EpochError("epoch and localized instrumentation do not compose")
+    instrumented_body, report = instrument_program(body_program, options)
+    counter_resets = _shadow_counter_resets(instrumented_body, report)
+    boundary_def = _boundary_loops(program, BOUNDARY_DEF)
+    boundary_use = _boundary_loops(program, BOUNDARY_USE)
+    # Epoch structure: check the handoff from the previous epoch first
+    # (the boundary pair closes the window between one epoch's last
+    # access and the next epoch's prologue — without it, persistent
+    # corruption across the boundary would be laundered by the fresh
+    # live-in prologue), then run the self-contained instrumented body,
+    # then stamp the state for the next handoff.
+    epoch_body = (
+        tuple(boundary_use)
+        + (
+            ChecksumAssert(pairs=((BOUNDARY_DEF, BOUNDARY_USE),)),
+            ChecksumReset(names=(BOUNDARY_DEF, BOUNDARY_USE)),
+        )
+        + instrumented_body.body
+        + tuple(counter_resets)
+        + (ChecksumReset(names=("def", "use", "e_def", "e_use")),)
+        + tuple(boundary_def)
+    )
+    new_outer = Loop(
+        var=outer.var,
+        lower=outer.lower,
+        upper=outer.upper,
+        body=epoch_body,
+    )
+    result = Program(
+        name=program.name + "__epochs",
+        params=program.params,
+        arrays=instrumented_body.arrays,
+        scalars=instrumented_body.scalars,
+        body=tuple(boundary_def) + (new_outer,),
+    )
+    return result, report
+
+
+BOUNDARY_DEF = "def@__epoch_boundary"
+BOUNDARY_USE = "use@__epoch_boundary"
+
+
+def _boundary_loops(program: Program, which: str):
+    """Add every (original) array cell and scalar to a boundary sum."""
+    from repro.instrument.affine import cell_loop_nest, cell_ref
+    from repro.ir.nodes import ChecksumAdd, Const, VarRef
+
+    statements = []
+    for decl in program.arrays:
+        if decl.is_shadow:
+            continue
+        body = [
+            ChecksumAdd(checksum=which, value=cell_ref(decl), count=Const(1))
+        ]
+        statements.extend(cell_loop_nest(decl, body))
+    for decl in program.scalars:
+        if decl.is_shadow:
+            continue
+        statements.append(
+            ChecksumAdd(checksum=which, value=VarRef(decl.name), count=Const(1))
+        )
+    return statements
+
+
+def _shadow_counter_resets(instrumented_body: Program, report):
+    """Zero the dynamic-scheme shadow counters between epochs.
+
+    Counters carry per-cell use tallies that the epoch's epilogue has
+    already consumed; a stale tally would corrupt the next epoch's
+    adjustments.
+    """
+    from repro.instrument.classify import PlanKind
+    from repro.instrument.general import counter_name
+    from repro.instrument.affine import cell_loop_nest, cell_ref
+    from repro.ir.nodes import Assign, Const, VarRef
+
+    resets = []
+    for name, plan in report.plans.items():
+        if plan.kind != PlanKind.DYNAMIC:
+            continue
+        shadow = counter_name(name)
+        if instrumented_body.has_array(shadow):
+            decl = instrumented_body.array(shadow)
+            body = [Assign(lhs=cell_ref(decl), rhs=Const(0))]
+            resets.extend(cell_loop_nest(decl, body))
+        elif instrumented_body.has_scalar(shadow):
+            resets.append(Assign(lhs=VarRef(shadow), rhs=Const(0)))
+    return resets

@@ -1,0 +1,120 @@
+"""Algorithm 3's general (dynamic use count) scheme.
+
+For a data name classified ``DYNAMIC`` the compiler cannot bound the
+number of uses of a definition, so it maintains a *shadow use counter*
+per cell and the auxiliary ``e_def`` / ``e_use`` checksums that close
+the detection hole described in Section 4.1 (a corrupted value being
+added to both checksums in the epilogue):
+
+* prologue: every initial value enters ``def`` and ``e_def`` once;
+* each read adds the loaded value to ``use`` and increments the cell's
+  shadow counter;
+* each write first *adjusts for the previous value*: the old value is
+  added to ``def`` ``count-1`` times and to ``e_use`` once, and the
+  counter resets; the new value then enters ``def`` and ``e_def`` once;
+* the epilogue performs the same adjustment for the final values
+  (Algorithm 3, lines 19–23).
+
+Shadow counters live in simulated memory (they are data), under names
+``__uc_<array>``; the paper assumes they are protected like other
+control state, so fault campaigns target program arrays by default.
+"""
+
+from __future__ import annotations
+
+from repro.instrument.affine import cell_loop_nest, cell_ref
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayRef,
+    BinOp,
+    ChecksumAdd,
+    Const,
+    Program,
+    ScalarDecl,
+    Stmt,
+    VarRef,
+)
+
+COUNTER_PREFIX = "__uc_"
+
+
+def counter_name(array: str) -> str:
+    return COUNTER_PREFIX + array
+
+
+def shadow_declarations(
+    program: Program, dynamic_names: list[str]
+) -> tuple[list[ArrayDecl], list[ScalarDecl]]:
+    """Shadow use-counter declarations for the DYNAMIC names."""
+    arrays: list[ArrayDecl] = []
+    scalars: list[ScalarDecl] = []
+    for name in dynamic_names:
+        if program.has_array(name):
+            decl = program.array(name)
+            arrays.append(
+                ArrayDecl(
+                    name=counter_name(name),
+                    dims=decl.dims,
+                    elem_type="i64",
+                    is_shadow=True,
+                )
+            )
+        else:
+            scalars.append(
+                ScalarDecl(
+                    name=counter_name(name), elem_type="i64", is_shadow=True
+                )
+            )
+    return arrays, scalars
+
+
+def counter_ref_for(ref: ArrayRef | VarRef) -> ArrayRef | VarRef:
+    """The shadow-counter reference matching a data reference."""
+    if isinstance(ref, ArrayRef):
+        return ArrayRef(counter_name(ref.array), ref.indices)
+    return VarRef(counter_name(ref.name))
+
+
+def dynamic_prologue(program: Program, name: str) -> list[Stmt]:
+    """Initial value of every cell enters def and e_def once."""
+    if program.has_array(name):
+        decl = program.array(name)
+        value = cell_ref(decl)
+        body: list[Stmt] = [
+            ChecksumAdd(checksum="def", value=value, count=Const(1)),
+            ChecksumAdd(checksum="e_def", value=value, count=Const(1)),
+        ]
+        return cell_loop_nest(decl, body)
+    value = VarRef(name)
+    return [
+        ChecksumAdd(checksum="def", value=value, count=Const(1)),
+        ChecksumAdd(checksum="e_def", value=value, count=Const(1)),
+    ]
+
+
+def dynamic_epilogue(program: Program, name: str) -> list[Stmt]:
+    """Final adjustment: def += v*(count-1); e_use += v (lines 19–23)."""
+    if program.has_array(name):
+        decl = program.array(name)
+        value = cell_ref(decl)
+        counter_decl = ArrayDecl(
+            name=counter_name(name), dims=decl.dims, elem_type="i64", is_shadow=True
+        )
+        counter_value = cell_ref(counter_decl)
+        body: list[Stmt] = [
+            ChecksumAdd(
+                checksum="def",
+                value=value,
+                count=BinOp("-", counter_value, Const(1)),
+            ),
+            ChecksumAdd(checksum="e_use", value=value, count=Const(1)),
+        ]
+        return cell_loop_nest(decl, body)
+    value = VarRef(name)
+    counter_scalar = VarRef(counter_name(name))
+    return [
+        ChecksumAdd(
+            checksum="def", value=value, count=BinOp("-", counter_scalar, Const(1))
+        ),
+        ChecksumAdd(checksum="e_use", value=value, count=Const(1)),
+    ]

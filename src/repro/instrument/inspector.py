@@ -1,0 +1,494 @@
+"""Inspectors and the iterative-code optimization (Section 4.2).
+
+For programs with one outer ``while`` loop whose body is affine except
+for data-dependent subscripts (the paper's CG pattern, Figures 8/9),
+this module implements the full Figure-9 construction:
+
+* **Inspectors** replicate the loop structure around each irregular
+  read and count, per while-iteration, how often every cell is read
+  (``count_A[c]``).  When the indexing structures are loop-invariant
+  the inspector is *hoisted* above the while loop and runs once;
+  otherwise (the unoptimized configuration) it re-runs every iteration.
+* **Per-iteration affine read counts** are computed symbolically with
+  the same counting machinery as Section 3, parameterized by the cell.
+* ``ITER_WRITTEN`` arrays (written once per cell per iteration in
+  steady state) get def-site counts ``reads_before(c) + reads_after(c)``
+  — known at the def site thanks to the inspector — plus a prologue
+  crediting the initial values with ``reads_before`` and an epilogue
+  crediting the final values' unconsumed ``reads_before``.
+* ``ITER_READONLY`` arrays get a dynamic total ``P(c) * iter`` settled
+  in the epilogue with the auxiliary checksums, ``iter`` being the
+  while-loop trip counter the instrumenter maintains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isl.basic_set import BasicSet
+from repro.isl.constraints import Constraint
+from repro.isl.counting import CountingError, count_points
+from repro.isl.linear import LinExpr
+from repro.isl.piecewise import PiecewisePolynomial
+from repro.isl.polynomial import Polynomial
+from repro.isl.set_ops import Set
+from repro.isl.space import Space
+from repro.instrument.affine import (
+    CELL_ITER_PREFIX,
+    cell_loop_nest,
+    cell_ref,
+)
+from repro.instrument.render import piecewise_to_ir
+from repro.ir.accesses import Access
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    ChecksumAdd,
+    Const,
+    CounterIncrement,
+    Expr,
+    If,
+    Loop,
+    Program,
+    ScalarDecl,
+    Stmt,
+    VarRef,
+    WhileLoop,
+)
+from repro.poly.model import PolyhedralModel, StatementInfo, extract_model
+from repro.poly.usecount import CELL_PREFIX
+
+ITER_COUNTER = "__iter"
+INSPECT_BEFORE_PREFIX = "__cnt_"
+INSPECT_AFTER_PREFIX = "__cnta_"
+
+
+class IterativeSchemeError(ValueError):
+    """Steady-state conditions do not hold; caller demotes to DYNAMIC."""
+
+
+@dataclass
+class IterativeArrayInfo:
+    """Everything the pipeline needs for one ITER_* array."""
+
+    name: str
+    kind: str  # "readonly" or "written"
+    affine_before: PiecewisePolynomial
+    """Per-iteration affine reads of a cell scheduled before its write
+    (for readonly arrays: all affine reads)."""
+    affine_after: PiecewisePolynomial
+    irregular_before: list[tuple[StatementInfo, Access]]
+    irregular_after: list[tuple[StatementInfo, Access]]
+    writer: StatementInfo | None
+
+    @property
+    def needs_before_inspector(self) -> bool:
+        return bool(self.irregular_before)
+
+    @property
+    def needs_after_inspector(self) -> bool:
+        return bool(self.irregular_after)
+
+
+def body_model(program: Program, while_loop: WhileLoop) -> PolyhedralModel:
+    """The while body analyzed as a standalone affine program."""
+    synthetic = Program(
+        name=program.name + "__body",
+        params=program.params,
+        arrays=program.arrays,
+        scalars=program.scalars,
+        body=while_loop.body,
+    )
+    return extract_model(synthetic)
+
+
+def _cell_space(program: Program, array: str) -> tuple[Space, int]:
+    rank = len(program.array(array).dims) if program.has_array(array) else 0
+    params = tuple(program.params) + tuple(
+        f"{CELL_PREFIX}{k}" for k in range(rank)
+    )
+    return Space.set_space((), params=params), rank
+
+
+def _per_iteration_read_count(
+    program: Program,
+    info: StatementInfo,
+    access: Access,
+    rank: int,
+) -> PiecewisePolynomial:
+    """|{t in domain : read index(t) == cell}| as a PWP over the cell."""
+    params = tuple(program.params) + tuple(
+        f"{CELL_PREFIX}{k}" for k in range(rank)
+    )
+    dims = tuple(info.iterators)
+    space = Space.set_space(dims, params=params, name=info.label)
+    constraints = list(info.domain.constraints)
+    assert access.index_affine is not None
+    for k, index in enumerate(access.index_affine):
+        constraints.append(
+            Constraint.eq_exprs(index, LinExpr.var(f"{CELL_PREFIX}{k}"))
+        )
+    counted = count_points(BasicSet(space, constraints))
+    target_space, _ = _cell_space(program, access.target)
+    return PiecewisePolynomial(
+        target_space,
+        [(BasicSet(target_space, d.constraints), p) for d, p in counted.pieces],
+    )
+
+
+def _write_cell_count(
+    program: Program, info: StatementInfo, rank: int
+) -> PiecewisePolynomial:
+    """Writes per cell per iteration for one writer statement."""
+    return _per_iteration_read_count(program, info, info.write, rank)
+
+
+def analyze_iterative_array(
+    program: Program,
+    model: PolyhedralModel,
+    array: str,
+    kind: str,
+) -> IterativeArrayInfo:
+    """Build the per-iteration read/write structure of one ITER array.
+
+    Raises :class:`IterativeSchemeError` when the steady-state
+    conditions fail (multiple writers per cell, non-unit write counts,
+    reads outside the written region, or counting failures).
+    """
+    space, rank = _cell_space(program, array)
+    zero = PiecewisePolynomial.zero(space)
+    writers = [
+        info
+        for info in model.statements
+        if info.write.is_affine and info.write.target == array
+    ]
+    writer: StatementInfo | None = None
+    if kind == "written":
+        if len(writers) != 1:
+            raise IterativeSchemeError(
+                f"{array}: steady-state scheme needs exactly one writer, "
+                f"found {len(writers)}"
+            )
+        writer = writers[0]
+        try:
+            write_count = _write_cell_count(program, writer, rank)
+        except CountingError as exc:
+            raise IterativeSchemeError(f"{array}: {exc}") from exc
+        for _, poly in write_count.pieces:
+            if not poly.is_constant() or poly.constant_value() != 1:
+                raise IterativeSchemeError(
+                    f"{array}: cells written more than once per iteration"
+                )
+    elif writers:
+        raise IterativeSchemeError(f"{array}: unexpected writer for readonly plan")
+
+    affine_before = zero
+    affine_after = zero
+    irregular_before: list[tuple[StatementInfo, Access]] = []
+    irregular_after: list[tuple[StatementInfo, Access]] = []
+    for info in model.statements:
+        for access in info.reads:
+            if access.target != array:
+                continue
+            before = writer is None or _reads_before_write(info, writer)
+            if access.is_affine:
+                try:
+                    counted = _per_iteration_read_count(
+                        program, info, access, rank
+                    )
+                except CountingError as exc:
+                    raise IterativeSchemeError(f"{array}: {exc}") from exc
+                if before:
+                    affine_before = affine_before.add(counted)
+                else:
+                    affine_after = affine_after.add(counted)
+            else:
+                if before:
+                    irregular_before.append((info, access))
+                else:
+                    irregular_after.append((info, access))
+    if kind == "written" and writer is not None:
+        _check_reads_within_written(program, model, array, writer, rank)
+    return IterativeArrayInfo(
+        name=array,
+        kind=kind,
+        affine_before=affine_before,
+        affine_after=affine_after,
+        irregular_before=irregular_before,
+        irregular_after=irregular_after,
+        writer=writer,
+    )
+
+
+def _reads_before_write(reader: StatementInfo, writer: StatementInfo) -> bool:
+    """Whether the reader executes before the writer, per body position.
+
+    Statement-level (textual) comparison: valid when the two statements
+    are not nested in a shared loop whose iterations interleave their
+    instances differently — the classifier's steady-state shape (sibling
+    loops over the body) guarantees it.  A read in the writer statement
+    itself reads before the write.
+    """
+    if reader is writer:
+        return True
+    return reader.context.path < writer.context.path
+
+
+def _check_reads_within_written(
+    program: Program,
+    model: PolyhedralModel,
+    array: str,
+    writer: StatementInfo,
+    rank: int,
+) -> None:
+    """Affine reads must only touch cells the writer rewrites."""
+    params = tuple(program.params)
+    cell_dims = tuple(f"{CELL_PREFIX}{k}" for k in range(rank))
+    cell_space = Space.set_space(cell_dims, params=params)
+
+    def cells_of(info: StatementInfo, access: Access) -> Set:
+        dims = tuple(info.iterators)
+        space = Space.set_space(dims, params=params + cell_dims)
+        constraints = list(info.domain.constraints)
+        assert access.index_affine is not None
+        for k, index in enumerate(access.index_affine):
+            constraints.append(
+                Constraint.eq_exprs(index, LinExpr.var(f"{CELL_PREFIX}{k}"))
+            )
+        projected, _ = BasicSet(space, constraints).project_out(list(dims))
+        moved = BasicSet(cell_space, projected.constraints)
+        return Set.from_basic(moved)
+
+    written = cells_of(writer, writer.write)
+    for info in model.statements:
+        for access in info.reads:
+            if access.target != array or not access.is_affine:
+                continue
+            read_cells = cells_of(info, access)
+            if not read_cells.subtract(written).is_empty():
+                raise IterativeSchemeError(
+                    f"{array}: affine read {access.ref} touches cells "
+                    "outside the per-iteration written region"
+                )
+
+
+# ----------------------------------------------------------------------
+# Inspector code generation
+# ----------------------------------------------------------------------
+
+
+def inspector_count_decl(program: Program, array: str, after: bool) -> ArrayDecl:
+    prefix = INSPECT_AFTER_PREFIX if after else INSPECT_BEFORE_PREFIX
+    decl = program.array(array)
+    return ArrayDecl(
+        name=prefix + array, dims=decl.dims, elem_type="i64", is_shadow=True
+    )
+
+
+def inspector_nest(
+    site: tuple[StatementInfo, Access], count_array: str
+) -> list[Stmt]:
+    """Replicate the loops/guards around one irregular read and count it.
+
+    Produces Figure 9's ``for j1: count[cols[j1]]++`` shape: the
+    data-dependent index expressions are evaluated exactly as in the
+    original statement (loads included).
+    """
+    info, access = site
+    assert isinstance(access.ref, ArrayRef)
+    increment: Stmt = CounterIncrement(
+        counter=ArrayRef(count_array, access.ref.indices)
+    )
+    body: tuple[Stmt, ...] = (increment,)
+    for guard in reversed(info.context.guards):
+        body = (If(cond=guard, then_body=body, else_body=()),)
+    for loop in reversed(info.context.loops):
+        body = (
+            Loop(var=loop.var, lower=loop.lower, upper=loop.upper, body=body),
+        )
+    return list(body)
+
+
+def inspector_reset(program: Program, count_array: str, base_array: str) -> list[Stmt]:
+    """Zero the count array (needed when the inspector is re-run)."""
+    decl = program.array(base_array)
+    counter_decl = ArrayDecl(
+        name=count_array, dims=decl.dims, elem_type="i64", is_shadow=True
+    )
+    body: list[Stmt] = [Assign(lhs=cell_ref(counter_decl), rhs=Const(0))]
+    return cell_loop_nest(counter_decl, body)
+
+
+def build_inspectors(
+    program: Program, infos: list[IterativeArrayInfo], with_reset: bool
+) -> list[Stmt]:
+    """All inspector nests (optionally preceded by count resets)."""
+    statements: list[Stmt] = []
+    for info in infos:
+        for after, sites in (
+            (False, info.irregular_before),
+            (True, info.irregular_after),
+        ):
+            if not sites:
+                continue
+            prefix = INSPECT_AFTER_PREFIX if after else INSPECT_BEFORE_PREFIX
+            count_array = prefix + info.name
+            if with_reset:
+                statements.extend(
+                    inspector_reset(program, count_array, info.name)
+                )
+            for site in sites:
+                statements.extend(inspector_nest(site, count_array))
+    return statements
+
+
+# ----------------------------------------------------------------------
+# Count expressions
+# ----------------------------------------------------------------------
+
+
+def substitute_cell_params(
+    pwp: PiecewisePolynomial,
+    substitutions: dict[str, LinExpr],
+    space: Space,
+) -> PiecewisePolynomial:
+    """Replace cell parameters by affine index expressions.
+
+    Turns a per-cell count ``P(__c0, ...)`` into a count over a
+    statement's iterators by substituting the write's subscripts.
+    """
+    pieces = []
+    for domain, poly in pwp.pieces:
+        new_constraints = [c.substitute(substitutions) for c in domain.constraints]
+        poly_bindings = {
+            name: Polynomial.from_linexpr(expr)
+            for name, expr in substitutions.items()
+        }
+        pieces.append(
+            (BasicSet(space, new_constraints), poly.substitute(poly_bindings))
+        )
+    return PiecewisePolynomial(space, pieces)
+
+
+def written_def_count_expr(
+    program: Program, info: IterativeArrayInfo
+) -> Expr:
+    """Def-site count for an ITER_WRITTEN write: before + after reads.
+
+    The affine parts are rendered over the writer's iterators (cell
+    params substituted by the write subscripts); the irregular parts
+    load the inspector counts at the written cell.
+    """
+    writer = info.writer
+    assert writer is not None and writer.write.index_affine is not None
+    substitutions = {
+        f"{CELL_PREFIX}{k}": index
+        for k, index in enumerate(writer.write.index_affine)
+    }
+    space = Space.set_space(
+        (), params=tuple(program.params) + tuple(writer.iterators)
+    )
+    total_affine = info.affine_before.add(info.affine_after)
+    substituted = substitute_cell_params(total_affine, substitutions, space)
+    context = BasicSet(space, writer.domain.constraints)
+    expr = piecewise_to_ir(substituted, context)
+    ref: ArrayRef = writer.write.ref  # type: ignore[assignment]
+    if info.needs_before_inspector:
+        expr = BinOp(
+            "+", expr, ArrayRef(INSPECT_BEFORE_PREFIX + info.name, ref.indices)
+        )
+    if info.needs_after_inspector:
+        expr = BinOp(
+            "+", expr, ArrayRef(INSPECT_AFTER_PREFIX + info.name, ref.indices)
+        )
+    return _simplify_plus_zero(expr)
+
+
+def _cell_count_expr(
+    program: Program,
+    info: IterativeArrayInfo,
+    affine: PiecewisePolynomial,
+    inspector_prefixes: list[str],
+) -> Expr:
+    """Per-cell count over ``__x`` loop iterators (prologue/epilogue)."""
+    from repro.instrument.affine import _array_bounds_context
+
+    rank = len(program.array(info.name).dims)
+    rename = {f"{CELL_PREFIX}{k}": f"{CELL_ITER_PREFIX}{k}" for k in range(rank)}
+    renamed = affine.rename(rename)
+    context = _array_bounds_context(program, info.name, renamed)
+    expr = piecewise_to_ir(renamed, context)
+    decl = program.array(info.name)
+    indices = tuple(VarRef(f"{CELL_ITER_PREFIX}{k}") for k in range(rank))
+    for prefix in inspector_prefixes:
+        expr = BinOp("+", expr, ArrayRef(prefix + info.name, indices))
+    return _simplify_plus_zero(expr)
+
+
+def _simplify_plus_zero(expr: Expr) -> Expr:
+    if isinstance(expr, BinOp) and expr.op == "+":
+        if isinstance(expr.left, Const) and expr.left.value == 0:
+            return _simplify_plus_zero(expr.right)
+        if isinstance(expr.right, Const) and expr.right.value == 0:
+            return _simplify_plus_zero(expr.left)
+        return BinOp(
+            "+", _simplify_plus_zero(expr.left), _simplify_plus_zero(expr.right)
+        )
+    return expr
+
+
+def before_count_expr(program: Program, info: IterativeArrayInfo) -> Expr:
+    prefixes = [INSPECT_BEFORE_PREFIX] if info.needs_before_inspector else []
+    return _cell_count_expr(program, info, info.affine_before, prefixes)
+
+
+def total_count_expr(program: Program, info: IterativeArrayInfo) -> Expr:
+    prefixes = []
+    if info.needs_before_inspector:
+        prefixes.append(INSPECT_BEFORE_PREFIX)
+    if info.needs_after_inspector:
+        prefixes.append(INSPECT_AFTER_PREFIX)
+    total = info.affine_before.add(info.affine_after)
+    return _cell_count_expr(program, info, total, prefixes)
+
+
+# ----------------------------------------------------------------------
+# Prologue / epilogue
+# ----------------------------------------------------------------------
+
+
+def iterative_prologue(program: Program, info: IterativeArrayInfo) -> list[Stmt]:
+    decl = program.array(info.name)
+    value = cell_ref(decl)
+    if info.kind == "written":
+        count = before_count_expr(program, info)
+        body: list[Stmt] = [ChecksumAdd(checksum="def", value=value, count=count)]
+        return cell_loop_nest(decl, body)
+    # readonly: one def + e_def credit, settled in the epilogue.
+    body = [
+        ChecksumAdd(checksum="def", value=value, count=Const(1)),
+        ChecksumAdd(checksum="e_def", value=value, count=Const(1)),
+    ]
+    return cell_loop_nest(decl, body)
+
+
+def iterative_epilogue(program: Program, info: IterativeArrayInfo) -> list[Stmt]:
+    decl = program.array(info.name)
+    value = cell_ref(decl)
+    if info.kind == "written":
+        count = before_count_expr(program, info)
+        body: list[Stmt] = [ChecksumAdd(checksum="use", value=value, count=count)]
+        return cell_loop_nest(decl, body)
+    per_iter = total_count_expr(program, info)
+    total = BinOp("-", BinOp("*", per_iter, VarRef(ITER_COUNTER)), Const(1))
+    body = [
+        ChecksumAdd(checksum="def", value=value, count=total),
+        ChecksumAdd(checksum="e_use", value=value, count=Const(1)),
+    ]
+    return cell_loop_nest(decl, body)
+
+
+def iter_counter_decl() -> ScalarDecl:
+    return ScalarDecl(name=ITER_COUNTER, elem_type="i64", is_shadow=True)

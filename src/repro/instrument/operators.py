@@ -1,0 +1,257 @@
+"""Checksum operator library.
+
+The paper uses *integer modulo addition* as the checksum operator
+(Section 5) and cites Maxino's comparison of checksum algorithms when
+justifying the choice over XOR.  This module implements the comparison
+set so the fault-coverage experiment (Table 1) and its ablations can
+measure each operator on identical fault campaigns:
+
+* :class:`ModularAddChecksum` — the paper's operator (mod 2^64 sum).
+* :class:`XorChecksum` — commutative/associative alternative.
+* :class:`OnesComplementChecksum` — one's-complement (end-around carry)
+  addition.
+* :class:`FletcherChecksum` / :class:`AdlerChecksum` — position-aware
+  running checksums (not commutative; included for coverage
+  comparison, not usable as def/use checksums).
+* :class:`RotatedModularAddChecksum` — Section 6.1's second checksum:
+  each word is left-rotated by bits 3..7 of its address before being
+  summed.
+
+Operators consume sequences of 64-bit words; a checksum is itself a
+64-bit value (Fletcher/Adler pack two 32-bit halves).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+MASK64 = (1 << 64) - 1
+WORD_BYTES = 8
+
+
+class ChecksumOperator:
+    """Base class: checksum of a word sequence."""
+
+    name = "abstract"
+    commutative = True
+    """Whether contribution order is irrelevant — required for use as a
+    def/use checksum (the paper's scheme interleaves contributions)."""
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        """Checksum of ``words``; element *i* has address
+        ``base_address + 8*i`` (only address-aware operators use it)."""
+        raise NotImplementedError
+
+    def detects(
+        self, original: Sequence[int], corrupted: Sequence[int], base_address: int = 0
+    ) -> bool:
+        """Whether this operator distinguishes the two images."""
+        return self.compute(original, base_address) != self.compute(
+            corrupted, base_address
+        )
+
+
+class ModularAddChecksum(ChecksumOperator):
+    """The paper's operator: sum of words modulo 2^64."""
+
+    name = "modadd"
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        total = 0
+        for word in words:
+            total = (total + word) & MASK64
+        return total
+
+
+class XorChecksum(ChecksumOperator):
+    """Bitwise XOR of all words."""
+
+    name = "xor"
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        total = 0
+        for word in words:
+            total ^= word
+        return total & MASK64
+
+
+class OnesComplementChecksum(ChecksumOperator):
+    """One's-complement sum (end-around carry), like the IP checksum."""
+
+    name = "ones_complement"
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        total = 0
+        for word in words:
+            total += word & MASK64
+            total = (total & MASK64) + (total >> 64)
+        # Fold any remaining carry.
+        while total >> 64:
+            total = (total & MASK64) + (total >> 64)
+        return total & MASK64
+
+
+class FletcherChecksum(ChecksumOperator):
+    """Fletcher-style two-accumulator checksum over 32-bit halves.
+
+    Position-aware: a swap of two words changes the checksum.  *Not*
+    commutative, hence unusable as the def/use checksum, but included
+    in the operator comparison.
+    """
+
+    name = "fletcher"
+    commutative = False
+
+    _MOD = (1 << 32) - 1
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        s1 = 0
+        s2 = 0
+        for word in words:
+            for half in (word & 0xFFFFFFFF, (word >> 32) & 0xFFFFFFFF):
+                s1 = (s1 + half) % self._MOD
+                s2 = (s2 + s1) % self._MOD
+        return (s2 << 32) | s1
+
+
+class AdlerChecksum(ChecksumOperator):
+    """Adler-style checksum (prime modulus variant of Fletcher)."""
+
+    name = "adler"
+    commutative = False
+
+    _MOD = 4294967291  # largest prime below 2^32
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        s1 = 1
+        s2 = 0
+        for word in words:
+            for half in (word & 0xFFFFFFFF, (word >> 32) & 0xFFFFFFFF):
+                s1 = (s1 + half) % self._MOD
+                s2 = (s2 + s1) % self._MOD
+        return (s2 << 32) | s1
+
+
+class Crc64Checksum(ChecksumOperator):
+    """CRC-64 (ECMA-182 polynomial), table-driven.
+
+    The strongest detector in Maxino's comparison — any 2-bit error
+    within the polynomial's Hamming window is caught — but, like
+    Fletcher/Adler, it is position-dependent and therefore unusable as
+    an interleaved def/use checksum; it appears here for the coverage
+    comparison only.
+    """
+
+    name = "crc64"
+    commutative = False
+
+    _POLY = 0x42F0E1EBA9EA3693
+    _TABLE: list[int] | None = None
+
+    @classmethod
+    def _table(cls) -> list[int]:
+        if cls._TABLE is None:
+            table = []
+            for byte in range(256):
+                crc = byte << 56
+                for _ in range(8):
+                    if crc & (1 << 63):
+                        crc = ((crc << 1) ^ cls._POLY) & MASK64
+                    else:
+                        crc = (crc << 1) & MASK64
+                table.append(crc)
+            cls._TABLE = table
+        return cls._TABLE
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        table = self._table()
+        crc = 0
+        for word in words:
+            for shift in range(0, 64, 8):
+                byte = (word >> shift) & 0xFF
+                crc = ((crc << 8) & MASK64) ^ table[((crc >> 56) ^ byte) & 0xFF]
+        return crc
+
+
+def _rotate_left(bits: int, amount: int) -> int:
+    amount %= 64
+    bits &= MASK64
+    if amount == 0:
+        return bits
+    return ((bits << amount) | (bits >> (64 - amount))) & MASK64
+
+
+class RotatedModularAddChecksum(ChecksumOperator):
+    """Section 6.1's second checksum.
+
+    Each word is left-rotated by a 0..31 amount derived from bits 3..7
+    of its byte address, then summed modulo 2^64.  Aligned errors that
+    cancel in the plain sum rotate by different amounts here and stop
+    cancelling.
+    """
+
+    name = "rotadd"
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        total = 0
+        for index, word in enumerate(words):
+            address = base_address + index * WORD_BYTES
+            amount = (address >> 3) & 0x1F
+            total = (total + _rotate_left(word, amount)) & MASK64
+        return total
+
+
+class MultiChecksum(ChecksumOperator):
+    """A tuple of operators; detects when any component detects.
+
+    ``compute`` packs component checksums by XOR-folding (adequate for
+    comparisons); :meth:`detects` checks each component separately and
+    is what experiments should use.
+    """
+
+    name = "multi"
+
+    def __init__(self, components: Iterable[ChecksumOperator]) -> None:
+        self.components = list(components)
+        self.name = "+".join(c.name for c in self.components)
+        self.commutative = all(c.commutative for c in self.components)
+
+    def compute(self, words: Sequence[int], base_address: int = 0) -> int:
+        total = 0
+        for component in self.components:
+            total ^= component.compute(words, base_address)
+        return total & MASK64
+
+    def detects(self, original, corrupted, base_address: int = 0) -> bool:
+        return any(
+            c.detects(original, corrupted, base_address) for c in self.components
+        )
+
+
+_REGISTRY: dict[str, type[ChecksumOperator]] = {
+    cls.name: cls
+    for cls in (
+        ModularAddChecksum,
+        XorChecksum,
+        OnesComplementChecksum,
+        FletcherChecksum,
+        AdlerChecksum,
+        Crc64Checksum,
+        RotatedModularAddChecksum,
+    )
+}
+
+
+def operator_by_name(name: str) -> ChecksumOperator:
+    """Instantiate an operator by its registry name.
+
+    ``"modadd+rotadd"`` builds the paper's two-checksum scheme.
+    """
+    if "+" in name:
+        return MultiChecksum(operator_by_name(part) for part in name.split("+"))
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown checksum operator {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,152 @@
+"""Render symbolic analysis results as IR expressions.
+
+The affine instrumenter computes use counts as piecewise polynomials
+over loop iterators and parameters; at a def-site they must become an
+IR expression the runtime can evaluate.  A single-piece count whose
+domain covers the whole statement domain renders as a plain arithmetic
+expression (``n - 1 - j``); multi-piece counts render as nested
+:class:`~repro.ir.nodes.Select` conditionals — exactly the "branching
+structure" overhead that Algorithm 2's index-set splitting later
+removes (Section 3.3).
+
+Piece-domain constraints that are already implied by the statement's
+iteration domain are dropped (a "gist" simplification), so the emitted
+conditionals test only what genuinely varies.
+"""
+
+from __future__ import annotations
+
+
+from repro.isl.basic_set import BasicSet
+from repro.isl.constraints import Constraint
+from repro.isl.linear import LinExpr
+from repro.isl.piecewise import PiecewisePolynomial
+from repro.isl.polynomial import Polynomial
+from repro.ir.nodes import BinOp, Const, Expr, Select, VarRef
+
+
+class RenderError(ValueError):
+    """A symbolic value has no faithful IR rendering."""
+
+
+def linexpr_to_ir(expr: LinExpr) -> Expr:
+    """An affine expression as IR arithmetic (integer coefficients)."""
+    if not expr.is_integral():
+        raise RenderError(f"non-integral affine expression {expr}")
+    result: Expr | None = None
+    for name in sorted(expr.variables()):
+        coeff = int(expr.coeff(name))
+        magnitude: Expr = VarRef(name)
+        if abs(coeff) != 1:
+            magnitude = BinOp("*", Const(abs(coeff)), magnitude)
+        if result is None:
+            result = magnitude if coeff > 0 else BinOp("-", Const(0), magnitude)
+        else:
+            result = BinOp("+" if coeff > 0 else "-", result, magnitude)
+    const = int(expr.const)
+    if result is None:
+        return Const(const)
+    if const > 0:
+        result = BinOp("+", result, Const(const))
+    elif const < 0:
+        result = BinOp("-", result, Const(-const))
+    return result
+
+
+def polynomial_to_ir(poly: Polynomial) -> Expr:
+    """A polynomial with integer coefficients as IR arithmetic."""
+    result: Expr | None = None
+    for monomial, coeff in sorted(poly.terms.items()):
+        if coeff.denominator != 1:
+            raise RenderError(f"fractional coefficient in {poly}")
+        c = int(coeff)
+        term: Expr | None = None
+        for name, exponent in monomial:
+            for _ in range(exponent):
+                factor: Expr = VarRef(name)
+                term = factor if term is None else BinOp("*", term, factor)
+        if term is None:
+            term = Const(abs(c))
+        elif abs(c) != 1:
+            term = BinOp("*", Const(abs(c)), term)
+        if result is None:
+            result = term if c >= 0 else BinOp("-", Const(0), term)
+        elif c >= 0:
+            result = BinOp("+", result, term)
+        else:
+            result = BinOp("-", result, term)
+    return result if result is not None else Const(0)
+
+
+def constraint_to_condition(constraint: Constraint) -> Expr:
+    """An affine constraint as a boolean IR expression."""
+    lhs = linexpr_to_ir(constraint.expr)
+    op = "==" if constraint.is_equality() else ">="
+    return BinOp(op, lhs, Const(0))
+
+
+def gist_constraints(
+    domain: BasicSet, constraints: tuple[Constraint, ...]
+) -> list[Constraint]:
+    """Drop constraints implied by ``domain`` (context simplification).
+
+    A constraint is implied when ``domain ∧ ¬constraint`` has no
+    integer points.
+    """
+    kept: list[Constraint] = []
+    for constraint in constraints:
+        implied = all(
+            domain.add_constraints([negation]).is_empty()
+            for negation in constraint.negated()
+        )
+        if not implied:
+            kept.append(constraint)
+    return kept
+
+
+def piecewise_to_ir(
+    pwp: PiecewisePolynomial, context: BasicSet | None = None
+) -> Expr:
+    """A piecewise polynomial as (possibly nested-Select) IR arithmetic.
+
+    ``context`` is the statement's iteration domain: piece conditions
+    implied by it are not emitted, and a single piece that covers the
+    whole context renders without any conditional.  Points outside all
+    pieces take the value 0 (the piecewise default).
+    """
+    pwp = pwp.simplified(context)
+    pieces = list(pwp.pieces)
+    if not pieces:
+        return Const(0)
+    rendered: Expr = Const(0)
+    for domain, poly in reversed(pieces):
+        value = polynomial_to_ir(poly)
+        constraints = tuple(domain.constraints)
+        if not constraints:
+            # The piece covers the whole context; pieces are disjoint,
+            # so nothing before it in the chain can apply.
+            rendered = value
+            continue
+        condition: Expr | None = None
+        for constraint in constraints:
+            term = constraint_to_condition(constraint)
+            condition = term if condition is None else BinOp("&&", condition, term)
+        assert condition is not None
+        rendered = Select(cond=condition, if_true=value, if_false=rendered)
+    return rendered
+
+
+def piecewise_constant_value(pwp: PiecewisePolynomial) -> int | None:
+    """If the value is one constant over its whole domain, return it."""
+    constants = set()
+    for _, poly in pwp.pieces:
+        if not poly.is_constant():
+            return None
+        constants.add(poly.constant_value())
+    if not pwp.pieces:
+        return 0
+    if len(constants) == 1:
+        value = constants.pop()
+        if value.denominator == 1:
+            return int(value)
+    return None

@@ -1,0 +1,71 @@
+"""The mini-language the compiler instruments.
+
+The paper's algorithms operate on loop-oriented programs: affine loop
+nests (Section 3), data-dependent conditionals and irregular accesses
+(Section 4).  This package defines that program representation:
+
+* :mod:`repro.ir.nodes` — expression and statement nodes, programs,
+  array/scalar declarations, and the checksum-instrumentation
+  annotations attached by the compiler.
+* :mod:`repro.ir.parser` — a small text syntax (see docstring there).
+* :mod:`repro.ir.printer` — pretty-printing back to the text syntax,
+  rendering instrumentation as the paper's ``add_to_chksm`` macros.
+* :mod:`repro.ir.builder` — a fluent programmatic construction API.
+* :mod:`repro.ir.schedule` — the 2d+1 statement schedules of Section 3.1.
+* :mod:`repro.ir.accesses` — read/write access extraction and the
+  affine/irregular classification of Section 5.
+* :mod:`repro.ir.analysis` — structural validation and symbol queries.
+"""
+
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    ChecksumAssert,
+    ChecksumReset,
+    Const,
+    CounterIncrement,
+    DefContribution,
+    If,
+    Loop,
+    PreOverwriteAdjust,
+    Program,
+    ScalarDecl,
+    Select,
+    UnOp,
+    UseContribution,
+    VarRef,
+    WhileLoop,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.parser import parse_program
+from repro.ir.printer import program_to_text
+
+__all__ = [
+    "ArrayDecl",
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Call",
+    "ChecksumAdd",
+    "ChecksumAssert",
+    "ChecksumReset",
+    "Const",
+    "CounterIncrement",
+    "DefContribution",
+    "If",
+    "Loop",
+    "PreOverwriteAdjust",
+    "Program",
+    "ProgramBuilder",
+    "ScalarDecl",
+    "Select",
+    "UseContribution",
+    "VarRef",
+    "WhileLoop",
+    "parse_program",
+    "program_to_text",
+]

@@ -1,0 +1,160 @@
+"""Read/write access extraction and affine classification.
+
+For every assignment the instrumenter needs to know, per Section 5:
+
+* which references are *data* accesses (loads/stores of program arrays
+  and scalars — as opposed to reads of iterators and parameters, which
+  the fault model assumes protected),
+* which of those accesses are *affine* (all subscripts affine in the
+  surrounding iterators and parameters — analyzable at compile time by
+  Section 3's machinery), and
+* which are *irregular* (data-dependent subscripts such as
+  ``p_new[cols[j1]]`` — handled by inspectors, Section 4).
+
+A scalar access is a zero-subscript affine access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isl.linear import LinExpr
+from repro.ir.analysis import StatementContext, to_affine
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    Expr,
+    Program,
+    VarRef,
+    walk_expressions,
+)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One data access of one assignment."""
+
+    label: str | None
+    ref: ArrayRef | VarRef
+    is_write: bool
+    is_affine: bool
+    index_affine: tuple[LinExpr, ...] | None
+    """Per-subscript affine forms (empty tuple for scalars) when affine."""
+
+    @property
+    def target(self) -> str:
+        return self.ref.array if isinstance(self.ref, ArrayRef) else self.ref.name
+
+
+def data_reads_of(
+    assign: Assign, data_names: set[str]
+) -> list[ArrayRef | VarRef]:
+    """Loads of data (not control) in one assignment, in textual order.
+
+    Includes loads inside subscripts (``cols[j1]`` within
+    ``p_new[cols[j1]]``).  Duplicate syntactic references are kept —
+    each occurrence is a separate load and a separate use (the paper's
+    use counts count every read).
+    """
+    reads: list[ArrayRef | VarRef] = []
+
+    def collect(expr: Expr) -> None:
+        for node in walk_expressions(expr):
+            if isinstance(node, ArrayRef):
+                reads.append(node)
+            elif isinstance(node, VarRef) and node.name in data_names:
+                reads.append(node)
+
+    collect(assign.rhs)
+    # Subscripts of the *store* target are loads, too.
+    if isinstance(assign.lhs, ArrayRef):
+        for index in assign.lhs.indices:
+            collect(index)
+    return reads
+
+
+def classify_access(
+    ref: ArrayRef | VarRef,
+    is_write: bool,
+    label: str | None,
+    affine_names: set[str],
+) -> Access:
+    """Build an :class:`Access` with the affine classification."""
+    if isinstance(ref, VarRef):
+        return Access(
+            label=label,
+            ref=ref,
+            is_write=is_write,
+            is_affine=True,
+            index_affine=(),
+        )
+    affine_indices: list[LinExpr] = []
+    for index in ref.indices:
+        affine = to_affine(index, affine_names)
+        if affine is None:
+            return Access(
+                label=label,
+                ref=ref,
+                is_write=is_write,
+                is_affine=False,
+                index_affine=None,
+            )
+        affine_indices.append(affine)
+    return Access(
+        label=label,
+        ref=ref,
+        is_write=is_write,
+        is_affine=True,
+        index_affine=tuple(affine_indices),
+    )
+
+
+@dataclass
+class StatementAccesses:
+    """All data accesses of one assignment."""
+
+    context: StatementContext
+    write: Access
+    reads: list[Access]
+
+    @property
+    def label(self) -> str | None:
+        return self.context.assign.label
+
+    def irregular_reads(self) -> list[Access]:
+        return [a for a in self.reads if not a.is_affine]
+
+    def affine_reads(self) -> list[Access]:
+        return [a for a in self.reads if a.is_affine]
+
+
+def program_data_names(program: Program) -> set[str]:
+    """Names whose accesses go through the (faultable) memory subsystem."""
+    names = {d.name for d in program.arrays}
+    names |= {d.name for d in program.scalars}
+    return names
+
+
+def statement_accesses(
+    program: Program, context: StatementContext
+) -> StatementAccesses:
+    """Extract and classify the accesses of one assignment."""
+    data_names = program_data_names(program)
+    affine_names = set(program.params) | set(context.iterators)
+    assign = context.assign
+    write = classify_access(assign.lhs, True, assign.label, affine_names)
+    reads = [
+        classify_access(ref, False, assign.label, affine_names)
+        for ref in data_reads_of(assign, data_names)
+    ]
+    return StatementAccesses(context=context, write=write, reads=reads)
+
+
+def all_statement_accesses(program: Program) -> list[StatementAccesses]:
+    """Accesses for every assignment in the program, in textual order."""
+    from repro.ir.analysis import statement_contexts
+
+    return [
+        statement_accesses(program, context)
+        for context in statement_contexts(program)
+    ]

@@ -1,0 +1,298 @@
+"""Structural analysis and validation of mini-language programs.
+
+Provides:
+
+* :func:`to_affine` — convert an IR expression to a
+  :class:`~repro.isl.linear.LinExpr` when it is affine in a given set
+  of names (iterators + parameters), else ``None``.  This is the
+  affine/irregular classifier underpinning Section 5's split between
+  compile-time analysis and inspector-based analysis.
+* :func:`validate_program` — name resolution, dimensionality checks and
+  assignment-target checks; raises :class:`ValidationError` with a
+  precise message.
+* Context queries used by the instrumenter: surrounding loops of every
+  statement, whether a statement sits under a ``while`` or
+  data-dependent ``if``, and which arrays are modified in a loop body
+  (for inspector hoisting legality, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isl.linear import LinExpr
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    If,
+    Loop,
+    Program,
+    Stmt,
+    UnOp,
+    VarRef,
+    WhileLoop,
+    walk_expressions,
+)
+
+
+class ValidationError(ValueError):
+    """A structural problem in a program."""
+
+
+# ----------------------------------------------------------------------
+# Affine conversion
+# ----------------------------------------------------------------------
+
+
+def to_affine(expr: Expr, names: frozenset[str] | set[str]) -> LinExpr | None:
+    """``expr`` as a LinExpr over ``names``, or None if not affine.
+
+    Affine means: integer constants, variables from ``names``, sums,
+    differences, negation, and multiplication where at least one factor
+    is constant.  Anything else — array references, division, calls,
+    floats — is not affine.
+
+    >>> str(to_affine(BinOp("-", VarRef("n"), Const(1)), {"n"}))
+    'n - 1'
+    >>> to_affine(ArrayRef("cols", (VarRef("j"),)), {"j"}) is None
+    True
+    """
+    if isinstance(expr, Const):
+        if isinstance(expr.value, int):
+            return LinExpr.constant(expr.value)
+        return None
+    if isinstance(expr, VarRef):
+        if expr.name in names:
+            return LinExpr.var(expr.name)
+        return None
+    if isinstance(expr, UnOp) and expr.op == "-":
+        inner = to_affine(expr.operand, names)
+        return None if inner is None else -inner
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-"):
+            left = to_affine(expr.left, names)
+            right = to_affine(expr.right, names)
+            if left is None or right is None:
+                return None
+            return left + right if expr.op == "+" else left - right
+        if expr.op == "*":
+            left = to_affine(expr.left, names)
+            right = to_affine(expr.right, names)
+            if left is None or right is None:
+                return None
+            if left.is_constant():
+                return right * left.constant_value()
+            if right.is_constant():
+                return left * right.constant_value()
+            return None
+    return None
+
+
+def is_affine_condition(expr: Expr, names: frozenset[str] | set[str]) -> bool:
+    """Whether a boolean condition is affine (comparisons of affine sides,
+    combined with ``&&``)."""
+    if isinstance(expr, BinOp):
+        if expr.op == "&&":
+            return is_affine_condition(expr.left, names) and is_affine_condition(
+                expr.right, names
+            )
+        if expr.op in ("<", "<=", ">", ">=", "==", "!="):
+            return (
+                to_affine(expr.left, names) is not None
+                and to_affine(expr.right, names) is not None
+            )
+    return False
+
+
+# ----------------------------------------------------------------------
+# Statement contexts
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StatementContext:
+    """Where an assignment sits in the program tree."""
+
+    assign: Assign
+    loops: tuple[Loop, ...]
+    """Surrounding affine ``for`` loops, outermost first."""
+    while_loops: tuple[WhileLoop, ...]
+    """Surrounding while loops, outermost first (irregular context)."""
+    guards: tuple[Expr, ...]
+    """Conditions of surrounding ``if``s (negated conditions are
+    represented with a leading ``!`` UnOp)."""
+    path: tuple[int, ...]
+    """Child indices from the root to this statement (AST address)."""
+
+    @property
+    def iterators(self) -> tuple[str, ...]:
+        return tuple(loop.var for loop in self.loops)
+
+    def in_irregular_context(self, affine_names: set[str]) -> bool:
+        """True when under a while loop or a non-affine guard."""
+        if self.while_loops:
+            return True
+        names = affine_names | set(self.iterators)
+        return any(not is_affine_condition(g, names) for g in self.guards)
+
+
+def statement_contexts(program: Program) -> list[StatementContext]:
+    """Contexts for every assignment, in textual order."""
+    contexts: list[StatementContext] = []
+
+    def visit(
+        body: tuple[Stmt, ...],
+        loops: tuple[Loop, ...],
+        whiles: tuple[WhileLoop, ...],
+        guards: tuple[Expr, ...],
+        path: tuple[int, ...],
+    ) -> None:
+        for index, stmt in enumerate(body):
+            here = path + (index,)
+            if isinstance(stmt, Assign):
+                contexts.append(
+                    StatementContext(stmt, loops, whiles, guards, here)
+                )
+            elif isinstance(stmt, Loop):
+                visit(stmt.body, loops + (stmt,), whiles, guards, here)
+            elif isinstance(stmt, WhileLoop):
+                visit(stmt.body, loops, whiles + (stmt,), guards, here)
+            elif isinstance(stmt, If):
+                visit(stmt.then_body, loops, whiles, guards + (stmt.cond,), here)
+                visit(
+                    stmt.else_body,
+                    loops,
+                    whiles,
+                    guards + (UnOp("!", stmt.cond),),
+                    here,
+                )
+
+    visit(program.body, (), (), (), ())
+    return contexts
+
+
+def arrays_written_in(body: tuple[Stmt, ...]) -> set[str]:
+    """Arrays (and scalars) stored to anywhere in a body.
+
+    Used for the inspector-hoisting legality check: an inspector over
+    indexing structure ``cols`` may be hoisted out of a loop only if
+    ``cols`` is not written in that loop (Section 4.2).
+    """
+    from repro.ir.nodes import walk_statements
+
+    written: set[str] = set()
+    for stmt in walk_statements(body):
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.lhs, ArrayRef):
+                written.add(stmt.lhs.array)
+            else:
+                written.add(stmt.lhs.name)
+    return written
+
+
+def arrays_read_in(body: tuple[Stmt, ...]) -> set[str]:
+    """Arrays and scalars loaded anywhere in a body (incl. indices)."""
+    from repro.ir.nodes import walk_statements
+
+    read: set[str] = set()
+    for stmt in walk_statements(body):
+        exprs: list[Expr] = []
+        if isinstance(stmt, Assign):
+            exprs.append(stmt.rhs)
+            if isinstance(stmt.lhs, ArrayRef):
+                exprs.extend(stmt.lhs.indices)
+        elif isinstance(stmt, (If,)):
+            exprs.append(stmt.cond)
+        elif isinstance(stmt, WhileLoop):
+            exprs.append(stmt.cond)
+        elif isinstance(stmt, Loop):
+            exprs.extend([stmt.lower, stmt.upper])
+        for expr in exprs:
+            for node in walk_expressions(expr):
+                if isinstance(node, ArrayRef):
+                    read.add(node.array)
+                elif isinstance(node, VarRef):
+                    read.add(node.name)
+    return read
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def validate_program(program: Program) -> None:
+    """Check names, arities and labels; raise ValidationError on problems."""
+    arrays = {d.name: d for d in program.arrays}
+    scalars = {d.name for d in program.scalars}
+    params = set(program.params)
+    labels_seen: set[str] = set()
+    if arrays.keys() & scalars:
+        raise ValidationError(
+            f"names declared both array and scalar: {arrays.keys() & scalars}"
+        )
+
+    def check_expr(expr: Expr, iterators: set[str], where: str) -> None:
+        for node in walk_expressions(expr):
+            if isinstance(node, VarRef):
+                name = node.name
+                if name not in scalars and name not in params and name not in iterators:
+                    raise ValidationError(
+                        f"unknown name {name!r} in {where}"
+                    )
+                if name in arrays:
+                    raise ValidationError(
+                        f"array {name!r} used without subscripts in {where}"
+                    )
+            elif isinstance(node, ArrayRef):
+                if node.array not in arrays:
+                    raise ValidationError(
+                        f"unknown array {node.array!r} in {where}"
+                    )
+                decl = arrays[node.array]
+                if len(node.indices) != len(decl.dims):
+                    raise ValidationError(
+                        f"array {node.array!r} has {len(decl.dims)} dims, "
+                        f"indexed with {len(node.indices)} in {where}"
+                    )
+
+    def visit(body: tuple[Stmt, ...], iterators: set[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                where = f"statement {stmt.label or str(stmt.lhs)}"
+                if stmt.label:
+                    if stmt.label in labels_seen:
+                        raise ValidationError(f"duplicate label {stmt.label!r}")
+                    labels_seen.add(stmt.label)
+                if isinstance(stmt.lhs, VarRef):
+                    if stmt.lhs.name not in scalars:
+                        raise ValidationError(
+                            f"assignment to undeclared scalar {stmt.lhs.name!r}"
+                        )
+                check_expr(stmt.rhs, iterators, where)
+                if isinstance(stmt.lhs, ArrayRef):
+                    check_expr(stmt.lhs, iterators, where)
+            elif isinstance(stmt, Loop):
+                if stmt.var in iterators:
+                    raise ValidationError(
+                        f"loop iterator {stmt.var!r} shadows an outer iterator"
+                    )
+                if stmt.var in scalars or stmt.var in params:
+                    raise ValidationError(
+                        f"loop iterator {stmt.var!r} shadows a declaration"
+                    )
+                check_expr(stmt.lower, iterators, f"bounds of loop {stmt.var}")
+                check_expr(stmt.upper, iterators, f"bounds of loop {stmt.var}")
+                visit(stmt.body, iterators | {stmt.var})
+            elif isinstance(stmt, WhileLoop):
+                check_expr(stmt.cond, iterators, "while condition")
+                visit(stmt.body, iterators)
+            elif isinstance(stmt, If):
+                check_expr(stmt.cond, iterators, "if condition")
+                visit(stmt.then_body, iterators)
+                visit(stmt.else_body, iterators)
+
+    visit(program.body, set())

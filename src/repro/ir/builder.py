@@ -1,0 +1,260 @@
+"""Fluent programmatic construction of mini-language programs.
+
+The text syntax (:mod:`repro.ir.parser`) is the primary way programs
+enter the system; the builder is for tools and tests that generate
+programs.  Expression wrappers overload Python operators:
+
+>>> b = ProgramBuilder("cholesky", params=("n",))
+>>> A = b.array("A", ("n", "n"))
+>>> n, j, i = b.params_and_vars("n", "j", "i")
+>>> with b.loop("j", 0, n - 1):
+...     b.assign(A[j, j], A[j, j].sqrt(), label="S1")
+...     with b.loop("i", j + 1, n - 1):
+...         b.assign(A[i, j], A[i, j] / A[j, j], label="S2")
+>>> program = b.build()
+>>> program.name
+'cholesky'
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence, Union
+
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    If,
+    Loop,
+    Program,
+    ScalarDecl,
+    Select,
+    Stmt,
+    UnOp,
+    VarRef,
+    WhileLoop,
+)
+
+Operand = Union["EB", Expr, int, float]
+
+
+def _unwrap(value: Operand) -> Expr:
+    if isinstance(value, EB):
+        return value.node
+    if isinstance(value, (int,)):
+        return Const(value)
+    if isinstance(value, float):
+        return Const(value)
+    return value
+
+
+class EB:
+    """Expression builder: wraps an IR expression with operators.
+
+    >>> (EB(VarRef("n")) - 1).node
+    BinOp(op='-', left=VarRef(name='n'), right=Const(value=1))
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Expr) -> None:
+        self.node = node
+
+    def _bin(self, op: str, other: Operand, reflected: bool = False) -> "EB":
+        left, right = (self.node, _unwrap(other))
+        if reflected:
+            left, right = right, left
+        return EB(BinOp(op, left, right))
+
+    def __add__(self, other: Operand) -> "EB":
+        return self._bin("+", other)
+
+    def __radd__(self, other: Operand) -> "EB":
+        return self._bin("+", other, reflected=True)
+
+    def __sub__(self, other: Operand) -> "EB":
+        return self._bin("-", other)
+
+    def __rsub__(self, other: Operand) -> "EB":
+        return self._bin("-", other, reflected=True)
+
+    def __mul__(self, other: Operand) -> "EB":
+        return self._bin("*", other)
+
+    def __rmul__(self, other: Operand) -> "EB":
+        return self._bin("*", other, reflected=True)
+
+    def __truediv__(self, other: Operand) -> "EB":
+        return self._bin("/", other)
+
+    def __rtruediv__(self, other: Operand) -> "EB":
+        return self._bin("/", other, reflected=True)
+
+    def __mod__(self, other: Operand) -> "EB":
+        return self._bin("%", other)
+
+    def __neg__(self) -> "EB":
+        return EB(UnOp("-", self.node))
+
+    # Comparisons build IR nodes (not Python booleans) on purpose.
+    def eq(self, other: Operand) -> "EB":
+        return self._bin("==", other)
+
+    def ne(self, other: Operand) -> "EB":
+        return self._bin("!=", other)
+
+    def lt(self, other: Operand) -> "EB":
+        return self._bin("<", other)
+
+    def le(self, other: Operand) -> "EB":
+        return self._bin("<=", other)
+
+    def gt(self, other: Operand) -> "EB":
+        return self._bin(">", other)
+
+    def ge(self, other: Operand) -> "EB":
+        return self._bin(">=", other)
+
+    def and_(self, other: Operand) -> "EB":
+        return self._bin("&&", other)
+
+    def or_(self, other: Operand) -> "EB":
+        return self._bin("||", other)
+
+    def sqrt(self) -> "EB":
+        return EB(Call("sqrt", (self.node,)))
+
+    def abs(self) -> "EB":
+        return EB(Call("abs", (self.node,)))
+
+    def select(self, if_true: Operand, if_false: Operand) -> "EB":
+        return EB(Select(self.node, _unwrap(if_true), _unwrap(if_false)))
+
+    def __repr__(self) -> str:
+        return f"EB({self.node!r})"
+
+
+class ArrayHandle:
+    """Indexable handle returned by :meth:`ProgramBuilder.array`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __getitem__(self, indices: Operand | tuple[Operand, ...]) -> EB:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return EB(ArrayRef(self.name, tuple(_unwrap(i) for i in indices)))
+
+
+class ProgramBuilder:
+    """Accumulates declarations and statements into a Program."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self._name = name
+        self._params = tuple(params)
+        self._arrays: list[ArrayDecl] = []
+        self._scalars: list[ScalarDecl] = []
+        self._stack: list[list[Stmt]] = [[]]
+
+    # -- declarations ---------------------------------------------------
+    def array(
+        self,
+        name: str,
+        dims: Sequence[Operand],
+        elem_type: str = "f64",
+    ) -> ArrayHandle:
+        self._arrays.append(
+            ArrayDecl(
+                name=name,
+                dims=tuple(_unwrap(_name_to_expr(d)) for d in dims),
+                elem_type=elem_type,
+            )
+        )
+        return ArrayHandle(name)
+
+    def scalar(self, name: str, elem_type: str = "f64") -> EB:
+        self._scalars.append(ScalarDecl(name=name, elem_type=elem_type))
+        return EB(VarRef(name))
+
+    def var(self, name: str) -> EB:
+        """A reference to an iterator, parameter or scalar by name."""
+        return EB(VarRef(name))
+
+    def params_and_vars(self, *names: str) -> tuple[EB, ...]:
+        return tuple(EB(VarRef(n)) for n in names)
+
+    # -- statements -----------------------------------------------------
+    def assign(
+        self,
+        lhs: EB,
+        rhs: Operand,
+        label: str | None = None,
+    ) -> None:
+        target = lhs.node
+        if not isinstance(target, (ArrayRef, VarRef)):
+            raise TypeError(f"assignment target must be a reference, got {target!r}")
+        self._stack[-1].append(Assign(lhs=target, rhs=_unwrap(rhs), label=label))
+
+    @contextmanager
+    def loop(self, var: str, lower: Operand, upper: Operand) -> Iterator[None]:
+        self._stack.append([])
+        yield
+        body = self._stack.pop()
+        self._stack[-1].append(
+            Loop(var=var, lower=_unwrap(lower), upper=_unwrap(upper), body=tuple(body))
+        )
+
+    @contextmanager
+    def while_loop(self, cond: Operand) -> Iterator[None]:
+        self._stack.append([])
+        yield
+        body = self._stack.pop()
+        self._stack[-1].append(WhileLoop(cond=_unwrap(cond), body=tuple(body)))
+
+    @contextmanager
+    def if_then(self, cond: Operand) -> Iterator[None]:
+        self._stack.append([])
+        yield
+        body = self._stack.pop()
+        self._stack[-1].append(
+            If(cond=_unwrap(cond), then_body=tuple(body), else_body=())
+        )
+
+    @contextmanager
+    def if_else(self, cond: Operand) -> Iterator[tuple[list[Stmt], list[Stmt]]]:
+        """Two-branch conditional; fill the yielded lists directly."""
+        then_body: list[Stmt] = []
+        else_body: list[Stmt] = []
+        yield (then_body, else_body)
+        self._stack[-1].append(
+            If(
+                cond=_unwrap(cond),
+                then_body=tuple(then_body),
+                else_body=tuple(else_body),
+            )
+        )
+
+    # -- finish -----------------------------------------------------------
+    def build(self) -> Program:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed loop/if context in builder")
+        return Program(
+            name=self._name,
+            params=self._params,
+            arrays=tuple(self._arrays),
+            scalars=tuple(self._scalars),
+            body=tuple(self._stack[0]),
+        )
+
+
+def _name_to_expr(value: Operand | str) -> Operand:
+    if isinstance(value, str):
+        return EB(VarRef(value))
+    return value

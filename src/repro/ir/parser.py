@@ -1,0 +1,466 @@
+"""Parser for the mini-language text syntax.
+
+Grammar (informally)::
+
+    program  := "program" NAME "(" params? ")" "{" decl* stmt* "}"
+    decl     := "array" NAME ("[" expr "]")+ (":" type)? ";"
+              | "scalar" NAME (":" type)? ";"
+    stmt     := label? lvalue "=" expr ";"
+              | "for" NAME "=" expr ".." expr "{" stmt* "}"
+              | "while" "(" expr ")" "{" stmt* "}"
+              | "if" "(" expr ")" "{" stmt* "}" ("else" "{" stmt* "}")?
+    label    := NAME ":"
+    lvalue   := NAME ("[" expr "]")*
+    type     := "f64" | "i64"
+
+Expressions support ``+ - * / %``, comparisons, ``&& || !``, a C-style
+ternary ``cond ? a : b``, intrinsic calls (``sqrt``, ``abs``, ``min``,
+``max``, ``exp``, ``floor``, ``mod``) and indexed references, with the
+usual precedence.  ``for`` bounds are inclusive, matching the paper's
+``for j = 0 to n-1`` style.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    If,
+    Loop,
+    Program,
+    ScalarDecl,
+    Select,
+    Stmt,
+    UnOp,
+    VarRef,
+    WhileLoop,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<float>\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\.\.|&&|\|\||==|!=|<=|>=|[-+*/%<>=(){}\[\];:,?!])
+    """,
+    re.VERBOSE,
+)
+
+_INTRINSICS = {"sqrt", "abs", "min", "max", "exp", "floor", "mod", "sin", "cos"}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+class ParseError(ValueError):
+    """Syntax error with position information."""
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", pos))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self, offset: int = 0) -> _Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._peek()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {token.text!r} at offset {token.pos}"
+            )
+        return self._advance()
+
+    def _expect_name(self) -> str:
+        token = self._peek()
+        if token.kind != "name":
+            raise ParseError(
+                f"expected a name but found {token.text!r} at offset {token.pos}"
+            )
+        self._advance()
+        return token.text
+
+    def _accept(self, text: str) -> bool:
+        if self._peek().text == text:
+            self._advance()
+            return True
+        return False
+
+    # -- program --------------------------------------------------------
+    def parse_program(self) -> Program:
+        self._expect("program")
+        name = self._expect_name()
+        self._expect("(")
+        params: list[str] = []
+        if self._peek().text != ")":
+            params.append(self._expect_name())
+            while self._accept(","):
+                params.append(self._expect_name())
+        self._expect(")")
+        self._expect("{")
+        arrays: list[ArrayDecl] = []
+        scalars: list[ScalarDecl] = []
+        while self._peek().text in ("array", "scalar"):
+            if self._accept("array"):
+                arrays.append(self._parse_array_decl())
+            else:
+                self._advance()
+                scalars.append(self._parse_scalar_decl())
+        body = self._parse_block_contents()
+        self._expect("}")
+        if self._peek().kind != "eof":
+            token = self._peek()
+            raise ParseError(
+                f"trailing input {token.text!r} at offset {token.pos}"
+            )
+        return Program(
+            name=name,
+            params=tuple(params),
+            arrays=tuple(arrays),
+            scalars=tuple(scalars),
+            body=tuple(body),
+        )
+
+    def _parse_array_decl(self) -> ArrayDecl:
+        name = self._expect_name()
+        dims: list[Expr] = []
+        while self._accept("["):
+            dims.append(self._parse_expr())
+            self._expect("]")
+        if not dims:
+            raise ParseError(f"array {name!r} needs at least one dimension")
+        elem_type = "f64"
+        if self._accept(":"):
+            elem_type = self._expect_name()
+        self._expect(";")
+        return ArrayDecl(name=name, dims=tuple(dims), elem_type=elem_type)
+
+    def _parse_scalar_decl(self) -> ScalarDecl:
+        name = self._expect_name()
+        elem_type = "f64"
+        if self._accept(":"):
+            elem_type = self._expect_name()
+        self._expect(";")
+        return ScalarDecl(name=name, elem_type=elem_type)
+
+    # -- statements -----------------------------------------------------
+    def _parse_block_contents(self) -> list[Stmt]:
+        body: list[Stmt] = []
+        while self._peek().text not in ("}",) and self._peek().kind != "eof":
+            body.append(self._parse_statement())
+        return body
+
+    def _parse_block(self) -> list[Stmt]:
+        self._expect("{")
+        body = self._parse_block_contents()
+        self._expect("}")
+        return body
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.text == "for":
+            return self._parse_for()
+        if token.text == "while":
+            return self._parse_while()
+        if token.text == "if":
+            return self._parse_if()
+        if token.kind == "name" and self._peek(1).text == "(":
+            if token.text in ("add_to_chksm", "inc_use_count",
+                              "reset_use_count", "reset_checksums",
+                              "assert"):
+                return self._parse_checksum_macro()
+        label: str | None = None
+        if (
+            token.kind == "name"
+            and self._peek(1).text == ":"
+            and self._peek(2).kind == "name"
+        ):
+            label = self._advance().text
+            self._expect(":")
+        return self._parse_assignment(label)
+
+    def _parse_checksum_macro(self) -> Stmt:
+        """Re-parse the printer's instrumentation macros.
+
+        Statement-attached contributions print as separate macro lines;
+        parsing them back yields *free-standing* checksum statements —
+        checksum-equivalent on fault-free runs (bundled register reuse
+        is an in-memory property the text form cannot carry).
+        """
+        from repro.ir.nodes import (
+            ChecksumAdd,
+            ChecksumAssert,
+            ChecksumReset,
+            CounterIncrement,
+        )
+
+        name = self._expect_name()
+        self._expect("(")
+        if name == "reset_checksums":
+            self._expect(")")
+            self._expect(";")
+            return ChecksumReset()
+        if name == "add_to_chksm":
+            which_token = self._expect_name()
+            if not which_token.endswith("_cs"):
+                raise ParseError(
+                    f"add_to_chksm expects a <name>_cs checksum, got "
+                    f"{which_token!r}"
+                )
+            which = which_token[: -len("_cs")]
+            self._expect(",")
+            value = self._parse_expr()
+            self._expect(",")
+            count = self._parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return ChecksumAdd(checksum=which, value=value, count=count)
+        if name == "inc_use_count":
+            counter = self._parse_lvalue()
+            amount: Expr = Const(1)
+            if self._accept(","):
+                amount = self._parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return CounterIncrement(counter=counter, amount=amount)
+        if name == "reset_use_count":
+            counter = self._parse_lvalue()
+            self._expect(")")
+            self._expect(";")
+            return Assign(lhs=counter, rhs=Const(0))
+        # assert(a_cs == b_cs, c_cs == d_cs, ...)
+        pairs: list[tuple[str, str]] = []
+        while True:
+            left = self._expect_name()
+            self._expect("==")
+            right = self._expect_name()
+            for side in (left, right):
+                if not side.endswith("_cs"):
+                    raise ParseError(
+                        f"assert expects <name>_cs operands, got {side!r}"
+                    )
+            pairs.append((left[: -len("_cs")], right[: -len("_cs")]))
+            if not self._accept(","):
+                break
+        self._expect(")")
+        self._expect(";")
+        return ChecksumAssert(pairs=tuple(pairs))
+
+    def _parse_for(self) -> Loop:
+        self._expect("for")
+        var = self._expect_name()
+        self._expect("=")
+        lower = self._parse_expr()
+        self._expect("..")
+        upper = self._parse_expr()
+        body = self._parse_block()
+        return Loop(var=var, lower=lower, upper=upper, body=tuple(body))
+
+    def _parse_while(self) -> WhileLoop:
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        body = self._parse_block()
+        return WhileLoop(cond=cond, body=tuple(body))
+
+    def _parse_if(self) -> If:
+        self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then_body = self._parse_block()
+        else_body: list[Stmt] = []
+        if self._accept("else"):
+            if self._peek().text == "if":
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return If(cond=cond, then_body=tuple(then_body), else_body=tuple(else_body))
+
+    def _parse_assignment(self, label: str | None) -> Assign:
+        target = self._parse_lvalue()
+        op_token = self._peek()
+        if op_token.text in ("+", "-", "*", "/") and self._peek(1).text == "=":
+            self._advance()
+            self._expect("=")
+            rhs_part = self._parse_expr()
+            rhs: Expr = BinOp(op_token.text, target, rhs_part)
+        else:
+            self._expect("=")
+            rhs = self._parse_expr()
+        self._expect(";")
+        return Assign(lhs=target, rhs=rhs, label=label)
+
+    def _parse_lvalue(self) -> ArrayRef | VarRef:
+        name = self._expect_name()
+        if self._peek().text == "[":
+            indices: list[Expr] = []
+            while self._accept("["):
+                indices.append(self._parse_expr())
+                self._expect("]")
+            return ArrayRef(array=name, indices=tuple(indices))
+        return VarRef(name=name)
+
+    # -- expressions (precedence climbing) -------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_or()
+        if self._accept("?"):
+            if_true = self._parse_expr()
+            self._expect(":")
+            if_false = self._parse_expr()
+            return Select(cond=cond, if_true=if_true, if_false=if_false)
+        return cond
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._peek().text == "||":
+            self._advance()
+            left = BinOp("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self._peek().text == "&&":
+            self._advance()
+            left = BinOp("&&", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        while self._peek().text in ("==", "!=", "<=", ">=", "<", ">"):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().text in ("+", "-"):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().text in ("*", "/", "%"):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Const):
+                # Fold: `-0.25` is the literal, not UnOp over a literal,
+                # so printed negative constants round-trip structurally.
+                return Const(-operand.value)
+            return UnOp("-", operand)
+        if self._accept("!"):
+            return UnOp("!", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return Const(int(token.text))
+        if token.kind == "float":
+            self._advance()
+            return Const(float(token.text))
+        if token.text == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(")")
+            return inner
+        if token.kind == "name":
+            name = self._advance().text
+            if self._peek().text == "(":
+                if name not in _INTRINSICS:
+                    raise ParseError(
+                        f"unknown function {name!r} at offset {token.pos}"
+                    )
+                self._advance()
+                args: list[Expr] = []
+                if self._peek().text != ")":
+                    args.append(self._parse_expr())
+                    while self._accept(","):
+                        args.append(self._parse_expr())
+                self._expect(")")
+                return Call(func=name, args=tuple(args))
+            if self._peek().text == "[":
+                indices: list[Expr] = []
+                while self._accept("["):
+                    indices.append(self._parse_expr())
+                    self._expect("]")
+                return ArrayRef(array=name, indices=tuple(indices))
+            return VarRef(name=name)
+        raise ParseError(f"unexpected token {token.text!r} at offset {token.pos}")
+
+
+def parse_program(text: str) -> Program:
+    """Parse mini-language source text into a :class:`Program`.
+
+    >>> p = parse_program('''
+    ... program demo(n) {
+    ...   array A[n][n];
+    ...   for j = 0 .. n - 1 {
+    ...     S1: A[j][j] = sqrt(A[j][j]);
+    ...     for i = j + 1 .. n - 1 {
+    ...       S2: A[i][j] = A[i][j] / A[j][j];
+    ...     }
+    ...   }
+    ... }
+    ... ''')
+    >>> p.name, p.params
+    ('demo', ('n',))
+    """
+    return _Parser(text).parse_program()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (useful in tests and tools)."""
+    parser = _Parser(text)
+    expr = parser._parse_expr()
+    if parser._peek().kind != "eof":
+        token = parser._peek()
+        raise ParseError(f"trailing input {token.text!r} at offset {token.pos}")
+    return expr

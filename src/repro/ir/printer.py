@@ -1,0 +1,202 @@
+"""Pretty-printer: IR back to mini-language text.
+
+Instrumented assignments are rendered in the paper's style, with
+``add_to_chksm(use_cs, v, c)`` / ``add_to_chksm(def_cs, v, c)`` macro
+lines around the statement (Figures 5, 6 and 9) and the pre-overwrite
+adjustments of Algorithm 3 before the store.  The printed text of an
+*uninstrumented* program re-parses to an equal tree (round-trip
+property, exercised by the tests).
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    ChecksumAssert,
+    Const,
+    CounterIncrement,
+    Expr,
+    If,
+    Loop,
+    Program,
+    Select,
+    Stmt,
+    UnOp,
+    VarRef,
+    WhileLoop,
+)
+
+_INDENT = "  "
+
+
+def expr_to_text(expr: Expr) -> str:
+    """Render an expression with minimal necessary parentheses."""
+    return _expr(expr, 0)
+
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    ">": 3,
+    "<=": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+
+
+def _expr(expr: Expr, parent_prec: int) -> str:
+    if isinstance(expr, Const):
+        if expr.value < 0:
+            # Parenthesized so `a + (-0.25)` re-parses as this constant
+            # (the parser folds unary minus on literals).
+            return f"(-{repr(abs(expr.value))})"
+        if isinstance(expr.value, float):
+            return repr(expr.value)
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return expr.array + "".join(f"[{_expr(i, 0)}]" for i in expr.indices)
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE.get(expr.op, 0)
+        left = _expr(expr.left, prec)
+        # Right operand of -, / needs a tighter context to keep meaning.
+        right_prec = prec + 1 if expr.op in ("-", "/", "%") else prec
+        right = _expr(expr.right, right_prec)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, UnOp):
+        inner = _expr(expr.operand, 6)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, Call):
+        args = ", ".join(_expr(a, 0) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, Select):
+        text = f"{_expr(expr.cond, 1)} ? {_expr(expr.if_true, 0)} : {_expr(expr.if_false, 0)}"
+        if parent_prec > 0:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def _ref_text(ref: ArrayRef | VarRef) -> str:
+    return _expr(ref, 0)
+
+
+def _statement_lines(stmt: Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, Assign):
+        lines: list[str] = []
+        instr = stmt.instrumentation
+        if instr:
+            for use in instr.uses:
+                count = expr_to_text(use.count)
+                lines.append(
+                    f"{pad}add_to_chksm({use.checksum}_cs, "
+                    f"{_ref_text(use.ref)}, {count});"
+                )
+            for counter in instr.counter_increments:
+                lines.append(f"{pad}inc_use_count({_ref_text(counter)});")
+            if instr.pre_overwrite:
+                counter = _ref_text(instr.pre_overwrite.counter)
+                old = _ref_text(stmt.lhs)
+                lines.append(
+                    f"{pad}add_to_chksm(def_cs, {old}, {counter} - 1); "
+                    f"// adjust previous value"
+                )
+                lines.append(f"{pad}add_to_chksm(e_use_cs, {old}, 1);")
+                lines.append(f"{pad}reset_use_count({counter});")
+        label = f"{stmt.label}: " if stmt.label else ""
+        lines.append(f"{pad}{label}{_ref_text(stmt.lhs)} = {expr_to_text(stmt.rhs)};")
+        if instr and instr.duplicate_store is not None:
+            lines.append(
+                f"{pad}{_ref_text(instr.duplicate_store)} = "
+                f"{_ref_text(stmt.lhs)};  // duplicated store"
+            )
+        if instr and instr.definition:
+            d = instr.definition
+            target = f"{d.checksum}_cs"
+            lines.append(
+                f"{pad}add_to_chksm({target}, {_ref_text(stmt.lhs)}, "
+                f"{expr_to_text(d.count)});"
+            )
+            if d.aux:
+                lines.append(
+                    f"{pad}add_to_chksm(e_def_cs, {_ref_text(stmt.lhs)}, 1);"
+                )
+        return lines
+    if isinstance(stmt, Loop):
+        header = (
+            f"{pad}for {stmt.var} = {expr_to_text(stmt.lower)} .. "
+            f"{expr_to_text(stmt.upper)} {{"
+        )
+        lines = [header]
+        for inner in stmt.body:
+            lines.extend(_statement_lines(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, WhileLoop):
+        lines = [f"{pad}while ({expr_to_text(stmt.cond)}) {{"]
+        if stmt.counter:
+            lines.append(f"{pad}{_INDENT}// iteration counter: {stmt.counter}")
+        for inner in stmt.body:
+            lines.extend(_statement_lines(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({expr_to_text(stmt.cond)}) {{"]
+        for inner in stmt.then_body:
+            lines.extend(_statement_lines(inner, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                lines.extend(_statement_lines(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ChecksumAdd):
+        return [
+            f"{pad}add_to_chksm({stmt.checksum}_cs, "
+            f"{expr_to_text(stmt.value)}, {expr_to_text(stmt.count)});"
+        ]
+    if isinstance(stmt, CounterIncrement):
+        return [
+            f"{pad}inc_use_count({_ref_text(stmt.counter)}, "
+            f"{expr_to_text(stmt.amount)});"
+        ]
+    if isinstance(stmt, ChecksumAssert):
+        pairs = ", ".join(f"{a}_cs == {b}_cs" for a, b in stmt.pairs)
+        return [f"{pad}assert({pairs});"]
+    from repro.ir.nodes import ChecksumReset
+
+    if isinstance(stmt, ChecksumReset):
+        return [f"{pad}reset_checksums();"]
+    raise TypeError(f"cannot print statement {stmt!r}")
+
+
+def program_to_text(program: Program) -> str:
+    """Render a whole program (declarations then body)."""
+    lines = [f"program {program.name}({', '.join(program.params)}) {{"]
+    for decl in program.arrays:
+        dims = "".join(f"[{expr_to_text(d)}]" for d in decl.dims)
+        shadow = "  // shadow (use counters)" if decl.is_shadow else ""
+        lines.append(f"{_INDENT}array {decl.name}{dims} : {decl.elem_type};{shadow}")
+    for decl in program.scalars:
+        shadow = "  // shadow" if decl.is_shadow else ""
+        lines.append(f"{_INDENT}scalar {decl.name} : {decl.elem_type};{shadow}")
+    for stmt in program.body:
+        lines.extend(_statement_lines(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

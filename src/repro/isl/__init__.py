@@ -1,0 +1,48 @@
+"""Integer set library substrate ("ISL-lite").
+
+The paper's compile-time analyses (Section 3) are phrased in terms of the
+Integer Set Library: named integer sets and relations with affine
+constraints, the ``apply`` operation, and symbolic cardinality of
+parameterized sets.  This package implements those pieces from scratch:
+
+* :mod:`repro.isl.linear` — exact affine expressions over named variables.
+* :mod:`repro.isl.space` — dimension bookkeeping for sets and maps.
+* :mod:`repro.isl.constraints` — normalized affine (in)equalities.
+* :mod:`repro.isl.basic_set` — conjunctive sets (a single polyhedron's
+  integer points) with intersection, projection, sampling and emptiness.
+* :mod:`repro.isl.set_ops` — finite unions of basic sets with exact
+  subtraction.
+* :mod:`repro.isl.relation` — basic maps and unions of maps: ``apply``,
+  composition, inversion, domain/range.
+* :mod:`repro.isl.fourier_motzkin` — projection with exactness tracking.
+* :mod:`repro.isl.polynomial`, :mod:`repro.isl.faulhaber`,
+  :mod:`repro.isl.counting`, :mod:`repro.isl.piecewise` — symbolic
+  cardinality as piecewise polynomials in the parameters.
+* :mod:`repro.isl.enumerate_points` — concrete integer-point enumeration,
+  used both as a fallback and as the brute-force oracle in the test suite.
+"""
+
+from repro.isl.linear import LinExpr
+from repro.isl.space import Space
+from repro.isl.constraints import Constraint
+from repro.isl.basic_set import BasicSet
+from repro.isl.set_ops import Set
+from repro.isl.relation import BasicMap, Map
+from repro.isl.polynomial import Polynomial
+from repro.isl.piecewise import PiecewisePolynomial
+from repro.isl.counting import count_points
+from repro.isl.enumerate_points import enumerate_points
+
+__all__ = [
+    "LinExpr",
+    "Space",
+    "Constraint",
+    "BasicSet",
+    "Set",
+    "BasicMap",
+    "Map",
+    "Polynomial",
+    "PiecewisePolynomial",
+    "count_points",
+    "enumerate_points",
+]

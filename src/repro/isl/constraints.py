@@ -1,0 +1,205 @@
+"""Normalized affine constraints.
+
+A :class:`Constraint` is either an equality ``expr == 0`` or an
+inequality ``expr >= 0`` whose left-hand side is an affine expression
+with *integer* coefficients.  Construction normalizes:
+
+* rational coefficients are scaled to integers,
+* the coefficient GCD is divided out, and — crucially for integer sets —
+  the constant of an inequality is *tightened* by flooring
+  (``2x >= 1`` becomes ``x >= 1`` over the integers),
+* equalities get a canonical sign (first non-zero coefficient positive).
+
+Tightening makes many later operations (projection, subtraction,
+emptiness) exact for the unit-coefficient systems produced by affine
+loop nests, and never loses integer points.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Mapping
+
+from repro.isl.linear import LinExpr
+
+EQ = "=="
+GE = ">="
+
+
+class Constraint:
+    """An integer affine constraint ``expr == 0`` or ``expr >= 0``.
+
+    >>> c = Constraint.ineq(LinExpr.var("n") - LinExpr.var("j") - 1)
+    >>> str(c)
+    'n - j - 1 >= 0'
+    """
+
+    __slots__ = ("_expr", "_kind", "_hash")
+
+    def __init__(self, expr: LinExpr, kind: str) -> None:
+        if kind not in (EQ, GE):
+            raise ValueError(f"unknown constraint kind {kind!r}")
+        self._expr, self._kind = _normalize(expr, kind)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def eq(expr: LinExpr) -> "Constraint":
+        """The equality ``expr == 0``."""
+        return Constraint(expr, EQ)
+
+    @staticmethod
+    def ineq(expr: LinExpr) -> "Constraint":
+        """The inequality ``expr >= 0``."""
+        return Constraint(expr, GE)
+
+    @staticmethod
+    def eq_exprs(lhs: LinExpr, rhs: LinExpr) -> "Constraint":
+        """``lhs == rhs``."""
+        return Constraint(lhs - rhs, EQ)
+
+    @staticmethod
+    def le(lhs: LinExpr, rhs: LinExpr) -> "Constraint":
+        """``lhs <= rhs``."""
+        return Constraint(rhs - lhs, GE)
+
+    @staticmethod
+    def lt(lhs: LinExpr, rhs: LinExpr) -> "Constraint":
+        """``lhs < rhs`` over the integers, i.e. ``lhs <= rhs - 1``."""
+        return Constraint(rhs - lhs - 1, GE)
+
+    @staticmethod
+    def ge(lhs: LinExpr, rhs: LinExpr) -> "Constraint":
+        """``lhs >= rhs``."""
+        return Constraint(lhs - rhs, GE)
+
+    @staticmethod
+    def gt(lhs: LinExpr, rhs: LinExpr) -> "Constraint":
+        """``lhs > rhs`` over the integers."""
+        return Constraint(lhs - rhs - 1, GE)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def expr(self) -> LinExpr:
+        return self._expr
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    def is_equality(self) -> bool:
+        return self._kind == EQ
+
+    def is_inequality(self) -> bool:
+        return self._kind == GE
+
+    def variables(self) -> frozenset[str]:
+        return self._expr.variables()
+
+    def involves(self, name: str) -> bool:
+        return self._expr.coeff(name) != 0
+
+    # ------------------------------------------------------------------
+    # Logic
+    # ------------------------------------------------------------------
+    def is_tautology(self) -> bool:
+        """Constant constraint that always holds."""
+        if self._expr.is_constant():
+            value = self._expr.constant_value()
+            return value == 0 if self.is_equality() else value >= 0
+        return False
+
+    def is_contradiction(self) -> bool:
+        """Constant constraint that never holds."""
+        if self._expr.is_constant():
+            value = self._expr.constant_value()
+            return value != 0 if self.is_equality() else value < 0
+        return False
+
+    def negated(self) -> list["Constraint"]:
+        """The integer negation as a disjunction of constraints.
+
+        ``not (e >= 0)`` is ``-e - 1 >= 0``; ``not (e == 0)`` is
+        ``e - 1 >= 0  OR  -e - 1 >= 0``.
+        """
+        if self.is_inequality():
+            return [Constraint.ineq(-self._expr - 1)]
+        return [
+            Constraint.ineq(self._expr - 1),
+            Constraint.ineq(-self._expr - 1),
+        ]
+
+    def satisfied_by(self, assignment: Mapping[str, int]) -> bool:
+        value = self._expr.evaluate(assignment)
+        return value == 0 if self.is_equality() else value >= 0
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def substitute(self, bindings: Mapping[str, LinExpr]) -> "Constraint":
+        return Constraint(self._expr.substitute(bindings), self._kind)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self._expr.rename(mapping), self._kind)
+
+    # ------------------------------------------------------------------
+    # Comparison / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self._kind == other._kind and self._expr == other._expr
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._kind, self._expr))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Constraint({self})"
+
+    def __str__(self) -> str:
+        return f"{self._expr} {self._kind} 0"
+
+
+def _normalize(expr: LinExpr, kind: str) -> tuple[LinExpr, str]:
+    """Integer-normalize a constraint's expression.
+
+    Returns a pair (expr, kind) with integral, GCD-reduced coefficients;
+    inequalities have their constant floored (integer tightening) and
+    equalities a canonical leading sign.
+    """
+    expr, _ = expr.scaled_to_integral()
+    coeffs = expr.coefficients()
+    if not coeffs:
+        return expr, kind
+    gcd = 0
+    for value in coeffs.values():
+        gcd = math.gcd(gcd, abs(int(value)))
+    if gcd > 1:
+        scaled = expr * Fraction(1, gcd)
+        if kind == GE:
+            # Tighten: (g*e' + c >= 0)  <=>  (e' >= ceil(-c/g))  <=>
+            # (e' + floor(c/g) >= 0) over the integers.
+            const = scaled.const
+            floored = Fraction(math.floor(const))
+            expr = scaled - const + floored
+        else:
+            # An equality with non-integral constant after scaling has no
+            # integer solutions; keep it unscaled so that evaluation still
+            # detects the contradiction (handled by basic_set emptiness).
+            if scaled.const.denominator == 1:
+                expr = scaled
+    if kind == EQ:
+        for name in sorted(expr.variables()):
+            coeff = expr.coeff(name)
+            if coeff != 0:
+                if coeff < 0:
+                    expr = -expr
+                break
+    return expr, kind

@@ -1,0 +1,113 @@
+"""Bernoulli numbers and Faulhaber (power-sum) polynomials.
+
+Symbolic cardinality reduces nested counting to sums of polynomials
+over integer ranges with affine bounds.  The classical Faulhaber
+formula expresses
+
+``S_k(U) = sum_{v=0}^{U} v^k``
+
+as a degree-``k+1`` polynomial in ``U`` with Bernoulli-number
+coefficients; a sum from ``L`` to ``U`` is then ``S_k(U) - S_k(L-1)``.
+Everything is exact rational arithmetic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+
+from repro.isl.polynomial import Polynomial
+
+
+@lru_cache(maxsize=None)
+def bernoulli(n: int) -> Fraction:
+    """The n-th Bernoulli number with the B1 = +1/2 convention.
+
+    The ``+1/2`` convention makes ``S_k(U) = (1/(k+1)) *
+    sum_j C(k+1, j) B_j U^{k+1-j}`` hold with the sum *including* the
+    endpoint ``U`` — the form needed for counting closed ranges.
+    """
+    if n < 0:
+        raise ValueError("Bernoulli numbers need n >= 0")
+    if n == 0:
+        return Fraction(1)
+    if n == 1:
+        return Fraction(1, 2)
+    if n % 2 == 1:
+        return Fraction(0)
+    # Recurrence: sum_{j=0}^{n} C(n+1, j) B_j = 0 for n >= 1 (with B1=-1/2
+    # convention); adjust via B1 sign since only odd index 1 differs.
+    total = Fraction(0)
+    for j in range(n):
+        b = bernoulli(j)
+        if j == 1:
+            b = -b  # recurrence uses the B1 = -1/2 convention
+        total += _binomial(n + 1, j) * b
+    return -total / (n + 1)
+
+
+@lru_cache(maxsize=None)
+def power_sum_polynomial(k: int) -> Polynomial:
+    """``S_k`` with ``S_k(U) = sum_{v=0}^{U} v^k`` as a polynomial in ``U``.
+
+    >>> power_sum_polynomial(1).evaluate({"U": 4})
+    Fraction(10, 1)
+    >>> power_sum_polynomial(2).evaluate({"U": 3})
+    Fraction(14, 1)
+    """
+    if k < 0:
+        raise ValueError("power sums need k >= 0")
+    if k == 0:
+        # sum_{v=0}^{U} 1 = U + 1
+        return Polynomial.var("U") + 1
+    u = Polynomial.var("U")
+    total = Polynomial.zero()
+    for j in range(k + 1):
+        coeff = _binomial(k + 1, j) * bernoulli(j)
+        total = total + Polynomial.constant(coeff) * (u ** (k + 1 - j))
+    return total * Fraction(1, k + 1)
+
+
+def sum_power_over_range(k: int, lower: Polynomial, upper: Polynomial) -> Polynomial:
+    """``sum_{v=lower}^{upper} v^k`` as a polynomial in lower/upper's vars.
+
+    Valid on domains where ``lower <= upper``; on empty ranges the
+    caller must not use the result (counting splits domains so that
+    ranges are non-empty).
+    """
+    s_k = power_sum_polynomial(k)
+    at_upper = s_k.substitute({"U": upper})
+    at_lower_minus_1 = s_k.substitute({"U": lower - 1})
+    return at_upper - at_lower_minus_1
+
+
+def sum_polynomial_over_range(
+    poly: Polynomial, var: str, lower: Polynomial, upper: Polynomial
+) -> Polynomial:
+    """``sum_{var=lower}^{upper} poly`` symbolically.
+
+    ``poly`` may involve ``var`` and other variables; ``lower`` and
+    ``upper`` must not involve ``var``.
+
+    >>> p = Polynomial.one()
+    >>> s = sum_polynomial_over_range(p, "i",
+    ...         Polynomial.var("j") + 1, Polynomial.var("n") - 1)
+    >>> s.evaluate({"j": 2, "n": 10})
+    Fraction(7, 1)
+    """
+    if var in lower.variables() or var in upper.variables():
+        raise ValueError(f"bounds of {var!r} must not involve it")
+    result = Polynomial.zero()
+    for exponent, coeff in poly.coefficients_in(var).items():
+        result = result + coeff * sum_power_over_range(exponent, lower, upper)
+    return result
+
+
+@lru_cache(maxsize=None)
+def _binomial(n: int, k: int) -> int:
+    if k < 0 or k > n:
+        return 0
+    result = 1
+    for i in range(k):
+        result = result * (n - i) // (i + 1)
+    return result

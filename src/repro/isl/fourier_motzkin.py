@@ -1,0 +1,201 @@
+"""Fourier–Motzkin elimination with integer-exactness tracking.
+
+Projection (existential quantification over a dimension) is the engine
+behind ``apply``, ``domain``/``range``, dependence kills and symbolic
+counting.  Over the rationals FM is always exact; over the integers it
+is exact whenever, for each combined lower/upper bound pair, at least
+one of the two coefficients of the eliminated variable is 1 — the "dark
+shadow equals real shadow" condition of the Omega test.  All affine
+kernels studied in the paper (Table 2) have unit-stride loops and
+unit-coefficient subscripts, so elimination stays exact; the result
+nevertheless carries an ``exact`` flag so clients can fall back to
+enumeration when it does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.isl.constraints import Constraint
+from repro.isl.linear import LinExpr
+
+
+@dataclass
+class EliminationResult:
+    """Constraints after eliminating one variable, plus exactness."""
+
+    constraints: list[Constraint]
+    exact: bool
+
+
+def eliminate_variable(
+    constraints: list[Constraint], name: str
+) -> EliminationResult:
+    """Project out ``name`` from a conjunction of constraints.
+
+    Prefers substitution through an equality (exact whenever the
+    eliminated variable's coefficient is ±1, or divides every other
+    occurrence).  Falls back to classical FM pairing of lower and upper
+    bounds for inequalities.
+    """
+    equality = _pick_equality(constraints, name)
+    if equality is not None:
+        return _eliminate_by_equality(constraints, name, equality)
+    return _eliminate_by_pairing(constraints, name)
+
+
+def eliminate_variables(
+    constraints: list[Constraint], names: list[str]
+) -> EliminationResult:
+    """Project out several variables, innermost first."""
+    exact = True
+    current = list(constraints)
+    for name in names:
+        result = eliminate_variable(current, name)
+        current = result.constraints
+        exact = exact and result.exact
+    return EliminationResult(current, exact)
+
+
+def _pick_equality(constraints: list[Constraint], name: str) -> Constraint | None:
+    """Choose the best equality mentioning ``name`` (unit coeff first)."""
+    best: Constraint | None = None
+    for c in constraints:
+        if c.is_equality() and c.involves(name):
+            if abs(c.expr.coeff(name)) == 1:
+                return c
+            if best is None:
+                best = c
+    return best
+
+
+def _eliminate_by_equality(
+    constraints: list[Constraint], name: str, equality: Constraint
+) -> EliminationResult:
+    coeff = equality.expr.coeff(name)
+    # name = rest / (-coeff)  where rest = expr - coeff*name
+    rest = equality.expr - LinExpr.var(name, coeff)
+    solution = rest * (Fraction(-1) / coeff)
+    exact = abs(coeff) == 1
+    remaining: list[Constraint] = []
+    for c in constraints:
+        if c is equality:
+            continue
+        if c.involves(name):
+            substituted = c.substitute({name: solution})
+            if substituted.is_contradiction():
+                return EliminationResult(
+                    [Constraint.ineq(LinExpr.constant(-1))], exact
+                )
+            if not substituted.is_tautology():
+                remaining.append(substituted)
+        else:
+            remaining.append(c)
+    if not exact:
+        # The substitution was rational; results were renormalized by the
+        # Constraint constructor (which tightens inequalities), but an
+        # equality with fractional solution may admit no integer points.
+        # Record inexactness so clients can verify.
+        pass
+    return EliminationResult(remaining, exact)
+
+
+def _eliminate_by_pairing(
+    constraints: list[Constraint], name: str
+) -> EliminationResult:
+    lowers: list[Constraint] = []  # coeff of name > 0: gives lower bound
+    uppers: list[Constraint] = []  # coeff of name < 0: gives upper bound
+    others: list[Constraint] = []
+    for c in constraints:
+        coeff = c.expr.coeff(name)
+        if coeff == 0:
+            others.append(c)
+        elif c.is_equality():
+            # No equality remained (handled earlier), defensive only.
+            raise AssertionError("equality should have been eliminated first")
+        elif coeff > 0:
+            lowers.append(c)
+        else:
+            uppers.append(c)
+    exact = True
+    result = list(others)
+    for low in lowers:
+        a = low.expr.coeff(name)  # a > 0:  a*name >= -rest_low
+        for up in uppers:
+            b = -up.expr.coeff(name)  # b > 0:  b*name <= rest_up
+            if a != 1 and b != 1:
+                exact = False
+            combined = low.expr * b + up.expr * a
+            constraint = Constraint.ineq(combined)
+            if constraint.is_contradiction():
+                return EliminationResult(
+                    [Constraint.ineq(LinExpr.constant(-1))], exact
+                )
+            if not constraint.is_tautology():
+                result.append(constraint)
+    return EliminationResult(result, exact)
+
+
+def bounds_on(
+    constraints: list[Constraint], name: str
+) -> tuple[list[tuple[LinExpr, int]], list[tuple[LinExpr, int]]]:
+    """Lower and upper bounds on ``name`` implied directly by constraints.
+
+    Returns ``(lowers, uppers)`` where each entry is ``(expr, coeff)``
+    meaning ``coeff * name >= expr`` (lower) or ``coeff * name <= expr``
+    (upper) with ``coeff > 0``.  Equalities contribute to both sides.
+    """
+    lowers: list[tuple[LinExpr, int]] = []
+    uppers: list[tuple[LinExpr, int]] = []
+    for c in constraints:
+        coeff = c.expr.coeff(name)
+        if coeff == 0:
+            continue
+        rest = c.expr - LinExpr.var(name, coeff)
+        coeff_int = int(coeff)
+        if c.is_equality():
+            if coeff_int > 0:
+                lowers.append((-rest, coeff_int))
+                uppers.append((-rest, coeff_int))
+            else:
+                lowers.append((rest, -coeff_int))
+                uppers.append((rest, -coeff_int))
+        elif coeff_int > 0:
+            # coeff*name + rest >= 0  =>  coeff*name >= -rest
+            lowers.append((-rest, coeff_int))
+        else:
+            # -|coeff|*name + rest >= 0  =>  |coeff|*name <= rest
+            uppers.append((rest, -coeff_int))
+    return lowers, uppers
+
+
+def integer_interval(
+    lowers: list[tuple[LinExpr, int]],
+    uppers: list[tuple[LinExpr, int]],
+    assignment: dict[str, int],
+) -> tuple[int | None, int | None]:
+    """Evaluate symbolic bounds under an assignment to an integer interval.
+
+    Returns ``(lo, hi)``; ``None`` on a side means unbounded.  Any bound
+    whose expression still contains unassigned variables is skipped (the
+    caller re-checks full constraints on complete points).
+    """
+    lo: int | None = None
+    hi: int | None = None
+    for expr, coeff in lowers:
+        try:
+            value = expr.evaluate(assignment)
+        except KeyError:
+            continue
+        bound = math.ceil(Fraction(value) / coeff)
+        lo = bound if lo is None else max(lo, bound)
+    for expr, coeff in uppers:
+        try:
+            value = expr.evaluate(assignment)
+        except KeyError:
+            continue
+        bound = math.floor(Fraction(value) / coeff)
+        hi = bound if hi is None else min(hi, bound)
+    return lo, hi

@@ -1,0 +1,281 @@
+"""Exact affine (linear + constant) expressions over named variables.
+
+``LinExpr`` is the workhorse value of the whole polyhedral substrate: loop
+bounds, array subscripts, schedule components and constraint left-hand
+sides are all affine expressions.  Coefficients are exact rationals
+(``fractions.Fraction``); most client code keeps them integral, and
+:meth:`LinExpr.scaled_to_integral` clears denominators when a constraint
+needs integer coefficients.
+
+Variables are identified by plain strings.  The surrounding ``Space``
+object (see :mod:`repro.isl.space`) decides which names are set
+dimensions, which are parameters, and in which order they appear; a
+``LinExpr`` itself is order-agnostic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Coefficient = Union[int, Fraction]
+
+
+def _as_fraction(value: Coefficient) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
+
+
+class LinExpr:
+    """An immutable affine expression ``sum(coeff_i * var_i) + const``.
+
+    Instances support ``+``, ``-``, ``*`` (by a scalar), comparison for
+    structural equality, and substitution of variables by other affine
+    expressions.
+
+    >>> e = LinExpr.var("n") - LinExpr.var("j") - 1
+    >>> e.coeff("n"), e.coeff("j"), e.const
+    (Fraction(1, 1), Fraction(-1, 1), Fraction(-1, 1))
+    >>> e.substitute({"j": LinExpr.constant(2)})
+    LinExpr(n - 3)
+    """
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(
+        self,
+        coeffs: Mapping[str, Coefficient] | None = None,
+        const: Coefficient = 0,
+    ) -> None:
+        cleaned: dict[str, Fraction] = {}
+        if coeffs:
+            for name, value in coeffs.items():
+                frac = _as_fraction(value)
+                if frac != 0:
+                    cleaned[name] = frac
+        self._coeffs = cleaned
+        self._const = _as_fraction(const)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def constant(value: Coefficient) -> "LinExpr":
+        """The constant affine expression ``value``."""
+        return LinExpr({}, value)
+
+    @staticmethod
+    def var(name: str, coeff: Coefficient = 1) -> "LinExpr":
+        """The expression ``coeff * name``."""
+        return LinExpr({name: coeff}, 0)
+
+    @staticmethod
+    def zero() -> "LinExpr":
+        return LinExpr({}, 0)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def const(self) -> Fraction:
+        return self._const
+
+    def coeff(self, name: str) -> Fraction:
+        """Coefficient of ``name`` (zero when absent)."""
+        return self._coeffs.get(name, Fraction(0))
+
+    def variables(self) -> frozenset[str]:
+        """Names with a non-zero coefficient."""
+        return frozenset(self._coeffs)
+
+    def coefficients(self) -> dict[str, Fraction]:
+        """A copy of the non-zero coefficient mapping."""
+        return dict(self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def is_zero(self) -> bool:
+        return not self._coeffs and self._const == 0
+
+    def is_integral(self) -> bool:
+        """True when every coefficient and the constant are integers."""
+        return self._const.denominator == 1 and all(
+            c.denominator == 1 for c in self._coeffs.values()
+        )
+
+    def constant_value(self) -> Fraction:
+        """The value of a constant expression.
+
+        Raises :class:`ValueError` if any variable remains.
+        """
+        if self._coeffs:
+            raise ValueError(f"{self!r} is not constant")
+        return self._const
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "LinExpr | Coefficient") -> "LinExpr":
+        other_expr = _coerce(other)
+        coeffs = dict(self._coeffs)
+        for name, value in other_expr._coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + value
+        return LinExpr(coeffs, self._const + other_expr._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr(
+            {name: -value for name, value in self._coeffs.items()}, -self._const
+        )
+
+    def __sub__(self, other: "LinExpr | Coefficient") -> "LinExpr":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: "LinExpr | Coefficient") -> "LinExpr":
+        return _coerce(other) - self
+
+    def __mul__(self, scalar: Coefficient) -> "LinExpr":
+        if scalar == 1:
+            return self
+        factor = _as_fraction(scalar)
+        return LinExpr(
+            {name: value * factor for name, value in self._coeffs.items()},
+            self._const * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Coefficient) -> "LinExpr":
+        factor = _as_fraction(scalar)
+        if factor == 0:
+            raise ZeroDivisionError("division of LinExpr by zero")
+        return self * (Fraction(1) / factor)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def substitute(self, bindings: Mapping[str, "LinExpr | Coefficient"]) -> "LinExpr":
+        """Replace each bound variable by an affine expression.
+
+        Unbound variables are left untouched.  Substitution is
+        simultaneous, not sequential.
+        """
+        result = LinExpr.constant(self._const)
+        for name, value in self._coeffs.items():
+            if name in bindings:
+                result = result + _coerce(bindings[name]) * value
+            else:
+                result = result + LinExpr.var(name, value)
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        """Rename variables according to ``mapping`` (missing names kept)."""
+        coeffs: dict[str, Fraction] = {}
+        for name, value in self._coeffs.items():
+            new_name = mapping.get(name, name)
+            coeffs[new_name] = coeffs.get(new_name, Fraction(0)) + value
+        return LinExpr(coeffs, self._const)
+
+    def scaled_to_integral(self) -> tuple["LinExpr", int]:
+        """Scale by the positive LCM of denominators to clear fractions.
+
+        Returns ``(scaled_expr, multiplier)`` with ``scaled_expr == self *
+        multiplier`` and all coefficients integral.
+        """
+        denominators = [self._const.denominator]
+        denominators.extend(c.denominator for c in self._coeffs.values())
+        lcm = 1
+        for d in denominators:
+            lcm = lcm * d // _gcd(lcm, d)
+        return self * lcm, lcm
+
+    def content(self) -> Fraction:
+        """The GCD of all coefficients (ignoring the constant); 0 if none."""
+        gcd = 0
+        for value in self._coeffs.values():
+            gcd = _gcd(gcd, abs(value.numerator))
+        return Fraction(gcd)
+
+    def evaluate(self, assignment: Mapping[str, Coefficient]) -> Fraction:
+        """Evaluate under a full assignment of this expression's variables."""
+        total = self._const
+        for name, value in self._coeffs.items():
+            if name not in assignment:
+                raise KeyError(f"no value for variable {name!r}")
+            total += value * _as_fraction(assignment[name])
+        return total
+
+    # ------------------------------------------------------------------
+    # Comparison / hashing / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self._const == other._const
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (frozenset(self._coeffs.items()), self._const)
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name in sorted(self._coeffs):
+            value = self._coeffs[name]
+            if value == 1:
+                term = name
+            elif value == -1:
+                term = f"-{name}"
+            else:
+                term = f"{_frac_str(value)}{name}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self._const != 0 or not parts:
+            value = self._const
+            if parts:
+                sign = "+" if value > 0 else "-"
+                parts.append(f"{sign} {_frac_str(abs(value))}")
+            else:
+                parts.append(_frac_str(value))
+        return " ".join(parts)
+
+
+def _frac_str(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"({value})"
+
+
+def _coerce(value: "LinExpr | Coefficient") -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr.constant(value)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def sum_exprs(exprs: Iterable[LinExpr]) -> LinExpr:
+    """Sum an iterable of affine expressions (empty sum is zero)."""
+    total = LinExpr.zero()
+    for expr in exprs:
+        total = total + expr
+    return total

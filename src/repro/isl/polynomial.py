@@ -1,0 +1,267 @@
+"""Multivariate polynomials with exact rational coefficients.
+
+Use counts of affine definitions are piecewise *polynomials* in the
+loop iterators and program parameters (e.g. ``n - 1 - j`` for statement
+S1 of the paper's Cholesky example).  This module provides the
+polynomial arithmetic needed to build them: addition, multiplication,
+powers, substitution of affine expressions, and evaluation.
+
+A monomial is a sorted tuple of ``(variable, exponent)`` pairs; the
+polynomial maps monomials to ``Fraction`` coefficients.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Union
+
+from repro.isl.linear import LinExpr
+
+Monomial = tuple[tuple[str, int], ...]
+Scalar = Union[int, Fraction]
+
+_ONE: Monomial = ()
+
+
+class Polynomial:
+    """An immutable multivariate polynomial over ``Fraction``.
+
+    >>> p = Polynomial.var("n") - Polynomial.var("j") - 1
+    >>> p.evaluate({"n": 10, "j": 3})
+    Fraction(6, 1)
+    >>> (Polynomial.var("x") * Polynomial.var("x")).degree()
+    2
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, Scalar] | None = None) -> None:
+        cleaned: dict[Monomial, Fraction] = {}
+        if terms:
+            for monomial, coeff in terms.items():
+                frac = Fraction(coeff)
+                if frac != 0:
+                    cleaned[monomial] = frac
+        self._terms = cleaned
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def constant(value: Scalar) -> "Polynomial":
+        return Polynomial({_ONE: Fraction(value)})
+
+    @staticmethod
+    def zero() -> "Polynomial":
+        return Polynomial({})
+
+    @staticmethod
+    def one() -> "Polynomial":
+        return Polynomial.constant(1)
+
+    @staticmethod
+    def var(name: str) -> "Polynomial":
+        return Polynomial({((name, 1),): Fraction(1)})
+
+    @staticmethod
+    def from_linexpr(expr: LinExpr) -> "Polynomial":
+        terms: dict[Monomial, Fraction] = {}
+        for name, coeff in expr.coefficients().items():
+            terms[((name, 1),)] = coeff
+        if expr.const != 0:
+            terms[_ONE] = expr.const
+        return Polynomial(terms)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def terms(self) -> dict[Monomial, Fraction]:
+        return dict(self._terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        return all(m == _ONE for m in self._terms)
+
+    def constant_value(self) -> Fraction:
+        if not self.is_constant():
+            raise ValueError(f"{self} is not constant")
+        return self._terms.get(_ONE, Fraction(0))
+
+    def variables(self) -> frozenset[str]:
+        names: set[str] = set()
+        for monomial in self._terms:
+            for name, _ in monomial:
+                names.add(name)
+        return frozenset(names)
+
+    def degree(self, name: str | None = None) -> int:
+        """Total degree, or the degree in one variable."""
+        best = 0
+        for monomial in self._terms:
+            if name is None:
+                best = max(best, sum(e for _, e in monomial))
+            else:
+                for var, exp in monomial:
+                    if var == name:
+                        best = max(best, exp)
+        return best
+
+    def coefficients_in(self, name: str) -> dict[int, "Polynomial"]:
+        """View as a univariate polynomial in ``name``.
+
+        Returns ``{exponent: coefficient-polynomial}`` where the
+        coefficient polynomials do not involve ``name``.
+        """
+        buckets: dict[int, dict[Monomial, Fraction]] = {}
+        for monomial, coeff in self._terms.items():
+            exponent = 0
+            rest: list[tuple[str, int]] = []
+            for var, exp in monomial:
+                if var == name:
+                    exponent = exp
+                else:
+                    rest.append((var, exp))
+            bucket = buckets.setdefault(exponent, {})
+            key = tuple(rest)
+            bucket[key] = bucket.get(key, Fraction(0)) + coeff
+        return {e: Polynomial(t) for e, t in buckets.items()}
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Polynomial | Scalar") -> "Polynomial":
+        other_poly = _coerce(other)
+        terms = dict(self._terms)
+        for monomial, coeff in other_poly._terms.items():
+            terms[monomial] = terms.get(monomial, Fraction(0)) + coeff
+        return Polynomial(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other: "Polynomial | Scalar") -> "Polynomial":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: "Polynomial | Scalar") -> "Polynomial":
+        return _coerce(other) - self
+
+    def __mul__(self, other: "Polynomial | Scalar") -> "Polynomial":
+        other_poly = _coerce(other)
+        terms: dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other_poly._terms.items():
+                monomial = _merge_monomials(m1, m2)
+                terms[monomial] = terms.get(monomial, Fraction(0)) + c1 * c2
+        return Polynomial(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise ValueError("negative power of a polynomial")
+        result = Polynomial.one()
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Substitution / evaluation
+    # ------------------------------------------------------------------
+    def substitute(self, bindings: Mapping[str, "Polynomial"]) -> "Polynomial":
+        """Simultaneously replace variables by polynomials."""
+        result = Polynomial.zero()
+        for monomial, coeff in self._terms.items():
+            term = Polynomial.constant(coeff)
+            for var, exp in monomial:
+                factor = bindings.get(var, Polynomial.var(var))
+                term = term * (factor**exp)
+            result = result + term
+        return result
+
+    def evaluate(self, assignment: Mapping[str, Scalar]) -> Fraction:
+        total = Fraction(0)
+        for monomial, coeff in self._terms.items():
+            value = coeff
+            for var, exp in monomial:
+                if var not in assignment:
+                    raise KeyError(f"no value for {var!r}")
+                value *= Fraction(assignment[var]) ** exp
+            total += value
+        return total
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        bindings = {old: Polynomial.var(new) for old, new in mapping.items()}
+        return self.substitute(bindings)
+
+    # ------------------------------------------------------------------
+    # Comparison / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self})"
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts: list[str] = []
+        for monomial in sorted(
+            self._terms, key=lambda m: (-sum(e for _, e in m), m)
+        ):
+            coeff = self._terms[monomial]
+            body = "*".join(
+                name if exp == 1 else f"{name}^{exp}" for name, exp in monomial
+            )
+            if not body:
+                text = _frac_str(abs(coeff))
+            elif abs(coeff) == 1:
+                text = body
+            else:
+                text = f"{_frac_str(abs(coeff))}*{body}"
+            if not parts:
+                parts.append(text if coeff > 0 else f"-{text}")
+            else:
+                parts.append(f"+ {text}" if coeff > 0 else f"- {text}")
+        return " ".join(parts)
+
+
+def _merge_monomials(m1: Monomial, m2: Monomial) -> Monomial:
+    exps: dict[str, int] = {}
+    for name, exp in m1:
+        exps[name] = exps.get(name, 0) + exp
+    for name, exp in m2:
+        exps[name] = exps.get(name, 0) + exp
+    return tuple(sorted((n, e) for n, e in exps.items() if e))
+
+
+def _coerce(value: "Polynomial | Scalar") -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    return Polynomial.constant(value)
+
+
+def _frac_str(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"({value})"

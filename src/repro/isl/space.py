@@ -1,0 +1,224 @@
+"""Dimension bookkeeping for sets and maps.
+
+A :class:`Space` records, in order, the *parameter* names (symbolic
+constants such as the problem size ``n``), the *input* dimensions and the
+*output* dimensions.  A plain set space has only input dimensions (its
+"set dims"); a map space has both.  An optional tuple name (e.g. the
+statement label ``S1``) mirrors ISL's named tuples, so that sets read as
+``{S1[j] : ...}`` in diagnostics.
+
+Spaces are immutable; every transformation returns a fresh object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Space:
+    """Named dimensions of a set or relation.
+
+    >>> s = Space(params=("n",), in_dims=("j",), in_name="S1")
+    >>> s.is_set_space()
+    True
+    >>> m = Space(params=("n",), in_dims=("j",), out_dims=("jp", "ip"),
+    ...           in_name="S1", out_name="S2")
+    >>> m.all_dims()
+    ('j', 'jp', 'ip')
+    """
+
+    __slots__ = ("_params", "_in_dims", "_out_dims", "_in_name", "_out_name")
+
+    def __init__(
+        self,
+        params: Sequence[str] = (),
+        in_dims: Sequence[str] = (),
+        out_dims: Sequence[str] = (),
+        in_name: str | None = None,
+        out_name: str | None = None,
+    ) -> None:
+        self._params = tuple(params)
+        self._in_dims = tuple(in_dims)
+        self._out_dims = tuple(out_dims)
+        self._in_name = in_name
+        self._out_name = out_name
+        seen: set[str] = set()
+        for name in self._params + self._in_dims + self._out_dims:
+            if name in seen:
+                raise ValueError(f"duplicate dimension name {name!r} in space")
+            seen.add(name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> tuple[str, ...]:
+        return self._params
+
+    @property
+    def in_dims(self) -> tuple[str, ...]:
+        return self._in_dims
+
+    @property
+    def out_dims(self) -> tuple[str, ...]:
+        return self._out_dims
+
+    @property
+    def in_name(self) -> str | None:
+        return self._in_name
+
+    @property
+    def out_name(self) -> str | None:
+        return self._out_name
+
+    @property
+    def set_dims(self) -> tuple[str, ...]:
+        """Dimensions of a set space (alias for the input dims)."""
+        if self._out_dims:
+            raise ValueError("set_dims requested on a map space")
+        return self._in_dims
+
+    @property
+    def set_name(self) -> str | None:
+        if self._out_dims:
+            raise ValueError("set_name requested on a map space")
+        return self._in_name
+
+    def all_dims(self) -> tuple[str, ...]:
+        """Input then output dims (no params)."""
+        return self._in_dims + self._out_dims
+
+    def all_names(self) -> tuple[str, ...]:
+        """Params, then input dims, then output dims."""
+        return self._params + self._in_dims + self._out_dims
+
+    def is_set_space(self) -> bool:
+        return not self.is_map_space()
+
+    def is_map_space(self) -> bool:
+        # Zero-arity tuples are legal (scalar statements have no
+        # iterators), so a named output tuple also marks a map space.
+        return bool(self._out_dims) or self._out_name is not None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def set_space(
+        dims: Sequence[str], params: Sequence[str] = (), name: str | None = None
+    ) -> "Space":
+        return Space(params=params, in_dims=dims, in_name=name)
+
+    @staticmethod
+    def map_space(
+        in_dims: Sequence[str],
+        out_dims: Sequence[str],
+        params: Sequence[str] = (),
+        in_name: str | None = None,
+        out_name: str | None = None,
+    ) -> "Space":
+        return Space(
+            params=params,
+            in_dims=in_dims,
+            out_dims=out_dims,
+            in_name=in_name,
+            out_name=out_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_params(self, params: Iterable[str]) -> "Space":
+        """Extend the parameter list (preserving order, deduplicating)."""
+        merged = list(self._params)
+        for p in params:
+            if p not in merged:
+                merged.append(p)
+        return Space(merged, self._in_dims, self._out_dims, self._in_name, self._out_name)
+
+    def drop_dims(self, names: Iterable[str]) -> "Space":
+        doomed = set(names)
+        return Space(
+            self._params,
+            tuple(d for d in self._in_dims if d not in doomed),
+            tuple(d for d in self._out_dims if d not in doomed),
+            self._in_name,
+            self._out_name,
+        )
+
+    def dims_to_params(self, names: Iterable[str]) -> "Space":
+        """Move the given dims (in their current order) to the params."""
+        moving = [d for d in self.all_dims() if d in set(names)]
+        space = self.drop_dims(moving)
+        return space.with_params(moving)
+
+    def wrapped(self) -> "Space":
+        """Flatten a map space into a set space over in+out dims."""
+        name = None
+        if self._in_name and self._out_name:
+            name = f"{self._in_name}->{self._out_name}"
+        return Space(self._params, self._in_dims + self._out_dims, (), name)
+
+    def reversed(self) -> "Space":
+        """Swap input and output dims of a map space."""
+        if not self.is_map_space():
+            raise ValueError("reversed() requires a map space")
+        return Space(
+            self._params, self._out_dims, self._in_dims, self._out_name, self._in_name
+        )
+
+    def domain_space(self) -> "Space":
+        return Space(self._params, self._in_dims, (), self._in_name)
+
+    def range_space(self) -> "Space":
+        return Space(self._params, self._out_dims, (), self._out_name)
+
+    def rename_dims(self, mapping: dict[str, str]) -> "Space":
+        return Space(
+            tuple(mapping.get(p, p) for p in self._params),
+            tuple(mapping.get(d, d) for d in self._in_dims),
+            tuple(mapping.get(d, d) for d in self._out_dims),
+            self._in_name,
+            self._out_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Comparison / display
+    # ------------------------------------------------------------------
+    def compatible_with(self, other: "Space") -> bool:
+        """Same dims/params as ``other`` (tuple names are ignored)."""
+        return (
+            self._params == other._params
+            and self._in_dims == other._in_dims
+            and self._out_dims == other._out_dims
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Space):
+            return NotImplemented
+        return (
+            self._params == other._params
+            and self._in_dims == other._in_dims
+            and self._out_dims == other._out_dims
+            and self._in_name == other._in_name
+            and self._out_name == other._out_name
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._params, self._in_dims, self._out_dims, self._in_name, self._out_name)
+        )
+
+    def __repr__(self) -> str:
+        if self.is_set_space():
+            tuple_str = _tuple_str(self._in_name, self._in_dims)
+            return f"Space[{', '.join(self._params)}] {{ {tuple_str} }}"
+        return (
+            f"Space[{', '.join(self._params)}] "
+            f"{{ {_tuple_str(self._in_name, self._in_dims)} -> "
+            f"{_tuple_str(self._out_name, self._out_dims)} }}"
+        )
+
+
+def _tuple_str(name: str | None, dims: tuple[str, ...]) -> str:
+    return f"{name or ''}[{', '.join(dims)}]"

@@ -1,0 +1,79 @@
+"""Schedule-order precedence between statement instances.
+
+Given the 2d+1 schedules of two statements S and T (paper Section 3.1),
+the instances ``S[s]`` that execute *before* ``T[t]`` are described by
+a disjunction over schedule levels: equal in every component before
+level ``l`` and strictly ordered at ``l``.  Constant components
+(AST-edge numbers) resolve statically, pruning branches; iterator
+components contribute affine constraints between the (renamed)
+iteration vectors.
+
+The result feeds dependence analysis: ``may-writes`` are access-equal
+pairs restricted to precedence, and kills are sandwiched in both
+directions by precedence.
+"""
+
+from __future__ import annotations
+
+from repro.isl.constraints import Constraint
+from repro.isl.linear import LinExpr
+from repro.ir.schedule import StatementSchedule
+
+
+def precedence_branches(
+    source: StatementSchedule,
+    target: StatementSchedule,
+    source_rename: dict[str, str],
+    target_rename: dict[str, str],
+) -> list[list[Constraint]]:
+    """Constraint branches for "source instance precedes target instance".
+
+    ``source_rename`` / ``target_rename`` map each schedule's iterator
+    names to the dimension names used in the dependence relation (the
+    two statements may share iterator names, or be the same statement).
+
+    Returns a list of conjunctions; their union is exact and disjoint.
+
+    >>> from repro.ir.schedule import StatementSchedule
+    >>> s1 = StatementSchedule("S1", (0, "j", 0, 0, 0), ("j",))
+    >>> s2 = StatementSchedule("S2", (0, "j", 1, "i", 0), ("j", "i"))
+    >>> branches = precedence_branches(s1, s2, {"j": "s_j"}, {"j": "t_j", "i": "t_i"})
+    >>> [len(b) for b in branches]  # j< branch and j== branch
+    [1, 1]
+    """
+    width = max(len(source.components), len(target.components))
+    source_comps = _pad(source.components, width)
+    target_comps = _pad(target.components, width)
+    branches: list[list[Constraint]] = []
+    equalities: list[Constraint] = []
+    for level in range(width):
+        s_comp = source_comps[level]
+        t_comp = target_comps[level]
+        s_const = isinstance(s_comp, int)
+        t_const = isinstance(t_comp, int)
+        if s_const and t_const:
+            if s_comp < t_comp:
+                branches.append(list(equalities))
+                return branches
+            if s_comp > t_comp:
+                return branches
+            continue  # equal constants: descend
+        s_expr = (
+            LinExpr.constant(s_comp)
+            if s_const
+            else LinExpr.var(source_rename.get(s_comp, s_comp))
+        )
+        t_expr = (
+            LinExpr.constant(t_comp)
+            if t_const
+            else LinExpr.var(target_rename.get(t_comp, t_comp))
+        )
+        branches.append(equalities + [Constraint.lt(s_expr, t_expr)])
+        equalities = equalities + [Constraint.eq_exprs(s_expr, t_expr)]
+    # All components can be equal only for the same statement instance;
+    # "equal everywhere" is not a strict precedence, so it is dropped.
+    return branches
+
+
+def _pad(components: tuple, width: int) -> tuple:
+    return components + (0,) * (width - len(components))

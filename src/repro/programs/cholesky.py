@@ -1,0 +1,54 @@
+"""Cholesky decomposition (right-looking, in-place lower factor).
+
+The paper's running example (Figure 2) is the two-statement Cholesky
+column kernel; the benchmark suite uses the full three-statement
+right-looking factorization, which exercises multi-statement
+dependences and boundary-piece use counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.parser import parse_program
+
+NAME = "cholesky"
+DESCRIPTION = "Cholesky decomposition"
+PAPER_PROBLEM_SIZE = {"N": 3000}
+DEFAULT_PARAMS = {"n": 32}
+SMALL_PARAMS = {"n": 10}
+
+SOURCE = """
+program cholesky(n) {
+  array A[n][n];
+  for k = 0 .. n - 1 {
+    S1: A[k][k] = sqrt(A[k][k]);
+    for i = k + 1 .. n - 1 {
+      S2: A[i][k] = A[i][k] / A[k][k];
+    }
+    for i2 = k + 1 .. n - 1 {
+      for j = k + 1 .. i2 {
+        S3: A[i2][j] = A[i2][j] - A[i2][k] * A[j][k];
+      }
+    }
+  }
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+def initial_values(params: dict, seed: int = 0) -> dict:
+    """A symmetric positive definite matrix."""
+    n = params["n"]
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    return {"A": m @ m.T + n * np.eye(n)}
+
+
+def reference(params: dict, values: dict) -> dict:
+    """Lower-triangular factor via numpy, for validation."""
+    factor = np.linalg.cholesky(values["A"])
+    return {"A_lower": factor}

@@ -1,0 +1,45 @@
+"""Symmetric rank-k update: C (lower triangle) += A * A^T."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.parser import parse_program
+
+NAME = "dsyrk"
+DESCRIPTION = "Symmetric rank-k update"
+PAPER_PROBLEM_SIZE = {"N": 3000}
+DEFAULT_PARAMS = {"n": 18}
+SMALL_PARAMS = {"n": 7}
+
+SOURCE = """
+program dsyrk(n) {
+  array A[n][n];
+  array C[n][n];
+  for i = 0 .. n - 1 {
+    for j = 0 .. i {
+      for k = 0 .. n - 1 {
+        S1: C[i][j] = C[i][j] + A[i][k] * A[j][k];
+      }
+    }
+  }
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+def initial_values(params: dict, seed: int = 0) -> dict:
+    n = params["n"]
+    rng = np.random.default_rng(seed)
+    return {
+        "A": rng.standard_normal((n, n)),
+        "C": rng.standard_normal((n, n)),
+    }
+
+
+def reference(params: dict, values: dict) -> dict:
+    c = values["C"] + values["A"] @ values["A"].T
+    return {"C_lower": np.tril(c)}

@@ -1,0 +1,47 @@
+"""1-D Jacobi stencil with a scratch array and copy-back."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.parser import parse_program
+
+NAME = "jacobi1d"
+DESCRIPTION = "1-D Jacobi stencil computation"
+PAPER_PROBLEM_SIZE = {"TSteps": 100000, "N": 400000}
+DEFAULT_PARAMS = {"n": 96, "tsteps": 12}
+SMALL_PARAMS = {"n": 16, "tsteps": 3}
+
+SOURCE = """
+program jacobi1d(n, tsteps) {
+  array A[n];
+  array B[n];
+  for t = 0 .. tsteps - 1 {
+    for i = 1 .. n - 2 {
+      S1: B[i] = (A[i - 1] + A[i] + A[i + 1]) / 3.0;
+    }
+    for i2 = 1 .. n - 2 {
+      S2: A[i2] = B[i2];
+    }
+  }
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+def initial_values(params: dict, seed: int = 0) -> dict:
+    n = params["n"]
+    rng = np.random.default_rng(seed)
+    return {"A": rng.standard_normal(n), "B": np.zeros(n)}
+
+
+def reference(params: dict, values: dict) -> dict:
+    a = values["A"].copy()
+    b = np.zeros_like(a)
+    for _ in range(params["tsteps"]):
+        b[1:-1] = (a[:-2] + a[1:-1] + a[2:]) / 3.0
+        a[1:-1] = b[1:-1]
+    return {"A": a}

@@ -1,0 +1,66 @@
+"""Molecular-dynamics-style kernel with a rebuilt neighbor list.
+
+Faithful to the paper's observation for moldyn: the indexing structure
+(the neighbor list ``nbr``) is *rebuilt inside the time loop*, so the
+inspector for the irregularly-read positions array ``x`` cannot be
+hoisted; the instrumenter falls back to per-access use counters for
+``x`` — which the paper reports as moldyn's highest-overhead case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.parser import parse_program
+
+NAME = "moldyn"
+DESCRIPTION = "Molecular dynamics"
+PAPER_PROBLEM_SIZE = {"TSteps": 100000, "N": 400000}
+DEFAULT_PARAMS = {"n": 64, "tsteps": 8}
+SMALL_PARAMS = {"n": 12, "tsteps": 3}
+
+SOURCE = """
+program moldyn(n, tsteps) {
+  array x[n];
+  array f[n];
+  array nbr[n] : i64;
+  scalar t : i64;
+  S0: t = 0;
+  while (t < tsteps) {
+    for i = 0 .. n - 1 {
+      S1: nbr[i] = mod(i * 3 + t, n);
+    }
+    for i2 = 0 .. n - 1 {
+      S2: f[i2] = x[nbr[i2]] * 0.5 - x[i2] * 0.25;
+    }
+    for i3 = 0 .. n - 1 {
+      S3: x[i3] = x[i3] + f[i3] * 0.1;
+    }
+    S4: t = t + 1;
+  }
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+def initial_values(params: dict, seed: int = 0) -> dict:
+    n = params["n"]
+    rng = np.random.default_rng(seed)
+    return {
+        "x": rng.standard_normal(n),
+        "f": np.zeros(n),
+        "nbr": np.zeros(n, dtype=np.int64),
+    }
+
+
+def reference(params: dict, values: dict) -> dict:
+    n = params["n"]
+    x = values["x"].copy()
+    for t in range(params["tsteps"]):
+        nbr = (np.arange(n) * 3 + t) % n
+        f = x[nbr] * 0.5 - x * 0.25
+        x = x + f * 0.1
+    return {"x": x}

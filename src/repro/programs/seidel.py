@@ -1,0 +1,49 @@
+"""2-D Gauss-Seidel stencil (in-place, 5-point)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.parser import parse_program
+
+NAME = "seidel"
+DESCRIPTION = "2-D seidel stencil"
+PAPER_PROBLEM_SIZE = {"TSteps": 500, "N": 3000}
+DEFAULT_PARAMS = {"n": 16, "tsteps": 4}
+SMALL_PARAMS = {"n": 8, "tsteps": 2}
+
+SOURCE = """
+program seidel(n, tsteps) {
+  array A[n][n];
+  for t = 0 .. tsteps - 1 {
+    for i = 1 .. n - 2 {
+      for j = 1 .. n - 2 {
+        S1: A[i][j] = (A[i - 1][j] + A[i][j - 1] + A[i][j]
+                       + A[i][j + 1] + A[i + 1][j]) / 5.0;
+      }
+    }
+  }
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+def initial_values(params: dict, seed: int = 0) -> dict:
+    n = params["n"]
+    rng = np.random.default_rng(seed)
+    return {"A": rng.standard_normal((n, n))}
+
+
+def reference(params: dict, values: dict) -> dict:
+    a = values["A"].copy()
+    n = params["n"]
+    for _ in range(params["tsteps"]):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i, j] = (
+                    a[i - 1, j] + a[i, j - 1] + a[i, j] + a[i, j + 1] + a[i + 1, j]
+                ) / 5.0
+    return {"A": a}

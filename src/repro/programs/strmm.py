@@ -1,0 +1,64 @@
+"""Triangular matrix-matrix multiply (B <- L * B, in place).
+
+The paper's Table 2 lists ``strsm`` while its Section 6.2.1 text says
+``strmm``; the suite follows the table (see
+:mod:`repro.programs.strsm`), and this module provides the *other*
+reading of the discrepancy so both interpretations are runnable.  It
+is not part of ``ALL_BENCHMARKS``; use it directly:
+
+    from repro.programs import strmm
+    program = strmm.program()
+
+Row order matters for the in-place update: row i of the product needs
+rows k <= i of the old B, so rows are produced top-down *reading
+already-updated rows is avoided* by accumulating into a scalar before
+the store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.parser import parse_program
+
+NAME = "strmm"
+DESCRIPTION = "Triangular matrix-matrix multiply (text's reading of Table 2)"
+PAPER_PROBLEM_SIZE = {"N": 3000}
+DEFAULT_PARAMS = {"n": 12, "m": 8}
+SMALL_PARAMS = {"n": 6, "m": 4}
+
+# B[i][j] <- sum_{k<=i} L[i][k] * B_old[k][j].  Processing rows
+# bottom-up lets the update stay in place: row i only needs B_old rows
+# k <= i, and rows below i are already overwritten (not read).
+SOURCE = """
+program strmm(n, m) {
+  array L[n][n];
+  array B[n][m];
+  scalar s;
+  for j = 0 .. m - 1 {
+    for irev = 0 .. n - 1 {
+      S1: s = 0.0;
+      for k = 0 .. n - 1 - irev {
+        S2: s = s + L[n - 1 - irev][k] * B[k][j];
+      }
+      S3: B[n - 1 - irev][j] = s;
+    }
+  }
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+def initial_values(params: dict, seed: int = 0) -> dict:
+    n, m = params["n"], params["m"]
+    rng = np.random.default_rng(seed)
+    lower = np.tril(rng.uniform(-1.0, 1.0, size=(n, n)))
+    np.fill_diagonal(lower, rng.uniform(1.0, 2.0, size=n))
+    return {"L": lower, "B": rng.standard_normal((n, m))}
+
+
+def reference(params: dict, values: dict) -> dict:
+    return {"B": values["L"] @ values["B"]}

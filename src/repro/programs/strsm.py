@@ -1,0 +1,53 @@
+"""Triangular matrix equations solver (L * X = B with many right-hand
+sides, solved in place).
+
+Table 2 lists ``strsm`` while the running text says ``strmm``; we
+follow the table (the solver matches the "triangular matrix equations
+solver" description).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.parser import parse_program
+
+NAME = "strsm"
+DESCRIPTION = "Triangular matrix equations solver"
+PAPER_PROBLEM_SIZE = {"N": 3000}
+DEFAULT_PARAMS = {"n": 20, "m": 10}
+SMALL_PARAMS = {"n": 8, "m": 4}
+
+SOURCE = """
+program strsm(n, m) {
+  array L[n][n];
+  array B[n][m];
+  for j = 0 .. m - 1 {
+    for i = 0 .. n - 1 {
+      for k = 0 .. i - 1 {
+        S1: B[i][j] = B[i][j] - L[i][k] * B[k][j];
+      }
+      S2: B[i][j] = B[i][j] / L[i][i];
+    }
+  }
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+def initial_values(params: dict, seed: int = 0) -> dict:
+    n, m = params["n"], params["m"]
+    rng = np.random.default_rng(seed)
+    lower = np.tril(rng.uniform(-1.0, 1.0, size=(n, n)))
+    np.fill_diagonal(lower, rng.uniform(1.0, 2.0, size=n))
+    return {"L": lower, "B": rng.standard_normal((n, m))}
+
+
+def reference(params: dict, values: dict) -> dict:
+    import scipy.linalg
+
+    x = scipy.linalg.solve_triangular(values["L"], values["B"], lower=True)
+    return {"B": x}

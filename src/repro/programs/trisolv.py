@@ -1,0 +1,47 @@
+"""Triangular system of linear equations solver (forward substitution)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.parser import parse_program
+
+NAME = "trisolv"
+DESCRIPTION = "Triangular system of linear equations solver"
+PAPER_PROBLEM_SIZE = {"N": 3000}
+DEFAULT_PARAMS = {"n": 56}
+SMALL_PARAMS = {"n": 12}
+
+SOURCE = """
+program trisolv(n) {
+  array L[n][n];
+  array b[n];
+  array x[n];
+  for i = 0 .. n - 1 {
+    S1: x[i] = b[i];
+    for j = 0 .. i - 1 {
+      S2: x[i] = x[i] - L[i][j] * x[j];
+    }
+    S3: x[i] = x[i] / L[i][i];
+  }
+}
+"""
+
+
+def program():
+    return parse_program(SOURCE)
+
+
+def initial_values(params: dict, seed: int = 0) -> dict:
+    n = params["n"]
+    rng = np.random.default_rng(seed)
+    lower = np.tril(rng.uniform(-1.0, 1.0, size=(n, n)))
+    np.fill_diagonal(lower, rng.uniform(1.0, 2.0, size=n))
+    return {"L": lower, "b": rng.standard_normal(n), "x": np.zeros(n)}
+
+
+def reference(params: dict, values: dict) -> dict:
+    import scipy.linalg
+
+    x = scipy.linalg.solve_triangular(values["L"], values["b"], lower=True)
+    return {"x": x}

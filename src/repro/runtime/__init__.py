@@ -1,0 +1,53 @@
+"""Execution substrate with the paper's fault model.
+
+The paper evaluates on real hardware and assumes transient faults live
+in the *memory subsystem* (caches, DRAM, write queues) while registers
+and functional units are resilient (Section 2.2).  This package
+simulates exactly that boundary:
+
+* :mod:`repro.runtime.memory` — a word-addressed memory holding every
+  program array and scalar as raw 64-bit patterns; all loads and stores
+  go through it.
+* :mod:`repro.runtime.faults` — fault injectors that flip bits in
+  stored words between a write and a later read (multi-bit, scheduled
+  or randomized campaigns).
+* :mod:`repro.runtime.state` — register-resident checksum channels
+  (plain modulo-2^64 sum, plus the address-rotated second checksum of
+  Section 6.1) and the verifier.
+* :mod:`repro.runtime.interpreter` — the IR interpreter; instrumented
+  assignments execute as bundles with a per-cell load cache, so a
+  checksum contribution always sees the same register value as the use
+  it protects.
+* :mod:`repro.runtime.costmodel` — dynamic operation accounting used by
+  the Figure 10/11 overhead estimates, including the hardware-assist
+  mode where checksum operations cost a nop.
+"""
+
+from repro.runtime.memory import Memory, MemoryError64, decode_value, encode_value
+from repro.runtime.faults import (
+    FaultInjector,
+    NoFaults,
+    ScheduledBitFlip,
+    RandomCellFlipper,
+)
+from repro.runtime.state import ChecksumState, ChecksumMismatch
+from repro.runtime.interpreter import ExecutionResult, Interpreter, run_program
+from repro.runtime.costmodel import CostModel, CostParams
+
+__all__ = [
+    "Memory",
+    "MemoryError64",
+    "decode_value",
+    "encode_value",
+    "FaultInjector",
+    "NoFaults",
+    "ScheduledBitFlip",
+    "RandomCellFlipper",
+    "ChecksumState",
+    "ChecksumMismatch",
+    "ExecutionResult",
+    "Interpreter",
+    "run_program",
+    "CostModel",
+    "CostParams",
+]

@@ -1,0 +1,181 @@
+"""Fault injection into the simulated memory subsystem.
+
+The paper's fault model (Section 2.2): transient multi-bit errors
+strike values *at rest* in the memory subsystem, between the store that
+produced a value and a load that consumes it.  Injectors here hook the
+memory's load path and corrupt the stored word just before the load
+returns — the corruption is persistent (the cell stays corrupted), as a
+real upset would be until overwritten.
+
+Three injectors:
+
+* :class:`NoFaults` — the null injector.
+* :class:`ScheduledBitFlip` — flip chosen bits of one cell when the
+  program's N-th load (globally or of that cell) occurs; deterministic,
+  used by unit tests.
+* :class:`RandomCellFlipper` — a campaign primitive: at a uniformly
+  random load event, flip ``k`` uniformly chosen bits of a uniformly
+  chosen cell of the target arrays.  Used by the detection-coverage
+  experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class FaultInjector:
+    """Base injector: hooks return a replacement word or None."""
+
+    def before_load(
+        self, memory, name: str, indices: tuple[int, ...], word: int
+    ) -> int | None:
+        """Called before a load returns; may corrupt the stored word."""
+        return None
+
+    def after_store(
+        self, memory, name: str, indices: tuple[int, ...], word: int
+    ) -> int | None:
+        """Called after a store lands; may corrupt the stored word."""
+        return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoFaults(FaultInjector):
+    """Fault-free execution."""
+
+
+@dataclass
+class InjectionRecord:
+    """What a campaign actually did (for reporting/debugging)."""
+
+    array: str
+    indices: tuple[int, ...]
+    bits: tuple[int, ...]
+    at_load: int
+
+
+class ScheduledBitFlip(FaultInjector):
+    """Deterministically corrupt one cell at a specific load event.
+
+    ``at_load`` counts loads globally (memory.load_count, 1-based at
+    hook time).  When the trigger fires, the listed bit positions of
+    the *target* cell are flipped in place; if the triggering load is
+    of the target cell itself, the corrupted value is what the load
+    returns.
+    """
+
+    def __init__(
+        self,
+        array: str,
+        indices: tuple[int, ...],
+        bit_positions: Sequence[int],
+        at_load: int,
+    ) -> None:
+        self.array = array
+        self.indices = tuple(indices)
+        self.bit_positions = tuple(bit_positions)
+        self.at_load = at_load
+        self.fired = False
+
+    def before_load(self, memory, name, indices, word):
+        if not self.fired and memory.load_count >= self.at_load:
+            self.fired = True
+            memory.flip_bits(self.array, self.indices, self.bit_positions)
+            if name == self.array and tuple(indices) == self.indices:
+                return memory.peek_bits(self.array, self.indices)
+        return None
+
+
+class RandomCellFlipper(FaultInjector):
+    """Flip ``num_bits`` random bits of a random cell at a random moment.
+
+    The moment is a load event drawn uniformly from
+    ``[1, expected_loads]``; the cell is drawn uniformly from the
+    non-shadow regions listed in ``target_arrays`` (or all non-shadow
+    regions when omitted).  Exactly one injection per run.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        expected_loads: int,
+        rng: random.Random,
+        target_arrays: Iterable[str] | None = None,
+    ) -> None:
+        if expected_loads < 1:
+            raise ValueError("expected_loads must be >= 1")
+        self.num_bits = num_bits
+        self.trigger = rng.randint(1, expected_loads)
+        self.rng = rng
+        self.target_arrays = tuple(target_arrays) if target_arrays else None
+        self.record: InjectionRecord | None = None
+
+    def before_load(self, memory, name, indices, word):
+        if self.record is not None or memory.load_count < self.trigger:
+            return None
+        arrays = (
+            list(self.target_arrays)
+            if self.target_arrays is not None
+            else memory.region_names(include_shadow=False)
+        )
+        arrays = [a for a in arrays if memory.shape(a) != () or True]
+        array = self.rng.choice(arrays)
+        shape = memory.shape(array)
+        cell = tuple(self.rng.randrange(extent) for extent in shape)
+        bits = tuple(self.rng.sample(range(64), self.num_bits))
+        memory.flip_bits(array, cell, bits)
+        self.record = InjectionRecord(
+            array=array, indices=cell, bits=bits, at_load=memory.load_count
+        )
+        if name == array and tuple(indices) == cell:
+            return memory.peek_bits(array, cell)
+        return None
+
+
+class MultiInjector(FaultInjector):
+    """Compose several injectors (fired in order)."""
+
+    def __init__(self, injectors: Sequence[FaultInjector]) -> None:
+        self.injectors = list(injectors)
+
+    def before_load(self, memory, name, indices, word):
+        result = None
+        for injector in self.injectors:
+            mutated = injector.before_load(memory, name, indices, word)
+            if mutated is not None:
+                result = mutated
+                word = mutated
+        return result
+
+    def after_store(self, memory, name, indices, word):
+        result = None
+        for injector in self.injectors:
+            mutated = injector.after_store(memory, name, indices, word)
+            if mutated is not None:
+                result = mutated
+                word = mutated
+        return result
+
+
+def flip_random_bits_in_words(
+    words: list[int], num_bits: int, rng: random.Random
+) -> list[tuple[int, int]]:
+    """Flip ``num_bits`` distinct bits chosen over a whole word array.
+
+    Mutates ``words`` in place; returns ``(word_index, bit)`` pairs.
+    Used by the Table 1 fault-coverage experiment, where bits are drawn
+    uniformly over *all* bits of the array (paper Section 6.1).
+    """
+    total_bits = len(words) * 64
+    positions = rng.sample(range(total_bits), num_bits)
+    flipped: list[tuple[int, int]] = []
+    for position in positions:
+        index, bit = divmod(position, 64)
+        words[index] ^= 1 << bit
+        flipped.append((index, bit))
+    return flipped

@@ -1,0 +1,627 @@
+"""IR interpreter with the paper's register/memory fault boundary.
+
+Execution semantics:
+
+* Iterators, parameters and checksum state are *registers* — plain
+  Python values the fault injector can never touch.
+* Array elements and declared scalars live in the simulated
+  :class:`~repro.runtime.memory.Memory`; every load/store passes
+  through it (and through the fault injector).
+* An **instrumented assignment executes as one bundle** with a per-cell
+  load cache: each distinct cell is loaded once, and the checksum
+  contributions consume the *same register copy* as the computation —
+  the register-residency requirement of Section 5.  Free-standing
+  checksum statements (prologue / epilogue / inspector) load through
+  memory like any other code.
+
+The interpreter also fills an :class:`~repro.runtime.costmodel.OpCounts`
+with dynamic operation counts, which the Figure 10/11 harnesses convert
+into overhead estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    ChecksumAssert,
+    ChecksumReset,
+    Const,
+    CounterIncrement,
+    Expr,
+    If,
+    Loop,
+    Program,
+    Select,
+    Stmt,
+    UnOp,
+    VarRef,
+    WhileLoop,
+)
+from repro.runtime.costmodel import OpCounts
+from repro.runtime.memory import Memory, build_memory_for_program, encode_value
+from repro.runtime.state import ChecksumMismatch, ChecksumState
+
+MASK64 = (1 << 64) - 1
+
+
+class InterpreterError(RuntimeError):
+    """Runtime error during interpretation."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """The step budget ran out (runaway while loop guard)."""
+
+
+class _HaltDetected(Exception):
+    """Internal: fail-stop unwind after a verifier mismatch."""
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one run."""
+
+    checksums: ChecksumState
+    mismatches: list[ChecksumMismatch]
+    counts: OpCounts
+    memory: Memory
+    statements_executed: int
+    spills: int = 0
+    """Register spills simulated under a ``register_budget``."""
+    first_detection_step: int | None = None
+    """Statement index at which a verifier first flagged a mismatch
+    (None when no verifier fired) — the detection-latency metric."""
+
+    @property
+    def error_detected(self) -> bool:
+        return bool(self.mismatches)
+
+
+@dataclass
+class _CachedLoad:
+    value: float | int
+    bits: int
+    address: int
+
+
+class Interpreter:
+    """Executes one program against one memory image."""
+
+    def __init__(
+        self,
+        program: Program,
+        params: Mapping[str, int],
+        memory: Memory | None = None,
+        injector=None,
+        channels: int = 1,
+        max_steps: int | None = 50_000_000,
+        wild_reads: bool = False,
+        profile: bool = False,
+        register_budget: int | None = None,
+        halt_on_mismatch: bool = False,
+    ) -> None:
+        self.halt_on_mismatch = halt_on_mismatch
+        """Stop execution at the first failing verifier — gives fail-
+        stop semantics and lets campaigns measure detection latency."""
+        self.first_detection_step: int | None = None
+        self.program = program
+        self.params = {p: int(params[p]) for p in program.params}
+        self.register_budget = register_budget
+        """Maximum values held in registers per statement bundle.
+        When the bundle needs more, the least-recently-used value is
+        *spilled*: it leaves the register file, and its next use
+        re-loads it through (faultable) memory.  Section 5: such spill
+        traffic needs its own checksum contributions — the spilled
+        register value enters the def checksum, the reloaded value the
+        use checksum, so corruption of the spill slot is caught."""
+        self.spill_count = 0
+        self.statement_profile: dict[int, int] | None = (
+            {} if profile else None
+        )
+        """With ``profile=True``: ``id(assign) -> execution count`` for
+        every assignment — the instance counts the pipeline-model cost
+        estimator multiplies block costs by."""
+        if memory is None:
+            memory = build_memory_for_program(
+                program, self.params, injector, wild_reads=wild_reads
+            )
+        elif injector is not None:
+            memory.injector = injector
+        self.memory = memory
+        self.checksums = ChecksumState(channels=channels)
+        self.counts = OpCounts()
+        self.mismatches: list[ChecksumMismatch] = []
+        self.max_steps = max_steps
+        self._steps = 0
+        self._env: dict[str, int] = dict(self.params)
+        self._scalar_types = {d.name: d.elem_type for d in program.scalars}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        try:
+            self._exec_body(self.program.body)
+        except _HaltDetected:
+            pass
+        return ExecutionResult(
+            checksums=self.checksums,
+            mismatches=self.mismatches,
+            counts=self.counts,
+            memory=self.memory,
+            statements_executed=self._steps,
+            spills=self.spill_count,
+            first_detection_step=self.first_detection_step,
+        )
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def _exec_body(self, body) -> None:
+        for stmt in body:
+            self._exec_statement(stmt)
+
+    def _exec_statement(self, stmt: Stmt) -> None:
+        self._steps += 1
+        if self.max_steps is not None and self._steps > self.max_steps:
+            raise StepLimitExceeded(
+                f"exceeded {self.max_steps} statement executions"
+            )
+        if isinstance(stmt, Assign):
+            self._exec_assign(stmt)
+        elif isinstance(stmt, Loop):
+            self._exec_loop(stmt)
+        elif isinstance(stmt, WhileLoop):
+            self._exec_while(stmt)
+        elif isinstance(stmt, If):
+            self._exec_if(stmt)
+        elif isinstance(stmt, ChecksumAdd):
+            self._exec_checksum_add(stmt)
+        elif isinstance(stmt, CounterIncrement):
+            self._exec_counter_increment(stmt)
+        elif isinstance(stmt, ChecksumAssert):
+            self._exec_assert(stmt)
+        elif isinstance(stmt, ChecksumReset):
+            for sums in self.checksums.sums:
+                keys = stmt.names if stmt.names is not None else list(sums)
+                for key in keys:
+                    sums[key] = 0
+        else:
+            raise InterpreterError(f"cannot execute statement {stmt!r}")
+
+    def _exec_loop(self, stmt: Loop) -> None:
+        lower = int(self._eval(stmt.lower, None))
+        upper = int(self._eval(stmt.upper, None))
+        saved = self._env.get(stmt.var)
+        for value in range(lower, upper + 1):
+            self.counts.branches += 1
+            self._env[stmt.var] = value
+            self._exec_body(stmt.body)
+        self.counts.branches += 1  # the final (exit) test
+        if saved is None:
+            self._env.pop(stmt.var, None)
+        else:
+            self._env[stmt.var] = saved
+
+    def _exec_while(self, stmt: WhileLoop) -> None:
+        while True:
+            self.counts.branches += 1
+            cond = self._eval(stmt.cond, None)
+            if not cond:
+                break
+            if stmt.counter is not None:
+                # The instrumenter's iteration counter (Figure 9 `iter`).
+                current = self.memory.load(stmt.counter, ())
+                self.memory.store(stmt.counter, (), int(current) + 1)
+                self.counts.loads += 1
+                self.counts.stores += 1
+                self.counts.int_ops += 1
+                self.counts.counter_ops += 1
+            self._exec_body(stmt.body)
+
+    def _exec_if(self, stmt: If) -> None:
+        self.counts.branches += 1
+        if self._eval(stmt.cond, None):
+            self._exec_body(stmt.then_body)
+        else:
+            self._exec_body(stmt.else_body)
+
+    # -- the instrumented-assignment bundle ------------------------------
+    def _exec_assign(self, stmt: Assign) -> None:
+        if self.statement_profile is not None:
+            key = id(stmt)
+            self.statement_profile[key] = (
+                self.statement_profile.get(key, 0) + 1
+            )
+        cache: dict[tuple, _CachedLoad] = {}
+        self._evicted: dict[tuple, _CachedLoad] = {}
+        self._bundle_instrumented = stmt.instrumentation is not None
+        instr = stmt.instrumentation
+        # 1. Resolve the target location (indices are control + possible
+        #    indirect loads, which go through the cache).
+        if isinstance(stmt.lhs, ArrayRef):
+            target_indices = tuple(
+                int(self._eval(index, cache)) for index in stmt.lhs.indices
+            )
+            target = (stmt.lhs.array, target_indices)
+            self.counts.int_ops += len(target_indices)
+        else:
+            target = (stmt.lhs.name, ())
+        # 2. Compute the right-hand side.
+        value = self._eval(stmt.rhs, cache)
+        # 3. Use contributions — consume cached register copies.
+        if instr:
+            for use in instr.uses:
+                cached = self._ref_through_cache(use.ref, cache)
+                count = int(self._eval(use.count, cache))
+                self.checksums.add(
+                    use.checksum, cached.bits, count, cached.address
+                )
+                self.counts.checksum_ops += self.checksums.channels
+            for counter_ref in instr.counter_increments:
+                self._bump_counter(counter_ref, cache, +1)
+            if instr.pre_overwrite:
+                self._pre_overwrite(stmt, instr.pre_overwrite, cache)
+        # 4. The store.
+        elem_type = self._elem_type_of(stmt.lhs)
+        bits = encode_value(value, elem_type)
+        self.memory.store_bits(target[0], target[1], bits)
+        self.counts.stores += 1
+        address = self.memory.address_of(target[0], target[1])
+        # Invalidate the cache entry for the stored cell (a pending
+        # spill of the old value is dead once the cell is rewritten).
+        cache.pop(target, None)
+        self._evicted.pop(target, None)
+        # 4b. Duplication baseline: second store of the same bits.
+        if instr and instr.duplicate_store is not None:
+            dup = instr.duplicate_store
+            if isinstance(dup, ArrayRef):
+                dup_indices = tuple(
+                    int(self._eval(i, cache)) for i in dup.indices
+                )
+                dup_target = (dup.array, dup_indices)
+            else:
+                dup_target = (dup.name, ())
+            self.memory.store_bits(dup_target[0], dup_target[1], bits)
+            self.counts.stores += 1
+            cache.pop(dup_target, None)
+        # 5. Def contribution — uses the register copy just stored.
+        if instr and instr.definition:
+            d = instr.definition
+            count = int(self._eval(d.count, cache))
+            self.checksums.add(d.checksum, bits, count, address)
+            self.counts.checksum_ops += self.checksums.channels
+            if d.aux:
+                self.checksums.add(d.aux_checksum, bits, 1, address)
+                self.counts.checksum_ops += self.checksums.channels
+
+    def _pre_overwrite(self, stmt: Assign, adjust, cache) -> None:
+        """Algorithm 3 lines 13–16 for dynamic-use-count definitions."""
+        # Old value: an ordinary (faultable) load of the target cell.
+        old = self._ref_through_cache(stmt.lhs, cache)
+        counter_value = int(self._load_counter(adjust.counter, cache))
+        self.checksums.add(
+            adjust.def_checksum, old.bits, counter_value - 1, old.address
+        )
+        self.checksums.add(adjust.e_use_checksum, old.bits, 1, old.address)
+        self.counts.checksum_ops += 2 * self.checksums.channels
+        self._store_counter(adjust.counter, cache, 0)
+
+    # -- free-standing checksum statements --------------------------------
+    def _exec_checksum_add(self, stmt: ChecksumAdd) -> None:
+        cache: dict[tuple, _CachedLoad] = {}
+        if isinstance(stmt.value, (ArrayRef, VarRef)) and self._is_data_ref(
+            stmt.value
+        ):
+            cached = self._ref_through_cache(stmt.value, cache)
+            bits, address = cached.bits, cached.address
+        else:
+            value = self._eval(stmt.value, cache)
+            bits = encode_value(
+                value, "i64" if isinstance(value, int) else "f64"
+            )
+            address = None
+        count = int(self._eval(stmt.count, cache))
+        self.checksums.add(stmt.checksum, bits, count, address)
+        self.counts.checksum_ops += self.checksums.channels
+
+    def _exec_counter_increment(self, stmt: CounterIncrement) -> None:
+        cache: dict[tuple, _CachedLoad] = {}
+        amount = int(self._eval(stmt.amount, cache))
+        self._bump_counter(stmt.counter, cache, amount)
+
+    def _exec_assert(self, stmt: ChecksumAssert) -> None:
+        self.counts.branches += len(stmt.pairs) * self.checksums.channels
+        found = self.checksums.verify(stmt.pairs)
+        if found and self.first_detection_step is None:
+            self.first_detection_step = self._steps
+        self.mismatches.extend(found)
+        if found and self.halt_on_mismatch:
+            raise _HaltDetected()
+
+    # ------------------------------------------------------------------
+    # Counters (shadow state in memory)
+    # ------------------------------------------------------------------
+    def _counter_location(self, ref, cache) -> tuple[str, tuple[int, ...]]:
+        if isinstance(ref, ArrayRef):
+            indices = tuple(int(self._eval(i, cache)) for i in ref.indices)
+            return ref.array, indices
+        return ref.name, ()
+
+    def _load_counter(self, ref, cache) -> int:
+        name, indices = self._counter_location(ref, cache)
+        self.counts.loads += 1
+        self.counts.counter_ops += 1
+        return int(self.memory.load(name, indices))
+
+    def _store_counter(self, ref, cache, value: int) -> None:
+        name, indices = self._counter_location(ref, cache)
+        self.counts.stores += 1
+        self.memory.store(name, indices, value)
+
+    def _bump_counter(self, ref, cache, amount: int) -> None:
+        name, indices = self._counter_location(ref, cache)
+        current = int(self.memory.load(name, indices))
+        self.memory.store(name, indices, current + amount)
+        self.counts.loads += 1
+        self.counts.stores += 1
+        self.counts.int_ops += 1
+        self.counts.counter_ops += 1
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _is_data_ref(self, ref) -> bool:
+        if isinstance(ref, ArrayRef):
+            return True
+        return ref.name in self._scalar_types
+
+    def _elem_type_of(self, ref) -> str:
+        if isinstance(ref, ArrayRef):
+            return self.memory.elem_type(ref.array)
+        if ref.name in self._scalar_types:
+            return self._scalar_types[ref.name]
+        return "i64"
+
+    def _ref_through_cache(self, ref, cache) -> _CachedLoad:
+        """Load a data reference once per bundle; reuse the register copy.
+
+        With a ``register_budget``, overflowing the bundle's register
+        file spills the least-recently-used value; its next use reloads
+        through memory with the Section 5 spill contributions (the
+        spilled register value into ``def``, the reloaded value into
+        ``use``) when the bundle is instrumented.
+        """
+        if isinstance(ref, ArrayRef):
+            indices = tuple(int(self._eval(i, cache)) for i in ref.indices)
+            key = (ref.array, indices)
+        else:
+            key = (ref.name, ())
+        if cache is not None and key in cache:
+            if self.register_budget is not None:
+                # LRU refresh.
+                cached = cache.pop(key)
+                cache[key] = cached
+                return cached
+            return cache[key]
+        bits = self.memory.load_bits(key[0], key[1])
+        self.counts.loads += 1
+        elem_type = (
+            self.memory.elem_type(key[0])
+            if self.memory.has(key[0])
+            else "f64"
+        )
+        from repro.runtime.memory import decode_value
+
+        cached = _CachedLoad(
+            value=decode_value(bits, elem_type),
+            bits=bits,
+            address=self.memory.address_of(key[0], key[1]),
+        )
+        evicted = getattr(self, "_evicted", None)
+        if evicted is not None and key in evicted:
+            # A spilled value returns from memory: pair the spilled
+            # register copy (def) with the reloaded copy (use), so a
+            # corrupted spill slot unbalances the checksums.
+            old = evicted.pop(key)
+            if getattr(self, "_bundle_instrumented", False):
+                self.checksums.add("def", old.bits, 1, old.address)
+                self.checksums.add("use", cached.bits, 1, cached.address)
+                self.counts.checksum_ops += 2 * self.checksums.channels
+        if cache is not None:
+            cache[key] = cached
+            if (
+                self.register_budget is not None
+                and len(cache) > self.register_budget
+            ):
+                victim_key = next(iter(cache))
+                if victim_key == key and len(cache) > 1:
+                    victim_key = next(
+                        k for k in cache if k != key
+                    )
+                victim = cache.pop(victim_key)
+                if evicted is not None:
+                    evicted[victim_key] = victim
+                self.counts.stores += 1  # the spill store
+                self.spill_count += 1
+        return cached
+
+    def _eval(self, expr: Expr, cache) -> float | int:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, VarRef):
+            if expr.name in self._env:
+                return self._env[expr.name]
+            if expr.name in self._scalar_types:
+                return self._ref_through_cache(expr, cache).value
+            raise InterpreterError(f"unbound name {expr.name!r}")
+        if isinstance(expr, ArrayRef):
+            return self._ref_through_cache(expr, cache).value
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, cache)
+        if isinstance(expr, UnOp):
+            operand = self._eval(expr.operand, cache)
+            if expr.op == "-":
+                self._count_arith("-", operand, 0)
+                return -operand
+            if expr.op == "!":
+                self.counts.int_ops += 1
+                return 0 if operand else 1
+            raise InterpreterError(f"unknown unary op {expr.op!r}")
+        if isinstance(expr, Call):
+            return self._eval_call(expr, cache)
+        if isinstance(expr, Select):
+            self.counts.branches += 1
+            if self._eval(expr.cond, cache):
+                return self._eval(expr.if_true, cache)
+            return self._eval(expr.if_false, cache)
+        raise InterpreterError(f"cannot evaluate {expr!r}")
+
+    def _eval_binop(self, expr: BinOp, cache) -> float | int:
+        op = expr.op
+        if op == "&&":
+            left = self._eval(expr.left, cache)
+            self.counts.branches += 1
+            if not left:
+                return 0
+            return 1 if self._eval(expr.right, cache) else 0
+        if op == "||":
+            left = self._eval(expr.left, cache)
+            self.counts.branches += 1
+            if left:
+                return 1
+            return 1 if self._eval(expr.right, cache) else 0
+        left = self._eval(expr.left, cache)
+        right = self._eval(expr.right, cache)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            self.counts.int_ops += 1
+            result = {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[op]
+            return 1 if result else 0
+        self._count_arith(op, left, right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                if right == 0:
+                    raise InterpreterError("integer division by zero")
+                return left // right
+            if right == 0:
+                # IEEE semantics: x/0 is ±inf, 0/0 is NaN; corrupted
+                # data keeps flowing until the verifier flags it.
+                if left == 0:
+                    return float("nan")
+                sign = math.copysign(1.0, float(left)) * math.copysign(
+                    1.0, float(right)
+                )
+                return math.copysign(math.inf, sign)
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise InterpreterError("modulo by zero")
+            return left % right
+        raise InterpreterError(f"unknown binary op {op!r}")
+
+    def _count_arith(self, op: str, left, right) -> None:
+        is_float = isinstance(left, float) or isinstance(right, float)
+        if not is_float:
+            self.counts.int_ops += 1
+        elif op in ("+", "-"):
+            self.counts.fp_adds += 1
+        elif op == "*":
+            self.counts.fp_muls += 1
+        elif op in ("/", "%"):
+            self.counts.fp_divs += 1
+        else:
+            self.counts.fp_others += 1
+
+    def _eval_call(self, expr: Call, cache) -> float | int:
+        args = [self._eval(a, cache) for a in expr.args]
+        func = expr.func
+        if func == "sqrt":
+            self.counts.fp_sqrts += 1
+            if args[0] < 0:
+                # IEEE semantics (like C's sqrt): a corrupted negative
+                # operand yields NaN and execution continues — the
+                # checksum verifier, not a crash, reports the fault.
+                return float("nan")
+            return math.sqrt(args[0])
+        if func == "abs":
+            self.counts.fp_others += 1
+            return abs(args[0])
+        if func == "min":
+            self.counts.int_ops += 1
+            return min(args)
+        if func == "max":
+            self.counts.int_ops += 1
+            return max(args)
+        if func == "exp":
+            self.counts.fp_others += 1
+            try:
+                return math.exp(args[0])
+            except OverflowError:
+                return math.inf
+        if func == "sin":
+            self.counts.fp_others += 1
+            return math.sin(args[0])
+        if func == "cos":
+            self.counts.fp_others += 1
+            return math.cos(args[0])
+        if func == "floor":
+            self.counts.int_ops += 1
+            return math.floor(args[0])
+        if func == "mod":
+            self.counts.int_ops += 1
+            return args[0] % args[1]
+        raise InterpreterError(f"unknown intrinsic {func!r}")
+
+
+def run_program(
+    program: Program,
+    params: Mapping[str, int],
+    initial_values: Mapping[str, object] | None = None,
+    injector=None,
+    channels: int = 1,
+    max_steps: int | None = 50_000_000,
+    wild_reads: bool = False,
+    register_budget: int | None = None,
+    halt_on_mismatch: bool = False,
+) -> ExecutionResult:
+    """Convenience wrapper: build memory, initialize arrays, run.
+
+    ``initial_values`` maps array/scalar names to nested sequences or
+    numpy arrays; regions not mentioned start zeroed.  ``wild_reads``
+    enables the corrupted-address semantics used by fault campaigns;
+    ``register_budget`` enables the Section 5 spill modeling.
+    """
+    interpreter = Interpreter(
+        program,
+        params,
+        injector=injector,
+        channels=channels,
+        max_steps=max_steps,
+        wild_reads=wild_reads,
+        register_budget=register_budget,
+        halt_on_mismatch=halt_on_mismatch,
+    )
+    if initial_values:
+        for name, values in initial_values.items():
+            interpreter.memory.initialize(name, values)
+    return interpreter.run()

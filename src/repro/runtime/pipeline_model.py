@@ -1,0 +1,154 @@
+"""Port-throughput machine model (mechanistic Figure 11).
+
+A steady-state cost bound for a pseudo-instruction block on a small
+in-order superscalar: the block's cycles-per-iteration is the maximum
+over
+
+* the front end — instructions fetched/decoded per cycle, **including
+  checksum instructions** (this is the paper's nop: a hardware checksum
+  instruction still occupies a fetch/decode slot);
+* each execution resource — memory ports, FP pipes (divides and square
+  roots occupy the pipe for their full latency), integer ALUs, branch
+  unit;
+* the checksum work, which in the **software scheme** competes for the
+  integer ALUs and in the **hardware scheme** (Section 6.2.2: "one
+  checksum unit could be associated with every functional unit")
+  drains through dedicated units.
+
+Throughput bounds ignore latency chains (like the paper's estimate,
+which measured nop-padded code on an out-of-order Xeon); they answer
+the same question the paper's Figure 11 answers — what remains of the
+overhead when checksum arithmetic leaves the critical resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.lowering import Instr
+
+
+@dataclass
+class Machine:
+    """Resource widths/latencies of the modeled core."""
+
+    fetch_width: int = 4
+    mem_ports: int = 2
+    fp_pipes: int = 1
+    int_alus: int = 2
+    branch_units: int = 1
+    checksum_units: int = 0
+    """0 = software scheme (CHK executes on the integer ALUs);
+    >0 = dedicated hardware checksum units."""
+
+    fdiv_occupancy: float = 12.0
+    fsqrt_occupancy: float = 14.0
+    fmisc_occupancy: float = 4.0
+    """Unpipelined occupancy of the FP pipe for long-latency ops;
+    adds/muls are fully pipelined (occupancy 1)."""
+
+
+SOFTWARE_MACHINE = Machine(checksum_units=0)
+HARDWARE_MACHINE = Machine(checksum_units=2)
+
+
+@dataclass
+class BlockCost:
+    cycles: float
+    bound: str
+    """Which resource bound the block (diagnostics): one of
+    frontend/memory/fp/int/branch/checksum."""
+
+
+def block_cycles(instrs: list[Instr], machine: Machine) -> BlockCost:
+    """Steady-state cycles per execution of one block."""
+    counts = {op: 0 for op in ("LD", "ST", "FADD", "FMUL", "FDIV",
+                               "FSQRT", "FMISC", "IOP", "BR", "CHK")}
+    for instr in instrs:
+        counts[instr.op] += 1
+    total = sum(counts.values())
+    frontend = total / machine.fetch_width
+    memory = (counts["LD"] + counts["ST"]) / machine.mem_ports
+    fp_work = (
+        counts["FADD"]
+        + counts["FMUL"]
+        + counts["FDIV"] * machine.fdiv_occupancy
+        + counts["FSQRT"] * machine.fsqrt_occupancy
+        + counts["FMISC"] * machine.fmisc_occupancy
+    )
+    fp = fp_work / machine.fp_pipes
+    int_work = counts["IOP"]
+    chk = 0.0
+    if machine.checksum_units > 0:
+        chk = counts["CHK"] / machine.checksum_units
+    else:
+        int_work += counts["CHK"]
+    integer = int_work / machine.int_alus
+    branch = counts["BR"] / machine.branch_units
+    bounds = {
+        "frontend": frontend,
+        "memory": memory,
+        "fp": fp,
+        "int": integer,
+        "branch": branch,
+        "checksum": chk,
+    }
+    name = max(bounds, key=lambda key: bounds[key])
+    return BlockCost(cycles=max(bounds.values()), bound=name)
+
+
+def program_cycles(program, params, initial_values, machine: Machine) -> float:
+    """Total modeled cycles for one execution.
+
+    Runs the interpreter once with statement profiling to obtain exact
+    per-assignment instance counts, lowers each assignment, and sums
+    ``block_cycles x instances``.  Free-standing checksum statements
+    (prologue/epilogue/inspector) are costed per execution via the
+    same profile mechanism's loop structure — approximated by their
+    load/checksum counts folded into per-cell blocks.
+    """
+    from repro.ir.accesses import program_data_names
+    from repro.ir.nodes import Assign, walk_statements
+    from repro.codegen.lowering import lower_assign, lower_free_checksum_add
+    from repro.runtime.interpreter import Interpreter
+
+    interpreter = Interpreter(program, params, profile=True)
+    if initial_values:
+        for name, values in initial_values.items():
+            interpreter.memory.initialize(name, values)
+    result = interpreter.run()
+    profile = interpreter.statement_profile or {}
+    data_names = program_data_names(program)
+
+    total = 0.0
+    for stmt in walk_statements(program.body):
+        if isinstance(stmt, Assign):
+            instances = profile.get(id(stmt), 0)
+            if instances:
+                cost = block_cycles(
+                    lower_assign(stmt, data_names), machine
+                )
+                total += cost.cycles * instances
+    # Free-standing checksum statements: we know how many CHK-style
+    # contributions they made overall from the op counters minus the
+    # bundled ones; approximate per-contribution cost with a canonical
+    # load+chk block under the machine.
+    bundled_chk = 0
+    for stmt in walk_statements(program.body):
+        if isinstance(stmt, Assign) and stmt.instrumentation:
+            instr = stmt.instrumentation
+            per_instance = len(instr.uses)
+            if instr.definition is not None:
+                per_instance += 1 + (1 if instr.definition.aux else 0)
+            if instr.pre_overwrite is not None:
+                per_instance += 2
+            bundled_chk += per_instance * profile.get(id(stmt), 0)
+    free_chk = max(0, result.counts.checksum_ops - bundled_chk)
+    if free_chk:
+        from repro.ir.nodes import Const, VarRef
+
+        unit = lower_free_checksum_add(VarRef("x"), Const(1), data_names)
+        total += block_cycles(unit, machine).cycles * free_chk
+    # Loop overhead: one branch per dynamic branch event.
+    total += result.counts.branches / machine.branch_units * 0.5
+    return total

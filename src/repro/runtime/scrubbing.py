@@ -1,0 +1,182 @@
+"""Periodic memory-scrubbing baseline (Shirvani et al., cited in
+Section 7).
+
+    "Shirvani et al. designed approaches to provide checksum protection
+    by periodically scrubbing memory, rather than check every read and
+    write operation, which lowers fault coverage compared to our
+    approach."
+
+A scrubber keeps a reference checksum per memory region and
+periodically recomputes it.  Between scrubs, writes update the
+reference *incrementally* (old word out, new word in) so a scrub
+mismatch can only come from corruption at rest.  Coverage is limited in
+exactly the way the paper claims: a fault is caught only if a scrub
+runs between the corruption and the corrupted cell's next write (which
+silently "heals" the reference) — reads are never checked.
+
+The scrubber shares the memory's injector interface, so the same fault
+campaigns drive both schemes; ``benchmarks/test_baseline_scrubbing.py``
+compares detection coverage and cost against def/use checksums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.faults import FaultInjector
+from repro.runtime.memory import MASK64, Memory
+
+
+@dataclass
+class ScrubReport:
+    """What the scrubber observed during one run."""
+
+    scrubs: int = 0
+    words_scanned: int = 0
+    detections: list[tuple[int, str]] = field(default_factory=list)
+    """(scrub index, region) pairs where the reference disagreed."""
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+
+class ScrubbingMonitor(FaultInjector):
+    """Incremental reference checksums + periodic scans.
+
+    ``interval`` counts memory accesses (loads + stores) between scrubs
+    — the knob trading detection latency against scan bandwidth,
+    mirroring a hardware scrubber's sweep rate.  Composes with an inner
+    injector (the fault source) so corruption lands *between* the
+    monitor's bookkeeping, never inside it.
+    """
+
+    def __init__(self, interval: int, fault_source: FaultInjector | None = None):
+        if interval < 1:
+            raise ValueError("scrub interval must be >= 1")
+        self.interval = interval
+        self.fault_source = fault_source
+        self.report = ScrubReport()
+        self._references: dict[str, list[int]] = {}
+        self._accesses = 0
+        self._attached: Memory | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def attach(self, memory: Memory) -> None:
+        """Snapshot the per-word reference image (the "ECC codes")."""
+        self._attached = memory
+        self._references = {
+            region: list(words)
+            for region, words in memory.snapshot().items()
+        }
+
+    # -- hooks ------------------------------------------------------------
+    def before_load(self, memory, name, indices, word):
+        if self._attached is None:
+            self.attach(memory)
+        mutated = None
+        if self.fault_source is not None:
+            mutated = self.fault_source.before_load(memory, name, indices, word)
+        self._tick(memory)
+        return mutated
+
+    def after_store(self, memory, name, indices, word):
+        # The access tick for stores is driven by ScrubbedMemory *after*
+        # the reference has been patched with the displaced word —
+        # ticking here would let a scrub observe the new word against
+        # the stale reference and report a phantom corruption.
+        if self._attached is None:
+            self.attach(memory)
+            return None
+        if self.fault_source is not None:
+            return self.fault_source.after_store(memory, name, indices, word)
+        return None
+
+    def note_store(self, region: str, offset: int, new_word: int) -> None:
+        """A store refreshes the word's reference — like ECC recomputed
+        on write, it *heals* any pending discrepancy for that word."""
+        words = self._references.get(region)
+        if words is not None and 0 <= offset < len(words):
+            words[offset] = new_word & MASK64
+
+    # -- scrubbing ---------------------------------------------------------
+    def _tick(self, memory: Memory) -> None:
+        self._accesses += 1
+        if self._accesses % self.interval == 0:
+            self.scrub(memory)
+
+    def scrub(self, memory: Memory) -> None:
+        """One full sweep: compare every word against its reference."""
+        self.report.scrubs += 1
+        snapshot = memory.snapshot()
+        for region, reference in self._references.items():
+            actual = snapshot[region]
+            self.report.words_scanned += len(actual)
+            mismatch = False
+            for offset, (a, r) in enumerate(zip(actual, reference)):
+                if a != r:
+                    mismatch = True
+                    # Repair-or-resync so one corruption is not
+                    # reported by every later sweep.
+                    reference[offset] = a
+            if mismatch:
+                self.report.detections.append((self.report.scrubs, region))
+
+
+class ScrubbedMemory(Memory):
+    """Memory that keeps a scrubbing monitor's references in sync."""
+
+    def __init__(self, monitor: ScrubbingMonitor, wild_reads: bool = False):
+        super().__init__(injector=monitor, wild_reads=wild_reads)
+        self._monitor = monitor
+
+    def store_bits(self, name, indices, bits):
+        super().store_bits(name, indices, bits)
+        try:
+            offset = self._region(name).offset(indices)
+            new = self.peek_bits(name, indices)
+        except Exception:
+            return
+        self._monitor.note_store(name, offset, new)
+        # Account the access (and possibly scrub) only after the
+        # reference is consistent again.
+        self._monitor._tick(self)
+
+
+def run_with_scrubbing(
+    program,
+    params,
+    initial_values=None,
+    fault_source: FaultInjector | None = None,
+    interval: int = 256,
+    max_steps: int | None = 50_000_000,
+):
+    """Run a (plain, uninstrumented) program under a memory scrubber.
+
+    Returns ``(ExecutionResult, ScrubReport)``; a final sweep runs at
+    termination so late corruption is not missed by timing alone.
+    """
+    from repro.ir.analysis import to_affine
+    from repro.runtime.interpreter import Interpreter
+
+    monitor = ScrubbingMonitor(interval=interval, fault_source=fault_source)
+    memory = ScrubbedMemory(monitor)
+    resolved = {p: int(params[p]) for p in program.params}
+    for decl in program.arrays:
+        shape = []
+        for dim in decl.dims:
+            affine = to_affine(dim, set(program.params))
+            shape.append(int(affine.evaluate(resolved)))
+        memory.declare(decl.name, shape, elem_type=decl.elem_type)
+    for decl in program.scalars:
+        memory.declare(decl.name, (), elem_type=decl.elem_type)
+    interpreter = Interpreter(
+        program, params, memory=memory, max_steps=max_steps
+    )
+    if initial_values:
+        for name, values in initial_values.items():
+            memory.initialize(name, values)
+    monitor.attach(memory)
+    result = interpreter.run()
+    monitor.scrub(memory)
+    return result, monitor.report

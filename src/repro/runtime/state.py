@@ -1,0 +1,148 @@
+"""Register-resident checksum state and the verifier.
+
+The paper keeps four checksums in registers (Section 5): ``def`` /
+``use`` and the auxiliary ``e_def`` / ``e_use`` pair that hardens the
+dynamic-use-count scheme (Section 4.1).  The operator is integer
+modulo addition over 64-bit words; a contribution may be scaled by a
+(possibly negative) use count.
+
+Section 6.1's *two-checksum* scheme adds a second channel in which each
+value is left-rotated by an address-derived amount (bits 3–7 of the
+element's byte address, giving rotations 0..31) before being summed —
+implemented here as additional channels, so the same instrumented
+program can maintain one or many checksums.
+
+Checksums are plain Python attributes — never stored in the simulated
+memory — which models their register residency: fault injectors cannot
+touch them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK64 = (1 << 64) - 1
+
+CHECKSUM_NAMES = ("def", "use", "e_def", "e_use")
+
+
+def _valid_name(which: str) -> bool:
+    """Base name, or a localization-qualified ``<base>@<group>``."""
+    base, _, group = which.partition("@")
+    return base in CHECKSUM_NAMES and (group != "" or "@" not in which)
+
+
+def rotate_left(bits: int, amount: int) -> int:
+    """64-bit left rotation."""
+    amount %= 64
+    bits &= MASK64
+    if amount == 0:
+        return bits
+    return ((bits << amount) | (bits >> (64 - amount))) & MASK64
+
+
+def address_rotation(address: int) -> int:
+    """Rotation amount from bits 3..7 of the byte address (Section 6.1).
+
+    Elements are 8-byte aligned, so bits 0..2 are always zero; bits 3..7
+    give a 0..31 rotation that differs between nearby elements.
+    """
+    return (address >> 3) & 0x1F
+
+
+@dataclass
+class ChecksumMismatch:
+    """One failed verifier comparison."""
+
+    channel: int
+    left: str
+    right: str
+    left_value: int
+    right_value: int
+
+    def __str__(self) -> str:
+        return (
+            f"channel {self.channel}: {self.left}_cs=0x{self.left_value:016x} "
+            f"!= {self.right}_cs=0x{self.right_value:016x}"
+        )
+
+
+class ChecksumState:
+    """All checksum channels of one execution.
+
+    ``channels=1`` is the paper's software scheme; ``channels=2`` adds
+    the rotated checksum.  Contributions carry the element's address so
+    rotated channels can derive their rotation; address ``None`` (e.g.
+    a compiler temporary that never had a memory home) rotates by 0.
+
+    Checksum *names* are open-ended: the four classics (``def``,
+    ``use``, ``e_def``, ``e_use``) always exist, and instrumentation
+    may add qualified groups such as ``def@A`` — the per-array
+    localization extension — which are created on first contribution.
+    """
+
+    def __init__(self, channels: int = 1) -> None:
+        if channels < 1:
+            raise ValueError("at least one checksum channel required")
+        self.channels = channels
+        self.sums: list[dict[str, int]] = [
+            {name: 0 for name in CHECKSUM_NAMES} for _ in range(channels)
+        ]
+        self.contribution_count = 0
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        which: str,
+        bits: int,
+        count: int = 1,
+        address: int | None = None,
+    ) -> None:
+        """``<which>_cs += bits * count`` on every channel (mod 2^64)."""
+        if which not in self.sums[0]:
+            if not _valid_name(which):
+                raise ValueError(f"unknown checksum {which!r}")
+            for sums in self.sums:
+                sums[which] = 0
+        bits &= MASK64
+        self.contribution_count += 1
+        for channel in range(self.channels):
+            value = bits
+            if channel > 0 and address is not None:
+                value = rotate_left(bits, address_rotation(address) * channel)
+            sums = self.sums[channel]
+            sums[which] = (sums[which] + value * count) & MASK64
+
+    def get(self, which: str, channel: int = 0) -> int:
+        return self.sums[channel].get(which, 0)
+
+    # ------------------------------------------------------------------
+    def verify(
+        self, pairs: tuple[tuple[str, str], ...] = (("def", "use"), ("e_def", "e_use"))
+    ) -> list[ChecksumMismatch]:
+        """Compare checksum pairs on every channel; return mismatches."""
+        mismatches: list[ChecksumMismatch] = []
+        for channel in range(self.channels):
+            sums = self.sums[channel]
+            for left, right in pairs:
+                if sums.get(left, 0) != sums.get(right, 0):
+                    mismatches.append(
+                        ChecksumMismatch(
+                            channel=channel,
+                            left=left,
+                            right=right,
+                            left_value=sums.get(left, 0),
+                            right_value=sums.get(right, 0),
+                        )
+                    )
+        return mismatches
+
+    def matches(self) -> bool:
+        return not self.verify()
+
+    def __repr__(self) -> str:
+        parts = []
+        for channel, sums in enumerate(self.sums):
+            inner = ", ".join(f"{k}=0x{v:016x}" for k, v in sums.items())
+            parts.append(f"ch{channel}({inner})")
+        return f"ChecksumState[{'; '.join(parts)}]"

@@ -1,0 +1,171 @@
+"""Pseudo-assembly lowering and machine-model tests."""
+
+import pytest
+
+from repro.codegen.lowering import Instr, lower_assign
+from repro.ir.accesses import program_data_names
+from repro.ir.analysis import statement_contexts
+from repro.ir.parser import parse_program
+from repro.runtime.pipeline_model import (
+    HARDWARE_MACHINE,
+    SOFTWARE_MACHINE,
+    Machine,
+    block_cycles,
+    program_cycles,
+)
+
+
+def ops(instrs):
+    from collections import Counter
+
+    return Counter(i.op for i in instrs)
+
+
+def lowered(source: str, label: str):
+    program = parse_program(source)
+    (ctx,) = [
+        c for c in statement_contexts(program) if c.assign.label == label
+    ]
+    return lower_assign(ctx.assign, program_data_names(program)), program
+
+
+class TestLowering:
+    def test_simple_statement(self):
+        instrs, _ = lowered(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 { S1: A[i] = A[i] * 2.0; }
+            }
+            """,
+            "S1",
+        )
+        counted = ops(instrs)
+        assert counted["LD"] == 1
+        assert counted["ST"] == 1
+        assert counted["FMUL"] == 1
+
+    def test_distinct_loads_only(self):
+        instrs, _ = lowered(
+            """
+            program p(n) {
+              array A[n];
+              scalar a;
+              S1: a = A[0] * A[0];
+            }
+            """,
+            "S1",
+        )
+        assert ops(instrs)["LD"] == 1  # register reuse
+
+    def test_instrumented_statement_has_chk(self):
+        from repro.instrument.pipeline import instrument_program
+        from repro.ir.nodes import Assign, walk_statements
+
+        program = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for t = 0 .. 3 {
+                for i = 0 .. n - 1 { S1: A[i] = A[i] + 1.0; }
+              }
+            }
+            """
+        )
+        instrumented, _ = instrument_program(program)
+        assigns = [
+            s
+            for s in walk_statements(instrumented.body)
+            if isinstance(s, Assign) and s.instrumentation
+        ]
+        target = next(s for s in assigns if s.label and s.label.startswith("S1"))
+        instrs = lower_assign(target, program_data_names(instrumented))
+        assert ops(instrs)["CHK"] >= 2  # use + def contributions
+
+    def test_sqrt_and_div(self):
+        instrs, _ = lowered(
+            """
+            program p(n) {
+              array A[n];
+              S1: A[0] = sqrt(A[1]) / A[2];
+            }
+            """,
+            "S1",
+        )
+        counted = ops(instrs)
+        assert counted["FSQRT"] == 1 and counted["FDIV"] == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Instr("XYZ")
+
+
+class TestMachineModel:
+    def test_frontend_bound(self):
+        instrs = [Instr("IOP")] * 16
+        cost = block_cycles(instrs, Machine(fetch_width=4, int_alus=8))
+        assert cost.bound == "frontend"
+        assert cost.cycles == pytest.approx(4.0)
+
+    def test_memory_bound(self):
+        instrs = [Instr("LD")] * 8
+        cost = block_cycles(instrs, SOFTWARE_MACHINE)
+        assert cost.bound == "memory"
+        assert cost.cycles == pytest.approx(4.0)
+
+    def test_fdiv_occupancy(self):
+        instrs = [Instr("FDIV")]
+        cost = block_cycles(instrs, SOFTWARE_MACHINE)
+        assert cost.cycles == pytest.approx(SOFTWARE_MACHINE.fdiv_occupancy)
+
+    def test_chk_competes_for_alus_in_software(self):
+        # Integer work plus checksum work: in software they share the
+        # two ALUs; in hardware the CHKs drain through their own units.
+        instrs = [Instr("CHK")] * 4 + [Instr("IOP")] * 4
+        software = block_cycles(instrs, SOFTWARE_MACHINE)
+        hardware = block_cycles(instrs, HARDWARE_MACHINE)
+        assert software.cycles > hardware.cycles
+        assert software.bound == "int"
+
+    def test_chk_still_occupies_fetch_in_hardware(self):
+        """The paper's nop semantics: a hardware checksum instruction is
+        free to execute but still fetched/decoded."""
+        instrs = [Instr("CHK")] * 16
+        cost = block_cycles(instrs, HARDWARE_MACHINE)
+        assert cost.cycles >= 16 / HARDWARE_MACHINE.fetch_width
+
+
+class TestProgramCycles:
+    def test_hardware_never_slower(self):
+        from repro.instrument.pipeline import instrument_program
+        from repro.programs import cholesky
+
+        params = cholesky.SMALL_PARAMS
+        values = cholesky.initial_values(params)
+        instrumented, _ = instrument_program(cholesky.program())
+        software = program_cycles(
+            instrumented, params,
+            {k: v.copy() for k, v in values.items()}, SOFTWARE_MACHINE,
+        )
+        hardware = program_cycles(
+            instrumented, params,
+            {k: v.copy() for k, v in values.items()}, HARDWARE_MACHINE,
+        )
+        assert hardware <= software
+
+    def test_instrumentation_costs_cycles(self):
+        from repro.instrument.pipeline import instrument_program
+        from repro.programs import cholesky
+
+        params = cholesky.SMALL_PARAMS
+        values = cholesky.initial_values(params)
+        base = program_cycles(
+            cholesky.program(), params,
+            {k: v.copy() for k, v in values.items()}, SOFTWARE_MACHINE,
+        )
+        instrumented, _ = instrument_program(cholesky.program())
+        resilient = program_cycles(
+            instrumented, params,
+            {k: v.copy() for k, v in values.items()}, SOFTWARE_MACHINE,
+        )
+        assert resilient > base

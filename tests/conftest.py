@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir.parser import parse_program
+
+CHOLESKY_SNIPPET = """
+program paper_example(n) {
+  array A[n][n];
+  for j = 0 .. n - 1 {
+    S1: A[j][j] = sqrt(A[j][j]);
+    for i = j + 1 .. n - 1 {
+      S2: A[i][j] = A[i][j] / A[j][j];
+    }
+  }
+}
+"""
+
+
+@pytest.fixture
+def paper_example():
+    """The paper's Figure 2 running example."""
+    return parse_program(CHOLESKY_SNIPPET)
+
+
+def spd_matrix(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    return m @ m.T + n * np.eye(n)
+
+
+def copy_values(values: dict) -> dict:
+    return {k: (v.copy() if hasattr(v, "copy") else v) for k, v in values.items()}

@@ -1,0 +1,102 @@
+"""Figure 10/11 harness tests: overhead shape matches the paper."""
+
+import pytest
+
+from repro.experiments.figure10 import (
+    build_benchmark,
+    format_table2,
+    measure_counts,
+    overhead_row,
+)
+from repro.experiments.figure11 import hardware_row
+from repro.experiments.reporting import OverheadRow, format_overheads, geomean
+from repro.runtime.costmodel import CostModel
+
+
+@pytest.fixture(scope="module")
+def rows():
+    """Small-scale Figure 10+11 rows for a representative subset."""
+    names = ["cholesky", "jacobi1d", "cg", "moldyn", "trisolv"]
+    return {name: hardware_row(name, scale="small") for name in names}
+
+
+class TestShape:
+    def test_resilient_slower_than_original(self, rows):
+        for name, row in rows.items():
+            assert row.resilient > 1.0, name
+
+    def test_optimization_never_hurts(self, rows):
+        for name, row in rows.items():
+            assert row.resilient_optimized <= row.resilient + 1e-9, name
+
+    def test_hardware_cheaper_than_software(self, rows):
+        """Figure 11: the checksum functional unit reduces overheads."""
+        for name, row in rows.items():
+            assert row.hardware < row.resilient_optimized, name
+
+    def test_cg_gains_from_hoisting(self):
+        """Paper: all of CG's benefit comes from inspector hoisting."""
+        row = overhead_row("cg", scale="small")
+        assert row.resilient_optimized < row.resilient
+
+    def test_moldyn_not_helped_by_optimizations(self, rows):
+        """Paper: moldyn's inspector cannot be hoisted — the optimized
+        build is no better."""
+        row = rows["moldyn"]
+        assert row.resilient_optimized == pytest.approx(
+            row.resilient, rel=0.05
+        )
+
+    def test_moldyn_among_worst(self, rows):
+        """Paper: moldyn has the highest overhead."""
+        moldyn = rows["moldyn"].resilient_optimized
+        others = [
+            row.resilient_optimized
+            for name, row in rows.items()
+            if name not in ("moldyn", "cg")
+        ]
+        assert moldyn > min(others)
+
+
+class TestMechanics:
+    def test_counts_fault_free(self):
+        builds = build_benchmark("cholesky", scale="small")
+        counts = measure_counts(builds)
+        assert counts["original"].checksum_ops == 0
+        assert counts["resilient"].checksum_ops > 0
+
+    def test_cost_model_hardware_discount(self):
+        builds = build_benchmark("cholesky", scale="small")
+        counts = measure_counts(builds)
+        cm = CostModel()
+        software = cm.estimate(counts["optimized"], hardware_checksums=False)
+        hardware = cm.estimate(counts["optimized"], hardware_checksums=True)
+        assert hardware < software
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) != geomean([])  # nan
+
+    def test_format_overheads(self, rows):
+        text = format_overheads(
+            list(rows.values()), "test title", paper_geomeans={"resilient": 1.788}
+        )
+        assert "geomean" in text and "test title" in text
+
+    def test_table2_lists_all_benchmarks(self):
+        text = format_table2()
+        from repro.programs import ALL_BENCHMARKS
+
+        for name in ALL_BENCHMARKS:
+            assert name in text
+        assert "strsm" in text
+
+
+class TestWallClock:
+    def test_wall_measure_runs(self):
+        from repro.experiments.figure10 import measure_wall
+
+        builds = build_benchmark("trisolv", scale="small")
+        times = measure_wall(builds, repeats=1)
+        assert set(times) == {"original", "resilient", "optimized"}
+        assert all(t > 0 for t in times.values())

@@ -1,0 +1,90 @@
+"""Table 1 harness tests: rates land in the paper's bands."""
+
+import random
+
+import pytest
+
+from repro.experiments.table1 import (
+    Table1Config,
+    format_table,
+    run_cell,
+    run_table1,
+)
+
+
+class TestRunCell:
+    def test_two_bit_random_rate_near_paper(self):
+        """Paper: ~0.76-0.79% undetected for 2-bit flips in random data.
+        Analytically 1/64 * 1/2 = 0.78%."""
+        rng = random.Random(42)
+        one, _ = run_cell(100, 2, "random", trials=60_000, rng=rng)
+        assert 0.55 <= one <= 1.05
+
+    def test_two_bit_all_zero_rate_near_paper(self):
+        """Paper: ~0.014-0.025%; analytically (1/64)^2 = 0.024% (both
+        flips at the sign bit of different words)."""
+        rng = random.Random(43)
+        one, _ = run_cell(100, 2, "all0", trials=120_000, rng=rng)
+        assert one <= 0.12
+
+    def test_all1_equals_all0_statistically(self):
+        rng = random.Random(44)
+        one0, _ = run_cell(64, 2, "all0", trials=40_000, rng=rng)
+        one1, _ = run_cell(64, 2, "all1", trials=40_000, rng=rng)
+        assert abs(one0 - one1) < 0.1
+
+    def test_two_checksums_strictly_better(self):
+        rng = random.Random(45)
+        one, two = run_cell(100, 2, "random", trials=60_000, rng=rng)
+        assert two <= one
+        # Paper: ~0.02% for two checksums; allow statistical headroom.
+        assert two <= 0.15
+
+    def test_higher_bit_counts_rarely_missed(self):
+        """Paper: 4..6-bit random errors essentially always caught."""
+        rng = random.Random(46)
+        for bits in (4, 5, 6):
+            one, two = run_cell(100, bits, "random", trials=20_000, rng=rng)
+            assert one <= 0.1, bits
+            assert two == 0.0, bits
+
+    def test_deterministic_given_seed(self):
+        a = run_cell(100, 2, "random", 5_000, random.Random(1))
+        b = run_cell(100, 2, "random", 5_000, random.Random(1))
+        assert a == b
+
+
+class TestHarness:
+    def test_run_table1_shape(self):
+        config = Table1Config(
+            sizes=(100,), bit_counts=(2, 3), patterns=("all0", "random"),
+            trials=500,
+        )
+        rows = run_table1(config)
+        assert len(rows) == 4
+        keys = {(r.bits, r.size, r.pattern) for r in rows}
+        assert (2, 100, "all0") in keys and (3, 100, "random") in keys
+
+    def test_format_table(self):
+        config = Table1Config(sizes=(100,), bit_counts=(2,), trials=200)
+        rows = run_table1(config)
+        text = format_table(rows)
+        assert "Table 1" in text
+        assert "paper" in text
+
+    def test_incremental_matches_full_recompute(self):
+        """The incremental checksum delta equals full recomputation."""
+        from repro.instrument.operators import ModularAddChecksum
+        from repro.runtime.faults import flip_random_bits_in_words
+
+        rng = random.Random(7)
+        op = ModularAddChecksum()
+        for _ in range(50):
+            words = [rng.getrandbits(64) for _ in range(32)]
+            original = list(words)
+            flip_random_bits_in_words(words, rng.randint(2, 6), rng)
+            full_detect = op.compute(words) != op.compute(original)
+            delta = 0
+            for a, b in zip(original, words):
+                delta = (delta + b - a) & ((1 << 64) - 1)
+            assert (delta != 0) == full_detect

@@ -1,0 +1,134 @@
+"""Array protection-plan classification tests."""
+
+from repro.instrument.classify import PlanKind, classify_arrays
+from repro.ir.parser import parse_program
+from repro.poly.model import extract_model
+from repro.programs import ALL_BENCHMARKS
+
+
+def classify(source: str):
+    program = parse_program(source)
+    model = extract_model(program)
+    return classify_arrays(program, model)
+
+
+class TestBenchmarkPlans:
+    def test_affine_benchmarks_fully_static(self):
+        from repro.programs import AFFINE_BENCHMARKS
+
+        for name in AFFINE_BENCHMARKS:
+            program = ALL_BENCHMARKS[name].program()
+            result = classify_arrays(program, extract_model(program))
+            for plan in result.plans.values():
+                assert plan.kind == PlanKind.STATIC, f"{name}:{plan.name}"
+
+    def test_cg_plans(self):
+        program = ALL_BENCHMARKS["cg"].program()
+        result = classify_arrays(program, extract_model(program))
+        assert result.kind("val") == PlanKind.ITER_READONLY
+        assert result.kind("colidx") == PlanKind.ITER_READONLY
+        assert result.kind("p") == PlanKind.ITER_WRITTEN
+        assert result.kind("q") == PlanKind.ITER_WRITTEN
+        assert result.kind("s") == PlanKind.DYNAMIC
+        assert result.kind("t") == PlanKind.DYNAMIC
+
+    def test_moldyn_positions_dynamic(self):
+        """The paper: moldyn's inspector cannot be hoisted because the
+        neighbor list is rebuilt in the loop — x falls back to counters."""
+        program = ALL_BENCHMARKS["moldyn"].program()
+        result = classify_arrays(program, extract_model(program))
+        assert result.kind("x") == PlanKind.DYNAMIC
+        assert "modified in loop" in result.plan("x").reason
+        assert result.kind("nbr") == PlanKind.ITER_WRITTEN
+        assert result.kind("f") == PlanKind.ITER_WRITTEN
+
+
+class TestEdgeCases:
+    def test_data_dependent_guard_forces_dynamic(self):
+        result = classify(
+            """
+            program p(n) {
+              array x[n];
+              array out[n];
+              scalar temp;
+              S0: temp = 1;
+              if (x[0] > 0) { S1: out[0] = temp; }
+            }
+            """
+        )
+        assert result.kind("temp") == PlanKind.DYNAMIC
+        assert result.kind("out") == PlanKind.DYNAMIC
+
+    def test_irregular_outside_while_is_dynamic(self):
+        result = classify(
+            """
+            program p(n) {
+              array A[n];
+              array idx[n] : i64;
+              scalar s;
+              for i = 0 .. n - 1 { S1: s = s + A[idx[i]]; }
+            }
+            """
+        )
+        assert result.kind("A") == PlanKind.DYNAMIC
+        assert result.kind("idx") == PlanKind.STATIC
+
+    def test_two_while_loops_force_dynamic(self):
+        result = classify(
+            """
+            program p(n) {
+              array A[n];
+              scalar t : i64;
+              while (t < n) { S1: t = t + 1; }
+              while (t > 0) {
+                S2: t = t - 1;
+                for i = 0 .. n - 1 { S3: A[i] = 1.0; }
+              }
+            }
+            """
+        )
+        assert result.kind("A") == PlanKind.DYNAMIC
+
+    def test_mixed_inside_outside_access_dynamic(self):
+        result = classify(
+            """
+            program p(n) {
+              array A[n];
+              scalar t : i64;
+              for i = 0 .. n - 1 { S0: A[i] = 1.0; }
+              while (t < n) {
+                for i2 = 0 .. n - 1 { S1: A[i2] = A[i2] + 1.0; }
+                S2: t = t + 1;
+              }
+            }
+            """
+        )
+        assert result.kind("A") == PlanKind.DYNAMIC
+
+    def test_never_accessed_is_static(self):
+        result = classify("program p(n) { array A[n]; }")
+        assert result.kind("A") == PlanKind.STATIC
+
+    def test_non_affine_domain_forces_dynamic(self):
+        result = classify(
+            """
+            program p(n) {
+              array A[n];
+              array ptr[n] : i64;
+              scalar s;
+              for i = 0 .. n - 2 {
+                for k = ptr[i] .. ptr[i + 1] - 1 { S1: s = s + A[k]; }
+              }
+            }
+            """
+        )
+        assert result.kind("A") == PlanKind.DYNAMIC
+        assert result.kind("s") == PlanKind.DYNAMIC
+
+    def test_iterative_disabled_all_dynamic(self):
+        program = ALL_BENCHMARKS["cg"].program()
+        result = classify_arrays(
+            program, extract_model(program), enable_iterative=False
+        )
+        for name in ("val", "colidx", "p", "q"):
+            assert result.kind(name) == PlanKind.DYNAMIC

@@ -1,0 +1,130 @@
+"""Cleanup pass tests: dead weight removal is semantics-preserving."""
+
+import numpy as np
+
+from repro.instrument.cleanup import cleanup_program
+from repro.ir.nodes import (
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    Const,
+    Loop,
+    Program,
+    VarRef,
+)
+from repro.ir.parser import parse_expression, parse_program
+from repro.runtime.interpreter import run_program
+
+
+def clean_expr(text: str):
+    from repro.instrument.cleanup import _clean_expr
+
+    return _clean_expr(parse_expression(text))
+
+
+class TestExpressionCleanup:
+    def test_affine_normalization(self):
+        assert clean_expr("i - 1 + 1") == VarRef("i")
+        assert clean_expr("0 + j") == VarRef("j")
+
+    def test_minmax_dedup(self):
+        assert clean_expr("min(a, min(a, b))") == clean_expr("min(a, b)")
+        assert clean_expr("max(a, a)") == VarRef("a")
+
+    def test_minmax_dominated_args_dropped(self):
+        # max(i, i + 1) is always i + 1.
+        result = clean_expr("max(i, i + 1)")
+        assert result == clean_expr("i + 1")
+        result = clean_expr("min(i, i + 1)")
+        assert result == VarRef("i")
+
+    def test_non_affine_untouched(self):
+        e = clean_expr("A[i] * A[j]")
+        assert isinstance(e, BinOp)
+
+    def test_minmax_symbolic_kept(self):
+        # min(n - 1, j) cannot be resolved statically.
+        result = clean_expr("min(n - 1, j)")
+        assert isinstance(result, Call)
+
+
+class TestStatementCleanup:
+    def test_zero_count_checksum_dropped(self):
+        p = Program(
+            name="p",
+            params=(),
+            arrays=(),
+            scalars=(),
+            body=(
+                ChecksumAdd(checksum="def", value=Const(1.0), count=Const(0)),
+            ),
+        )
+        assert cleanup_program(p).body == ()
+
+    def test_empty_loop_dropped(self):
+        inner = ChecksumAdd(checksum="def", value=Const(1.0), count=Const(0))
+        p = Program(
+            name="p",
+            params=("n",),
+            arrays=(),
+            scalars=(),
+            body=(
+                Loop(var="i", lower=Const(0), upper=Const(5), body=(inner,)),
+            ),
+        )
+        assert cleanup_program(p).body == ()
+
+    def test_statically_empty_range_dropped(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = max(0, 2) .. min(n - 1, 0) {
+                S1: A[i] = 1.0;
+              }
+            }
+            """
+        )
+        assert cleanup_program(p).body == ()
+
+    def test_nonempty_range_kept(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = max(0, 2) .. min(n - 1, 7) {
+                S1: A[i] = 1.0;
+              }
+            }
+            """
+        )
+        assert len(cleanup_program(p).body) == 1
+
+    def test_semantics_preserved_on_benchmarks(self):
+        from repro.instrument.pipeline import instrument_program
+        from repro.programs import ALL_BENCHMARKS
+
+        for name in ("cholesky", "jacobi1d"):
+            module = ALL_BENCHMARKS[name]
+            params = module.SMALL_PARAMS
+            values = module.initial_values(params)
+            instrumented, _ = instrument_program(module.program())
+            cleaned = cleanup_program(instrumented)
+            r1 = run_program(
+                instrumented,
+                params,
+                initial_values={k: v.copy() for k, v in values.items()},
+            )
+            r2 = run_program(
+                cleaned,
+                params,
+                initial_values={k: v.copy() for k, v in values.items()},
+            )
+            for decl in module.program().arrays:
+                np.testing.assert_array_equal(
+                    r1.memory.to_array(decl.name),
+                    r2.memory.to_array(decl.name),
+                )
+            for which in ("def", "use", "e_def", "e_use"):
+                assert r1.checksums.get(which) == r2.checksums.get(which)

@@ -1,0 +1,357 @@
+"""Fault-detection tests — the system's core claim.
+
+A transient error in a value between its definition and any of its
+uses must be flagged by the checksum verifier.  Deterministic tests
+pin faults next to known reads; statistical campaigns measure the
+detection rate over random injections (faults into *dead* values are
+invisible to any def/use scheme and are excluded from the must-detect
+set).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.parser import parse_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.faults import RandomCellFlipper, ScheduledBitFlip
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+
+class TestDeterministicDetection:
+    def test_corrupt_live_divisor(self, paper_example):
+        """A[0][0] is read n-1 times after its definition; corrupting it
+        while live must be caught."""
+        instrumented, _ = instrument_program(paper_example)
+        n = 6
+        from tests.conftest import spd_matrix
+
+        values = {"A": spd_matrix(n)}
+        # Fault-free run to measure the load budget.
+        clean = run_program(
+            instrumented, {"n": n}, initial_values=copy_values(values)
+        )
+        assert not clean.mismatches
+        # A[0][0] is defined at the very first bundle; its n-1 uses
+        # follow. Inject right after the definition.
+        injector = ScheduledBitFlip("A", (0, 0), [17, 44], at_load=2)
+        faulty = run_program(
+            instrumented,
+            {"n": n},
+            initial_values=copy_values(values),
+            injector=injector,
+        )
+        assert injector.fired
+        assert faulty.error_detected
+
+    def test_single_bit_flip_detected(self, paper_example):
+        instrumented, _ = instrument_program(paper_example)
+        from tests.conftest import spd_matrix
+
+        n = 5
+        injector = ScheduledBitFlip("A", (0, 0), [3], at_load=2)
+        result = run_program(
+            instrumented,
+            {"n": n},
+            initial_values={"A": spd_matrix(n)},
+            injector=injector,
+        )
+        assert result.error_detected
+
+    def test_dead_value_not_detectable(self, paper_example):
+        """A value never read again cannot be (and is not) flagged —
+        def/use checksums protect consumed data, exactly as designed."""
+        instrumented, _ = instrument_program(paper_example)
+        from tests.conftest import spd_matrix
+
+        n = 5
+        values = {"A": spd_matrix(n)}
+        clean = run_program(
+            instrumented, {"n": n}, initial_values=copy_values(values)
+        )
+        total_loads = clean.memory.load_count
+        # Corrupt A[n-1][0] at the very end: column 0 is complete and
+        # never re-read (dead), so the checksums still balance.
+        injector = ScheduledBitFlip(
+            "A", (n - 1, 0), [9], at_load=total_loads
+        )
+        faulty = run_program(
+            instrumented,
+            {"n": n},
+            initial_values=copy_values(values),
+            injector=injector,
+        )
+        assert injector.fired
+        assert not faulty.error_detected
+
+    def test_detection_in_dynamic_scheme(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array x[n];
+              array out[n];
+              scalar temp;
+              S0: temp = 42;
+              if (x[0] > 0) { S1: out[0] = temp + 1; }
+              if (x[1] > 0) { S2: out[1] = temp + 2; }
+            }
+            """
+        )
+        instrumented, _ = instrument_program(p)
+        values = {"x": np.ones(4)}
+        # temp is read by S1 then S2; corrupt it between those reads.
+        # Loads: prologue out (4) + temp (1) + x[0] + temp(S1) ...
+        clean = run_program(
+            instrumented, {"n": 4}, initial_values=copy_values(values)
+        )
+        assert not clean.mismatches
+        detected_any = False
+        for at_load in range(1, clean.memory.load_count + 1):
+            injector = ScheduledBitFlip("temp", (), [13, 50], at_load=at_load)
+            result = run_program(
+                instrumented,
+                {"n": 4},
+                initial_values=copy_values(values),
+                injector=injector,
+            )
+            if result.error_detected:
+                detected_any = True
+        assert detected_any
+
+    def test_persistent_error_caught_by_auxiliary_checksums(self):
+        """Section 4.1's scenario: with two dynamic uses, a persistent
+        corruption after the first use fools def/use alone; the
+        e_def/e_use pair catches it."""
+        p = parse_program(
+            """
+            program p(n) {
+              array x[n];
+              array out[n];
+              scalar temp;
+              S0: temp = 42;
+              if (x[0] > 0) { S1: out[0] = temp + 1; }
+              if (x[1] > 0) { S2: out[1] = temp + 2; }
+            }
+            """
+        )
+        instrumented, _ = instrument_program(p)
+        values = {"x": np.ones(2)}
+        detected_by_aux_only = False
+        clean = run_program(
+            instrumented, {"n": 2}, initial_values=copy_values(values)
+        )
+        for at_load in range(1, clean.memory.load_count + 1):
+            injector = ScheduledBitFlip("temp", (), [7], at_load=at_load)
+            result = run_program(
+                instrumented,
+                {"n": 2},
+                initial_values=copy_values(values),
+                injector=injector,
+            )
+            if not injector.fired:
+                continue
+            kinds = {(m.left, m.right) for m in result.mismatches}
+            if ("e_def", "e_use") in kinds and ("def", "use") not in kinds:
+                detected_by_aux_only = True
+        assert detected_by_aux_only
+
+
+class TestStatisticalCampaigns:
+    @pytest.mark.parametrize("name", ["cholesky", "trisolv", "cg", "moldyn"])
+    def test_no_silent_propagation(self, name):
+        """The paper's guarantee, stated operationally: a fault that
+        escapes the verifier must not have *propagated* — apart from
+        the injected cell itself, the final memory image equals the
+        fault-free one.  (Faults into dead cells, or before a value's
+        definition window, are undetectable by any def/use scheme and
+        harmless by the same token.)"""
+        module = ALL_BENCHMARKS[name]
+        program = module.program()
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        instrumented, _ = instrument_program(
+            program,
+            InstrumentationOptions(index_set_splitting=True),
+        )
+        from repro.runtime.faults import FaultInjector
+
+        class AccessRecorder(FaultInjector):
+            """First load-event index at which each cell is touched."""
+
+            def __init__(self):
+                self.first_access: dict = {}
+
+            def before_load(self, memory, array, indices, word):
+                self.first_access.setdefault(
+                    (array, tuple(indices)), memory.load_count
+                )
+                return None
+
+            def after_store(self, memory, array, indices, word):
+                self.first_access.setdefault(
+                    (array, tuple(indices)), memory.load_count
+                )
+                return None
+
+        recorder = AccessRecorder()
+        clean = run_program(
+            instrumented,
+            params,
+            initial_values=copy_values(values),
+            injector=recorder,
+        )
+        assert not clean.mismatches
+        total_loads = clean.memory.load_count
+        target_arrays = [d.name for d in program.arrays]
+        clean_words = clean.memory.snapshot()
+        detected = 0
+        trials = 40
+        for seed in range(trials):
+            rng = random.Random(seed)
+            injector = RandomCellFlipper(
+                num_bits=2,
+                expected_loads=max(1, total_loads // 2),
+                rng=rng,
+                target_arrays=target_arrays,
+            )
+            result = run_program(
+                instrumented,
+                params,
+                initial_values=copy_values(values),
+                injector=injector,
+                wild_reads=True,
+            )
+            record = injector.record
+            assert record is not None
+            if result.error_detected:
+                detected += 1
+                continue
+            # Pre-window faults (before the cell's very first access,
+            # i.e. before its def-checksum contribution) are
+            # indistinguishable from changed input — out of scope for
+            # any def/use scheme.
+            first = recorder.first_access.get(
+                (record.array, record.indices)
+            )
+            if first is None or record.at_load <= first + 1:
+                continue
+            # In-window and undetected: nothing but the injected cell
+            # may differ from the fault-free final state.
+            faulty_words = result.memory.snapshot()
+            for array in target_arrays:
+                shape = result.memory.shape(array)
+                for offset, (a, b) in enumerate(
+                    zip(clean_words[array], faulty_words[array])
+                ):
+                    if a == b:
+                        continue
+                    cell = []
+                    rest = offset
+                    for extent in reversed(shape):
+                        cell.append(rest % extent)
+                        rest //= extent
+                    cell = tuple(reversed(cell))
+                    assert array == record.array and cell == record.indices, (
+                        f"{name} seed {seed}: silent corruption of "
+                        f"{array}{cell} escaped (injected "
+                        f"{record.array}{record.indices} at load "
+                        f"{record.at_load}, first access {first})"
+                    )
+        # Non-vacuity: a healthy share of injections must land in live
+        # data and be caught.
+        assert detected >= trials // 4, f"{name}: only {detected}/{trials}"
+
+    def test_no_false_positives_across_seeds(self):
+        """Different inputs never trigger the verifier without a fault."""
+        module = ALL_BENCHMARKS["cholesky"]
+        instrumented, _ = instrument_program(module.program())
+        for seed in range(10):
+            values = module.initial_values(module.SMALL_PARAMS, seed=seed)
+            result = run_program(
+                instrumented,
+                module.SMALL_PARAMS,
+                initial_values=values,
+            )
+            assert not result.mismatches, f"seed {seed}"
+
+    def test_two_checksums_catch_aligned_cancellation(self):
+        """A crafted double flip that cancels in channel 0 is caught by
+        the rotated channel (Section 6.1)."""
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              scalar acc;
+              for rep = 0 .. 1 {
+                for i = 0 .. n - 1 {
+                  S1: acc = acc + A[i];
+                }
+              }
+            }
+            """
+        )
+        instrumented, _ = instrument_program(p)
+        values = {"A": np.array([1.0, 2.0, 3.0, 4.0])}
+
+        class AlignedCancel(ScheduledBitFlip):
+            """Flip the same bit with opposite polarity in two cells."""
+
+            def before_load(self, memory, name, indices, word):
+                if not self.fired and memory.load_count >= self.at_load:
+                    self.fired = True
+                    w0 = memory.peek_bits("A", (0,))
+                    w1 = memory.peek_bits("A", (1,))
+                    bit = 1 << 52
+                    # Force opposite polarity at bit 52.
+                    memory.poke_bits("A", (0,), w0 | bit)
+                    memory.poke_bits("A", (1,), w1 & ~bit)
+                return None
+
+        # Choose initial values whose bit-52 states are opposite so the
+        # "corruption" is a genuine double flip that cancels in the sum.
+        import struct
+
+        w0 = struct.unpack("<Q", struct.pack("<d", 1.0))[0]
+        w1 = w0 | (1 << 52)
+        values = {
+            "A": np.array(
+                [
+                    struct.unpack("<d", struct.pack("<Q", w0))[0],
+                    struct.unpack("<d", struct.pack("<Q", w1))[0],
+                    3.0,
+                    4.0,
+                ]
+            )
+        }
+
+        # Prologue loads A[0..3] and acc (5 loads); the first rep's four
+        # bundles load (acc, A[i]) each (8 loads). Injecting at load 14
+        # corrupts the array exactly between the two reps.
+        injector = AlignedCancel("A", (0,), [52], at_load=14)
+        one = run_program(
+            instrumented,
+            {"n": 4},
+            initial_values=copy_values(values),
+            injector=injector,
+            channels=1,
+        )
+        injector2 = AlignedCancel("A", (0,), [52], at_load=14)
+        two = run_program(
+            instrumented,
+            {"n": 4},
+            initial_values=copy_values(values),
+            injector=injector2,
+            channels=2,
+        )
+        # The crafted flips set w0's bit and clear w1's: +2^52 - 2^52 = 0
+        # in the plain sum...
+        if not one.error_detected:
+            # ... and then the rotated channel must catch it.
+            assert two.error_detected

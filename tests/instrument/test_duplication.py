@@ -1,0 +1,152 @@
+"""Duplication-baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.duplication import duplicate_program
+from repro.ir.parser import parse_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.faults import ScheduledBitFlip
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("name", ["cholesky", "trisolv", "cg", "moldyn"])
+    def test_fault_free_balance_and_results(self, name):
+        module = ALL_BENCHMARKS[name]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        duplicated = duplicate_program(module.program())
+        plain = run_program(
+            module.program(), params, initial_values=copy_values(values)
+        )
+        result = run_program(
+            duplicated, params, initial_values=copy_values(values)
+        )
+        assert not result.mismatches
+        for decl in module.program().arrays:
+            np.testing.assert_allclose(
+                result.memory.to_array(decl.name),
+                plain.memory.to_array(decl.name),
+            )
+            # The shadow equals the primary after a clean run.
+            np.testing.assert_allclose(
+                result.memory.to_array("__dup_" + decl.name),
+                plain.memory.to_array(decl.name),
+            )
+
+
+class TestCost:
+    def test_memory_footprint_doubles(self):
+        module = ALL_BENCHMARKS["cholesky"]
+        duplicated = duplicate_program(module.program())
+        assert len(duplicated.arrays) == 2 * len(module.program().arrays)
+
+    def test_bandwidth_roughly_doubles(self):
+        """The paper's complaint: duplication doubles memory traffic."""
+        module = ALL_BENCHMARKS["trisolv"]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        plain = run_program(
+            module.program(), params, initial_values=copy_values(values)
+        )
+        duplicated = duplicate_program(module.program())
+        result = run_program(
+            duplicated, params, initial_values=copy_values(values)
+        )
+        assert result.counts.stores >= 2 * plain.counts.stores
+        assert result.counts.loads >= 2 * plain.counts.loads
+
+
+class TestDetection:
+    def test_corrupted_primary_detected(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              scalar acc;
+              for i = 0 .. n - 1 { S1: acc = acc + A[i]; }
+            }
+            """
+        )
+        duplicated = duplicate_program(p)
+        values = {"A": np.arange(1.0, 5.0)}
+        clean = run_program(
+            duplicated, {"n": 4}, initial_values=copy_values(values)
+        )
+        assert not clean.mismatches
+        # Corrupt the primary copy mid-run: the duplicate disagrees.
+        injector = ScheduledBitFlip("A", (2,), [11], at_load=clean.memory.load_count // 2)
+        faulty = run_program(
+            duplicated,
+            {"n": 4},
+            initial_values=copy_values(values),
+            injector=injector,
+        )
+        assert injector.fired
+        assert faulty.error_detected
+
+    def test_corrupted_duplicate_also_detected(self):
+        """Symmetric coverage: a flip in the shadow copy unbalances the
+        comparison stream just the same."""
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              scalar acc;
+              for i = 0 .. n - 1 { S1: acc = acc + A[i]; }
+            }
+            """
+        )
+        duplicated = duplicate_program(p)
+        values = {"A": np.arange(1.0, 7.0)}
+        injector = ScheduledBitFlip("__dup_A", (3,), [5], at_load=8)
+        faulty = run_program(
+            duplicated,
+            {"n": 6},
+            initial_values=copy_values(values),
+            injector=injector,
+        )
+        assert injector.fired
+        assert faulty.error_detected
+
+    def test_printer_shows_duplicated_store(self):
+        from repro.ir.printer import program_to_text
+
+        p = parse_program(
+            "program p(n) { array A[n]; for i = 0 .. n - 1 { S1: A[i] = 1.0; } }"
+        )
+        text = program_to_text(duplicate_program(p))
+        assert "__dup_A[i] = A[i];  // duplicated store" in text
+
+    def test_codegen_equivalence(self):
+        from repro.codegen.python_gen import compile_to_python
+
+        module = ALL_BENCHMARKS["trisolv"]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        duplicated = duplicate_program(module.program())
+        compiled = compile_to_python(duplicated)
+        arrays = {}
+        from repro.ir.analysis import to_affine
+
+        for decl in duplicated.arrays:
+            dtype = np.float64 if decl.elem_type == "f64" else np.int64
+            if decl.name in values:
+                arrays[decl.name] = np.array(values[decl.name], dtype=dtype)
+            else:
+                shape = tuple(
+                    int(to_affine(d, set(params)).evaluate(params))
+                    for d in decl.dims
+                )
+                arrays[decl.name] = np.zeros(shape, dtype=dtype)
+        outcome = compiled(params, arrays)
+        assert not outcome["mismatch"]
+        interpreted = run_program(
+            duplicated, params, initial_values=copy_values(values)
+        )
+        np.testing.assert_allclose(
+            arrays["x"], interpreted.memory.to_array("x")
+        )

@@ -1,0 +1,180 @@
+"""Epoch-verification tests: balance, latency, overhead trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.epochs import EpochError, instrument_with_epochs
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.parser import parse_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.faults import ScheduledBitFlip
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+EPOCH_BENCHMARKS = ["jacobi1d", "seidel", "adi"]
+
+
+class TestBalance:
+    @pytest.mark.parametrize("name", EPOCH_BENCHMARKS)
+    def test_fault_free_balance(self, name):
+        module = ALL_BENCHMARKS[name]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        epoch_version, _ = instrument_with_epochs(module.program())
+        result = run_program(
+            epoch_version, params, initial_values=copy_values(values)
+        )
+        assert not result.mismatches, name
+
+    @pytest.mark.parametrize("name", EPOCH_BENCHMARKS)
+    def test_transparency(self, name):
+        module = ALL_BENCHMARKS[name]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        plain = run_program(
+            module.program(), params, initial_values=copy_values(values)
+        )
+        epoch_version, _ = instrument_with_epochs(module.program())
+        result = run_program(
+            epoch_version, params, initial_values=copy_values(values)
+        )
+        for decl in module.program().arrays:
+            np.testing.assert_allclose(
+                result.memory.to_array(decl.name),
+                plain.memory.to_array(decl.name),
+                rtol=1e-12,
+            )
+
+    def test_requires_single_outer_loop(self):
+        with pytest.raises(EpochError):
+            instrument_with_epochs(ALL_BENCHMARKS["cg"].program())
+        with pytest.raises(EpochError):
+            instrument_with_epochs(
+                parse_program("program p() { scalar a; a = 1; }")
+            )
+
+    def test_dynamic_counters_reset_between_epochs(self):
+        """A guarded (dynamic-counter) access inside the time loop must
+        not leak stale counts into the next epoch."""
+        p = parse_program(
+            """
+            program p(n, tsteps) {
+              array flags[n];
+              array A[n];
+              scalar acc;
+              for t = 0 .. tsteps - 1 {
+                for i = 0 .. n - 1 {
+                  if (flags[i] > 0.0) {
+                    S1: acc = acc + A[i];
+                  }
+                  S2: A[i] = A[i] * 0.5 + 1.0;
+                }
+              }
+            }
+            """
+        )
+        epoch_version, report = instrument_with_epochs(p)
+        rng = np.random.default_rng(1)
+        values = {
+            "flags": rng.choice([-1.0, 1.0], size=6),
+            "A": rng.standard_normal(6),
+        }
+        result = run_program(
+            epoch_version,
+            {"n": 6, "tsteps": 4},
+            initial_values=copy_values(values),
+        )
+        assert not result.mismatches
+
+
+class TestLatency:
+    def test_epochs_detect_earlier_than_termination(self):
+        module = ALL_BENCHMARKS["jacobi1d"]
+        params = {"n": 24, "tsteps": 8}
+        values = module.initial_values(params)
+        end_only, _ = instrument_program(
+            module.program(), InstrumentationOptions(index_set_splitting=True)
+        )
+        epoch_version, _ = instrument_with_epochs(
+            module.program(),
+            InstrumentationOptions(index_set_splitting=True),
+        )
+        # Inject early; both must detect, epochs much sooner.
+        improved = 0
+        compared = 0
+        for at_load in (60, 90, 120):
+            inj1 = ScheduledBitFlip("A", (7,), [11, 43], at_load=at_load)
+            late = run_program(
+                end_only,
+                params,
+                initial_values=copy_values(values),
+                injector=inj1,
+            )
+            inj2 = ScheduledBitFlip("A", (7,), [11, 43], at_load=at_load)
+            early = run_program(
+                epoch_version,
+                params,
+                initial_values=copy_values(values),
+                injector=inj2,
+                halt_on_mismatch=True,
+            )
+            if not (late.error_detected and early.error_detected):
+                continue
+            compared += 1
+            latency_late = late.first_detection_step
+            latency_early = early.first_detection_step
+            if latency_early < latency_late:
+                improved += 1
+        assert compared > 0
+        assert improved == compared, "epochs must shorten detection latency"
+
+    def test_halt_on_mismatch_stops_execution(self):
+        module = ALL_BENCHMARKS["jacobi1d"]
+        params = {"n": 24, "tsteps": 8}
+        values = module.initial_values(params)
+        epoch_version, _ = instrument_with_epochs(module.program())
+        injector = ScheduledBitFlip("A", (7,), [11], at_load=60)
+        halted = run_program(
+            epoch_version,
+            params,
+            initial_values=copy_values(values),
+            injector=injector,
+            halt_on_mismatch=True,
+        )
+        full = run_program(
+            epoch_version,
+            params,
+            initial_values=copy_values(values),
+            injector=ScheduledBitFlip("A", (7,), [11], at_load=60),
+        )
+        if halted.error_detected:
+            assert halted.statements_executed < full.statements_executed
+
+
+class TestOverheadTradeoff:
+    def test_epochs_cost_more_than_end_only(self):
+        """The latency gain is paid for with per-epoch prologue work."""
+        from repro.runtime.costmodel import CostModel
+
+        module = ALL_BENCHMARKS["jacobi1d"]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        plain = run_program(
+            module.program(), params, initial_values=copy_values(values)
+        )
+        end_only, _ = instrument_program(module.program())
+        epoch_version, _ = instrument_with_epochs(module.program())
+        r_end = run_program(
+            end_only, params, initial_values=copy_values(values)
+        )
+        r_epoch = run_program(
+            epoch_version, params, initial_values=copy_values(values)
+        )
+        cost = CostModel()
+        assert cost.overhead(plain.counts, r_epoch.counts) > cost.overhead(
+            plain.counts, r_end.counts
+        )

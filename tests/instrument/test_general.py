@@ -1,0 +1,161 @@
+"""General (dynamic-count) scheme tests — Algorithm 3 and Section 4.1."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.pipeline import instrument_program
+from repro.ir.parser import parse_program
+from repro.ir.printer import program_to_text
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+FIGURE7 = """
+program figure7(n) {
+  array x[n];
+  array z[n];
+  array out[n];
+  scalar temp;
+  S0: temp = 10 + 20;
+  if (x[1] > 0) {
+    S1: out[0] = temp + 1;
+  }
+  if (z[2] > 0) {
+    S2: out[1] = temp + 2;
+  }
+}
+"""
+
+
+class TestFigure7:
+    @pytest.mark.parametrize(
+        "x_sign,z_sign", [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+    )
+    def test_balance_all_branch_combinations(self, x_sign, z_sign):
+        """temp used 0, 1 or 2 times depending on the data — the
+        dynamic counters always balance."""
+        program = parse_program(FIGURE7)
+        instrumented, _ = instrument_program(program)
+        n = 4
+        values = {
+            "x": np.full(n, float(x_sign)),
+            "z": np.full(n, float(z_sign)),
+        }
+        result = run_program(instrumented, {"n": n}, initial_values=values)
+        assert not result.mismatches, (x_sign, z_sign)
+
+    def test_figure7b_structure(self):
+        """The generated text shows Figure 7(b)'s scheme: auxiliary
+        checksums at the def site, counter increments at use sites, and
+        the epilogue adjustment."""
+        program = parse_program(FIGURE7)
+        instrumented, _ = instrument_program(program)
+        text = program_to_text(instrumented)
+        assert "add_to_chksm(e_def_cs, temp, 1);" in text
+        assert "inc_use_count(__uc_temp);" in text
+        assert "add_to_chksm(def_cs, temp, __uc_temp - 1);" in text
+        assert "add_to_chksm(e_use_cs, temp, 1);" in text
+
+    def test_redefinition_resets_counter(self):
+        """A second definition adjusts for the first (Algorithm 3,
+        lines 13-16) whatever the first's dynamic use count was."""
+        p = parse_program(
+            """
+            program p(n) {
+              array x[n];
+              array out[n];
+              scalar temp;
+              S0: temp = 1;
+              if (x[0] > 0) { S1: out[0] = temp; }
+              S2: temp = 2;
+              if (x[1] > 0) { S3: out[1] = temp; }
+              if (x[2] > 0) { S4: out[2] = temp; }
+            }
+            """
+        )
+        instrumented, _ = instrument_program(p)
+        for pattern in ([1, 1, 1], [0, 1, 0], [1, 0, 1], [0, 0, 0]):
+            values = {"x": np.array(pattern, dtype=float)}
+            result = run_program(
+                instrumented, {"n": 3}, initial_values=copy_values(values)
+            )
+            assert not result.mismatches, pattern
+
+    def test_zero_use_definition(self):
+        """n = 0 uses: def checksum gets v * (0 - 1) in the epilogue
+        (Theorem 5.1, case 2a)."""
+        p = parse_program(
+            """
+            program p(n) {
+              array x[n];
+              array out[n];
+              scalar temp;
+              S0: temp = 7;
+              if (x[0] > 0) { S1: out[0] = temp; }
+            }
+            """
+        )
+        instrumented, _ = instrument_program(p)
+        result = run_program(
+            instrumented,
+            {"n": 2},
+            initial_values={"x": np.array([-1.0, -1.0])},
+        )
+        assert not result.mismatches
+
+
+class TestDynamicArrays:
+    def test_indirect_writes(self):
+        """Irregular *stores* (scatter) under dynamic counters."""
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              array idx[n] : i64;
+              for i = 0 .. n - 1 {
+                S1: A[idx[i]] = A[idx[i]] + 1.0;
+              }
+            }
+            """
+        )
+        instrumented, report = instrument_program(p)
+        from repro.instrument.classify import PlanKind
+
+        assert report.plans["A"].kind == PlanKind.DYNAMIC
+        for idx in ([0, 1, 2, 3], [0, 0, 0, 0], [3, 1, 3, 1]):
+            values = {
+                "A": np.arange(4, dtype=float),
+                "idx": np.array(idx, dtype=np.int64),
+            }
+            result = run_program(
+                instrumented, {"n": 4}, initial_values=copy_values(values)
+            )
+            assert not result.mismatches, idx
+
+    def test_gather_scatter_combination(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array src[n];
+              array dst[n];
+              array perm[n] : i64;
+              for i = 0 .. n - 1 {
+                S1: dst[perm[i]] = src[perm[i]] * 2.0;
+              }
+            }
+            """
+        )
+        instrumented, _ = instrument_program(p)
+        rng = np.random.default_rng(0)
+        values = {
+            "src": rng.standard_normal(5),
+            "dst": np.zeros(5),
+            "perm": rng.permutation(5).astype(np.int64),
+        }
+        result = run_program(
+            instrumented, {"n": 5}, initial_values=copy_values(values)
+        )
+        assert not result.mismatches
+        expected = np.zeros(5)
+        expected[values["perm"]] = values["src"][values["perm"]] * 2.0
+        np.testing.assert_allclose(result.memory.to_array("dst"), expected)

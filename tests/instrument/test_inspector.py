@@ -1,0 +1,228 @@
+"""Inspector and iterative-scheme tests (paper Section 4.2, Figures 8/9)."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.nodes import CounterIncrement, Loop, WhileLoop, walk_statements
+from repro.ir.parser import parse_program
+from repro.ir.printer import program_to_text
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+FIGURE8 = """
+program figure8(n, tsteps) {
+  array p_new[n];
+  array cols[n] : i64;
+  scalar temp1;
+  scalar temp2;
+  scalar temp3;
+  scalar t : i64;
+  S0: t = 0;
+  while (t < tsteps) {
+    for j1 = 0 .. n - 1 {
+      S1: temp1 = temp1 + p_new[cols[j1]];
+    }
+    for j2 = 0 .. n - 1 {
+      S2: temp2 = temp2 + p_new[j2];
+    }
+    for j3 = 0 .. n - 1 {
+      S3: p_new[j3] = temp3;
+    }
+    S4: t = t + 1;
+  }
+}
+"""
+
+
+def figure8_values(n: int, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "p_new": rng.standard_normal(n),
+        "cols": rng.integers(0, n, size=n, dtype=np.int64),
+        "temp3": 5.0,
+    }
+
+
+class TestFigure9Structure:
+    def test_inspector_hoisted_before_while(self):
+        program = parse_program(FIGURE8)
+        instrumented, report = instrument_program(program)
+        assert report.inspectors_hoisted
+        # The first statements are the inspector loop counting
+        # count_p_new[cols[j1]] — before the while loop.
+        before_while = []
+        for stmt in instrumented.body:
+            if isinstance(stmt, WhileLoop):
+                break
+            before_while.append(stmt)
+        increments = [
+            s
+            for stmt in before_while
+            for s in walk_statements([stmt])
+            if isinstance(s, CounterIncrement)
+        ]
+        assert increments, "no hoisted inspector found"
+        assert "__cnt_p_new" in str(increments[0].counter)
+
+    def test_figure9_def_count_shape(self):
+        program = parse_program(FIGURE8)
+        instrumented, _ = instrument_program(program)
+        text = program_to_text(instrumented)
+        # S3's def contribution: count_p_new[j3] + 1 (paper Figure 9).
+        assert "add_to_chksm(def_cs, p_new[j3], 1 + __cnt_p_new[j3]);" in text
+        # cols epilogue: iter - 1 times plus the auxiliary balance.
+        assert "add_to_chksm(def_cs, cols[__x0], __iter - 1);" in text
+        assert "add_to_chksm(e_use_cs, cols[__x0], 1);" in text
+        # p_new epilogue: the last iteration's definitions go unused.
+        assert "add_to_chksm(use_cs, p_new[__x0], 1 + __cnt_p_new[__x0]);" in text
+
+    def test_unhoisted_inspector_runs_inside_loop(self):
+        program = parse_program(FIGURE8)
+        instrumented, report = instrument_program(
+            program, InstrumentationOptions(hoist_inspectors=False)
+        )
+        assert not report.inspectors_hoisted
+        whiles = [
+            s
+            for s in walk_statements(instrumented.body)
+            if isinstance(s, WhileLoop)
+        ]
+        (loop,) = whiles
+        inner_increments = [
+            s
+            for s in walk_statements(loop.body)
+            if isinstance(s, CounterIncrement)
+            and "__cnt" in str(s.counter)
+        ]
+        assert inner_increments
+
+
+class TestIterativeCorrectness:
+    @pytest.mark.parametrize("tsteps", [0, 1, 2, 5])
+    @pytest.mark.parametrize("hoist", [True, False])
+    def test_balance_across_trip_counts(self, tsteps, hoist):
+        program = parse_program(FIGURE8)
+        instrumented, _ = instrument_program(
+            program, InstrumentationOptions(hoist_inspectors=hoist)
+        )
+        n = 7
+        result = run_program(
+            instrumented,
+            {"n": n, "tsteps": tsteps},
+            initial_values=figure8_values(n),
+        )
+        assert not result.mismatches, f"tsteps={tsteps} hoist={hoist}"
+
+    def test_duplicate_indirect_targets(self):
+        """cols mapping many j to the same cell: counts accumulate."""
+        program = parse_program(FIGURE8)
+        instrumented, _ = instrument_program(program)
+        n = 6
+        values = figure8_values(n)
+        values["cols"] = np.zeros(n, dtype=np.int64)  # all hit cell 0
+        result = run_program(
+            instrumented, {"n": n, "tsteps": 3}, initial_values=values
+        )
+        assert not result.mismatches
+
+    def test_hoisting_reduces_work(self):
+        program = parse_program(FIGURE8)
+        hoisted, _ = instrument_program(
+            program, InstrumentationOptions(hoist_inspectors=True)
+        )
+        unhoisted, _ = instrument_program(
+            program, InstrumentationOptions(hoist_inspectors=False)
+        )
+        n, tsteps = 10, 6
+        r_hoisted = run_program(
+            hoisted,
+            {"n": n, "tsteps": tsteps},
+            initial_values=figure8_values(n),
+        )
+        r_unhoisted = run_program(
+            unhoisted,
+            {"n": n, "tsteps": tsteps},
+            initial_values=figure8_values(n),
+        )
+        assert (
+            r_hoisted.counts.counter_ops < r_unhoisted.counts.counter_ops
+        )
+        assert r_hoisted.counts.total_ops() < r_unhoisted.counts.total_ops()
+
+
+class TestMixedReadPositions:
+    @pytest.mark.parametrize("tsteps", [0, 1, 2, 5])
+    def test_reads_before_and_after_write_balance(self, tsteps):
+        """ITER_WRITTEN with r_b > 0 AND r_a > 0: reads straddle the
+        write (S1 before, S2's own operand, S3 after) — the prologue
+        credits r_b, the def site r_b + r_a, the epilogue consumes the
+        final values' r_b."""
+        program = parse_program(
+            """
+            program mixed(n, tsteps) {
+              array A[n];
+              scalar acc1;
+              scalar acc2;
+              scalar t : i64;
+              S0: t = 0;
+              while (t < tsteps) {
+                for i = 0 .. n - 1 { S1: acc1 = acc1 + A[i]; }
+                for i2 = 0 .. n - 1 { S2: A[i2] = A[i2] * 0.5 + 1.0; }
+                for i3 = 0 .. n - 1 { S3: acc2 = acc2 + A[i3] * 2.0; }
+                S4: t = t + 1;
+              }
+            }
+            """
+        )
+        instrumented, report = instrument_program(program)
+        from repro.instrument.classify import PlanKind
+
+        assert report.plans["A"].kind == PlanKind.ITER_WRITTEN
+        result = run_program(
+            instrumented,
+            {"n": 6, "tsteps": tsteps},
+            initial_values={"A": np.arange(1.0, 7.0)},
+        )
+        assert not result.mismatches, tsteps
+
+
+class TestCgAndMoldyn:
+    def test_cg_reads_after_write_balance(self):
+        """q is read *after* its write in the same iteration (r_a > 0):
+        the prologue/epilogue balance differs from Figure 9's
+        reads-before-write case and must still hold."""
+        module = ALL_BENCHMARKS["cg"]
+        instrumented, report = instrument_program(module.program())
+        for tsteps in (0, 1, 4):
+            params = dict(module.SMALL_PARAMS)
+            params["tsteps"] = tsteps
+            result = run_program(
+                instrumented,
+                params,
+                initial_values=module.initial_values(params),
+            )
+            assert not result.mismatches, f"tsteps={tsteps}"
+
+    def test_moldyn_rebuilt_neighbor_list(self):
+        """nbr rebuilt every iteration (ITER_WRITTEN with reads-after-
+        write); x on dynamic counters — both must balance."""
+        module = ALL_BENCHMARKS["moldyn"]
+        instrumented, report = instrument_program(module.program())
+        from repro.instrument.classify import PlanKind
+
+        assert report.plans["x"].kind == PlanKind.DYNAMIC
+        for tsteps in (0, 1, 3):
+            params = dict(module.SMALL_PARAMS)
+            params["tsteps"] = tsteps
+            result = run_program(
+                instrumented,
+                params,
+                initial_values=module.initial_values(params),
+            )
+            assert not result.mismatches, f"tsteps={tsteps}"

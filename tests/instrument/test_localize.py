@@ -1,0 +1,104 @@
+"""Per-array checksum localization tests."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.localize import corrupted_groups
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.faults import ScheduledBitFlip
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+LOCALIZED = InstrumentationOptions(index_set_splitting=True, localize=True)
+
+
+class TestBalance:
+    @pytest.mark.parametrize("name", ["cholesky", "trisolv", "cg", "moldyn"])
+    def test_fault_free_balance(self, name):
+        module = ALL_BENCHMARKS[name]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        instrumented, _ = instrument_program(module.program(), LOCALIZED)
+        result = run_program(
+            instrumented, params, initial_values=copy_values(values)
+        )
+        assert not result.mismatches
+
+    def test_per_group_pairs_in_verifier(self):
+        from repro.ir.nodes import ChecksumAssert, walk_statements
+
+        module = ALL_BENCHMARKS["trisolv"]
+        instrumented, _ = instrument_program(module.program(), LOCALIZED)
+        (assertion,) = [
+            s
+            for s in walk_statements(instrumented.body)
+            if isinstance(s, ChecksumAssert)
+        ]
+        names = {pair[0] for pair in assertion.pairs}
+        assert "def@L" in names and "def@x" in names and "def@b" in names
+
+
+class TestLocalization:
+    def test_mismatch_names_the_corrupted_array(self):
+        module = ALL_BENCHMARKS["trisolv"]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        instrumented, _ = instrument_program(module.program(), LOCALIZED)
+        # Corrupt L mid-run: only L's group may trip.
+        injector = ScheduledBitFlip("L", (3, 1), [21, 40], at_load=180)
+        result = run_program(
+            instrumented,
+            params,
+            initial_values=copy_values(values),
+            injector=injector,
+        )
+        assert injector.fired
+        assert result.error_detected
+        groups = corrupted_groups(result.mismatches)
+        assert groups == {"L"}
+
+    def test_localizes_vector_corruption(self):
+        module = ALL_BENCHMARKS["trisolv"]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        instrumented, _ = instrument_program(module.program(), LOCALIZED)
+        clean = run_program(
+            instrumented, params, initial_values=copy_values(values)
+        )
+        # Find an injection into x that is detected, then check blame.
+        for at_load in range(160, clean.memory.load_count, 7):
+            injector = ScheduledBitFlip("x", (2,), [33], at_load=at_load)
+            result = run_program(
+                instrumented,
+                params,
+                initial_values=copy_values(values),
+                injector=injector,
+            )
+            if result.error_detected:
+                assert corrupted_groups(result.mismatches) == {"x"}
+                return
+        pytest.fail("no detectable x corruption found")
+
+    def test_same_contribution_count_as_global(self):
+        """Localization re-routes contributions; it does not add any."""
+        module = ALL_BENCHMARKS["cholesky"]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        global_version, _ = instrument_program(
+            module.program(), InstrumentationOptions(index_set_splitting=True)
+        )
+        localized, _ = instrument_program(module.program(), LOCALIZED)
+        r_global = run_program(
+            global_version, params, initial_values=copy_values(values)
+        )
+        r_local = run_program(
+            localized, params, initial_values=copy_values(values)
+        )
+        assert (
+            r_local.counts.checksum_ops == r_global.counts.checksum_ops
+        )

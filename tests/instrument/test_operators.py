@@ -1,0 +1,145 @@
+"""Checksum operator library tests."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.instrument.operators import (
+    AdlerChecksum,
+    Crc64Checksum,
+    FletcherChecksum,
+    ModularAddChecksum,
+    MultiChecksum,
+    OnesComplementChecksum,
+    RotatedModularAddChecksum,
+    XorChecksum,
+    operator_by_name,
+)
+
+WORDS = st.lists(
+    st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=16
+)
+
+ALL_OPERATORS = [
+    ModularAddChecksum(),
+    XorChecksum(),
+    OnesComplementChecksum(),
+    FletcherChecksum(),
+    AdlerChecksum(),
+    Crc64Checksum(),
+    RotatedModularAddChecksum(),
+]
+
+
+class TestBasicProperties:
+    @pytest.mark.parametrize("op", ALL_OPERATORS, ids=lambda o: o.name)
+    @given(words=WORDS)
+    def test_checksum_fits_64_bits(self, op, words):
+        assert 0 <= op.compute(words) < (1 << 64)
+
+    @pytest.mark.parametrize("op", ALL_OPERATORS, ids=lambda o: o.name)
+    def test_deterministic(self, op):
+        words = [17, 2**63, 12345678901234567890 % 2**64]
+        assert op.compute(words) == op.compute(words)
+
+    @given(words=WORDS)
+    def test_commutative_operators_are_order_independent(self, words):
+        for op in (ModularAddChecksum(), XorChecksum(), OnesComplementChecksum()):
+            shuffled = list(words)
+            random.Random(0).shuffle(shuffled)
+            assert op.compute(words) == op.compute(shuffled), op.name
+
+    def test_fletcher_is_position_aware(self):
+        op = FletcherChecksum()
+        assert op.compute([1, 2]) != op.compute([2, 1])
+        assert not op.commutative
+
+    def test_rotadd_depends_on_address(self):
+        op = RotatedModularAddChecksum()
+        assert op.compute([3], base_address=0) != op.compute([3], base_address=8)
+
+
+class TestDetection:
+    def test_single_bit_always_caught_by_modadd(self):
+        """One-bit errors are always caught (paper Section 6.1)."""
+        op = ModularAddChecksum()
+        rng = random.Random(5)
+        for _ in range(200):
+            words = [rng.getrandbits(64) for _ in range(8)]
+            corrupted = list(words)
+            index = rng.randrange(8)
+            corrupted[index] ^= 1 << rng.randrange(64)
+            assert op.detects(words, corrupted)
+
+    def test_modadd_misses_aligned_opposite_flips(self):
+        """The known 2-bit miss: same bit position, opposite values."""
+        op = ModularAddChecksum()
+        words = [0b1000, 0b0000]
+        corrupted = [0b0000, 0b1000]  # bit 3 flipped 1->0 and 0->1
+        assert not op.detects(words, corrupted)
+
+    def test_rotation_catches_aligned_opposite_flips(self):
+        op = RotatedModularAddChecksum()
+        words = [0b1000, 0b0000]
+        corrupted = [0b0000, 0b1000]
+        assert op.detects(words, corrupted)  # rotations 0 and 1 differ
+
+    def test_xor_misses_any_aligned_double_flip(self):
+        """XOR cancels *every* aligned double flip; integer addition
+        cancels only the opposite-polarity case — the paper's reason
+        for choosing addition (superior fault coverage, Section 5)."""
+        # Same polarity (both 0 -> 1): caught by modadd, missed by xor.
+        words = [0b0000, 0b0000]
+        corrupted = [0b1000, 0b1000]
+        assert ModularAddChecksum().detects(words, corrupted)
+        assert not XorChecksum().detects(words, corrupted)
+        # Opposite polarity (1 -> 0 and 0 -> 1): both miss.
+        words2 = [0b1000, 0b0000]
+        corrupted2 = [0b0000, 0b1000]
+        assert not ModularAddChecksum().detects(words2, corrupted2)
+        assert not XorChecksum().detects(words2, corrupted2)
+
+
+class TestCrc64:
+    def test_detects_every_two_bit_error(self):
+        """CRC-64's whole point: guaranteed 2-bit detection within the
+        polynomial window (Maxino's strongest entry)."""
+        op = Crc64Checksum()
+        rng = random.Random(11)
+        for _ in range(300):
+            words = [rng.getrandbits(64) for _ in range(16)]
+            corrupted = list(words)
+            positions = rng.sample(range(16 * 64), 2)
+            for p in positions:
+                corrupted[p // 64] ^= 1 << (p % 64)
+            assert op.detects(words, corrupted)
+
+    def test_known_vector(self):
+        # CRC of a single zero word is zero; of a one-bit word, nonzero.
+        op = Crc64Checksum()
+        assert op.compute([0]) == 0
+        assert op.compute([1]) != 0
+
+    def test_not_commutative(self):
+        op = Crc64Checksum()
+        assert op.compute([1, 2]) != op.compute([2, 1])
+        assert not op.commutative
+
+
+class TestMulti:
+    def test_multi_detects_when_any_component_does(self):
+        multi = MultiChecksum([ModularAddChecksum(), RotatedModularAddChecksum()])
+        words = [0b1000, 0b0000]
+        corrupted = [0b0000, 0b1000]
+        assert multi.detects(words, corrupted)
+
+    def test_registry(self):
+        assert operator_by_name("modadd").name == "modadd"
+        assert operator_by_name("xor").name == "xor"
+        two = operator_by_name("modadd+rotadd")
+        assert isinstance(two, MultiChecksum)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            operator_by_name("crc99")

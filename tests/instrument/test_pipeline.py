@@ -1,0 +1,180 @@
+"""End-to-end instrumentation tests: balance, equivalence, structure.
+
+The two key correctness properties of the whole compiler (Theorem 5.1):
+
+* **No false positives** — fault-free runs of every benchmark, under
+  every instrumentation configuration, end with matching checksums.
+* **Transparency** — instrumentation never changes the computation's
+  results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.nodes import ChecksumAssert, walk_statements
+from repro.ir.parser import parse_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+CONFIGS = {
+    "resilient": InstrumentationOptions(
+        index_set_splitting=False, hoist_inspectors=False
+    ),
+    "optimized": InstrumentationOptions(
+        index_set_splitting=True, hoist_inspectors=True
+    ),
+    "split_only": InstrumentationOptions(
+        index_set_splitting=True, hoist_inspectors=False
+    ),
+    "hoist_only": InstrumentationOptions(
+        index_set_splitting=False, hoist_inspectors=True
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_fault_free_balance_and_transparency(name, config):
+    module = ALL_BENCHMARKS[name]
+    program = module.program()
+    params = module.SMALL_PARAMS
+    values = module.initial_values(params)
+    instrumented, _ = instrument_program(program, CONFIGS[config])
+    plain = run_program(program, params, initial_values=copy_values(values))
+    resilient = run_program(
+        instrumented, params, initial_values=copy_values(values)
+    )
+    assert not resilient.mismatches, f"{name}/{config}: false positive"
+    for decl in program.arrays:
+        np.testing.assert_allclose(
+            resilient.memory.to_array(decl.name),
+            plain.memory.to_array(decl.name),
+            rtol=1e-12,
+            err_msg=f"{name}/{config}/{decl.name}",
+        )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+def test_multi_channel_balance(name):
+    """Two-checksum runs (Section 6.1) also balance fault-free."""
+    module = ALL_BENCHMARKS[name]
+    instrumented, _ = instrument_program(module.program())
+    result = run_program(
+        instrumented,
+        module.SMALL_PARAMS,
+        initial_values=module.initial_values(module.SMALL_PARAMS),
+        channels=2,
+    )
+    assert not result.mismatches
+
+
+class TestStructure:
+    def test_verifier_present(self, paper_example):
+        instrumented, _ = instrument_program(paper_example)
+        asserts = [
+            s
+            for s in walk_statements(instrumented.body)
+            if isinstance(s, ChecksumAssert)
+        ]
+        assert len(asserts) == 1
+
+    def test_verifier_optional(self, paper_example):
+        instrumented, _ = instrument_program(
+            paper_example, InstrumentationOptions(verify=False)
+        )
+        asserts = [
+            s
+            for s in walk_statements(instrumented.body)
+            if isinstance(s, ChecksumAssert)
+        ]
+        assert not asserts
+
+    def test_report_static_counts(self, paper_example):
+        _, report = instrument_program(paper_example)
+        assert "S1" in report.static_counts
+
+    def test_program_renamed(self, paper_example):
+        instrumented, _ = instrument_program(paper_example)
+        assert instrumented.name.endswith("__resilient")
+
+    def test_shadow_declarations_for_dynamic(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array x[n];
+              array out[n];
+              scalar temp;
+              S0: temp = 1;
+              if (x[0] > 0) { S1: out[0] = temp; }
+            }
+            """
+        )
+        instrumented, report = instrument_program(p)
+        assert instrumented.has_scalar("__uc_temp")
+        assert instrumented.has_array("__uc_out")
+        # STATIC x needs no shadow
+        assert not instrumented.has_array("__uc_x")
+
+    def test_cg_inspector_array_declared(self):
+        instrumented, _ = instrument_program(ALL_BENCHMARKS["cg"].program())
+        assert instrumented.has_array("__cnt_p")
+        assert instrumented.has_scalar("__iter")
+
+
+class TestZeroTripAndDegenerate:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("cholesky", {"n": 1}),
+            ("cholesky", {"n": 2}),
+            ("trisolv", {"n": 1}),
+            ("jacobi1d", {"n": 3, "tsteps": 1}),
+            ("jacobi1d", {"n": 4, "tsteps": 0}),
+            ("cg", {"n": 2, "m": 1, "tsteps": 0}),
+            ("cg", {"n": 2, "m": 1, "tsteps": 1}),
+            ("moldyn", {"n": 2, "tsteps": 0}),
+            ("seidel", {"n": 3, "tsteps": 1}),
+            ("dsyrk", {"n": 1}),
+            ("strsm", {"n": 1, "m": 1}),
+        ],
+    )
+    def test_boundary_sizes_balance(self, name, params):
+        module = ALL_BENCHMARKS[name]
+        values = module.initial_values(params)
+        for config in ("resilient", "optimized"):
+            instrumented, _ = instrument_program(
+                module.program(), CONFIGS[config]
+            )
+            result = run_program(
+                instrumented, params, initial_values=copy_values(values)
+            )
+            assert not result.mismatches, f"{name}{params}/{config}"
+
+
+class TestScalarPrograms:
+    def test_figure1_temp_example(self):
+        """The paper's opening example: temp defined once, used twice."""
+        p = parse_program(
+            """
+            program fig1() {
+              scalar temp;
+              scalar sum1;
+              scalar sum2;
+              S0: temp = 10 + 20;
+              S1: sum1 = temp + 30;
+              S2: sum2 = temp + 40;
+            }
+            """
+        )
+        instrumented, report = instrument_program(p)
+        assert report.static_counts.get("S0") == "2"
+        result = run_program(instrumented, {})
+        assert not result.mismatches
+        assert result.memory.load("sum1", ()) == 60.0
+        assert result.memory.load("sum2", ()) == 70.0

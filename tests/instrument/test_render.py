@@ -1,0 +1,156 @@
+"""Rendering tests: symbolic values -> IR expressions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.instrument.render import (
+    RenderError,
+    constraint_to_condition,
+    gist_constraints,
+    linexpr_to_ir,
+    piecewise_constant_value,
+    piecewise_to_ir,
+    polynomial_to_ir,
+)
+from repro.isl.basic_set import BasicSet, parse_constraints
+from repro.isl.constraints import Constraint
+from repro.isl.linear import LinExpr
+from repro.isl.piecewise import PiecewisePolynomial
+from repro.isl.polynomial import Polynomial
+from repro.isl.space import Space
+from repro.runtime.interpreter import Interpreter
+from repro.ir.nodes import Program
+
+NAMES = ["n", "j", "k"]
+
+
+def evaluate_ir(expr, env):
+    """Evaluate an IR expression with a bare interpreter."""
+    program = Program(name="t", params=tuple(env), arrays=(), scalars=(), body=())
+    interp = Interpreter(program, env)
+    return interp._eval(expr, None)
+
+
+@st.composite
+def lin_exprs(draw):
+    coeffs = draw(
+        st.dictionaries(
+            st.sampled_from(NAMES), st.integers(-5, 5), max_size=3
+        )
+    )
+    return LinExpr(coeffs, draw(st.integers(-8, 8)))
+
+
+ENV = st.fixed_dictionaries({n: st.integers(-6, 6) for n in NAMES})
+
+
+class TestLinExpr:
+    @given(lin_exprs(), ENV)
+    def test_roundtrip_evaluation(self, e, env):
+        rendered = linexpr_to_ir(e)
+        assert evaluate_ir(rendered, env) == e.evaluate(env)
+
+    def test_fractional_rejected(self):
+        with pytest.raises(RenderError):
+            linexpr_to_ir(LinExpr({"j": Fraction(1, 2)}))
+
+    def test_constant(self):
+        from repro.ir.nodes import Const
+
+        assert linexpr_to_ir(LinExpr.constant(-3)) == Const(-3)
+
+
+class TestPolynomial:
+    @given(ENV, st.integers(-4, 4), st.integers(-4, 4), st.integers(0, 2))
+    def test_roundtrip_evaluation(self, env, a, b, e1):
+        poly = (
+            a * Polynomial.var("n") * Polynomial.var("j") ** e1
+            + b * Polynomial.var("k")
+            + 7
+        )
+        rendered = polynomial_to_ir(poly)
+        assert evaluate_ir(rendered, env) == poly.evaluate(env)
+
+    def test_fractional_rejected(self):
+        with pytest.raises(RenderError):
+            polynomial_to_ir(Polynomial.constant(Fraction(1, 2)))
+
+
+class TestConstraints:
+    def test_condition(self):
+        c = Constraint.ge(LinExpr.var("j"), LinExpr.constant(2))
+        cond = constraint_to_condition(c)
+        assert evaluate_ir(cond, {"j": 2, "n": 0, "k": 0}) == 1
+        assert evaluate_ir(cond, {"j": 1, "n": 0, "k": 0}) == 0
+
+    def test_gist_drops_implied(self):
+        space = Space.set_space((), params=("n", "j"))
+        domain = BasicSet(space, parse_constraints("0 <= j <= n - 1"))
+        constraints = tuple(
+            parse_constraints("j >= 0") + parse_constraints("j <= n - 2")
+        )
+        kept = gist_constraints(domain, constraints)
+        assert len(kept) == 1  # j >= 0 implied by the domain
+
+
+class TestPiecewise:
+    SPACE = Space.set_space((), params=("n", "j", "k"))
+
+    def make(self, pieces):
+        return PiecewisePolynomial(
+            self.SPACE,
+            [
+                (BasicSet(self.SPACE, parse_constraints(text)), poly)
+                for text, poly in pieces
+            ],
+        )
+
+    def test_zero(self):
+        from repro.ir.nodes import Const
+
+        assert piecewise_to_ir(PiecewisePolynomial.zero(self.SPACE)) == Const(0)
+
+    def test_single_piece_with_context_is_unconditional(self):
+        pwp = self.make([("0 <= j <= n - 2", Polynomial.var("n") - Polynomial.var("j") - 1)])
+        context = BasicSet(self.SPACE, parse_constraints("0 <= j <= n - 2"))
+        rendered = piecewise_to_ir(pwp, context)
+        from repro.ir.nodes import Select
+
+        assert not isinstance(rendered, Select)
+
+    def test_multi_piece_renders_select(self):
+        pwp = self.make(
+            [
+                ("0 <= j <= n - 2", Polynomial.var("n")),
+                ("j >= n", Polynomial.var("j")),
+            ]
+        )
+        rendered = piecewise_to_ir(pwp)
+        for env in [
+            {"n": 5, "j": 2, "k": 0},
+            {"n": 5, "j": 7, "k": 0},
+            {"n": 5, "j": 4, "k": 0},  # in no piece -> 0
+        ]:
+            assert evaluate_ir(rendered, env) == pwp.evaluate(env)
+
+    def test_piecewise_values_match_everywhere(self):
+        pwp = self.make(
+            [
+                ("j >= 1 and j <= k", Polynomial.var("k") - Polynomial.var("j")),
+                ("j >= k + 1", Polynomial.constant(2)),
+            ]
+        )
+        rendered = piecewise_to_ir(pwp)
+        for j in range(-2, 6):
+            for k in range(-2, 6):
+                env = {"n": 0, "j": j, "k": k}
+                assert evaluate_ir(rendered, env) == pwp.evaluate(env)
+
+    def test_constant_detection(self):
+        pwp = self.make([("j >= 0", Polynomial.constant(3))])
+        assert piecewise_constant_value(pwp) == 3
+        pwp2 = self.make([("j >= 0", Polynomial.var("j"))])
+        assert piecewise_constant_value(pwp2) is None
+        assert piecewise_constant_value(PiecewisePolynomial.zero(self.SPACE)) == 0

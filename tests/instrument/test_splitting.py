@@ -1,0 +1,158 @@
+"""Index-set splitting (Algorithm 2) tests."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.nodes import Loop, Select, walk_expressions, walk_statements
+from repro.ir.parser import parse_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values, spd_matrix
+
+SPLIT = InstrumentationOptions(index_set_splitting=True)
+NO_SPLIT = InstrumentationOptions(index_set_splitting=False)
+
+
+def selects_in_loops(program) -> int:
+    """Count Select conditionals inside loops (incl. instrumentation)."""
+    from repro.instrument.splitting import _loop_expressions
+
+    count = 0
+    for stmt in walk_statements(program.body):
+        if isinstance(stmt, Loop):
+            for expr in _loop_expressions(stmt):
+                for node in walk_expressions(expr):
+                    if isinstance(node, Select):
+                        count += 1
+    return count
+
+
+class TestPaperFigure6:
+    def test_peeled_structure(self, paper_example):
+        """Figure 6: the last j iteration is peeled; the main loop's
+        def contribution is the unconditional n-1-j."""
+        split, _ = instrument_program(paper_example, SPLIT)
+        from repro.ir.printer import program_to_text
+
+        text = program_to_text(split)
+        # No conditional (Select) remains in the main computation.
+        assert "?" not in text.split("for j")[1]
+
+    def test_kernel_selects_eliminated(self, paper_example):
+        unsplit, _ = instrument_program(paper_example, NO_SPLIT)
+        split, _ = instrument_program(paper_example, SPLIT)
+        assert selects_in_loops(unsplit) > 0
+        # Splitting is only applied to the kernel; the prologue keeps
+        # its piecewise conditionals (they run O(array) times).
+        kernel_selects = 0
+        from repro.instrument.splitting import _loop_expressions
+
+        for stmt in walk_statements(split.body):
+            if isinstance(stmt, Loop) and stmt.var not in ("__x0", "__x1"):
+                for expr in _loop_expressions(stmt):
+                    for node in walk_expressions(expr):
+                        if isinstance(node, Select):
+                            kernel_selects += 1
+        assert kernel_selects == 0
+
+    def test_labels_unique_after_split(self, paper_example):
+        split, _ = instrument_program(paper_example, SPLIT)
+        from repro.ir.nodes import statement_labels
+
+        labels = statement_labels(split.body)
+        assert len(labels) == len(set(labels))
+
+
+class TestSemanticEquivalence:
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_split_equals_unsplit(self, name):
+        module = ALL_BENCHMARKS[name]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        split, _ = instrument_program(module.program(), SPLIT)
+        unsplit, _ = instrument_program(module.program(), NO_SPLIT)
+        r_split = run_program(
+            split, params, initial_values=copy_values(values)
+        )
+        r_unsplit = run_program(
+            unsplit, params, initial_values=copy_values(values)
+        )
+        assert not r_split.mismatches and not r_unsplit.mismatches
+        for decl in module.program().arrays:
+            np.testing.assert_allclose(
+                r_split.memory.to_array(decl.name),
+                r_unsplit.memory.to_array(decl.name),
+                rtol=1e-12,
+            )
+        # Identical checksums, too (same contributions in a different
+        # grouping — the operator is commutative).
+        for which in ("def", "use", "e_def", "e_use"):
+            assert r_split.checksums.get(which) == r_unsplit.checksums.get(
+                which
+            ), which
+
+    def test_split_reduces_branches(self, paper_example):
+        n = 12
+        values = {"A": spd_matrix(n)}
+        split, _ = instrument_program(paper_example, SPLIT)
+        unsplit, _ = instrument_program(paper_example, NO_SPLIT)
+        r_split = run_program(split, {"n": n}, initial_values=copy_values(values))
+        r_unsplit = run_program(
+            unsplit, {"n": n}, initial_values=copy_values(values)
+        )
+        assert r_split.counts.branches < r_unsplit.counts.branches
+        assert r_split.counts.int_ops < r_unsplit.counts.int_ops
+
+
+class TestMechanics:
+    def test_equality_condition_peels_single_iteration(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              array B[n];
+              for i = 0 .. n - 1 {
+                S1: A[i] = 1.0;
+                S2: B[0] = A[i] + 1.0;
+              }
+            }
+            """
+        )
+        # A[i] written then read in the same iteration; B[0]
+        # repeatedly overwritten: its count is 0 except the last write.
+        split, report = instrument_program(p, SPLIT)
+        r = run_program(split, {"n": 5})
+        assert not r.mismatches
+
+    def test_split_budget_degrades_gracefully(self, paper_example):
+        from repro.instrument.splitting import split_index_sets
+
+        instrumented, _ = instrument_program(paper_example, NO_SPLIT)
+        limited = split_index_sets(instrumented, max_splits=0)
+        # With no budget nothing is split, but the program still runs.
+        r = run_program(limited, {"n": 5}, initial_values={"A": spd_matrix(5)})
+        assert not r.mismatches
+
+    def test_min_max_bounds_clamp_empty_ranges(self):
+        """Peeled pieces outside the range simply do not execute."""
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 { S1: A[i] = 2.0; }
+              for i2 = 0 .. n - 1 { S2: A[i2] = A[i2] * 2.0; }
+            }
+            """
+        )
+        split, _ = instrument_program(p, SPLIT)
+        for n in (1, 2, 5):
+            r = run_program(split, {"n": n})
+            assert not r.mismatches
+            np.testing.assert_allclose(
+                r.memory.to_array("A"), np.full(n, 4.0)
+            )

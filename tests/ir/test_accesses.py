@@ -1,0 +1,118 @@
+"""Access extraction and affine/irregular classification tests."""
+
+from repro.ir.accesses import (
+    all_statement_accesses,
+    data_reads_of,
+    program_data_names,
+    statement_accesses,
+)
+from repro.ir.analysis import statement_contexts
+from repro.ir.parser import parse_program
+
+
+class TestPaperExample:
+    def test_reads_and_writes(self, paper_example):
+        bundles = all_statement_accesses(paper_example)
+        s1, s2 = bundles
+        assert str(s1.write.ref) == "A[j][j]"
+        assert [str(r.ref) for r in s1.reads] == ["A[j][j]"]
+        assert str(s2.write.ref) == "A[i][j]"
+        assert [str(r.ref) for r in s2.reads] == ["A[i][j]", "A[j][j]"]
+
+    def test_all_affine(self, paper_example):
+        for bundle in all_statement_accesses(paper_example):
+            assert bundle.write.is_affine
+            assert all(r.is_affine for r in bundle.reads)
+
+    def test_index_affine_forms(self, paper_example):
+        bundles = all_statement_accesses(paper_example)
+        s2 = bundles[1]
+        write_indices = s2.write.index_affine
+        assert str(write_indices[0]) == "i"
+        assert str(write_indices[1]) == "j"
+
+
+class TestIrregular:
+    def setup_method(self):
+        self.program = parse_program(
+            """
+            program p(n) {
+              array p_new[n];
+              array cols[n] : i64;
+              scalar s;
+              for j = 0 .. n - 1 {
+                S1: s = s + p_new[cols[j]];
+              }
+            }
+            """
+        )
+
+    def test_indirect_read_is_irregular(self):
+        (bundle,) = all_statement_accesses(self.program)
+        refs = {str(r.ref): r for r in bundle.reads}
+        assert not refs["p_new[cols[j]]"].is_affine
+        assert refs["p_new[cols[j]]"].index_affine is None
+
+    def test_indexing_read_is_affine_and_counted(self):
+        (bundle,) = all_statement_accesses(self.program)
+        refs = {str(r.ref): r for r in bundle.reads}
+        assert refs["cols[j]"].is_affine
+
+    def test_scalar_read_is_affine(self):
+        (bundle,) = all_statement_accesses(self.program)
+        refs = {str(r.ref): r for r in bundle.reads}
+        assert refs["s"].is_affine
+        assert refs["s"].index_affine == ()
+
+    def test_partition_methods(self):
+        (bundle,) = all_statement_accesses(self.program)
+        assert len(bundle.irregular_reads()) == 1
+        assert len(bundle.affine_reads()) == 2
+
+
+class TestReadCollection:
+    def test_duplicate_reads_kept(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              scalar a;
+              S1: a = A[0] * A[0];
+            }
+            """
+        )
+        (ctx,) = statement_contexts(p)
+        reads = data_reads_of(ctx.assign, program_data_names(p))
+        assert len([r for r in reads if str(r) == "A[0]"]) == 2
+
+    def test_lhs_subscript_reads_collected(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              array idx[n] : i64;
+              for i = 0 .. n - 1 { S1: A[idx[i]] = 0; }
+            }
+            """
+        )
+        ctx = statement_contexts(p)[0]
+        reads = data_reads_of(ctx.assign, program_data_names(p))
+        assert [str(r) for r in reads] == ["idx[i]"]
+
+    def test_iterators_not_data_reads(self, paper_example):
+        ctx = statement_contexts(paper_example)[1]
+        reads = data_reads_of(ctx.assign, program_data_names(paper_example))
+        assert all(str(r).startswith("A[") for r in reads)
+
+    def test_write_classification_irregular_store(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              array idx[n] : i64;
+              for i = 0 .. n - 1 { S1: A[idx[i]] = 1; }
+            }
+            """
+        )
+        (bundle,) = all_statement_accesses(p)
+        assert not bundle.write.is_affine

@@ -1,0 +1,174 @@
+"""Tests for affine classification, contexts and validation."""
+
+import pytest
+
+from repro.ir.analysis import (
+    StatementContext,
+    ValidationError,
+    arrays_read_in,
+    arrays_written_in,
+    is_affine_condition,
+    statement_contexts,
+    to_affine,
+    validate_program,
+)
+from repro.ir.parser import parse_expression, parse_program
+
+
+class TestToAffine:
+    def test_affine_forms(self):
+        names = {"i", "j", "n"}
+        cases = {
+            "i + j": {"i": 1, "j": 1},
+            "2*i - 3": {"i": 2},
+            "n - 1 - j": {"n": 1, "j": -1},
+            "-(i - j)": {"i": -1, "j": 1},
+            "3 * (i + 1)": {"i": 3},
+        }
+        for text, coeffs in cases.items():
+            affine = to_affine(parse_expression(text), names)
+            assert affine is not None, text
+            for name, value in coeffs.items():
+                assert affine.coeff(name) == value, text
+
+    def test_non_affine_forms(self):
+        names = {"i", "j", "n"}
+        for text in ["i * j", "A[i]", "sqrt(i)", "i / 2", "1.5 * i", "i % 2"]:
+            assert to_affine(parse_expression(text), names) is None, text
+
+    def test_unknown_name(self):
+        assert to_affine(parse_expression("q + 1"), {"i"}) is None
+
+
+class TestAffineConditions:
+    def test_comparisons(self):
+        names = {"i", "n"}
+        assert is_affine_condition(parse_expression("i <= n - 1"), names)
+        assert is_affine_condition(
+            parse_expression("0 <= i && i <= n"), names
+        )
+
+    def test_data_dependent(self):
+        names = {"i", "n"}
+        assert not is_affine_condition(parse_expression("x[10] > 0"), names)
+        assert not is_affine_condition(parse_expression("i"), names)
+
+
+class TestContexts:
+    def test_loop_nesting(self, paper_example):
+        contexts = statement_contexts(paper_example)
+        assert [c.assign.label for c in contexts] == ["S1", "S2"]
+        s1, s2 = contexts
+        assert s1.iterators == ("j",)
+        assert s2.iterators == ("j", "i")
+        assert s1.path == (0, 0)
+        assert s2.path == (0, 1, 0)
+
+    def test_while_and_guard_context(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array x[n];
+              scalar t;
+              while (t < n) {
+                if (x[0] > 0) {
+                  S1: t = t + 1;
+                }
+              }
+            }
+            """
+        )
+        (ctx,) = statement_contexts(p)
+        assert ctx.while_loops
+        assert len(ctx.guards) == 1
+        assert ctx.in_irregular_context({"n"})
+
+    def test_else_branch_guard_negated(self):
+        p = parse_program(
+            """
+            program p(n) {
+              scalar a;
+              if (n > 0) { S1: a = 1; } else { S2: a = 2; }
+            }
+            """
+        )
+        s1, s2 = statement_contexts(p)
+        from repro.ir.nodes import UnOp
+
+        assert not isinstance(s1.guards[0], UnOp)
+        assert isinstance(s2.guards[0], UnOp)
+
+
+class TestReadWriteSets:
+    def test_written(self, paper_example):
+        assert arrays_written_in(paper_example.body) == {"A"}
+
+    def test_read_includes_indices(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array p_new[n];
+              array cols[n] : i64;
+              scalar s;
+              for j = 0 .. n - 1 { S1: s = s + p_new[cols[j]]; }
+            }
+            """
+        )
+        reads = arrays_read_in(p.body)
+        assert "cols" in reads and "p_new" in reads
+
+
+class TestValidation:
+    def test_benchmarks_validate(self):
+        from repro.programs import ALL_BENCHMARKS
+
+        for module in ALL_BENCHMARKS.values():
+            validate_program(module.program())
+
+    def test_unknown_name(self):
+        p = parse_program("program p() { scalar a; a = q; }")
+        with pytest.raises(ValidationError, match="unknown name"):
+            validate_program(p)
+
+    def test_unknown_array(self):
+        p = parse_program("program p() { scalar a; a = B[0]; }")
+        with pytest.raises(ValidationError, match="unknown array"):
+            validate_program(p)
+
+    def test_rank_mismatch(self):
+        p = parse_program(
+            "program p(n) { array A[n][n]; scalar a; a = A[0]; }"
+        )
+        with pytest.raises(ValidationError, match="dims"):
+            validate_program(p)
+
+    def test_duplicate_label(self):
+        p = parse_program(
+            "program p() { scalar a; S1: a = 1; S1: a = 2; }"
+        )
+        with pytest.raises(ValidationError, match="duplicate label"):
+            validate_program(p)
+
+    def test_iterator_shadowing(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 {
+                for i = 0 .. n - 1 { A[i] = 0; }
+              }
+            }
+            """
+        )
+        with pytest.raises(ValidationError, match="shadows"):
+            validate_program(p)
+
+    def test_assignment_to_undeclared_scalar(self):
+        p = parse_program("program p() { b = 1; }")
+        with pytest.raises(ValidationError):
+            validate_program(p)
+
+    def test_array_used_without_subscript(self):
+        p = parse_program("program p(n) { array A[n]; scalar a; a = A; }")
+        with pytest.raises(ValidationError):
+            validate_program(p)

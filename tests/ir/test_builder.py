@@ -1,0 +1,95 @@
+"""Builder tests: programmatic construction equals parsed text."""
+
+import pytest
+
+from repro.ir.builder import EB, ProgramBuilder
+from repro.ir.nodes import BinOp, Select, VarRef
+from repro.ir.parser import parse_program
+
+
+class TestExpressionBuilder:
+    def test_arithmetic(self):
+        n = EB(VarRef("n"))
+        e = (n - 1) * 2 + 5
+        assert isinstance(e.node, BinOp)
+
+    def test_reflected(self):
+        n = EB(VarRef("n"))
+        assert (1 - n).node.op == "-"
+        assert (1 - n).node.left.value == 1
+
+    def test_comparisons(self):
+        n = EB(VarRef("n"))
+        assert n.lt(5).node.op == "<"
+        assert n.ge(0).node.op == ">="
+        assert n.eq(1).node.op == "=="
+
+    def test_select(self):
+        n = EB(VarRef("n"))
+        s = n.gt(0).select(1, 0)
+        assert isinstance(s.node, Select)
+
+    def test_sqrt(self):
+        n = EB(VarRef("n"))
+        assert n.sqrt().node.func == "sqrt"
+
+
+class TestProgramBuilder:
+    def build_cholesky(self):
+        b = ProgramBuilder("paper_example", params=("n",))
+        A = b.array("A", ("n", "n"))
+        (n,) = b.params_and_vars("n")
+        j, i = b.var("j"), b.var("i")
+        with b.loop("j", 0, n - 1):
+            b.assign(A[j, j], A[j, j].sqrt(), label="S1")
+            with b.loop("i", j + 1, n - 1):
+                b.assign(A[i, j], A[i, j] / A[j, j], label="S2")
+        return b.build()
+
+    def test_matches_parsed_text(self, paper_example):
+        assert self.build_cholesky() == paper_example
+
+    def test_while_and_if(self):
+        b = ProgramBuilder("p", params=("n",))
+        t = b.scalar("t", "i64")
+        (n,) = b.params_and_vars("n")
+        with b.while_loop(t.lt(n)):
+            with b.if_then(t.gt(2)):
+                b.assign(t, t + 2)
+            b.assign(t, t + 1)
+        program = b.build()
+        text_version = parse_program(
+            """
+            program p(n) {
+              scalar t : i64;
+              while (t < n) {
+                if (t > 2) { t = t + 2; }
+                t = t + 1;
+              }
+            }
+            """
+        )
+        assert program == text_version
+
+    def test_if_else(self):
+        b = ProgramBuilder("p")
+        a = b.scalar("a")
+        from repro.ir.nodes import Assign, Const, VarRef
+
+        with b.if_else(a.gt(0)) as (then_body, else_body):
+            then_body.append(Assign(lhs=VarRef("a"), rhs=Const(1)))
+            else_body.append(Assign(lhs=VarRef("a"), rhs=Const(2)))
+        program = b.build()
+        (stmt,) = program.body
+        assert stmt.then_body and stmt.else_body
+
+    def test_unclosed_context_rejected(self):
+        b = ProgramBuilder("p")
+        b._stack.append([])  # simulate an unclosed loop
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_assign_requires_reference(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(TypeError):
+            b.assign(EB(BinOp("+", VarRef("a"), VarRef("b"))), 1)

@@ -1,0 +1,196 @@
+"""Parser tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    If,
+    Loop,
+    Select,
+    UnOp,
+    VarRef,
+    WhileLoop,
+)
+from repro.ir.parser import ParseError, parse_expression, parse_program
+
+
+class TestPrograms:
+    def test_minimal(self):
+        p = parse_program("program p() { }")
+        assert p.name == "p"
+        assert p.body == ()
+
+    def test_params(self):
+        p = parse_program("program p(n, m) { }")
+        assert p.params == ("n", "m")
+
+    def test_declarations(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n][n];
+              array cols[n] : i64;
+              scalar t : i64;
+              scalar s;
+            }
+            """
+        )
+        assert p.array("A").dims and p.array("A").elem_type == "f64"
+        assert p.array("cols").elem_type == "i64"
+        assert p.scalar("t").elem_type == "i64"
+        assert p.scalar("s").elem_type == "f64"
+
+    def test_paper_example(self, paper_example):
+        assert paper_example.params == ("n",)
+        (loop,) = paper_example.body
+        assert isinstance(loop, Loop)
+        assert loop.var == "j"
+        s1, inner = loop.body
+        assert isinstance(s1, Assign) and s1.label == "S1"
+        assert isinstance(inner, Loop) and inner.var == "i"
+
+    def test_while(self):
+        p = parse_program(
+            """
+            program p(n) {
+              scalar t : i64;
+              while (t < n) {
+                S1: t = t + 1;
+              }
+            }
+            """
+        )
+        (s0,) = p.body
+        assert isinstance(s0, WhileLoop)
+
+    def test_if_else(self):
+        p = parse_program(
+            """
+            program p(n) {
+              scalar a;
+              if (n > 0) { S1: a = 1; } else { S2: a = 2; }
+            }
+            """
+        )
+        (cond,) = p.body
+        assert isinstance(cond, If)
+        assert len(cond.then_body) == 1 and len(cond.else_body) == 1
+
+    def test_else_if_chain(self):
+        p = parse_program(
+            """
+            program p(n) {
+              scalar a;
+              if (n > 0) { a = 1; } else if (n < 0) { a = 2; } else { a = 3; }
+            }
+            """
+        )
+        (outer,) = p.body
+        (inner,) = outer.else_body
+        assert isinstance(inner, If)
+
+    def test_compound_assignment(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 { S1: A[i] += 2; }
+            }
+            """
+        )
+        stmt = p.body[0].body[0]
+        assert isinstance(stmt.rhs, BinOp) and stmt.rhs.op == "+"
+        assert stmt.rhs.left == stmt.lhs
+
+    def test_labels_optional(self):
+        p = parse_program(
+            """
+            program p(n) {
+              scalar a;
+              a = 1;
+              S9: a = 2;
+            }
+            """
+        )
+        assert p.body[0].label is None
+        assert p.body[1].label == "S9"
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expression("a + b * c")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = parse_expression("(a + b) * c")
+        assert e.op == "*"
+
+    def test_unary_minus(self):
+        e = parse_expression("-a + b")
+        assert e.op == "+"
+        assert isinstance(e.left, UnOp)
+
+    def test_comparison_and_logic(self):
+        e = parse_expression("a < b && c >= d || !e")
+        assert e.op == "||"
+
+    def test_ternary(self):
+        e = parse_expression("a > 0 ? 1 : 2")
+        assert isinstance(e, Select)
+
+    def test_nested_ternary(self):
+        e = parse_expression("a > 0 ? 1 : b > 0 ? 2 : 3")
+        assert isinstance(e.if_false, Select)
+
+    def test_indexing(self):
+        e = parse_expression("A[i][j + 1]")
+        assert isinstance(e, ArrayRef)
+        assert e.indices[1] == BinOp("+", VarRef("j"), Const(1))
+
+    def test_indirect_indexing(self):
+        e = parse_expression("p[cols[j]]")
+        assert isinstance(e.indices[0], ArrayRef)
+
+    def test_intrinsics(self):
+        e = parse_expression("sqrt(abs(x))")
+        assert isinstance(e, Call) and e.func == "sqrt"
+        assert isinstance(e.args[0], Call)
+
+    def test_floats(self):
+        assert parse_expression("1.5").value == 1.5
+        assert parse_expression("1e3").value == 1000.0
+
+    def test_modulo(self):
+        e = parse_expression("i % n")
+        assert e.op == "%"
+
+
+class TestErrors:
+    def test_unknown_function(self):
+        with pytest.raises(ParseError, match="unknown function"):
+            parse_expression("frobnicate(x)")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("program p() { scalar a; a = 1 }")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_program("program p() { } extra")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_program("program p() { $ }")
+
+    def test_expression_trailing(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b c")
+
+    def test_array_needs_dims(self):
+        with pytest.raises(ParseError):
+            parse_program("program p() { array A; }")

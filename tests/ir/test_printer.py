@@ -1,0 +1,87 @@
+"""Printer tests: round-trips and paper-style instrumentation output."""
+
+from repro.ir.nodes import (
+    Assign,
+    ChecksumAdd,
+    Const,
+    DefContribution,
+    Instrumentation,
+    UseContribution,
+    VarRef,
+)
+from repro.ir.parser import parse_expression, parse_program
+from repro.ir.printer import expr_to_text, program_to_text
+from repro.programs import ALL_BENCHMARKS
+
+
+class TestRoundTrip:
+    def test_paper_example(self, paper_example):
+        text = program_to_text(paper_example)
+        assert parse_program(text) == paper_example
+
+    def test_all_benchmarks_round_trip(self):
+        for name, module in ALL_BENCHMARKS.items():
+            program = module.program()
+            assert parse_program(program_to_text(program)) == program, name
+
+    def test_expression_round_trips(self):
+        cases = [
+            "a + b * c",
+            "(a + b) * c",
+            "a - (b - c)",
+            "a - b - c",
+            "a / b / c",
+            "a / (b / c)",
+            "A[i][j + 1] + p[cols[j]]",
+            "sqrt(x) + min(a, b)",
+            "a > 0 ? 1 : 2",
+            "a < b && c >= d",
+            "i % n",
+        ]
+        for text in cases:
+            e = parse_expression(text)
+            assert parse_expression(expr_to_text(e)) == e, text
+
+
+class TestInstrumentationRendering:
+    def test_use_and_def_macros(self):
+        stmt = Assign(
+            lhs=VarRef("a"),
+            rhs=Const(1),
+            label="S1",
+            instrumentation=Instrumentation(
+                uses=(UseContribution(ref=VarRef("b")),),
+                definition=DefContribution(count=Const(2)),
+            ),
+        )
+        from repro.ir.printer import _statement_lines
+
+        lines = _statement_lines(stmt, 0)
+        assert any("add_to_chksm(use_cs, b, 1);" in l for l in lines)
+        assert any("add_to_chksm(def_cs, a, 2);" in l for l in lines)
+
+    def test_checksum_add_statement(self):
+        from repro.ir.printer import _statement_lines
+
+        lines = _statement_lines(
+            ChecksumAdd(checksum="e_def", value=VarRef("v"), count=Const(1)), 0
+        )
+        assert lines == ["add_to_chksm(e_def_cs, v, 1);"]
+
+    def test_instrumented_program_shows_assert(self, paper_example):
+        from repro.instrument.pipeline import instrument_program
+
+        instrumented, _ = instrument_program(paper_example)
+        text = program_to_text(instrumented)
+        assert "assert(def_cs == use_cs" in text
+
+    def test_paper_figure5_shape(self, paper_example):
+        """Instrumented example shows the Figure 5 macro structure."""
+        from repro.instrument.pipeline import instrument_program
+
+        instrumented, _ = instrument_program(paper_example)
+        text = program_to_text(instrumented)
+        assert "add_to_chksm(use_cs, A[j][j], 1);" in text
+        assert "add_to_chksm(use_cs, A[i][j], 1);" in text
+        # S1's def count is n-1-j on the non-peeled domain.
+        assert "add_to_chksm(def_cs, A[j][j]" in text

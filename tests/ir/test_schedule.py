@@ -1,0 +1,116 @@
+"""2d+1 schedule tests (paper Section 3.1, Figure 3)."""
+
+from repro.ir.parser import parse_program
+from repro.ir.schedule import ScheduleTable
+
+
+class TestPaperExample:
+    def test_figure3_schedules(self, paper_example):
+        """S1[j] -> [0, j, 0, 0, 0];  S2[j, i] -> [0, j, 1, i, 0]."""
+        table = ScheduleTable.from_program(paper_example)
+        assert table["S1"].components == (0, "j", 0, 0, 0)
+        assert table["S2"].components == (0, "j", 1, "i", 0)
+
+    def test_depths(self, paper_example):
+        table = ScheduleTable.from_program(paper_example)
+        assert table["S1"].depth == 1
+        assert table["S2"].depth == 2
+
+
+class TestShapes:
+    def test_sequential_statements(self):
+        p = parse_program(
+            """
+            program p() {
+              scalar a;
+              S1: a = 1;
+              S2: a = 2;
+              S3: a = 3;
+            }
+            """
+        )
+        table = ScheduleTable.from_program(p)
+        assert table["S1"].components == (0,)
+        assert table["S2"].components == (1,)
+        assert table["S3"].components == (2,)
+        assert table.textual_order() == ["S1", "S2", "S3"]
+
+    def test_sibling_loops(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 { S1: A[i] = 0; }
+              for j = 0 .. n - 1 { S2: A[j] = 1; }
+            }
+            """
+        )
+        table = ScheduleTable.from_program(p)
+        assert table["S1"].components == (0, "i", 0)
+        assert table["S2"].components == (1, "j", 0)
+
+    def test_if_does_not_add_dimension(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 {
+                if (i > 0) { S1: A[i] = 0; }
+                S2: A[i] = 1;
+              }
+            }
+            """
+        )
+        table = ScheduleTable.from_program(p)
+        assert table["S1"].iterators == ("i",)
+        # S1 is inside the if at child 0; S2 at child 1.
+        assert table["S1"].components[2] == 0
+        assert table["S2"].components[2] == 1
+
+    def test_while_contributes_counter_level(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              scalar t : i64;
+              while (t < n) {
+                for i = 0 .. n - 1 { S1: A[i] = 0; }
+                S2: t = t + 1;
+              }
+            }
+            """
+        )
+        table = ScheduleTable.from_program(p)
+        assert table["S1"].depth == 2  # while counter + i
+        assert table["S2"].depth == 1
+
+    def test_missing_statement_raises(self, paper_example):
+        table = ScheduleTable.from_program(paper_example)
+        assert "S1" in table
+        assert "missing" not in table
+
+    def test_empty_program(self):
+        table = ScheduleTable.from_program(parse_program("program p() { }"))
+        assert table.labels() == []
+
+
+class TestBenchmarkSchedules:
+    def test_all_labelled_statements_scheduled(self):
+        from repro.programs import ALL_BENCHMARKS
+        from repro.ir.nodes import statement_labels
+
+        for name, module in ALL_BENCHMARKS.items():
+            program = module.program()
+            table = ScheduleTable.from_program(program)
+            for label in statement_labels(program.body):
+                assert label in table, f"{name}:{label}"
+
+    def test_widths_uniform(self):
+        from repro.programs import ALL_BENCHMARKS
+
+        for module in ALL_BENCHMARKS.values():
+            table = ScheduleTable.from_program(module.program())
+            widths = {len(table[l].components) for l in table.labels()}
+            assert len(widths) == 1
+            (width,) = widths
+            assert width % 2 == 1  # 2d+1

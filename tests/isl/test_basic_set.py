@@ -1,0 +1,187 @@
+"""Tests for BasicSet: construction, queries, projection, emptiness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isl.basic_set import BasicSet, parse_constraint, parse_constraints
+from repro.isl.constraints import Constraint
+from repro.isl.enumerate_points import enumerate_points
+from repro.isl.linear import LinExpr
+from repro.isl.space import Space
+
+
+def triangle(n_param: bool = True) -> BasicSet:
+    space = Space.set_space(("i", "j"), params=("n",) if n_param else ())
+    return BasicSet.from_strings(
+        space, ["0 <= i", "i <= n - 1", "0 <= j", "j <= i"]
+    )
+
+
+class TestParsing:
+    def test_parse_affine_constraint(self):
+        c = parse_constraint("n - 1 - j >= 0")
+        assert c.satisfied_by({"n": 5, "j": 4})
+        assert not c.satisfied_by({"n": 5, "j": 5})
+
+    def test_parse_comparison(self):
+        c = parse_constraint("i < j")
+        assert c.satisfied_by({"i": 1, "j": 2})
+        assert not c.satisfied_by({"i": 2, "j": 2})
+
+    def test_parse_coefficients(self):
+        c = parse_constraint("2*i + 3j - 5 == 0")
+        assert c.satisfied_by({"i": 1, "j": 1})
+
+    def test_parse_chain(self):
+        constraints = parse_constraints("0 <= j <= n - 1")
+        assert len(constraints) == 2
+
+    def test_unknown_name_rejected_by_space(self):
+        space = Space.set_space(("i",))
+        with pytest.raises(ValueError):
+            BasicSet.from_strings(space, ["q >= 0"])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_constraint("i #$ 0")
+
+    def test_no_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            parse_constraint("i + j")
+
+
+class TestQueries:
+    def test_membership(self):
+        t = triangle()
+        assert t.satisfied_by({"n": 4, "i": 2, "j": 1})
+        assert not t.satisfied_by({"n": 4, "i": 1, "j": 2})
+
+    def test_emptiness_concrete(self):
+        t = triangle()
+        assert t.is_empty(params={"n": 0})
+        assert not t.is_empty(params={"n": 1})
+
+    def test_emptiness_parametric_contradiction(self):
+        space = Space.set_space(("i",), params=("n",))
+        bs = BasicSet.from_strings(space, ["i >= 1", "i <= 0"])
+        assert bs.is_empty()
+
+    def test_emptiness_gcd(self):
+        space = Space.set_space(("i",))
+        bs = BasicSet.from_strings(space, ["2*i - 1 == 0"])
+        assert bs.is_empty()
+
+    def test_universe_not_empty(self):
+        assert not BasicSet.universe(Space.set_space(("i",))).is_empty(params={})
+
+    def test_explicit_empty(self):
+        assert BasicSet.empty(Space.set_space(("i",))).is_empty()
+
+    def test_sample(self):
+        point = triangle().sample({"n": 3})
+        assert point is not None
+        assert 0 <= point["j"] <= point["i"] <= 2
+
+
+class TestEnumeration:
+    def test_triangle_count(self):
+        points = enumerate_points(triangle(), {"n": 4})
+        assert len(points) == 10  # 4+3+2+1
+
+    def test_points_in_order(self):
+        points = enumerate_points(triangle(), {"n": 3})
+        assert points == sorted(points)
+
+    def test_unbounded_raises(self):
+        space = Space.set_space(("i",))
+        bs = BasicSet.from_strings(space, ["i >= 0"])
+        with pytest.raises(ValueError):
+            enumerate_points(bs, {})
+
+    def test_missing_params_raise(self):
+        with pytest.raises(ValueError):
+            enumerate_points(triangle(), {})
+
+    def test_zero_dim_nonempty(self):
+        space = Space.set_space((), params=("n",))
+        bs = BasicSet.from_strings(space, ["n >= 1"])
+        assert enumerate_points(bs, {"n": 2}) == [()]
+        assert enumerate_points(bs, {"n": 0}) == []
+
+
+class TestOperations:
+    def test_intersect(self):
+        t = triangle()
+        diag = BasicSet.from_strings(t.space, ["i == j"])
+        points = enumerate_points(t.intersect(diag), {"n": 4})
+        assert points == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_intersect_space_mismatch(self):
+        other = BasicSet.universe(Space.set_space(("x",)))
+        with pytest.raises(ValueError):
+            triangle().intersect(other)
+
+    def test_fix(self):
+        fixed = triangle().fix("i", 2)
+        points = enumerate_points(fixed, {"n": 4})
+        assert points == [(2, 0), (2, 1), (2, 2)]
+
+    def test_project_out(self):
+        projected, exact = triangle().project_out(["j"])
+        assert exact
+        assert enumerate_points(projected, {"n": 3}) == [(0,), (1,), (2,)]
+
+    def test_parameterize(self):
+        p = triangle().parameterize(["i"])
+        assert "i" in p.space.params
+        assert p.space.set_dims == ("j",)
+
+    def test_rename(self):
+        renamed = triangle().rename({"i": "a"})
+        assert "a" in renamed.space.set_dims
+
+    def test_subset(self):
+        t = triangle()
+        smaller = t.add_constraints([parse_constraint("j >= 1")])
+        assert smaller.is_subset_of(t)
+        assert not t.is_subset_of(smaller)
+
+    def test_simplify_drops_redundant(self):
+        space = Space.set_space(("i",), params=("n",))
+        bs = BasicSet.from_strings(space, ["i >= 0", "i >= -5", "i <= n"])
+        simplified = bs.simplify()
+        assert len(simplified.constraints) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bounds=st.lists(
+        st.tuples(
+            st.sampled_from(["i", "j"]),
+            st.integers(min_value=-3, max_value=3),
+            st.integers(min_value=-3, max_value=6),
+        ),
+        min_size=2,
+        max_size=4,
+    )
+)
+def test_projection_overapproximates_then_enumeration_agrees(bounds):
+    """Projection of a random 2-D box-ish set matches point projection."""
+    space = Space.set_space(("i", "j"))
+    # Base box keeps everything bounded regardless of the drawn bounds.
+    constraints = parse_constraints("-4 <= i <= 7") + parse_constraints(
+        "-4 <= j <= 7"
+    )
+    for var, lo, hi in bounds:
+        constraints.append(parse_constraint(f"{var} >= {lo}"))
+        constraints.append(parse_constraint(f"{var} <= {hi}"))
+    # Couple the dims so projection is non-trivial.
+    constraints.append(parse_constraint("i + j <= 6"))
+    bs = BasicSet(space, constraints)
+    projected, exact = bs.project_out(["j"])
+    full = enumerate_points(bs, {})
+    expected = sorted({(i,) for (i, _) in full})
+    if exact:
+        assert enumerate_points(projected, {}) == expected
+    else:
+        assert set(enumerate_points(projected, {})) >= set(expected)

@@ -1,0 +1,111 @@
+"""Tests for constraint normalization and integer semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isl.constraints import Constraint
+from repro.isl.linear import LinExpr
+
+NAMES = ["i", "j", "n"]
+ASSIGNMENTS = st.fixed_dictionaries(
+    {name: st.integers(min_value=-8, max_value=8) for name in NAMES}
+)
+
+
+@st.composite
+def small_exprs(draw):
+    coeffs = draw(
+        st.dictionaries(
+            st.sampled_from(NAMES), st.integers(min_value=-4, max_value=4), max_size=3
+        )
+    )
+    const = draw(st.integers(min_value=-6, max_value=6))
+    return LinExpr(coeffs, const)
+
+
+class TestNormalization:
+    def test_gcd_reduction_inequality_tightens(self):
+        # 2i - 1 >= 0 over the integers means i >= 1.
+        c = Constraint.ineq(LinExpr.var("i", 2) - 1)
+        assert c.expr == LinExpr.var("i") - 1
+
+    def test_gcd_reduction_exact(self):
+        c = Constraint.ineq(LinExpr.var("i", 2) - 4)
+        assert c.expr == LinExpr.var("i") - 2
+
+    def test_equality_canonical_sign(self):
+        c1 = Constraint.eq(LinExpr.var("i") - LinExpr.var("j"))
+        c2 = Constraint.eq(LinExpr.var("j") - LinExpr.var("i"))
+        assert c1 == c2
+
+    def test_fractional_input_scaled(self):
+        from fractions import Fraction
+
+        c = Constraint.ineq(LinExpr({"i": Fraction(1, 2)}, 0))
+        assert c.expr == LinExpr.var("i")
+
+    @given(small_exprs(), ASSIGNMENTS)
+    def test_normalization_preserves_integer_satisfaction(self, e, env):
+        c = Constraint.ineq(e)
+        assert c.satisfied_by(env) == (e.evaluate(env) >= 0)
+
+    @given(small_exprs(), ASSIGNMENTS)
+    def test_equality_normalization_preserves_satisfaction(self, e, env):
+        c = Constraint.eq(e)
+        assert c.satisfied_by(env) == (e.evaluate(env) == 0)
+
+
+class TestComparisonConstructors:
+    def test_lt_is_integer_strict(self):
+        c = Constraint.lt(LinExpr.var("i"), LinExpr.var("j"))
+        assert c.satisfied_by({"i": 2, "j": 3})
+        assert not c.satisfied_by({"i": 3, "j": 3})
+
+    def test_le_ge_gt(self):
+        i, j = LinExpr.var("i"), LinExpr.var("j")
+        assert Constraint.le(i, j).satisfied_by({"i": 3, "j": 3})
+        assert Constraint.ge(i, j).satisfied_by({"i": 3, "j": 3})
+        assert not Constraint.gt(i, j).satisfied_by({"i": 3, "j": 3})
+
+
+class TestLogic:
+    def test_tautology(self):
+        assert Constraint.ineq(LinExpr.constant(0)).is_tautology()
+        assert Constraint.eq(LinExpr.constant(0)).is_tautology()
+
+    def test_contradiction(self):
+        assert Constraint.ineq(LinExpr.constant(-1)).is_contradiction()
+        assert Constraint.eq(LinExpr.constant(2)).is_contradiction()
+
+    @given(small_exprs(), ASSIGNMENTS)
+    def test_negation_is_exact_complement_for_inequalities(self, e, env):
+        c = Constraint.ineq(e)
+        negations = c.negated()
+        assert any(n.satisfied_by(env) for n in negations) != c.satisfied_by(env)
+
+    @given(small_exprs(), ASSIGNMENTS)
+    def test_negation_is_exact_complement_for_equalities(self, e, env):
+        c = Constraint.eq(e)
+        negations = c.negated()
+        assert any(n.satisfied_by(env) for n in negations) != c.satisfied_by(env)
+
+    def test_negated_equality_disjuncts_are_disjoint(self):
+        c = Constraint.eq(LinExpr.var("i"))
+        low, high = c.negated()
+        # i >= 1 and i <= -1 can't hold together
+        for i in range(-5, 6):
+            assert not (low.satisfied_by({"i": i}) and high.satisfied_by({"i": i}))
+
+
+class TestTransforms:
+    def test_substitute(self):
+        c = Constraint.ineq(LinExpr.var("i") - 1)
+        assert c.substitute({"i": LinExpr.constant(5)}).is_tautology()
+
+    def test_rename(self):
+        c = Constraint.ineq(LinExpr.var("i"))
+        assert c.rename({"i": "z"}).involves("z")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Constraint(LinExpr.var("i"), "<=")

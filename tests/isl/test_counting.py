@@ -1,0 +1,152 @@
+"""Symbolic cardinality vs. brute-force enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isl.basic_set import BasicSet, parse_constraints
+from repro.isl.counting import CountingError, count_points, make_disjoint
+from repro.isl.enumerate_points import enumerate_points
+from repro.isl.set_ops import Set
+from repro.isl.space import Space
+
+
+class TestKnownCounts:
+    def test_interval(self):
+        space = Space.set_space(("i",), params=("n",))
+        bs = BasicSet.from_strings(space, ["0 <= i <= n - 1"])
+        pw = count_points(bs)
+        for n in range(0, 8):
+            assert pw.evaluate({"n": n}) == n
+
+    def test_triangle(self):
+        space = Space.set_space(("i", "j"), params=("n",))
+        bs = BasicSet.from_strings(space, ["0 <= i <= n - 1", "0 <= j <= i"])
+        pw = count_points(bs)
+        for n in range(0, 8):
+            assert pw.evaluate({"n": n}) == n * (n + 1) // 2
+
+    def test_paper_use_count(self):
+        """|{S2[jp, i] : jp+1 <= i <= n-1}| = n-1-jp for jp <= n-2."""
+        space = Space.set_space(("i",), params=("n", "jp"))
+        bs = BasicSet.from_strings(
+            space, ["jp + 1 <= i <= n - 1", "0 <= jp <= n - 1"]
+        )
+        pw = count_points(bs)
+        for n in range(1, 7):
+            for jp in range(0, n):
+                expected = max(0, n - 1 - jp)
+                assert pw.evaluate({"n": n, "jp": jp}) == expected
+
+    def test_equality_pins_dim(self):
+        space = Space.set_space(("i", "j"), params=("n",))
+        bs = BasicSet.from_strings(
+            space, ["0 <= i <= n - 1", "j == i"]
+        )
+        pw = count_points(bs)
+        assert pw.evaluate({"n": 5}) == 5
+
+    def test_partial_dims(self):
+        space = Space.set_space(("i", "j"), params=("n",))
+        bs = BasicSet.from_strings(space, ["0 <= i <= n - 1", "0 <= j <= i"])
+        pw = count_points(bs, dims=["j"])
+        # counting only j leaves a value in i: i+1
+        assert pw.evaluate({"n": 10, "i": 3}) == 4
+
+    def test_cube(self):
+        space = Space.set_space(("i", "j", "k"), params=("n",))
+        bs = BasicSet.from_strings(
+            space, ["0 <= i <= n - 1", "0 <= j <= n - 1", "0 <= k <= n - 1"]
+        )
+        pw = count_points(bs)
+        assert pw.evaluate({"n": 4}) == 64
+
+    def test_empty_region_counts_zero(self):
+        space = Space.set_space(("i",), params=("n",))
+        bs = BasicSet.from_strings(space, ["n <= i <= n - 1"])
+        pw = count_points(bs)
+        assert pw.evaluate({"n": 3}) == 0
+
+
+class TestErrors:
+    def test_unbounded_raises(self):
+        space = Space.set_space(("i",), params=("n",))
+        bs = BasicSet.from_strings(space, ["i >= 0"])
+        with pytest.raises(CountingError):
+            count_points(bs)
+
+    def test_non_unit_coefficient_raises(self):
+        space = Space.set_space(("i",), params=("n",))
+        bs = BasicSet.from_strings(space, ["0 <= 2*i + 1 <= n"])
+        with pytest.raises(CountingError):
+            count_points(bs)
+
+
+class TestUnions:
+    def test_disjoint_union_counts(self):
+        space = Space.set_space(("i",), params=("n",))
+        s = Set.from_constraint_strings(space, ["0 <= i <= 2"]).union(
+            Set.from_constraint_strings(space, ["5 <= i <= 6"])
+        )
+        pw = count_points(s)
+        assert pw.evaluate({"n": 0}) == 5
+
+    def test_overlapping_union_not_double_counted(self):
+        space = Space.set_space(("i",), params=("n",))
+        s = Set.from_constraint_strings(space, ["0 <= i <= 5"]).union(
+            Set.from_constraint_strings(space, ["3 <= i <= 8"])
+        )
+        pw = count_points(s)
+        assert pw.evaluate({"n": 0}) == 9
+
+    def test_make_disjoint(self):
+        space = Space.set_space(("i",), params=())
+        s = Set.from_constraint_strings(space, ["0 <= i <= 5"]).union(
+            Set.from_constraint_strings(space, ["3 <= i <= 8"])
+        )
+        disjoint = make_disjoint(s)
+        total = 0
+        seen = set()
+        for piece in disjoint.basic_sets:
+            pts = set(enumerate_points(piece, {}))
+            assert not (seen & pts)
+            seen |= pts
+        assert len(seen) == 9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a1=st.integers(-3, 3),
+    b1=st.integers(-3, 6),
+    couple=st.integers(0, 8),
+    n=st.integers(0, 7),
+)
+def test_random_2d_regions_match_enumeration(a1, b1, couple, n):
+    """Symbolic count == enumerated count on a family of 2-D regions."""
+    space = Space.set_space(("i", "j"), params=("n",))
+    constraints = parse_constraints(f"{min(a1, b1)} <= i <= {max(a1, b1)}")
+    constraints += parse_constraints(f"0 <= j <= n - 1")
+    constraints += parse_constraints(f"i + j <= {couple}")
+    constraints += parse_constraints("j <= i + 4")
+    bs = BasicSet(space, constraints)
+    pw = count_points(bs)
+    assert pw.evaluate({"n": n}) == len(enumerate_points(bs, {"n": n}))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lo=st.integers(-2, 2),
+    mid=st.integers(0, 5),
+    n=st.integers(0, 6),
+    m=st.integers(0, 6),
+)
+def test_random_3d_regions_match_enumeration(lo, mid, n, m):
+    space = Space.set_space(("i", "j", "k"), params=("n", "m"))
+    constraints = parse_constraints(f"{lo} <= i <= n - 1")
+    constraints += parse_constraints("0 <= j <= m - 1")
+    constraints += parse_constraints(f"i <= k <= i + {mid}")
+    constraints += parse_constraints("k <= n + m")
+    bs = BasicSet(space, constraints)
+    pw = count_points(bs)
+    assert pw.evaluate({"n": n, "m": m}) == len(
+        enumerate_points(bs, {"n": n, "m": m})
+    )

@@ -1,0 +1,68 @@
+"""Enumeration-oracle tests."""
+
+import pytest
+
+from repro.isl.basic_set import BasicSet
+from repro.isl.enumerate_points import (
+    count_points_concrete,
+    enumerate_points,
+    iterate_points,
+)
+from repro.isl.relation import BasicMap
+from repro.isl.set_ops import Set
+from repro.isl.space import Space
+
+
+class TestIteratePoints:
+    def test_yields_dicts(self):
+        space = Space.set_space(("i",), params=("n",))
+        bs = BasicSet.from_strings(space, ["0 <= i <= n - 1"])
+        points = list(iterate_points(bs, {"n": 3}))
+        assert points == [{"i": 0}, {"i": 1}, {"i": 2}]
+
+    def test_dependent_bounds(self):
+        space = Space.set_space(("i", "j"))
+        bs = BasicSet.from_strings(space, ["0 <= i <= 2", "i <= j <= i + 1"])
+        points = enumerate_points(bs, {})
+        assert points == [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3)]
+
+    def test_infeasible_multi_var(self):
+        """Emptiness via conflicting multi-variable constraints, where a
+        contradiction swallows the bounds during elimination."""
+        space = Space.set_space(("i", "j"))
+        bs = BasicSet.from_strings(
+            space,
+            ["0 <= i <= 3", "0 <= j <= 3", "i + j >= 9"],
+        )
+        assert enumerate_points(bs, {}) == []
+
+    def test_equality_driven(self):
+        space = Space.set_space(("i", "j"), params=("n",))
+        bs = BasicSet.from_strings(space, ["0 <= i <= n - 1", "j == 2*i"])
+        points = enumerate_points(bs, {"n": 3})
+        assert points == [(0, 0), (1, 2), (2, 4)]
+
+    def test_count_concrete(self):
+        space = Space.set_space(("i", "j"), params=("n",))
+        bs = BasicSet.from_strings(
+            space, ["0 <= i <= n - 1", "0 <= j <= i"]
+        )
+        assert count_points_concrete(bs, {"n": 5}) == 15
+
+
+class TestEnumerateDispatch:
+    def test_set_union_dedup(self):
+        space = Space.set_space(("i",))
+        s = Set.from_constraint_strings(space, ["0 <= i <= 3"]).union(
+            Set.from_constraint_strings(space, ["2 <= i <= 5"])
+        )
+        assert enumerate_points(s, {}) == [(i,) for i in range(6)]
+
+    def test_map_enumeration(self):
+        space = Space.map_space(("i",), ("j",))
+        bm = BasicMap.from_strings(space, ["j == i + 1", "0 <= i <= 2"])
+        assert enumerate_points(bm, {}) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            enumerate_points("not-a-set", {})

@@ -1,0 +1,110 @@
+"""Tests for Bernoulli numbers and symbolic power sums."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isl.faulhaber import (
+    bernoulli,
+    power_sum_polynomial,
+    sum_polynomial_over_range,
+    sum_power_over_range,
+)
+from repro.isl.polynomial import Polynomial
+
+
+class TestBernoulli:
+    def test_known_values(self):
+        assert bernoulli(0) == 1
+        assert bernoulli(1) == Fraction(1, 2)  # B1+ convention
+        assert bernoulli(2) == Fraction(1, 6)
+        assert bernoulli(3) == 0
+        assert bernoulli(4) == Fraction(-1, 30)
+        assert bernoulli(6) == Fraction(1, 42)
+        assert bernoulli(8) == Fraction(-1, 30)
+
+    def test_odd_are_zero(self):
+        for n in (3, 5, 7, 9):
+            assert bernoulli(n) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bernoulli(-1)
+
+
+class TestPowerSums:
+    @given(st.integers(0, 5), st.integers(0, 20))
+    def test_power_sum_matches_brute_force(self, k, upper):
+        poly = power_sum_polynomial(k)
+        expected = sum(v**k for v in range(upper + 1))
+        assert poly.evaluate({"U": upper}) == expected
+
+    @given(st.integers(0, 4), st.integers(-5, 10), st.integers(-5, 10))
+    def test_range_sum_matches_brute_force(self, k, a, b):
+        lower, upper = min(a, b), max(a, b)
+        result = sum_power_over_range(
+            k, Polynomial.constant(lower), Polynomial.constant(upper)
+        )
+        expected = sum(v**k for v in range(lower, upper + 1))
+        assert result.evaluate({}) == expected
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            power_sum_polynomial(-2)
+
+
+class TestPolynomialRangeSums:
+    def test_count_form(self):
+        """sum_{i=j+1}^{n-1} 1 = n-1-j — the paper's S1 use count."""
+        result = sum_polynomial_over_range(
+            Polynomial.one(),
+            "i",
+            Polynomial.var("j") + 1,
+            Polynomial.var("n") - 1,
+        )
+        assert result == Polynomial.var("n") - Polynomial.var("j") - 1
+
+    @given(
+        st.integers(-4, 4),
+        st.integers(-4, 8),
+        st.integers(-3, 3),
+        st.integers(-3, 3),
+    )
+    def test_linear_summand(self, lo, hi, a, b):
+        if lo > hi:
+            lo, hi = hi, lo
+        # sum_{v=lo}^{hi} (a*v + b*w)
+        poly = a * Polynomial.var("v") + b * Polynomial.var("w")
+        result = sum_polynomial_over_range(
+            poly, "v", Polynomial.constant(lo), Polynomial.constant(hi)
+        )
+        for w in (-2, 0, 3):
+            expected = sum(a * v + b * w for v in range(lo, hi + 1))
+            assert result.evaluate({"w": w}) == expected
+
+    def test_symbolic_bounds_with_outer_vars(self):
+        # sum_{v=p}^{q} v = (q(q+1) - (p-1)p)/2
+        result = sum_polynomial_over_range(
+            Polynomial.var("v"), "v", Polynomial.var("p"), Polynomial.var("q")
+        )
+        for p, q in [(0, 5), (2, 7), (-3, 3)]:
+            expected = sum(range(p, q + 1))
+            assert result.evaluate({"p": p, "q": q}) == expected
+
+    def test_bound_involving_var_rejected(self):
+        with pytest.raises(ValueError):
+            sum_polynomial_over_range(
+                Polynomial.one(), "v", Polynomial.var("v"), Polynomial.var("n")
+            )
+
+    def test_quadratic_summand(self):
+        result = sum_polynomial_over_range(
+            Polynomial.var("v") ** 2,
+            "v",
+            Polynomial.constant(1),
+            Polynomial.var("n"),
+        )
+        # 1^2 + ... + n^2 = n(n+1)(2n+1)/6
+        for n in range(0, 8):
+            assert result.evaluate({"n": n}) == n * (n + 1) * (2 * n + 1) // 6

@@ -1,0 +1,118 @@
+"""Fourier–Motzkin elimination tests: exactness and bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isl.basic_set import parse_constraint, parse_constraints
+from repro.isl.fourier_motzkin import (
+    bounds_on,
+    eliminate_variable,
+    eliminate_variables,
+    integer_interval,
+)
+
+
+class TestEliminate:
+    def test_by_equality(self):
+        constraints = parse_constraints("j == i + 1 and 0 <= j and j <= 5")
+        result = eliminate_variable(constraints, "j")
+        assert result.exact
+        env_ok = {"i": 2}
+        env_bad = {"i": 7}
+        assert all(c.satisfied_by(env_ok) for c in result.constraints)
+        assert not all(c.satisfied_by(env_bad) for c in result.constraints)
+
+    def test_by_pairing(self):
+        constraints = parse_constraints("i <= j and j <= n - 1")
+        result = eliminate_variable(constraints, "j")
+        assert result.exact
+        # Exists j with i <= j <= n-1  iff  i <= n-1.
+        assert any(
+            c.satisfied_by({"i": 3, "n": 4}) for c in result.constraints
+        )
+        assert not all(
+            c.satisfied_by({"i": 4, "n": 4}) for c in result.constraints
+        )
+
+    def test_contradiction_detected(self):
+        constraints = parse_constraints("j >= 5 and j <= 2")
+        result = eliminate_variable(constraints, "j")
+        assert any(c.is_contradiction() for c in result.constraints)
+
+    def test_inexactness_flagged(self):
+        # 2j >= i and 3j <= n: neither coefficient is 1.
+        constraints = [
+            parse_constraint("2*j - i >= 0"),
+            parse_constraint("n - 3*j >= 0"),
+        ]
+        result = eliminate_variable(constraints, "j")
+        assert not result.exact
+
+    def test_unit_coefficient_on_one_side_is_exact(self):
+        constraints = [
+            parse_constraint("j - i >= 0"),      # coeff 1
+            parse_constraint("n - 3*j >= 0"),    # coeff 3
+        ]
+        result = eliminate_variable(constraints, "j")
+        assert result.exact
+
+    def test_multiple_variables(self):
+        constraints = parse_constraints(
+            "0 <= i and i <= j and j <= k and k <= n - 1"
+        )
+        result = eliminate_variables(constraints, ["k", "j"])
+        assert result.exact
+        assert all(c.satisfied_by({"i": 0, "n": 1}) for c in result.constraints)
+        assert not all(
+            c.satisfied_by({"i": 1, "n": 1}) for c in result.constraints
+        )
+
+
+class TestBounds:
+    def test_bounds_on(self):
+        constraints = parse_constraints("2 <= j and j <= n - 1 and j == i")
+        lowers, uppers = bounds_on(constraints, "j")
+        # equality contributes to both sides
+        assert len(lowers) == 2 and len(uppers) == 2
+
+    def test_integer_interval(self):
+        constraints = parse_constraints("1 <= j and 2*j <= n")
+        lowers, uppers = bounds_on(constraints, "j")
+        lo, hi = integer_interval(lowers, uppers, {"n": 7})
+        assert (lo, hi) == (1, 3)  # floor(7/2)
+
+    def test_interval_skips_unevaluable(self):
+        constraints = parse_constraints("i <= j and 0 <= j and j <= 9")
+        lowers, uppers = bounds_on(constraints, "j")
+        lo, hi = integer_interval(lowers, uppers, {})  # i unknown
+        assert (lo, hi) == (0, 9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(-4, 4),
+    b=st.integers(-4, 4),
+    c=st.integers(-6, 6),
+    k=st.integers(-6, 6),
+)
+def test_pairing_preserves_rational_projection(a, b, c, k):
+    """For unit-coefficient systems, FM projection of {j : a<=j<=b,
+    i+c<=j, j<=i+k} onto i matches brute force."""
+    def offset(value: int) -> str:
+        return f"i + {value}" if value >= 0 else f"i - {-value}"
+
+    constraints = parse_constraints(f"{a} <= j and j <= {b}")
+    constraints += parse_constraints(
+        f"{offset(c)} <= j and j <= {offset(k)}"
+    )
+    result = eliminate_variable(constraints, "j")
+    assert result.exact
+    for i in range(-10, 11):
+        brute = any(
+            all(con.satisfied_by({"i": i, "j": j}) for con in constraints)
+            for j in range(-12, 13)
+        )
+        projected = all(
+            con.satisfied_by({"i": i}) for con in result.constraints
+        )
+        assert brute == projected, i

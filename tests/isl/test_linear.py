@@ -1,0 +1,156 @@
+"""Unit and property tests for affine expressions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isl.linear import LinExpr, sum_exprs
+
+NAMES = st.sampled_from(["i", "j", "k", "n", "m"])
+COEFFS = st.integers(min_value=-6, max_value=6)
+
+
+@st.composite
+def lin_exprs(draw):
+    terms = draw(
+        st.dictionaries(NAMES, COEFFS, max_size=4)
+    )
+    const = draw(COEFFS)
+    return LinExpr(terms, const)
+
+
+ASSIGNMENTS = st.fixed_dictionaries(
+    {name: st.integers(min_value=-10, max_value=10) for name in ["i", "j", "k", "n", "m"]}
+)
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        e = LinExpr({"i": 0, "j": 2}, 1)
+        assert e.variables() == frozenset({"j"})
+
+    def test_constant(self):
+        assert LinExpr.constant(5).constant_value() == 5
+
+    def test_var(self):
+        assert LinExpr.var("x", 3).coeff("x") == 3
+
+    def test_constant_value_raises_on_variables(self):
+        with pytest.raises(ValueError):
+            LinExpr.var("x").constant_value()
+
+    def test_rejects_bad_coefficient_type(self):
+        with pytest.raises(TypeError):
+            LinExpr({"x": 1.5})  # type: ignore[dict-item]
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = LinExpr.var("i") + LinExpr.var("i") + 3
+        assert e.coeff("i") == 2
+        assert e.const == 3
+
+    def test_sub_cancels(self):
+        e = LinExpr.var("i") - LinExpr.var("i")
+        assert e.is_zero()
+
+    def test_scalar_multiply(self):
+        e = (LinExpr.var("i") + 1) * 3
+        assert e.coeff("i") == 3 and e.const == 3
+
+    def test_divide(self):
+        e = (LinExpr.var("i") * 4) / 2
+        assert e.coeff("i") == 2
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            LinExpr.var("i") / 0
+
+    def test_rsub(self):
+        e = 5 - LinExpr.var("i")
+        assert e.const == 5 and e.coeff("i") == -1
+
+    @given(lin_exprs(), lin_exprs(), ASSIGNMENTS)
+    def test_add_matches_evaluation(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(lin_exprs(), COEFFS, ASSIGNMENTS)
+    def test_scale_matches_evaluation(self, a, c, env):
+        assert (a * c).evaluate(env) == a.evaluate(env) * c
+
+    @given(lin_exprs(), ASSIGNMENTS)
+    def test_negation(self, a, env):
+        assert (-a).evaluate(env) == -a.evaluate(env)
+
+
+class TestSubstitution:
+    def test_simple(self):
+        e = LinExpr.var("i") + LinExpr.var("j")
+        result = e.substitute({"i": LinExpr.var("k") + 1})
+        assert result.coeff("k") == 1
+        assert result.coeff("j") == 1
+        assert result.const == 1
+
+    def test_simultaneous(self):
+        e = LinExpr.var("i") - LinExpr.var("j")
+        result = e.substitute(
+            {"i": LinExpr.var("j"), "j": LinExpr.var("i")}
+        )
+        assert result == LinExpr.var("j") - LinExpr.var("i")
+
+    @given(lin_exprs(), lin_exprs(), ASSIGNMENTS)
+    def test_substitution_composes_with_evaluation(self, e, repl, env):
+        substituted = e.substitute({"i": repl})
+        env2 = dict(env)
+        env2["i"] = int(repl.evaluate(env)) if repl.evaluate(env).denominator == 1 else repl.evaluate(env)
+        assert substituted.evaluate(env) == e.evaluate(
+            {**env, "i": repl.evaluate(env)}
+        )
+
+    def test_rename_merges(self):
+        e = LinExpr({"a": 1, "b": 2})
+        assert e.rename({"a": "b"}).coeff("b") == 3
+
+
+class TestScaling:
+    def test_scaled_to_integral(self):
+        e = LinExpr({"i": Fraction(1, 2)}, Fraction(1, 3))
+        scaled, multiplier = e.scaled_to_integral()
+        assert multiplier == 6
+        assert scaled.coeff("i") == 3
+        assert scaled.const == 2
+
+    @given(lin_exprs())
+    def test_integral_stays_fixed(self, e):
+        scaled, multiplier = e.scaled_to_integral()
+        assert multiplier == 1
+        assert scaled == e
+
+
+class TestDisplay:
+    def test_str_simple(self):
+        assert str(LinExpr.var("n") - LinExpr.var("j") - 1) == "-j + n - 1"
+
+    def test_str_zero(self):
+        assert str(LinExpr.zero()) == "0"
+
+    @given(lin_exprs())
+    def test_repr_is_stable(self, e):
+        assert repr(e) == repr(LinExpr(e.coefficients(), e.const))
+
+
+class TestHelpers:
+    def test_sum_exprs(self):
+        total = sum_exprs([LinExpr.var("i"), LinExpr.var("i"), LinExpr.constant(1)])
+        assert total.coeff("i") == 2 and total.const == 1
+
+    def test_sum_empty(self):
+        assert sum_exprs([]).is_zero()
+
+    def test_content(self):
+        assert LinExpr({"i": 4, "j": 6}).content() == 2
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(KeyError):
+            LinExpr.var("q").evaluate({})

@@ -1,0 +1,162 @@
+"""Tests for piecewise polynomials: arithmetic, normalize, merge."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.isl.basic_set import BasicSet, parse_constraints
+from repro.isl.piecewise import PiecewisePolynomial
+from repro.isl.polynomial import Polynomial
+from repro.isl.space import Space
+
+SPACE = Space.set_space((), params=("n", "j"))
+
+
+def piece(constraint_text: str, poly: Polynomial):
+    return (BasicSet(SPACE, parse_constraints(constraint_text)), poly)
+
+
+def pw(*pieces) -> PiecewisePolynomial:
+    return PiecewisePolynomial(SPACE, list(pieces))
+
+
+N = Polynomial.var("n")
+J = Polynomial.var("j")
+ONE = Polynomial.one()
+
+
+class TestBasics:
+    def test_zero_default(self):
+        p = pw(piece("0 <= j <= n - 2", N - J - 1))
+        assert p.evaluate({"n": 5, "j": 6}) == 0
+
+    def test_single_piece_value(self):
+        p = pw(piece("0 <= j <= n - 2", N - J - 1))
+        assert p.evaluate({"n": 5, "j": 1}) == 3
+
+    def test_zero_polys_dropped(self):
+        p = pw(piece("j >= 0", Polynomial.zero()))
+        assert p.is_zero()
+
+    def test_empty_domains_dropped(self):
+        p = pw(piece("j >= 1 and j <= 0", ONE))
+        assert p.is_zero()
+
+    def test_constant_constructor(self):
+        p = PiecewisePolynomial.constant(SPACE, 7)
+        assert p.evaluate({"n": 0, "j": 0}) == 7
+
+    def test_overlap_disagreement_raises(self):
+        p = pw(piece("j >= 0", ONE), piece("j >= 0", N))
+        with pytest.raises(ValueError):
+            p.evaluate({"n": 5, "j": 1})
+
+
+class TestAdd:
+    def test_disjoint_add(self):
+        p = pw(piece("j <= 2", ONE)).add(pw(piece("j >= 3", N)))
+        assert p.evaluate({"n": 9, "j": 1}) == 1
+        assert p.evaluate({"n": 9, "j": 4}) == 9
+
+    def test_overlapping_add_sums(self):
+        p = pw(piece("0 <= j <= 5", ONE)).add(pw(piece("3 <= j <= 8", N)))
+        assert p.evaluate({"n": 9, "j": 1}) == 1
+        assert p.evaluate({"n": 9, "j": 4}) == 10
+        assert p.evaluate({"n": 9, "j": 7}) == 9
+
+    def test_add_zero(self):
+        p = pw(piece("j >= 0", ONE))
+        assert p.add(PiecewisePolynomial.zero(SPACE)).evaluate({"n": 1, "j": 2}) == 1
+
+    def test_add_keeps_pieces_disjoint(self):
+        p = pw(piece("0 <= j <= 5", ONE)).add(pw(piece("3 <= j <= 8", ONE)))
+        for j in range(0, 10):
+            expected = (0 <= j <= 5) + (3 <= j <= 8)
+            assert p.evaluate({"n": 0, "j": j}) == expected
+
+
+class TestScaleRestrict:
+    def test_scale(self):
+        p = pw(piece("j >= 0", N)).scale(Fraction(1, 2))
+        assert p.evaluate({"n": 6, "j": 0}) == 3
+
+    def test_restrict(self):
+        p = pw(piece("j >= 0", ONE)).restrict(
+            BasicSet(SPACE, parse_constraints("j <= 3"))
+        )
+        assert p.evaluate({"n": 0, "j": 2}) == 1
+        assert p.evaluate({"n": 0, "j": 5}) == 0
+
+
+class TestNormalize:
+    def test_pinned_variable_substituted(self):
+        # On j == 1 (expressed via opposing inequalities), 3*j is 3.
+        p = pw(piece("j >= 1 and j <= 1", 3 * J))
+        normalized = p.normalized()
+        ((_, poly),) = normalized.pieces
+        assert poly == Polynomial.constant(3)
+
+    def test_chained_equalities(self):
+        # n == j and j == 2  =>  n*j becomes 4.
+        space = Space.set_space((), params=("n", "j"))
+        dom = BasicSet(
+            space, parse_constraints("n == j and j >= 2 and j <= 2")
+        )
+        p = PiecewisePolynomial(space, [(dom, N * J)])
+        ((_, poly),) = p.normalized().pieces
+        assert poly == Polynomial.constant(4)
+
+    def test_value_preserved_on_domain(self):
+        p = pw(piece("j >= 2 and j <= 2", N * J))
+        normalized = p.normalized()
+        assert normalized.evaluate({"n": 5, "j": 2}) == p.evaluate(
+            {"n": 5, "j": 2}
+        )
+
+
+class TestMerge:
+    def test_same_poly_complementary_pieces(self):
+        p = pw(
+            piece("0 <= j and j <= 4", ONE),
+            piece("5 <= j and j <= 9 and 0 <= j", ONE),
+        )
+        merged = p.merged()
+        for j in range(-2, 12):
+            assert merged.evaluate({"n": 0, "j": j}) == p.evaluate({"n": 0, "j": j})
+
+    def test_cross_poly_merge(self):
+        # `n` on j == 0 and `n - j` on j >= 1 merge to `n - j` on j >= 0.
+        p = pw(
+            piece("j >= 0 and 0 - j >= 0 and j <= 8", N),
+            piece("j >= 1 and j <= 8", N - J),
+        )
+        merged = p.merged()
+        assert len(merged.pieces) == 1
+        for j in range(0, 9):
+            assert merged.evaluate({"n": 10, "j": j}) == 10 - j
+
+    def test_merge_never_changes_values(self):
+        pieces = [
+            piece("0 <= j and j <= 2 and n >= 0", ONE),
+            piece("3 <= j and j <= 5 and n >= 0", ONE),
+            piece("6 <= j and j <= 6 and n >= 0", J - Polynomial.constant(5)),
+        ]
+        p = pw(*pieces)
+        merged = p.merged()
+        for j in range(-1, 9):
+            for n in range(0, 3):
+                assert merged.evaluate({"n": n, "j": j}) == p.evaluate(
+                    {"n": n, "j": j}
+                )
+
+    def test_non_adjacent_not_merged_incorrectly(self):
+        p = pw(piece("0 <= j and j <= 2", ONE), piece("5 <= j and j <= 7", ONE))
+        merged = p.merged()
+        assert merged.evaluate({"n": 0, "j": 3}) == 0
+        assert merged.evaluate({"n": 0, "j": 6}) == 1
+
+
+class TestRename:
+    def test_rename(self):
+        p = pw(piece("j >= 0", J)).rename({"j": "q"})
+        assert p.evaluate({"n": 0, "q": 4}) == 4

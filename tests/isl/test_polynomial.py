@@ -1,0 +1,125 @@
+"""Tests for multivariate polynomials."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isl.linear import LinExpr
+from repro.isl.polynomial import Polynomial
+
+NAMES = ["x", "y", "z"]
+ENV = st.fixed_dictionaries(
+    {n: st.integers(min_value=-5, max_value=5) for n in NAMES}
+)
+
+
+@st.composite
+def polynomials(draw):
+    terms = {}
+    for _ in range(draw(st.integers(0, 4))):
+        monomial = tuple(
+            sorted(
+                draw(
+                    st.dictionaries(
+                        st.sampled_from(NAMES),
+                        st.integers(min_value=1, max_value=3),
+                        max_size=2,
+                    )
+                ).items()
+            )
+        )
+        terms[monomial] = draw(st.integers(min_value=-5, max_value=5))
+    return Polynomial(terms)
+
+
+class TestBasics:
+    def test_zero(self):
+        assert Polynomial.zero().is_zero()
+        assert Polynomial({(): 0}).is_zero()
+
+    def test_constant(self):
+        p = Polynomial.constant(Fraction(3, 2))
+        assert p.is_constant()
+        assert p.constant_value() == Fraction(3, 2)
+
+    def test_var(self):
+        assert Polynomial.var("x").evaluate({"x": 7}) == 7
+
+    def test_from_linexpr(self):
+        p = Polynomial.from_linexpr(LinExpr.var("n") - LinExpr.var("j") - 1)
+        assert p.evaluate({"n": 10, "j": 3}) == 6
+
+    def test_degree(self):
+        p = Polynomial.var("x") * Polynomial.var("x") * Polynomial.var("y")
+        assert p.degree() == 3
+        assert p.degree("x") == 2
+        assert p.degree("y") == 1
+        assert p.degree("z") == 0
+
+    def test_constant_value_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial.var("x").constant_value()
+
+
+class TestArithmetic:
+    @given(polynomials(), polynomials(), ENV)
+    def test_add(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(polynomials(), polynomials(), ENV)
+    def test_mul(self, a, b, env):
+        assert (a * b).evaluate(env) == a.evaluate(env) * b.evaluate(env)
+
+    @given(polynomials(), ENV)
+    def test_neg_sub(self, a, env):
+        assert (a - a).is_zero()
+        assert (-a).evaluate(env) == -a.evaluate(env)
+
+    @given(polynomials(), st.integers(0, 3), ENV)
+    def test_pow(self, a, k, env):
+        assert (a**k).evaluate(env) == a.evaluate(env) ** k
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial.var("x") ** -1
+
+
+class TestSubstitution:
+    @given(polynomials(), polynomials(), ENV)
+    def test_substitute_matches_evaluation(self, p, repl, env):
+        substituted = p.substitute({"x": repl})
+        inner = dict(env)
+        inner["x"] = repl.evaluate(env)
+        assert substituted.evaluate(env) == p.evaluate(inner)
+
+    def test_rename(self):
+        p = Polynomial.var("x") * Polynomial.var("x")
+        assert p.rename({"x": "y"}).degree("y") == 2
+
+
+class TestStructure:
+    def test_coefficients_in(self):
+        # p = 2*x^2*y + 3*x + 5
+        x, y = Polynomial.var("x"), Polynomial.var("y")
+        p = 2 * (x**2) * y + 3 * x + 5
+        buckets = p.coefficients_in("x")
+        assert buckets[2] == 2 * y
+        assert buckets[1] == Polynomial.constant(3)
+        assert buckets[0] == Polynomial.constant(5)
+
+    @given(polynomials(), ENV)
+    def test_coefficients_in_reassemble(self, p, env):
+        x_val = env["x"]
+        total = Fraction(0)
+        for exponent, coeff in p.coefficients_in("x").items():
+            total += coeff.evaluate(env) * x_val**exponent
+        assert total == p.evaluate(env)
+
+    def test_str(self):
+        p = Polynomial.var("n") - Polynomial.var("k")
+        assert str(p) in ("n - k", "-k + n")
+
+    def test_eq_with_int(self):
+        assert Polynomial.constant(3) == 3
+        assert Polynomial.zero() == 0

@@ -1,0 +1,138 @@
+"""Tests for maps: apply, compose, reverse, parameterized application."""
+
+import pytest
+
+from repro.isl.basic_set import BasicSet
+from repro.isl.relation import BasicMap, Map
+from repro.isl.set_ops import Set
+from repro.isl.space import Space
+
+# The paper's running-example flow dependence:
+# { S1[j] -> S2[jq, iq] : jq = j, 0 <= j <= n-1, j+1 <= iq <= n-1 }
+DEP_SPACE = Space.map_space(
+    ("j",), ("jq", "iq"), params=("n",), in_name="S1", out_name="S2"
+)
+
+
+def paper_dependence() -> BasicMap:
+    return BasicMap.from_strings(
+        DEP_SPACE,
+        ["jq == j", "0 <= j <= n - 1", "j + 1 <= iq <= n - 1"],
+    )
+
+
+class TestApply:
+    def test_apply_matches_paper_example(self):
+        """d_flow({S1[10]}) = {S2[10, i] : 11 <= i <= n-1} (Section 3.1)."""
+        src_space = Space.set_space(("j",), params=("n",), name="S1")
+        src = Set.from_constraint_strings(src_space, ["j == 10"])
+        targets = paper_dependence().apply(src)
+        points = targets.points({"n": 14})
+        assert points == [(10, 11), (10, 12), (10, 13)]
+
+    def test_apply_empty_source(self):
+        src_space = Space.set_space(("j",), params=("n",), name="S1")
+        src = Set.from_constraint_strings(src_space, ["j == n"])  # outside domain? n is fine
+        targets = paper_dependence().apply(src)
+        assert targets.count({"n": 5}) == 0  # j=5 not in [0, 4]
+
+    def test_apply_whole_domain(self):
+        src_space = Space.set_space(("j",), params=("n",), name="S1")
+        src = Set.universe(src_space)
+        # total = sum_{j=0}^{n-2} (n-1-j) = (n-1)n/2
+        assert paper_dependence().apply(src).count({"n": 5}) == 10
+
+
+class TestParameterized:
+    def test_apply_parameterized_cardinality(self):
+        """Algorithm 1: |targets| of S1[jp] is n-1-jp."""
+        from repro.isl.counting import count_points
+
+        _, targets = paper_dependence().apply_parameterized()
+        count = count_points(targets)
+        assert count.evaluate({"n": 6, "jp": 2}) == 3
+        assert count.evaluate({"n": 6, "jp": 5}) == 0
+
+
+class TestStructure:
+    def test_domain(self):
+        dom = paper_dependence().domain()
+        from repro.isl.enumerate_points import enumerate_points
+
+        # S1[j] has targets only for j <= n-2
+        assert enumerate_points(dom, {"n": 4}) == [(0,), (1,), (2,)]
+
+    def test_range(self):
+        rng = paper_dependence().range()
+        from repro.isl.enumerate_points import enumerate_points
+
+        points = enumerate_points(rng, {"n": 4})
+        assert (0, 1) in points and (2, 3) in points
+
+    def test_reverse_swaps(self):
+        rev = paper_dependence().reverse()
+        assert rev.space.in_dims == ("jq", "iq")
+        assert rev.space.out_dims == ("j",)
+
+    def test_wrapped_roundtrip(self):
+        bm = paper_dependence()
+        assert bm.wrapped().space.all_dims() == ("j", "jq", "iq")
+
+
+class TestCompose:
+    def test_compose_simple_shift(self):
+        space = Space.map_space(("x",), ("y",))
+        shift1 = BasicMap.from_strings(space, ["y == x + 1"])
+        shift2 = BasicMap.from_strings(space, ["y == x + 2"])
+        composed = shift1.compose(shift2)
+        src = Set.from_constraint_strings(Space.set_space(("x",)), ["x == 0"])
+        assert composed.apply(src).points({}) == [(3,)]
+
+    def test_compose_name_collision_is_resolved(self):
+        space = Space.map_space(("x",), ("x2",))
+        back = Space.map_space(("x2",), ("x",))
+        forward = BasicMap.from_strings(space, ["x2 == x + 5"])
+        backward = BasicMap.from_strings(back, ["x == x2 - 5"])
+        composed = forward.compose(backward)
+        src = Set.from_constraint_strings(Space.set_space(("x",)), ["x == 7"])
+        assert composed.apply(src).points({})[0] == (7,)
+
+    def test_compose_arity_mismatch(self):
+        one = BasicMap.universe(Space.map_space(("a",), ("b",)))
+        two = BasicMap.universe(Space.map_space(("c", "d"), ("e",)))
+        with pytest.raises(ValueError):
+            one.compose(two)
+
+
+class TestUnionMaps:
+    def test_map_union_apply(self):
+        space = Space.map_space(("x",), ("y",))
+        up = BasicMap.from_strings(space, ["y == x + 1", "0 <= x <= 9"])
+        down = BasicMap.from_strings(space, ["y == x - 1", "0 <= x <= 9"])
+        both = Map.from_basic(up).union(Map.from_basic(down))
+        src = Set.from_constraint_strings(Space.set_space(("x",)), ["x == 4"])
+        assert both.apply(src).points({}) == [(3,), (5,)]
+
+    def test_map_subtract(self):
+        space = Space.map_space(("x",), ("y",))
+        all_pairs = BasicMap.from_strings(
+            space, ["0 <= x <= 3", "0 <= y <= 3"]
+        )
+        identity = BasicMap.from_strings(space, ["x == y", "0 <= x <= 3"])
+        off_diag = Map.from_basic(all_pairs).subtract(Map.from_basic(identity))
+        points = off_diag.points({})
+        assert (1, 1) not in points
+        assert (1, 2) in points
+        assert len(points) == 12
+
+    def test_intersect_domain(self):
+        space = Space.map_space(("x",), ("y",))
+        m = Map.from_basic(
+            BasicMap.from_strings(space, ["y == x", "0 <= x <= 9"])
+        )
+        dom = BasicSet.from_strings(Space.set_space(("x",)), ["2 <= x <= 3"])
+        restricted = m.intersect_domain(dom)
+        assert restricted.points({}) == [(2, 2), (3, 3)]
+
+    def test_empty_map(self):
+        assert Map.empty(DEP_SPACE).is_empty()

@@ -1,0 +1,100 @@
+"""Algebraic property tests for relations (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isl.basic_set import BasicSet
+from repro.isl.enumerate_points import enumerate_points
+from repro.isl.relation import BasicMap, Map
+from repro.isl.set_ops import Set
+from repro.isl.space import Space
+
+MAP_SPACE = Space.map_space(("x",), ("y",))
+SET_SPACE = Space.set_space(("x",))
+
+
+@st.composite
+def interval_maps(draw):
+    """Shifted-interval relations: {x -> y : y = x + d, a <= x <= b}."""
+    d = draw(st.integers(-3, 3))
+    a = draw(st.integers(-4, 4))
+    b = draw(st.integers(-4, 8))
+    constraint = f"y == x + {d}" if d >= 0 else f"y == x - {-d}"
+    return BasicMap.from_strings(
+        MAP_SPACE, [constraint, f"{a} <= x <= {b}"]
+    )
+
+
+@st.composite
+def interval_sets(draw):
+    a = draw(st.integers(-4, 4))
+    b = draw(st.integers(-4, 8))
+    return Set.from_constraint_strings(SET_SPACE, [f"{a} <= x <= {b}"])
+
+
+def as_pairs(bm) -> set:
+    return set(enumerate_points(bm, {}))
+
+
+@settings(max_examples=50, deadline=None)
+@given(interval_maps())
+def test_reverse_is_involution(bm):
+    assert as_pairs(bm.reverse().reverse()) == as_pairs(bm)
+
+
+@settings(max_examples=50, deadline=None)
+@given(interval_maps())
+def test_reverse_swaps_pairs(bm):
+    forward = as_pairs(bm)
+    backward = as_pairs(bm.reverse())
+    assert backward == {(y, x) for (x, y) in forward}
+
+
+@settings(max_examples=40, deadline=None)
+@given(interval_maps(), interval_maps(), interval_sets())
+def test_compose_agrees_with_sequential_apply(f, g, s):
+    """(g . f)(s) == g(f(s))."""
+    composed = f.compose(g)
+    via_compose = set(composed.apply(s).points({}))
+    mid = f.apply(s)
+    # Rename mid's dims positionally onto g's input dims.
+    mapping = dict(zip(mid.space.all_dims(), g.space.in_dims))
+    renamed = mid.rename(mapping) if mapping else mid
+    sequential = set(g.apply(renamed).points({}))
+    assert via_compose == sequential
+
+
+@settings(max_examples=40, deadline=None)
+@given(interval_maps(), interval_maps(), interval_maps())
+def test_compose_associative(f, g, h):
+    left = f.compose(g).compose(h)
+    right = f.compose(g.compose(h))
+    assert as_pairs(left) == as_pairs(right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(interval_maps(), interval_maps())
+def test_domain_of_union(f, g):
+    union = Map.from_basic(f).union(Map.from_basic(g))
+    dom = set(union.domain_set().points({}))
+    expected = {(x,) for (x, _) in as_pairs(f)} | {
+        (x,) for (x, _) in as_pairs(g)
+    }
+    assert dom == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(interval_maps(), interval_maps())
+def test_map_subtract_matches_pairs(f, g):
+    diff = Map.from_basic(f).subtract(Map.from_basic(g))
+    assert set(diff.points({})) == as_pairs(f) - as_pairs(g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(interval_maps(), interval_sets())
+def test_apply_matches_pairwise_image(f, s):
+    image = set(f.apply(s).points({}))
+    source = set(s.points({}))
+    expected = {
+        (y,) for (x, y) in as_pairs(f) if (x,) in source
+    }
+    assert image == expected

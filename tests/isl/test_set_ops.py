@@ -1,0 +1,131 @@
+"""Tests for unions of basic sets, especially exact subtraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isl.basic_set import BasicSet, parse_constraints
+from repro.isl.set_ops import Set
+from repro.isl.space import Space
+
+SPACE = Space.set_space(("i",), params=("n",))
+SPACE2 = Space.set_space(("i", "j"))
+
+
+def interval(lo: str, hi: str, space=SPACE) -> Set:
+    return Set.from_constraint_strings(space, [f"{lo} <= i <= {hi}"])
+
+
+class TestBasics:
+    def test_empty(self):
+        assert Set.empty(SPACE).is_empty()
+
+    def test_universe_nonempty(self):
+        assert not Set.universe(SPACE).is_empty()
+
+    def test_empty_pieces_dropped(self):
+        bad = BasicSet.from_strings(SPACE, ["i >= 1", "i <= 0"])
+        s = Set(SPACE, [bad])
+        assert s.is_empty()
+        assert len(s.basic_sets) == 0
+
+    def test_space_mismatch(self):
+        with pytest.raises(ValueError):
+            interval("0", "5").union(Set.universe(SPACE2))
+
+
+class TestAlgebra:
+    def test_union_counts(self):
+        s = interval("0", "2").union(interval("5", "6"))
+        assert s.count({"n": 10}) == 5
+
+    def test_intersect(self):
+        s = interval("0", "5").intersect(interval("3", "8"))
+        assert s.points({"n": 10}) == [(3,), (4,), (5,)]
+
+    def test_subtract_interval(self):
+        s = interval("0", "9").subtract(interval("3", "5"))
+        assert s.count({"n": 10}) == 7
+        assert (4,) not in s.points({"n": 10})
+
+    def test_subtract_all(self):
+        s = interval("0", "5").subtract(interval("0", "9"))
+        assert s.is_empty({"n": 10})
+
+    def test_subtract_equality_piece(self):
+        whole = Set.from_constraint_strings(SPACE, ["0 <= i <= n - 1"])
+        last = Set.from_constraint_strings(SPACE, ["i == n - 1"])
+        body = whole.subtract(last)
+        assert body.count({"n": 5}) == 4
+        assert body.points({"n": 5}) == [(0,), (1,), (2,), (3,)]
+
+    def test_subtract_union(self):
+        s = interval("0", "9").subtract(interval("0", "2").union(interval("7", "9")))
+        assert s.points({"n": 10}) == [(3,), (4,), (5,), (6,)]
+
+    def test_subtraction_pieces_disjoint(self):
+        s = interval("0", "9").subtract(interval("4", "4"))
+        seen: set = set()
+        for piece in s.basic_sets:
+            from repro.isl.enumerate_points import enumerate_points
+
+            pts = set(enumerate_points(piece, {"n": 10}))
+            assert not (seen & pts)
+            seen |= pts
+
+    def test_equals(self):
+        a = interval("0", "4").union(interval("5", "9"))
+        b = interval("0", "9")
+        assert a.equals(b)
+
+    def test_subset(self):
+        assert interval("2", "3").is_subset_of(interval("0", "9"))
+        assert not interval("0", "9").is_subset_of(interval("2", "3"))
+
+
+class TestTransforms:
+    def test_project_out(self):
+        s = Set.from_constraint_strings(
+            SPACE2, ["0 <= i <= 3", "0 <= j <= i"]
+        )
+        projected, exact = s.project_out(["j"])
+        assert exact
+        assert projected.count({}) == 4
+
+    def test_parameterize(self):
+        s = interval("0", "5")
+        p = s.parameterize(["i"])
+        assert "i" in p.space.params
+
+    def test_rename(self):
+        s = interval("0", "5").rename({"i": "z"})
+        assert s.space.set_dims == ("z",)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    intervals_a=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=3
+    ),
+    intervals_b=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=3
+    ),
+)
+def test_subtraction_matches_python_sets(intervals_a, intervals_b):
+    """A - B over random 1-D interval unions equals Python set difference."""
+
+    def build(intervals):
+        pieces = [
+            BasicSet(SPACE, parse_constraints(f"{min(a, b)} <= i <= {max(a, b)}"))
+            for a, b in intervals
+        ]
+        return Set(SPACE, pieces)
+
+    def concrete(intervals):
+        points = set()
+        for a, b in intervals:
+            points |= set(range(min(a, b), max(a, b) + 1))
+        return points
+
+    result = build(intervals_a).subtract(build(intervals_b))
+    expected = concrete(intervals_a) - concrete(intervals_b)
+    assert {p[0] for p in result.points({"n": 0})} == expected

@@ -1,0 +1,92 @@
+"""Space bookkeeping tests."""
+
+import pytest
+
+from repro.isl.space import Space
+
+
+class TestConstruction:
+    def test_set_space(self):
+        s = Space.set_space(("i", "j"), params=("n",), name="S1")
+        assert s.is_set_space() and not s.is_map_space()
+        assert s.set_dims == ("i", "j")
+        assert s.all_names() == ("n", "i", "j")
+
+    def test_map_space(self):
+        m = Space.map_space(("i",), ("j",), in_name="A", out_name="B")
+        assert m.is_map_space()
+        assert m.all_dims() == ("i", "j")
+
+    def test_zero_arity_named_map(self):
+        """Scalar statements produce zero-dim tuples; a named output
+        still marks a map space."""
+        m = Space.map_space((), (), in_name="S0", out_name="S1")
+        assert m.is_map_space()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Space(params=("n",), in_dims=("n",))
+        with pytest.raises(ValueError):
+            Space(in_dims=("i",), out_dims=("i",))
+
+
+class TestTransforms:
+    def test_with_params_dedups(self):
+        s = Space.set_space(("i",), params=("n",))
+        extended = s.with_params(["n", "m"])
+        assert extended.params == ("n", "m")
+
+    def test_drop_dims(self):
+        s = Space.set_space(("i", "j"))
+        assert s.drop_dims(["j"]).set_dims == ("i",)
+
+    def test_dims_to_params(self):
+        s = Space.set_space(("i", "j"), params=("n",))
+        moved = s.dims_to_params(["i"])
+        assert moved.params == ("n", "i")
+        assert moved.set_dims == ("j",)
+
+    def test_wrapped(self):
+        m = Space.map_space(("i",), ("j",), in_name="A", out_name="B")
+        w = m.wrapped()
+        assert w.is_set_space()
+        assert w.set_dims == ("i", "j")
+
+    def test_reversed(self):
+        m = Space.map_space(("i",), ("j", "k"))
+        r = m.reversed()
+        assert r.in_dims == ("j", "k") and r.out_dims == ("i",)
+
+    def test_reversed_requires_map(self):
+        with pytest.raises(ValueError):
+            Space.set_space(("i",)).reversed()
+
+    def test_domain_range_spaces(self):
+        m = Space.map_space(("i",), ("j",), params=("n",), in_name="A", out_name="B")
+        assert m.domain_space().set_dims == ("i",)
+        assert m.range_space().set_dims == ("j",)
+        assert m.range_space().set_name == "B"
+
+    def test_rename_dims(self):
+        s = Space.set_space(("i",), params=("n",))
+        renamed = s.rename_dims({"i": "x", "n": "m"})
+        assert renamed.set_dims == ("x",)
+        assert renamed.params == ("m",)
+
+
+class TestComparison:
+    def test_compatible_ignores_names(self):
+        a = Space.set_space(("i",), name="A")
+        b = Space.set_space(("i",), name="B")
+        assert a.compatible_with(b)
+        assert a != b
+
+    def test_equality_and_hash(self):
+        a = Space.set_space(("i",), params=("n",), name="A")
+        b = Space.set_space(("i",), params=("n",), name="A")
+        assert a == b and hash(a) == hash(b)
+
+    def test_set_dims_on_map_raises(self):
+        m = Space.map_space(("i",), ("j",))
+        with pytest.raises(ValueError):
+            _ = m.set_dims

@@ -1,0 +1,140 @@
+"""Brute-force last-writer oracle.
+
+Executes a mini-language program *symbolically at the access level*
+(the interpreter without values): records every write with its
+statement instance, every read resolves to the last writer of its
+cell, and per-definition use counts accumulate.  This is the ground
+truth against which the polyhedral dependence analysis and Algorithm 1
+are validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    If,
+    Loop,
+    Program,
+    Select,
+    Stmt,
+    UnOp,
+    VarRef,
+    WhileLoop,
+    walk_expressions,
+)
+
+
+@dataclass
+class AccessTrace:
+    """Ground-truth def/use structure of one execution."""
+
+    use_counts: dict[tuple[str, tuple[int, ...]], int] = field(default_factory=dict)
+    """(statement label, iteration vector) -> number of uses of the
+    value defined there."""
+    dependences: set[tuple] = field(default_factory=set)
+    """(source label, source iters, target label, target iters, read position)."""
+    live_in_counts: dict[tuple[str, tuple[int, ...]], int] = field(default_factory=dict)
+    """(array, cell) -> reads of the initial value."""
+
+
+def trace_program(program: Program, params: dict[str, int]) -> AccessTrace:
+    """Run the access-level simulation (affine programs only).
+
+    Loop bounds and subscripts are evaluated with the iterator
+    environment; data values are not tracked, so data-dependent control
+    flow is not supported here (the irregular oracle lives in the
+    interpreter-based tests).
+    """
+    trace = AccessTrace()
+    last_writer: dict[tuple[str, tuple[int, ...]], tuple[str, tuple[int, ...]]] = {}
+    env: dict[str, int] = dict(params)
+    data_names = {d.name for d in program.arrays} | {
+        d.name for d in program.scalars
+    }
+
+    def eval_expr(expr: Expr) -> int:
+        if isinstance(expr, Const):
+            return expr.value  # type: ignore[return-value]
+        if isinstance(expr, VarRef):
+            return env[expr.name]
+        if isinstance(expr, BinOp):
+            left, right = eval_expr(expr.left), eval_expr(expr.right)
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left // right,
+                "%": lambda: left % right,
+            }[expr.op]()
+        if isinstance(expr, UnOp) and expr.op == "-":
+            return -eval_expr(expr.operand)
+        raise NotImplementedError(f"oracle cannot evaluate {expr!r}")
+
+    def cell_of(ref: ArrayRef | VarRef) -> tuple[str, tuple[int, ...]]:
+        if isinstance(ref, VarRef):
+            return (ref.name, ())
+        return (ref.array, tuple(eval_expr(i) for i in ref.indices))
+
+    def reads_of(assign: Assign) -> list[ArrayRef | VarRef]:
+        refs: list[ArrayRef | VarRef] = []
+        for node in walk_expressions(assign.rhs):
+            if isinstance(node, ArrayRef):
+                refs.append(node)
+            elif isinstance(node, VarRef) and node.name in data_names:
+                refs.append(node)
+        if isinstance(assign.lhs, ArrayRef):
+            for index in assign.lhs.indices:
+                for node in walk_expressions(index):
+                    if isinstance(node, (ArrayRef,)):
+                        refs.append(node)
+                    elif isinstance(node, VarRef) and node.name in data_names:
+                        refs.append(node)
+        return refs
+
+    iteration_stack: list[tuple[str, int]] = []
+
+    def run_body(body: tuple[Stmt, ...]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                iters = tuple(value for _, value in iteration_stack)
+                label = stmt.label or "?"
+                for position, ref in enumerate(reads_of(stmt)):
+                    cell = cell_of(ref)
+                    writer = last_writer.get(cell)
+                    if writer is not None:
+                        trace.use_counts[writer] += 1
+                        trace.dependences.add(
+                            (writer[0], writer[1], label, iters, position)
+                        )
+                    else:
+                        key = cell
+                        trace.live_in_counts[key] = (
+                            trace.live_in_counts.get(key, 0) + 1
+                        )
+                cell = cell_of(stmt.lhs)
+                last_writer[cell] = (label, iters)
+                trace.use_counts[(label, iters)] = trace.use_counts.get(
+                    (label, iters), 0
+                )
+            elif isinstance(stmt, Loop):
+                lower = eval_expr(stmt.lower)
+                upper = eval_expr(stmt.upper)
+                for value in range(lower, upper + 1):
+                    env[stmt.var] = value
+                    iteration_stack.append((stmt.var, value))
+                    run_body(stmt.body)
+                    iteration_stack.pop()
+                env.pop(stmt.var, None)
+            elif isinstance(stmt, If):
+                raise NotImplementedError("oracle supports affine loop nests only")
+            elif isinstance(stmt, WhileLoop):
+                raise NotImplementedError("oracle supports affine loop nests only")
+    run_body(program.body)
+    return trace

@@ -1,0 +1,130 @@
+"""Exact flow dependences vs. the brute-force last-writer oracle."""
+
+import pytest
+
+from repro.isl.enumerate_points import enumerate_points
+from repro.poly.dependences import compute_flow_dependences
+from repro.poly.model import extract_model
+from repro.programs import ALL_BENCHMARKS
+
+from tests.poly.oracle import trace_program
+
+AFFINE_CASES = [
+    ("cholesky", {"n": 6}),
+    ("lu", {"n": 5}),
+    ("trisolv", {"n": 6}),
+    ("dsyrk", {"n": 4}),
+    ("strsm", {"n": 4, "m": 3}),
+    ("jacobi1d", {"n": 8, "tsteps": 3}),
+    ("seidel", {"n": 6, "tsteps": 2}),
+    ("adi", {"n": 4, "tsteps": 2}),
+]
+
+
+def symbolic_dependence_pairs(program, params):
+    """All (src label, src iters, tgt label, tgt iters, read position)."""
+    model = extract_model(program)
+    dependences = compute_flow_dependences(model)
+    pairs = set()
+    for dep in dependences:
+        in_arity = len(dep.source.iterators)
+        for point in enumerate_points(dep.relation, params):
+            pairs.add(
+                (
+                    dep.source.label,
+                    point[:in_arity],
+                    dep.target.label,
+                    point[in_arity:],
+                    dep.read_position,
+                )
+            )
+    return pairs
+
+
+@pytest.mark.parametrize("name,params", AFFINE_CASES)
+def test_dependences_match_oracle(name, params):
+    program = ALL_BENCHMARKS[name].program()
+    expected = trace_program(program, params).dependences
+    actual = symbolic_dependence_pairs(program, params)
+    missing = expected - actual
+    spurious = actual - expected
+    assert not missing, f"{name}: missing {sorted(missing)[:5]}"
+    assert not spurious, f"{name}: spurious {sorted(spurious)[:5]}"
+
+
+def test_paper_example_dependence(paper_example):
+    """The running example's single dependence (Section 3.1)."""
+    model = extract_model(paper_example)
+    deps = compute_flow_dependences(model)
+    assert len(deps) == 1
+    (dep,) = deps
+    assert dep.source.label == "S1" and dep.target.label == "S2"
+    # D_flow = { S1[j] -> S2[j, i] : 0<=j<=n-1, j+1<=i<=n-1 }
+    points = enumerate_points(dep.relation, {"n": 4})
+    expected = {
+        (j, j, i) for j in range(4) for i in range(j + 1, 4)
+    }
+    assert set(points) == expected
+
+
+def test_exactness_excludes_transitive(paper_example):
+    """The value read by S2[j, i] comes from S1[j], never an older S1."""
+    model = extract_model(paper_example)
+    deps = compute_flow_dependences(model)
+    (dep,) = deps
+    for point in enumerate_points(dep.relation, {"n": 5}):
+        j_src, j_tgt, _ = point
+        assert j_src == j_tgt
+
+
+def test_self_dependence_in_accumulation():
+    from repro.ir.parser import parse_program
+
+    p = parse_program(
+        """
+        program p(n) {
+          array C[n];
+          array A[n][n];
+          for i = 0 .. n - 1 {
+            for k = 0 .. n - 1 {
+              S1: C[i] = C[i] + A[i][k];
+            }
+          }
+        }
+        """
+    )
+    model = extract_model(p)
+    deps = compute_flow_dependences(model)
+    self_deps = [
+        d for d in deps if d.source.label == "S1" and d.target.label == "S1"
+    ]
+    assert self_deps
+    # C[i] written at (i, k) is read at (i, k+1) — consecutive k only.
+    for dep in self_deps:
+        for (i_s, k_s, i_t, k_t) in enumerate_points(dep.relation, {"n": 4}):
+            assert i_s == i_t and k_t == k_s + 1
+
+
+def test_kill_blocks_distant_pairs():
+    from repro.ir.parser import parse_program
+
+    p = parse_program(
+        """
+        program p(n) {
+          array A[n];
+          scalar acc;
+          for t = 0 .. n - 1 {
+            S1: A[0] = t;
+            S2: acc = acc + A[0];
+          }
+        }
+        """
+    )
+    model = extract_model(p)
+    deps = compute_flow_dependences(model)
+    s1_to_s2 = [d for d in deps if d.source.label == "S1" and d.target.label == "S2"]
+    # The read at iteration t sees exactly the write at iteration t.
+    points = set()
+    for dep in s1_to_s2:
+        points |= set(enumerate_points(dep.relation, {"n": 4}))
+    assert points == {(t, t) for t in range(4)}

@@ -1,0 +1,135 @@
+"""Polyhedral model extraction tests."""
+
+from repro.ir.parser import parse_program
+from repro.isl.enumerate_points import enumerate_points
+from repro.poly.model import extract_model
+
+
+class TestDomains:
+    def test_paper_example_domains(self, paper_example):
+        model = extract_model(paper_example)
+        s1 = model.by_label("S1")
+        s2 = model.by_label("S2")
+        assert enumerate_points(s1.domain, {"n": 3}) == [(0,), (1,), (2,)]
+        assert enumerate_points(s2.domain, {"n": 3}) == [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+        ]
+
+    def test_affine_guard_becomes_domain_constraint(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 {
+                if (i >= 2) { S1: A[i] = 0; }
+              }
+            }
+            """
+        )
+        model = extract_model(p)
+        s1 = model.by_label("S1")
+        assert enumerate_points(s1.domain, {"n": 5}) == [(2,), (3,), (4,)]
+
+    def test_negated_guard(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 {
+                if (i >= 2) { S1: A[i] = 0; } else { S2: A[i] = 1; }
+              }
+            }
+            """
+        )
+        model = extract_model(p)
+        s2 = model.by_label("S2")
+        assert enumerate_points(s2.domain, {"n": 5}) == [(0,), (1,)]
+
+    def test_conjunctive_guard(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 {
+                if (i >= 1 && i <= n - 2) { S1: A[i] = 0; }
+              }
+            }
+            """
+        )
+        model = extract_model(p)
+        assert enumerate_points(model.by_label("S1").domain, {"n": 4}) == [
+            (1,),
+            (2,),
+        ]
+
+
+class TestUnanalyzable:
+    def test_data_dependent_guard(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              array x[n];
+              for i = 0 .. n - 1 {
+                if (x[i] > 0) { S1: A[i] = 0; }
+              }
+            }
+            """
+        )
+        model = extract_model(p)
+        assert not model.statements
+        assert len(model.unanalyzable) == 1
+
+    def test_non_affine_bounds(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              array ptr[n] : i64;
+              scalar a;
+              for i = 0 .. n - 2 {
+                for k = ptr[i] .. ptr[i + 1] - 1 {
+                  S1: a = a + A[k];
+                }
+              }
+            }
+            """
+        )
+        model = extract_model(p)
+        assert len(model.unanalyzable) == 1
+
+    def test_while_statement_marked(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              scalar t : i64;
+              while (t < n) {
+                for i = 0 .. n - 1 { S1: A[i] = 0; }
+                S2: t = t + 1;
+              }
+            }
+            """
+        )
+        model = extract_model(p)
+        assert model.by_label("S1").in_while
+        assert model.by_label("S2").in_while
+
+
+class TestBenchmarks:
+    def test_affine_benchmarks_fully_modeled(self):
+        from repro.programs import AFFINE_BENCHMARKS, ALL_BENCHMARKS
+
+        for name in AFFINE_BENCHMARKS:
+            model = extract_model(ALL_BENCHMARKS[name].program())
+            assert not model.unanalyzable, name
+            assert not any(s.in_while for s in model.statements), name
+
+    def test_irregular_benchmarks_have_while_statements(self):
+        from repro.programs import ALL_BENCHMARKS
+
+        for name in ("cg", "moldyn"):
+            model = extract_model(ALL_BENCHMARKS[name].program())
+            assert any(s.in_while for s in model.statements), name

@@ -1,0 +1,119 @@
+"""Schedule-precedence tests against a brute-force order oracle."""
+
+import itertools
+
+from repro.ir.schedule import ScheduleTable, StatementSchedule
+from repro.poly.precedence import precedence_branches
+
+
+def brute_force_precedes(source_comps, target_comps, s_env, t_env) -> bool:
+    """Compare resolved schedule vectors lexicographically."""
+    width = max(len(source_comps), len(target_comps))
+
+    def resolve(comps, env):
+        values = []
+        for c in comps:
+            values.append(c if isinstance(c, int) else env[c])
+        return values + [0] * (width - len(comps))
+
+    return resolve(source_comps, s_env) < resolve(target_comps, t_env)
+
+
+def branches_hold(branches, env) -> bool:
+    return any(all(c.satisfied_by(env) for c in branch) for branch in branches)
+
+
+class TestPaperExample:
+    S1 = StatementSchedule("S1", (0, "j", 0, 0, 0), ("j",))
+    S2 = StatementSchedule("S2", (0, "j", 1, "i", 0), ("j", "i"))
+
+    def test_s1_before_s2(self):
+        branches = precedence_branches(
+            self.S1, self.S2, {"j": "js"}, {"j": "jt", "i": "it"}
+        )
+        # S1[js] precedes S2[jt, it] iff js <= jt.
+        for js, jt, it in itertools.product(range(4), range(4), range(4)):
+            env = {"js": js, "jt": jt, "it": it}
+            assert branches_hold(branches, env) == (js <= jt)
+
+    def test_s2_before_s1(self):
+        branches = precedence_branches(
+            self.S2, self.S1, {"j": "js", "i": "is"}, {"j": "jt"}
+        )
+        for js, is_, jt in itertools.product(range(4), range(4), range(4)):
+            env = {"js": js, "is": is_, "jt": jt}
+            assert branches_hold(branches, env) == (js < jt)
+
+    def test_self_precedence_is_strict(self):
+        branches = precedence_branches(
+            self.S2, self.S2, {"j": "js", "i": "is"}, {"j": "jt", "i": "it"}
+        )
+        for js, is_, jt, it in itertools.product(range(3), repeat=4):
+            env = {"js": js, "is": is_, "jt": jt, "it": it}
+            expected = (js, is_) < (jt, it)
+            assert branches_hold(branches, env) == expected
+
+    def test_branches_disjoint(self):
+        branches = precedence_branches(
+            self.S1, self.S2, {"j": "js"}, {"j": "jt", "i": "it"}
+        )
+        for js, jt, it in itertools.product(range(3), range(3), range(3)):
+            env = {"js": js, "jt": jt, "it": it}
+            holding = [
+                b for b in branches if all(c.satisfied_by(env) for c in b)
+            ]
+            assert len(holding) <= 1
+
+
+class TestStaticResolution:
+    def test_constant_order_decides(self):
+        a = StatementSchedule("A", (0,), ())
+        b = StatementSchedule("B", (1,), ())
+        assert len(precedence_branches(a, b, {}, {})) == 1
+        assert precedence_branches(a, b, {}, {}) == [[]]
+        assert precedence_branches(b, a, {}, {}) == []
+
+    def test_three_level(self):
+        # A in loop at child 0; B scalar statement at child 1.
+        a = StatementSchedule("A", (0, "i", 0), ("i",))
+        b = StatementSchedule("B", (1, 0, 0), ())
+        branches = precedence_branches(a, b, {"i": "is"}, {})
+        # every A instance precedes B
+        assert branches == [[]]
+
+
+class TestAgainstBenchmarks:
+    def test_all_pairs_match_brute_force(self):
+        """Every statement pair of LU at n=4 matches the order oracle."""
+        from repro.programs import lu
+
+        program = lu.program()
+        table = ScheduleTable.from_program(program)
+        s1, s2 = table["S1"], table["S2"]
+        cases = [
+            (s1, s2, ("k", "j"), ("k", "i", "j2")),
+            (s2, s1, ("k", "i", "j2"), ("k", "j")),
+            (s1, s1, ("k", "j"), ("k", "j")),
+            (s2, s2, ("k", "i", "j2"), ("k", "i", "j2")),
+        ]
+        n = 3
+        for source, target, s_iters, t_iters in cases:
+            s_rename = {it: it + "__s" for it in s_iters}
+            t_rename = {it: it + "__t" for it in t_iters}
+            branches = precedence_branches(source, target, s_rename, t_rename)
+            for s_vals in itertools.product(range(n), repeat=len(s_iters)):
+                for t_vals in itertools.product(range(n), repeat=len(t_iters)):
+                    env = {}
+                    env.update(
+                        {s_rename[i]: v for i, v in zip(s_iters, s_vals)}
+                    )
+                    env.update(
+                        {t_rename[i]: v for i, v in zip(t_iters, t_vals)}
+                    )
+                    expected = brute_force_precedes(
+                        source.components,
+                        target.components,
+                        dict(zip(s_iters, s_vals)),
+                        dict(zip(t_iters, t_vals)),
+                    )
+                    assert branches_hold(branches, env) == expected

@@ -1,0 +1,120 @@
+"""Algorithm 1 use counts and live-in counts vs. the oracle."""
+
+import itertools
+
+import pytest
+
+from repro.poly.dependences import compute_flow_dependences
+from repro.poly.model import extract_model
+from repro.poly.usecount import (
+    compute_live_in_counts,
+    compute_use_counts,
+)
+from repro.programs import ALL_BENCHMARKS
+
+from tests.poly.oracle import trace_program
+
+AFFINE_CASES = [
+    ("cholesky", {"n": 6}),
+    ("lu", {"n": 5}),
+    ("trisolv", {"n": 6}),
+    ("dsyrk", {"n": 4}),
+    ("strsm", {"n": 4, "m": 3}),
+    ("jacobi1d", {"n": 8, "tsteps": 3}),
+    ("seidel", {"n": 6, "tsteps": 2}),
+    ("adi", {"n": 4, "tsteps": 2}),
+]
+
+
+@pytest.mark.parametrize("name,params", AFFINE_CASES)
+def test_use_counts_match_oracle(name, params):
+    program = ALL_BENCHMARKS[name].program()
+    model = extract_model(program)
+    dependences = compute_flow_dependences(model)
+    table = compute_use_counts(model, dependences)
+    oracle = trace_program(program, params)
+    by_label = {}
+    for info in model.statements:
+        by_label[info.label] = table.get(info)
+    for (label, iters), expected in oracle.use_counts.items():
+        entry = by_label[label]
+        assert entry is not None and entry.exact, f"{name}:{label}"
+        env = dict(params)
+        env.update(zip(entry.statement.iterators, iters))
+        assert entry.count.evaluate(env) == expected, (
+            f"{name}:{label}{iters}: symbolic "
+            f"{entry.count.evaluate(env)} != oracle {expected}"
+        )
+
+
+@pytest.mark.parametrize("name,params", AFFINE_CASES)
+def test_live_in_counts_match_oracle(name, params):
+    program = ALL_BENCHMARKS[name].program()
+    model = extract_model(program)
+    dependences = compute_flow_dependences(model)
+    live = compute_live_in_counts(model, dependences)
+    oracle = trace_program(program, params)
+    # Every array cell with live-in reads must be matched exactly; cells
+    # not in the oracle must count 0.
+    arrays = {d.name: d for d in program.arrays}
+    from repro.ir.analysis import to_affine
+
+    for array, decl in arrays.items():
+        shape = []
+        for dim in decl.dims:
+            affine = to_affine(dim, set(program.params))
+            shape.append(int(affine.evaluate(params)))
+        for cell in itertools.product(*(range(s) for s in shape)):
+            expected = oracle.live_in_counts.get((array, cell), 0)
+            if array not in live:
+                assert expected == 0, (array, cell)
+                continue
+            env = dict(params)
+            env.update({f"__c{k}": v for k, v in enumerate(cell)})
+            assert live[array].evaluate(env) == expected, (
+                f"{name}:{array}{cell}"
+            )
+    # Scalar live-ins.
+    for decl in program.scalars:
+        expected = oracle.live_in_counts.get((decl.name, ()), 0)
+        if decl.name in live:
+            assert live[decl.name].evaluate(dict(params)) == expected
+        else:
+            assert expected == 0
+
+
+def test_paper_example_counts(paper_example):
+    """S1's count is n-1-j (j <= n-2) and 0 at j = n-1; S2's is 0."""
+    model = extract_model(paper_example)
+    dependences = compute_flow_dependences(model)
+    table = compute_use_counts(model, dependences)
+    s1 = table.by_label("S1")
+    for n in range(1, 7):
+        for j in range(n):
+            expected = max(0, n - 1 - j)
+            assert s1.count.evaluate({"n": n, "j": j}) == expected
+    s2 = table.by_label("S2")
+    assert s2.count.is_zero()
+
+
+def test_scalar_use_counts():
+    from repro.ir.parser import parse_program
+
+    p = parse_program(
+        """
+        program p(n) {
+          scalar temp;
+          scalar sum1;
+          scalar sum2;
+          S0: temp = 10 + 20;
+          S1: sum1 = temp + 30;
+          S2: sum2 = temp + 40;
+        }
+        """
+    )
+    model = extract_model(p)
+    table = compute_use_counts(model, compute_flow_dependences(model))
+    # Figure 4: temp's definition has exactly two uses.
+    assert table.by_label("S0").count.evaluate({"n": 1}) == 2
+    assert table.by_label("S1").count.is_zero()
+    assert table.by_label("S2").count.is_zero()

@@ -1,0 +1,58 @@
+"""Cost-model tests."""
+
+import pytest
+
+from repro.runtime.costmodel import CostModel, CostParams, OpCounts
+
+
+class TestEstimates:
+    def test_zero_counts(self):
+        assert CostModel().estimate(OpCounts()) == 0.0
+
+    def test_weighted_sum(self):
+        params = CostParams(load=2.0, fp_div=10.0, checksum_op=1.0)
+        counts = OpCounts(loads=3, fp_divs=2, checksum_ops=5)
+        model = CostModel(params)
+        assert model.estimate(counts) == 3 * 2.0 + 2 * 10.0 + 5 * 1.0
+
+    def test_hardware_mode_discounts_checksums_only(self):
+        params = CostParams(checksum_op=1.5, nop_cost=0.1)
+        counts = OpCounts(loads=10, checksum_ops=100)
+        model = CostModel(params)
+        software = model.estimate(counts)
+        hardware = model.estimate(counts, hardware_checksums=True)
+        assert software - hardware == pytest.approx(100 * (1.5 - 0.1))
+
+    def test_overhead_normalization(self):
+        model = CostModel()
+        base = OpCounts(loads=100)
+        heavier = OpCounts(loads=150)
+        assert model.overhead(base, heavier) == pytest.approx(1.5)
+
+    def test_overhead_rejects_empty_baseline(self):
+        with pytest.raises(ValueError):
+            CostModel().overhead(OpCounts(), OpCounts(loads=1))
+
+
+class TestOpCounts:
+    def test_total_ops(self):
+        counts = OpCounts(loads=1, stores=2, fp_adds=3, checksum_ops=4)
+        assert counts.total_ops() == 10
+
+    def test_merged_with(self):
+        a = OpCounts(loads=1, branches=5)
+        b = OpCounts(loads=2, counter_ops=7)
+        merged = a.merged_with(b)
+        assert merged.loads == 3
+        assert merged.branches == 5
+        assert merged.counter_ops == 7
+        # inputs untouched
+        assert a.loads == 1 and b.loads == 2
+
+    def test_counter_ops_not_double_priced(self):
+        """Counter traffic is already in loads/stores; the counter_ops
+        field is informational and carries no weight of its own."""
+        model = CostModel()
+        with_counters = OpCounts(loads=10, stores=10, counter_ops=10)
+        without = OpCounts(loads=10, stores=10)
+        assert model.estimate(with_counters) == model.estimate(without)

@@ -1,0 +1,130 @@
+"""Fault injector tests."""
+
+import random
+
+import pytest
+
+from repro.runtime.faults import (
+    MultiInjector,
+    NoFaults,
+    RandomCellFlipper,
+    ScheduledBitFlip,
+    flip_random_bits_in_words,
+)
+from repro.runtime.memory import Memory
+
+
+def make_memory() -> Memory:
+    mem = Memory()
+    mem.declare("A", (4,))
+    for i in range(4):
+        mem.store("A", (i,), float(i + 1))
+    mem.load_count = 0
+    mem.store_count = 0
+    return mem
+
+
+class TestScheduledBitFlip:
+    def test_fires_at_load(self):
+        mem = make_memory()
+        mem.injector = ScheduledBitFlip("A", (2,), [5], at_load=2)
+        before = mem.peek_bits("A", (2,))
+        mem.load("A", (0,))  # load 1: no trigger (count < 2)
+        assert mem.peek_bits("A", (2,)) == before
+        mem.load("A", (1,))  # load 2: trigger
+        assert mem.peek_bits("A", (2,)) == before ^ (1 << 5)
+
+    def test_triggering_load_sees_corruption(self):
+        mem = make_memory()
+        mem.injector = ScheduledBitFlip("A", (0,), [52], at_load=1)
+        value = mem.load("A", (0,))
+        assert value != 1.0
+
+    def test_fires_once(self):
+        mem = make_memory()
+        inj = ScheduledBitFlip("A", (2,), [5], at_load=1)
+        mem.injector = inj
+        mem.load("A", (0,))
+        corrupted = mem.peek_bits("A", (2,))
+        mem.load("A", (0,))
+        assert mem.peek_bits("A", (2,)) == corrupted
+        assert inj.fired
+
+    def test_corruption_is_persistent(self):
+        mem = make_memory()
+        mem.injector = ScheduledBitFlip("A", (1,), [3], at_load=1)
+        mem.load("A", (0,))
+        mem.injector = NoFaults()
+        assert mem.load("A", (1,)) != 2.0
+
+
+class TestRandomCellFlipper:
+    def test_injects_exactly_once(self):
+        mem = make_memory()
+        inj = RandomCellFlipper(
+            num_bits=2, expected_loads=10, rng=random.Random(7)
+        )
+        mem.injector = inj
+        for _ in range(20):
+            for i in range(4):
+                mem.load("A", (i,))
+        assert inj.record is not None
+        assert len(inj.record.bits) == 2
+
+    def test_respects_target_arrays(self):
+        mem = make_memory()
+        mem.declare("B", (4,))
+        inj = RandomCellFlipper(
+            num_bits=1,
+            expected_loads=1,
+            rng=random.Random(3),
+            target_arrays=["B"],
+        )
+        mem.injector = inj
+        mem.load("A", (0,))
+        assert inj.record.array == "B"
+
+    def test_validates_expected_loads(self):
+        with pytest.raises(ValueError):
+            RandomCellFlipper(1, 0, random.Random(0))
+
+    def test_deterministic_with_seed(self):
+        records = []
+        for _ in range(2):
+            mem = make_memory()
+            inj = RandomCellFlipper(2, 4, random.Random(99))
+            mem.injector = inj
+            for i in range(4):
+                mem.load("A", (i,))
+            records.append((inj.record.array, inj.record.indices, inj.record.bits))
+        assert records[0] == records[1]
+
+
+class TestMultiInjector:
+    def test_composes(self):
+        mem = make_memory()
+        mem.injector = MultiInjector(
+            [
+                ScheduledBitFlip("A", (0,), [0], at_load=1),
+                ScheduledBitFlip("A", (1,), [1], at_load=2),
+            ]
+        )
+        mem.load("A", (3,))
+        mem.load("A", (3,))
+        assert mem.peek_bits("A", (0,)) & 1
+        assert mem.peek_bits("A", (1,)) & 2
+
+
+class TestWordFlips:
+    def test_flip_count(self):
+        rng = random.Random(1)
+        words = [0] * 16
+        flipped = flip_random_bits_in_words(words, 5, rng)
+        assert len(flipped) == 5
+        assert sum(bin(w).count("1") for w in words) == 5
+
+    def test_positions_distinct(self):
+        rng = random.Random(2)
+        words = [0] * 4
+        flipped = flip_random_bits_in_words(words, 6, rng)
+        assert len(set(flipped)) == 6

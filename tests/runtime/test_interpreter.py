@@ -1,0 +1,232 @@
+"""Interpreter semantics tests: results match numpy references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.interpreter import (
+    Interpreter,
+    InterpreterError,
+    StepLimitExceeded,
+    run_program,
+)
+
+from tests.conftest import copy_values
+
+
+class TestBenchmarkSemantics:
+    @pytest.mark.parametrize(
+        "name", ["cholesky", "trisolv", "strsm", "dsyrk", "jacobi1d", "cg", "moldyn", "seidel"]
+    )
+    def test_matches_reference(self, name):
+        module = ALL_BENCHMARKS[name]
+        if not hasattr(module, "reference"):
+            pytest.skip("no reference")
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        result = run_program(
+            module.program(), params, initial_values=copy_values(values)
+        )
+        reference = module.reference(params, values)
+        for key, expected in reference.items():
+            if key.endswith("_lower"):
+                array = key[: -len("_lower")]
+                actual = np.tril(result.memory.to_array(array))
+            elif key in [d.name for d in module.program().arrays]:
+                actual = result.memory.to_array(key)
+            else:
+                continue
+            np.testing.assert_allclose(actual, expected, rtol=1e-9, err_msg=key)
+
+    def test_lu_factors_reconstruct(self):
+        module = ALL_BENCHMARKS["lu"]
+        params = {"n": 6}
+        values = module.initial_values(params)
+        result = run_program(
+            module.program(), params, initial_values=copy_values(values)
+        )
+        packed = result.memory.to_array("A")
+        # The kernel scales row k of U by the pivot, producing
+        # A = L * U with L = tril(packed) (pivots on the diagonal) and
+        # U unit upper triangular (PLUTO lu.c convention).
+        lower = np.tril(packed)
+        upper = np.triu(packed, 1) + np.eye(6)
+        np.testing.assert_allclose(lower @ upper, values["A"], rtol=1e-8)
+
+
+class TestControlFlow:
+    def test_loop_bounds_inclusive(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 2 .. 4 { S1: A[i] = 1; }
+            }
+            """
+        )
+        result = run_program(p, {"n": 6})
+        np.testing.assert_array_equal(
+            result.memory.to_array("A"), [0, 0, 1, 1, 1, 0]
+        )
+
+    def test_empty_loop(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 3 .. 2 { S1: A[i] = 1; }
+            }
+            """
+        )
+        result = run_program(p, {"n": 4})
+        assert result.memory.to_array("A").sum() == 0
+
+    def test_while_and_if(self):
+        p = parse_program(
+            """
+            program p(n) {
+              scalar t : i64;
+              scalar acc;
+              while (t < n) {
+                if (t % 2 == 0) { acc = acc + 1.0; }
+                t = t + 1;
+              }
+            }
+            """
+        )
+        result = run_program(p, {"n": 7})
+        assert result.memory.load("acc", ()) == 4.0
+
+    def test_step_limit(self):
+        p = parse_program(
+            """
+            program p(n) {
+              scalar t : i64;
+              while (t < 1) { S1: t = t * 1; }
+            }
+            """
+        )
+        with pytest.raises(StepLimitExceeded):
+            run_program(p, {"n": 1}, max_steps=1000)
+
+    def test_select_expression(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 { A[i] = i > 1 ? 5.0 : 2.0; }
+            }
+            """
+        )
+        result = run_program(p, {"n": 4})
+        np.testing.assert_array_equal(
+            result.memory.to_array("A"), [2.0, 2.0, 5.0, 5.0]
+        )
+
+
+class TestArithmetic:
+    def test_integer_division_floors(self):
+        p = parse_program(
+            "program p() { scalar a : i64; a = 7 / 2; }"
+        )
+        assert run_program(p, {}).memory.load("a", ()) == 3
+
+    def test_float_division(self):
+        p = parse_program("program p() { scalar a; a = 7.0 / 2; }")
+        assert run_program(p, {}).memory.load("a", ()) == 3.5
+
+    def test_float_division_by_zero_is_ieee(self):
+        p = parse_program("program p() { scalar a; a = 1.0 / 0; }")
+        assert run_program(p, {}).memory.load("a", ()) == float("inf")
+        p2 = parse_program("program p() { scalar a; a = (0 - 1.0) / 0; }")
+        assert run_program(p2, {}).memory.load("a", ()) == float("-inf")
+        p3 = parse_program("program p() { scalar a; a = 0.0 / 0.0; }")
+        assert math.isnan(run_program(p3, {}).memory.load("a", ()))
+
+    def test_integer_division_by_zero_raises(self):
+        p = parse_program("program p() { scalar a : i64; a = 1 / 0; }")
+        with pytest.raises(InterpreterError):
+            run_program(p, {})
+
+    def test_sqrt_negative_is_nan(self):
+        p = parse_program("program p() { scalar a; a = sqrt(0 - 1); }")
+        assert math.isnan(run_program(p, {}).memory.load("a", ()))
+
+    def test_intrinsics(self):
+        p = parse_program(
+            """
+            program p() {
+              scalar a; scalar b; scalar c : i64;
+              a = min(3.0, 2.0) + max(1.0, 4.0);
+              b = abs(0 - 2.5);
+              c = mod(7, 3);
+            }
+            """
+        )
+        result = run_program(p, {})
+        assert result.memory.load("a", ()) == 6.0
+        assert result.memory.load("b", ()) == 2.5
+        assert result.memory.load("c", ()) == 1
+
+    def test_unbound_name(self):
+        from repro.ir.nodes import Assign, Program, ScalarDecl, VarRef
+
+        p = Program(
+            name="p",
+            params=(),
+            arrays=(),
+            scalars=(ScalarDecl("a"),),
+            body=(Assign(lhs=VarRef("a"), rhs=VarRef("ghost")),),
+        )
+        with pytest.raises(InterpreterError, match="unbound"):
+            run_program(p, {})
+
+
+class TestOperationCounts:
+    def test_flop_counts_cholesky(self):
+        module = ALL_BENCHMARKS["cholesky"]
+        n = module.SMALL_PARAMS["n"]
+        result = run_program(
+            module.program(),
+            module.SMALL_PARAMS,
+            initial_values=module.initial_values(module.SMALL_PARAMS),
+        )
+        counts = result.counts
+        assert counts.fp_sqrts == n
+        assert counts.fp_divs == n * (n - 1) // 2
+        # S3 performs one sub and one mul per instance.
+        s3_instances = sum(
+            (n - 1 - k) * (n - k) // 2 for k in range(n)
+        )
+        assert counts.fp_muls == s3_instances
+        assert counts.fp_adds == s3_instances
+
+    def test_load_store_counts_simple(self):
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              for i = 0 .. n - 1 { S1: A[i] = A[i] + 1.0; }
+            }
+            """
+        )
+        result = run_program(p, {"n": 5})
+        assert result.counts.loads == 5
+        assert result.counts.stores == 5
+
+    def test_bundle_load_cache_no_double_count(self):
+        """Two syntactic reads of the same cell load once per bundle."""
+        p = parse_program(
+            """
+            program p(n) {
+              array A[n];
+              scalar a;
+              S1: a = A[0] * A[0];
+            }
+            """
+        )
+        result = run_program(p, {"n": 2})
+        assert result.counts.loads == 1

@@ -1,0 +1,187 @@
+"""Simulated memory subsystem tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.memory import (
+    MASK64,
+    Memory,
+    MemoryError64,
+    decode_value,
+    encode_value,
+)
+
+
+class TestEncoding:
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_roundtrip(self, value):
+        assert decode_value(encode_value(value, "f64"), "f64") == value
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_i64_roundtrip(self, value):
+        assert decode_value(encode_value(value, "i64"), "i64") == value
+
+    def test_nan_roundtrip_bits(self):
+        bits = encode_value(float("nan"), "f64")
+        assert math.isnan(decode_value(bits, "f64"))
+
+    def test_negative_int_two_complement(self):
+        assert encode_value(-1, "i64") == MASK64
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            encode_value(1, "f32")
+
+
+class TestRegions:
+    def test_declare_and_access(self):
+        mem = Memory()
+        mem.declare("A", (2, 3))
+        mem.store("A", (1, 2), 2.5)
+        assert mem.load("A", (1, 2)) == 2.5
+        assert mem.load("A", (0, 0)) == 0.0
+
+    def test_scalar_region(self):
+        mem = Memory()
+        mem.declare("t", (), elem_type="i64")
+        mem.store("t", (), -7)
+        assert mem.load("t", ()) == -7
+
+    def test_duplicate_declaration(self):
+        mem = Memory()
+        mem.declare("A", (2,))
+        with pytest.raises(MemoryError64):
+            mem.declare("A", (2,))
+
+    def test_out_of_bounds(self):
+        mem = Memory()
+        mem.declare("A", (2, 2))
+        with pytest.raises(MemoryError64):
+            mem.load("A", (2, 0))
+        with pytest.raises(MemoryError64):
+            mem.load("A", (0, -1))
+
+    def test_rank_mismatch(self):
+        mem = Memory()
+        mem.declare("A", (2, 2))
+        with pytest.raises(MemoryError64):
+            mem.load("A", (0,))
+
+    def test_undeclared(self):
+        mem = Memory()
+        with pytest.raises(MemoryError64):
+            mem.load("Z", (0,))
+
+    def test_row_major_layout(self):
+        mem = Memory()
+        mem.declare("A", (2, 3))
+        base = mem.address_of("A", (0, 0))
+        assert mem.address_of("A", (0, 1)) == base + 8
+        assert mem.address_of("A", (1, 0)) == base + 24
+
+    def test_distinct_addresses(self):
+        mem = Memory()
+        mem.declare("A", (4,))
+        mem.declare("B", (4,))
+        a_addrs = {mem.address_of("A", (i,)) for i in range(4)}
+        b_addrs = {mem.address_of("B", (i,)) for i in range(4)}
+        assert not (a_addrs & b_addrs)
+
+    def test_aligned_addresses(self):
+        mem = Memory()
+        mem.declare("A", (4,))
+        for i in range(4):
+            assert mem.address_of("A", (i,)) % 8 == 0
+
+
+class TestBulk:
+    def test_initialize_and_to_array(self):
+        mem = Memory()
+        mem.declare("A", (2, 2))
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        mem.initialize("A", data)
+        np.testing.assert_array_equal(mem.to_array("A"), data)
+
+    def test_initialize_int_array(self):
+        mem = Memory()
+        mem.declare("idx", (3,), elem_type="i64")
+        mem.initialize("idx", [5, -2, 0])
+        np.testing.assert_array_equal(mem.to_array("idx"), [5, -2, 0])
+
+    def test_initializer_size_mismatch(self):
+        mem = Memory()
+        mem.declare("A", (2,))
+        with pytest.raises(MemoryError64):
+            mem.initialize("A", [1.0, 2.0, 3.0])
+
+    def test_flip_bits(self):
+        mem = Memory()
+        mem.declare("A", (1,))
+        mem.store("A", (0,), 1.0)
+        before = mem.peek_bits("A", (0,))
+        mem.flip_bits("A", (0,), [0, 63])
+        after = mem.peek_bits("A", (0,))
+        assert before ^ after == (1 << 63) | 1
+
+    def test_flip_bad_position(self):
+        mem = Memory()
+        mem.declare("A", (1,))
+        with pytest.raises(ValueError):
+            mem.flip_bits("A", (0,), [64])
+
+    def test_snapshot(self):
+        mem = Memory()
+        mem.declare("A", (2,))
+        mem.store("A", (0,), 3.0)
+        snap = mem.snapshot()
+        mem.store("A", (0,), 4.0)
+        assert snap["A"][0] == encode_value(3.0, "f64")
+
+
+class TestCounters:
+    def test_load_store_counts(self):
+        mem = Memory()
+        mem.declare("A", (2,))
+        mem.load("A", (0,))
+        mem.load("A", (1,))
+        mem.store("A", (0,), 1.0)
+        assert mem.load_count == 2
+        assert mem.store_count == 1
+
+    def test_peek_poke_do_not_count(self):
+        mem = Memory()
+        mem.declare("A", (2,))
+        mem.peek("A", (0,))
+        mem.poke("A", (0,), 5.0)
+        assert mem.load_count == 0 and mem.store_count == 0
+
+
+class TestProgramMemory:
+    def test_build_for_program(self, paper_example):
+        from repro.runtime.memory import build_memory_for_program
+
+        mem = build_memory_for_program(paper_example, {"n": 4})
+        assert mem.shape("A") == (4, 4)
+
+    def test_shadow_regions_marked(self):
+        from repro.instrument.pipeline import instrument_program
+        from repro.ir.parser import parse_program
+        from repro.runtime.memory import build_memory_for_program
+
+        p = parse_program(
+            """
+            program p(n) {
+              array x[n];
+              scalar temp;
+              if (x[0] > 0) { S1: temp = 1; }
+            }
+            """
+        )
+        inst, _ = instrument_program(p)
+        mem = build_memory_for_program(inst, {"n": 2})
+        names = set(mem.region_names(include_shadow=False))
+        assert "__uc_temp" not in names
+        assert "__uc_temp" in mem.region_names(include_shadow=True)

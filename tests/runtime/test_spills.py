@@ -1,0 +1,119 @@
+"""Register-spill modeling tests (Section 5's spill requirement)."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.parser import parse_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.faults import ScheduledBitFlip
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+WIDE_BUNDLE = """
+program wide(n) {
+  array A[n];
+  array B[n];
+  for i = 0 .. n - 5 {
+    S1: B[i] = A[i] * 0.25 + A[i + 1] * 0.25 + A[i + 2] * 0.25
+             + A[i + 3] * 0.125 + A[i + 4] * 0.125;
+  }
+}
+"""
+
+
+class TestSpillMechanics:
+    def test_spills_happen_under_tight_budget(self):
+        p = parse_program(WIDE_BUNDLE)
+        values = {"A": np.arange(12.0), "B": np.zeros(12)}
+        roomy = run_program(
+            p, {"n": 12}, initial_values=copy_values(values), register_budget=8
+        )
+        tight = run_program(
+            p, {"n": 12}, initial_values=copy_values(values), register_budget=2
+        )
+        assert roomy.spills == 0
+        assert tight.spills > 0
+        assert tight.counts.stores > roomy.counts.stores
+
+    def test_results_unchanged_by_spilling(self):
+        p = parse_program(WIDE_BUNDLE)
+        values = {"A": np.arange(12.0), "B": np.zeros(12)}
+        without = run_program(
+            p, {"n": 12}, initial_values=copy_values(values)
+        )
+        spilled = run_program(
+            p, {"n": 12}, initial_values=copy_values(values), register_budget=2
+        )
+        np.testing.assert_allclose(
+            spilled.memory.to_array("B"), without.memory.to_array("B")
+        )
+
+    @pytest.mark.parametrize("budget", [2, 3, 4])
+    def test_instrumented_balance_under_spills(self, budget):
+        """The spill contributions keep the checksums balanced on clean
+        runs — Section 5's requirement."""
+        p = parse_program(WIDE_BUNDLE)
+        instrumented, _ = instrument_program(
+            p, InstrumentationOptions(index_set_splitting=True)
+        )
+        values = {"A": np.arange(12.0), "B": np.zeros(12)}
+        result = run_program(
+            instrumented,
+            {"n": 12},
+            initial_values=copy_values(values),
+            register_budget=budget,
+        )
+        assert result.spills > 0
+        assert not result.mismatches
+
+    @pytest.mark.parametrize("name", ["cholesky", "trisolv", "cg"])
+    def test_benchmarks_balance_under_spills(self, name):
+        module = ALL_BENCHMARKS[name]
+        params = module.SMALL_PARAMS
+        values = module.initial_values(params)
+        instrumented, _ = instrument_program(module.program())
+        result = run_program(
+            instrumented,
+            params,
+            initial_values=copy_values(values),
+            register_budget=2,
+        )
+        assert not result.mismatches, name
+
+
+class TestSpillDetection:
+    def test_corrupted_spill_slot_detected(self):
+        """A fault striking a value while spilled (between its spill
+        store and its reload) must be flagged."""
+        p = parse_program(WIDE_BUNDLE)
+        instrumented, _ = instrument_program(
+            p, InstrumentationOptions(index_set_splitting=True)
+        )
+        values = {"A": np.arange(1.0, 13.0), "B": np.zeros(12)}
+        clean = run_program(
+            instrumented,
+            {"n": 12},
+            initial_values=copy_values(values),
+            register_budget=2,
+        )
+        assert clean.spills > 0 and not clean.mismatches
+        detected = 0
+        fired = 0
+        for at_load in range(1, clean.memory.load_count + 1, 2):
+            injector = ScheduledBitFlip("A", (4,), [13, 44], at_load=at_load)
+            result = run_program(
+                instrumented,
+                {"n": 12},
+                initial_values=copy_values(values),
+                injector=injector,
+                register_budget=2,
+            )
+            fired += injector.fired
+            detected += result.error_detected
+        assert fired > 0
+        assert detected > 0

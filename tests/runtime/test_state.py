@@ -1,0 +1,133 @@
+"""Checksum-state tests: modular arithmetic, rotation, verification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.state import (
+    ChecksumState,
+    address_rotation,
+    rotate_left,
+)
+
+WORDS = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestRotation:
+    @given(WORDS, st.integers(0, 63))
+    def test_rotation_invertible(self, bits, amount):
+        rotated = rotate_left(bits, amount)
+        assert rotate_left(rotated, 64 - amount if amount else 0) == bits
+
+    @given(WORDS)
+    def test_zero_rotation_identity(self, bits):
+        assert rotate_left(bits, 0) == bits
+
+    def test_known_rotation(self):
+        assert rotate_left(1, 1) == 2
+        assert rotate_left(1 << 63, 1) == 1
+
+    def test_address_rotation_uses_bits_3_to_7(self):
+        """Section 6.1: 8-byte aligned elements rotate by 0..31."""
+        assert address_rotation(0) == 0
+        assert address_rotation(8) == 1
+        assert address_rotation(8 * 31) == 31
+        assert address_rotation(8 * 32) == 0  # wraps after 32 elements
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_rotation_in_range(self, address):
+        assert 0 <= address_rotation(address) <= 31
+
+
+class TestChecksumArithmetic:
+    def test_basic_balance(self):
+        cs = ChecksumState()
+        cs.add("def", 100, count=2)
+        cs.add("use", 100)
+        cs.add("use", 100)
+        assert cs.matches()
+
+    def test_mismatch_detected(self):
+        cs = ChecksumState()
+        cs.add("def", 100, count=2)
+        cs.add("use", 100)
+        cs.add("use", 101)
+        mismatches = cs.verify()
+        assert len(mismatches) == 1
+        assert mismatches[0].left == "def"
+
+    def test_negative_count(self):
+        """use_count - 1 can be -1 (zero uses, Algorithm 3 case 2a)."""
+        cs = ChecksumState()
+        cs.add("def", 42, count=1)
+        cs.add("def", 42, count=-1)
+        assert cs.get("def") == 0
+
+    def test_modular_wraparound(self):
+        cs = ChecksumState()
+        big = (1 << 64) - 1
+        cs.add("def", big)
+        cs.add("def", 1)
+        assert cs.get("def") == 0
+
+    @given(st.lists(WORDS, max_size=20))
+    def test_order_independence(self, words):
+        """The operator is commutative — contribution order must not matter."""
+        forward = ChecksumState()
+        backward = ChecksumState()
+        for w in words:
+            forward.add("use", w, address=w % 1024 * 8)
+        for w in reversed(words):
+            backward.add("use", w, address=w % 1024 * 8)
+        assert forward.get("use") == backward.get("use")
+
+    def test_unknown_checksum(self):
+        with pytest.raises(ValueError):
+            ChecksumState().add("bogus", 1)
+
+    def test_auxiliary_pair(self):
+        cs = ChecksumState()
+        cs.add("e_def", 5)
+        cs.add("e_use", 5)
+        assert cs.matches()
+        cs.add("e_use", 1)
+        assert not cs.matches()
+
+
+class TestMultiChannel:
+    def test_second_channel_rotates(self):
+        cs = ChecksumState(channels=2)
+        cs.add("def", 3, address=8)  # rotation 1 on channel 1
+        assert cs.get("def", channel=0) == 3
+        assert cs.get("def", channel=1) == 6
+
+    def test_aligned_cancellation_caught_by_rotation(self):
+        """Two-bit errors cancelling in the plain sum are caught by the
+        rotated channel when the rotations differ (Section 6.1)."""
+        cs_def = ChecksumState(channels=2)
+        # value v1 at addr 0 (rot 0), v2 at addr 8 (rot 1)
+        cs_def.add("def", 0b1000, address=0)
+        cs_def.add("def", 0b0100, address=8)
+        cs_use = ChecksumState(channels=2)
+        # Same bit position flipped with opposite polarity: +16 and -16
+        # into channel 0 (net zero), but rotations distinguish them.
+        cs_use.add("use", 0b1000 + 16, address=0)
+        cs_use.add("use", 0b0100 - 16, address=8)
+        assert cs_def.get("def", 0) == cs_use.get("use", 0)  # ch0 fooled
+        assert cs_def.get("def", 1) != cs_use.get("use", 1)  # ch1 catches
+
+    def test_channel_validation(self):
+        with pytest.raises(ValueError):
+            ChecksumState(channels=0)
+
+    def test_verify_reports_channel(self):
+        cs = ChecksumState(channels=2)
+        cs.add("def", 1, address=8)
+        mismatches = cs.verify()
+        channels = {m.channel for m in mismatches}
+        assert channels == {0, 1}
+
+    def test_str_of_mismatch(self):
+        cs = ChecksumState()
+        cs.add("def", 1)
+        (m,) = cs.verify()
+        assert "def" in str(m) and "use" in str(m)

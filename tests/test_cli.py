@@ -1,0 +1,140 @@
+"""CLI tests (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+program demo(n) {
+  array A[n][n];
+  for j = 0 .. n - 1 {
+    S1: A[j][j] = sqrt(A[j][j]);
+    for i = j + 1 .. n - 1 {
+      S2: A[i][j] = A[i][j] / A[j][j];
+    }
+  }
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.mini"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestInstrument:
+    def test_writes_parseable_output(self, demo_file, tmp_path, capsys):
+        out = str(tmp_path / "resilient.mini")
+        assert main(["instrument", demo_file, "--split", "-o", out]) == 0
+        from repro.ir.parser import parse_program
+
+        program = parse_program(open(out).read())
+        assert program.name.endswith("__resilient")
+        err = capsys.readouterr().err
+        assert "protection plans" in err
+
+    def test_stdout_mode(self, demo_file, capsys):
+        assert main(["instrument", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "add_to_chksm(use_cs" in out
+
+
+class TestRun:
+    def test_balanced_run(self, demo_file, tmp_path, capsys):
+        out = str(tmp_path / "resilient.mini")
+        main(["instrument", demo_file, "-o", out])
+        code = main(
+            ["run", out, "--param", "n=6", "--init", "A=randspd"]
+        )
+        assert code == 0
+        assert "balanced" in capsys.readouterr().out
+
+    def test_reparsed_macros_balance(self, demo_file, tmp_path):
+        """Printed macros re-parse to free-standing statements that
+        still balance on clean runs."""
+        out = str(tmp_path / "resilient.mini")
+        main(["instrument", demo_file, "--split", "-o", out])
+        from repro.ir.parser import parse_program
+        from repro.runtime.interpreter import run_program
+
+        program = parse_program(open(out).read())
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((7, 7))
+        result = run_program(
+            program, {"n": 7}, initial_values={"A": m @ m.T + 7 * np.eye(7)}
+        )
+        assert not result.mismatches
+
+    def test_missing_param_value(self, demo_file):
+        with pytest.raises(SystemExit):
+            main(["run", demo_file, "--param", "n"])
+
+    def test_bad_initializer(self, demo_file):
+        with pytest.raises(SystemExit):
+            main(["run", demo_file, "--param", "n=4", "--init", "A=frobnicate"])
+
+
+class TestAnalyze:
+    def test_analyze_output(self, demo_file, capsys):
+        assert main(["analyze", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "S1 -> S2" in out
+        assert "use counts" in out
+
+
+class TestCampaign:
+    def test_small_campaign(self, demo_file, capsys):
+        code = main(
+            [
+                "campaign",
+                demo_file,
+                "--param",
+                "n=6",
+                "--init",
+                "A=randspd",
+                "--trials",
+                "6",
+            ]
+        )
+        assert code == 0
+        assert "faults detected" in capsys.readouterr().out
+
+
+class TestMacroParsing:
+    def test_macro_statements_round_trip(self):
+        from repro.ir.parser import parse_program
+        from repro.ir.printer import program_to_text
+
+        source = """
+        program p(n) {
+          array A[n];
+          array __uc_A[n] : i64;
+          scalar t;
+          add_to_chksm(def_cs, A[0], 2);
+          add_to_chksm(e_def_cs, t, 1);
+          inc_use_count(__uc_A[1], 3);
+          for i = 0 .. n - 1 {
+            add_to_chksm(use_cs, A[i], 1);
+          }
+          assert(def_cs == use_cs, e_def_cs == e_use_cs);
+        }
+        """
+        program = parse_program(source)
+        again = parse_program(program_to_text(program))
+        # Free-standing checksum statements round-trip exactly (modulo
+        # the one-argument inc_use_count printing with amount).
+        from repro.ir.nodes import ChecksumAdd, ChecksumAssert
+
+        kinds = [type(s).__name__ for s in program.body]
+        assert "ChecksumAdd" in kinds and "ChecksumAssert" in kinds
+
+    def test_bad_checksum_name(self):
+        from repro.ir.parser import ParseError, parse_program
+
+        with pytest.raises(ParseError):
+            parse_program(
+                "program p() { scalar a; add_to_chksm(nonsense, a, 1); }"
+            )

@@ -1,0 +1,126 @@
+"""Benchmark-definition tests (Table 2 inventory)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.analysis import validate_program
+from repro.programs import (
+    AFFINE_BENCHMARKS,
+    ALL_BENCHMARKS,
+    IRREGULAR_BENCHMARKS,
+)
+
+
+class TestInventory:
+    def test_ten_benchmarks(self):
+        """Table 2 lists exactly ten programs."""
+        assert len(ALL_BENCHMARKS) == 10
+        assert set(AFFINE_BENCHMARKS) | set(IRREGULAR_BENCHMARKS) == set(
+            ALL_BENCHMARKS
+        )
+        assert len(IRREGULAR_BENCHMARKS) == 2
+
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_metadata_complete(self, name):
+        module = ALL_BENCHMARKS[name]
+        assert module.NAME == name
+        assert module.DESCRIPTION
+        assert module.PAPER_PROBLEM_SIZE
+        assert module.DEFAULT_PARAMS and module.SMALL_PARAMS
+
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_programs_validate(self, name):
+        validate_program(ALL_BENCHMARKS[name].program())
+
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_initial_values_cover_arrays(self, name):
+        module = ALL_BENCHMARKS[name]
+        values = module.initial_values(module.SMALL_PARAMS)
+        program = module.program()
+        from repro.ir.analysis import to_affine
+
+        for decl in program.arrays:
+            assert decl.name in values, decl.name
+            shape = tuple(
+                int(
+                    to_affine(d, set(program.params)).evaluate(
+                        module.SMALL_PARAMS
+                    )
+                )
+                for d in decl.dims
+            )
+            assert np.asarray(values[decl.name]).shape == shape
+
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_initial_values_deterministic(self, name):
+        module = ALL_BENCHMARKS[name]
+        a = module.initial_values(module.SMALL_PARAMS, seed=3)
+        b = module.initial_values(module.SMALL_PARAMS, seed=3)
+        for key in a:
+            np.testing.assert_array_equal(
+                np.asarray(a[key]), np.asarray(b[key])
+            )
+
+
+class TestNumericalSafety:
+    def test_cholesky_input_is_spd(self):
+        module = ALL_BENCHMARKS["cholesky"]
+        values = module.initial_values({"n": 16})
+        eigenvalues = np.linalg.eigvalsh(values["A"])
+        assert eigenvalues.min() > 0
+
+    def test_lu_input_diagonally_dominant(self):
+        module = ALL_BENCHMARKS["lu"]
+        m = module.initial_values({"n": 12})["A"]
+        for i in range(12):
+            assert abs(m[i, i]) > np.abs(m[i]).sum() - abs(m[i, i])
+
+    def test_triangular_diagonals_nonzero(self):
+        for name in ("trisolv", "strsm"):
+            module = ALL_BENCHMARKS[name]
+            values = module.initial_values(module.SMALL_PARAMS)
+            diag = np.diag(values["L"])
+            assert np.all(np.abs(diag) >= 0.5)
+
+    def test_cg_col_indices_in_range(self):
+        module = ALL_BENCHMARKS["cg"]
+        params = module.SMALL_PARAMS
+        colidx = module.initial_values(params)["colidx"]
+        assert colidx.min() >= 0 and colidx.max() < params["n"]
+
+    def test_strmm_variant_matches_blas(self):
+        """The text's reading of the strsm/strmm discrepancy."""
+        from repro.instrument.pipeline import instrument_program
+        from repro.programs import strmm
+        from repro.runtime.interpreter import run_program
+
+        params = strmm.SMALL_PARAMS
+        values = strmm.initial_values(params)
+        result = run_program(
+            strmm.program(),
+            params,
+            initial_values={k: v.copy() for k, v in values.items()},
+        )
+        np.testing.assert_allclose(
+            result.memory.to_array("B"),
+            strmm.reference(params, values)["B"],
+            rtol=1e-10,
+        )
+        instrumented, _ = instrument_program(strmm.program())
+        protected = run_program(
+            instrumented,
+            params,
+            initial_values={k: v.copy() for k, v in values.items()},
+        )
+        assert not protected.mismatches
+
+    def test_adi_denominators_stay_safe(self):
+        """B must stay bounded away from zero through all sweeps."""
+        from repro.runtime.interpreter import run_program
+
+        module = ALL_BENCHMARKS["adi"]
+        params = module.DEFAULT_PARAMS
+        result = run_program(
+            module.program(), params, initial_values=module.initial_values(params)
+        )
+        assert np.abs(result.memory.to_array("B")).min() > 0.1
