@@ -1,0 +1,214 @@
+"""The campaign driver: serial or multiprocessing, always bit-identical.
+
+Because every trial is self-seeded (:func:`repro.campaign.spec.trial_seed`),
+parallelism is pure fan-out: workers receive the spec once (pool
+initializer) and then only chunks of trial indices.  Results are
+collected unordered and sorted by index, so the record *set* — and
+therefore every aggregate — is identical for any worker count; the
+differential tests in ``tests/campaign/`` pin this contract.
+
+Resume: with ``log_path`` set, each finished trial is appended to a
+JSONL log as it completes.  A killed campaign leaves a valid prefix
+(plus at most one torn line, which the reader drops); ``resume=True``
+re-runs exactly the missing indices and rewrites a clean merged log.
+:func:`resume_campaign` reconstructs the spec from the log header, so
+a log file alone is enough to finish a campaign.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.campaign.records import (
+    LogContents,
+    TrialRecord,
+    read_log,
+    write_header,
+    write_record,
+)
+from repro.campaign.spec import CampaignSpec, spec_from_dict
+from repro.campaign.stats import CampaignSummary, summarize_counts
+
+# ----------------------------------------------------------------------
+# Worker-side state.  The spec is shipped once via the pool initializer;
+# the prepared context (golden run, data image) is built lazily on the
+# first trial a worker executes and reused for all its later trials.
+# ----------------------------------------------------------------------
+_WORKER_SPEC: CampaignSpec | None = None
+_WORKER_PREPARED = None
+
+
+def _init_worker(spec: CampaignSpec) -> None:
+    global _WORKER_SPEC, _WORKER_PREPARED
+    _WORKER_SPEC = spec
+    _WORKER_PREPARED = None
+
+
+def _run_chunk(indices: Sequence[int]) -> list[TrialRecord]:
+    global _WORKER_PREPARED
+    assert _WORKER_SPEC is not None, "worker used before initialization"
+    if _WORKER_PREPARED is None:
+        _WORKER_PREPARED = _WORKER_SPEC.prepare()
+    return [_WORKER_SPEC.run_trial(i, _WORKER_PREPARED) for i in indices]
+
+
+def _chunked(indices: Sequence[int], workers: int) -> list[list[int]]:
+    """Contiguous chunks, several per worker (load balancing without
+    per-trial IPC overhead)."""
+    if not indices:
+        return []
+    target_chunks = max(workers * 4, 1)
+    chunk_size = max(1, (len(indices) + target_chunks - 1) // target_chunks)
+    return [
+        list(indices[start : start + chunk_size])
+        for start in range(0, len(indices), chunk_size)
+    ]
+
+
+@dataclass
+class CampaignResult:
+    """What a campaign produced (records optional for huge runs)."""
+
+    spec: CampaignSpec
+    counts: dict[str, int]
+    records: list[TrialRecord] | None = None
+    elapsed: float = 0.0
+    resumed_trials: int = 0
+    """How many trials were recovered from the log instead of re-run."""
+    log_path: str | None = None
+    workers: int = 1
+
+    def summary(self) -> CampaignSummary:
+        return summarize_counts(self.counts)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    log_path: str | None = None,
+    resume: bool = False,
+    keep_records: bool = True,
+    mp_context: str | None = None,
+) -> CampaignResult:
+    """Run (or finish) a campaign.
+
+    ``workers=1`` runs in-process; ``workers>1`` fans out over a
+    ``multiprocessing`` pool.  With ``keep_records=False`` only verdict
+    counts are retained in memory (the log, if any, still gets every
+    record) — use this for 10^5-trial table sweeps.
+    """
+    if spec.trials < 0:
+        raise ValueError("trials must be >= 0")
+    start = time.perf_counter()
+    done: dict[int, TrialRecord] = {}
+    if resume:
+        if log_path is None:
+            raise ValueError("resume=True needs a log_path")
+        if os.path.exists(log_path):
+            contents = read_log(log_path)
+            _check_header(contents, spec)
+            done = {
+                r.index: r for r in contents.records if r.index < spec.trials
+            }
+    pending = [i for i in range(spec.trials) if i not in done]
+
+    handle = None
+    if log_path is not None:
+        # Rewrite from scratch: on resume this drops any torn tail line
+        # and re-serializes the recovered prefix before new appends.
+        handle = open(log_path, "w")
+        write_header(handle, spec.to_dict())
+        for index in sorted(done):
+            write_record(handle, done[index])
+        handle.flush()
+
+    counts: Counter[str] = Counter(r.verdict for r in done.values())
+    kept: list[TrialRecord] = list(done.values()) if keep_records else []
+
+    def consume(record: TrialRecord) -> None:
+        counts[record.verdict] += 1
+        if keep_records:
+            kept.append(record)
+        if handle is not None:
+            write_record(handle, record)
+
+    try:
+        if workers <= 1 or len(pending) <= 1:
+            prepared = spec.prepare() if pending else None
+            for index in pending:
+                consume(spec.run_trial(index, prepared))
+        else:
+            method = mp_context or (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            context = multiprocessing.get_context(method)
+            chunks = _chunked(pending, workers)
+            with context.Pool(
+                processes=min(workers, len(chunks)),
+                initializer=_init_worker,
+                initargs=(spec,),
+            ) as pool:
+                for chunk_records in pool.imap_unordered(_run_chunk, chunks):
+                    for record in chunk_records:
+                        consume(record)
+                    if handle is not None:
+                        handle.flush()
+    finally:
+        if handle is not None:
+            handle.close()
+
+    if keep_records:
+        kept.sort(key=lambda record: record.index)
+    return CampaignResult(
+        spec=spec,
+        counts=dict(counts),
+        records=kept if keep_records else None,
+        elapsed=time.perf_counter() - start,
+        resumed_trials=len(done),
+        log_path=log_path,
+        workers=workers,
+    )
+
+
+def resume_campaign(
+    log_path: str, workers: int = 1, keep_records: bool = True
+) -> CampaignResult:
+    """Finish the campaign a log file describes (spec from the header)."""
+    contents = read_log(log_path)
+    if contents.spec_dict is None:
+        raise ValueError(f"{log_path}: no campaign header found")
+    spec = spec_from_dict(contents.spec_dict)
+    return run_campaign(
+        spec,
+        workers=workers,
+        log_path=log_path,
+        resume=True,
+        keep_records=keep_records,
+    )
+
+
+def _check_header(contents: LogContents, spec: CampaignSpec) -> None:
+    if contents.spec_dict is not None and contents.spec_dict != spec.to_dict():
+        raise ValueError(
+            "log header does not match the campaign spec being resumed; "
+            "refusing to merge records from a different campaign"
+        )
+
+
+def replay_trial(spec: CampaignSpec, index: int) -> TrialRecord:
+    """Re-run one trial in isolation (the per-index replay guarantee)."""
+    return spec.run_trial(index, spec.prepare())
+
+
+def sort_records(log_or_records) -> list[TrialRecord]:
+    """Records sorted by index, from a log path or a record iterable."""
+    if isinstance(log_or_records, str):
+        return read_log(log_or_records).records
+    return sorted(log_or_records, key=lambda record: record.index)

@@ -1,0 +1,38 @@
+"""Process-wide golden-run cache.
+
+Every injection trial needs the fault-free reference: the total load
+count (the injection window), the clean final state (to tell silent
+data corruption from benign hits), and for overhead measurements the
+clean operation counts.  Re-running the reference per trial would
+dominate campaign cost, so fault-free executions are computed **once
+per process** and shared — in the campaign engine the key is the spec
+digest, in the Figure 10 harness it is (benchmark, scale, variant).
+
+Worker processes each hold their own copy of the cache (one golden run
+per worker, amortized over its whole trial share); the cache is never
+pickled across the pool boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+_CACHE: dict[Hashable, object] = {}
+
+
+def golden_run(key: Hashable, runner: Callable[[], T]) -> T:
+    """Return the cached value for ``key``, computing it on first use."""
+    if key not in _CACHE:
+        _CACHE[key] = runner()
+    return _CACHE[key]  # type: ignore[return-value]
+
+
+def cached_keys() -> list[Hashable]:
+    return list(_CACHE)
+
+
+def clear_cache() -> None:
+    """Drop all cached golden runs (tests, or after program edits)."""
+    _CACHE.clear()

@@ -1,0 +1,461 @@
+"""Campaign specifications: trials as pure data.
+
+A spec is a picklable dataclass holding everything a trial needs; the
+engine ships it to worker processes once and then sends only trial
+indices.  Two kinds exist:
+
+* :class:`ChecksumCampaignSpec` — the Table 1 protocol: flip ``bits``
+  uniformly chosen bits over an N-word data image and ask whether the
+  plain and rotated modulo-add checksums notice.
+* :class:`ProgramCampaignSpec` — interpret an (instrumented) program
+  under a :class:`~repro.runtime.faults.RandomCellFlipper` and classify
+  the outcome against the golden run.
+
+**Seeding model.**  All randomness in trial *i* of a campaign seeded
+``s`` comes from ``random.Random(trial_seed(s, i))``, where
+:func:`trial_seed` is a SHA-256 derivation (Python's builtin ``hash``
+is salted per process and would break cross-process determinism).
+Campaign-level randomness — the random data image of a checksum
+campaign, the initial arrays of a program campaign — is derived from
+``s`` with a distinct stream label via :func:`derive_seed`.  Hence:
+the set of trial outcomes depends only on ``(spec, s)``, never on the
+worker count, chunking, or completion order; and trial *i* can be
+replayed alone without running trials ``0..i-1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from repro.campaign.golden import golden_run
+from repro.campaign.records import (
+    BENIGN,
+    DETECTED,
+    DETECTED_SECOND,
+    NO_INJECTION,
+    SDC,
+    UNDETECTED,
+    TrialRecord,
+)
+
+MASK64 = (1 << 64) - 1
+WORD_BITS = 64
+
+_SEED_SPACE = 1 << 63
+
+
+def derive_seed(campaign_seed: int, *labels: object) -> int:
+    """A child seed for a named stream of a campaign.
+
+    Stable across processes and Python versions (SHA-256, no ``hash``).
+    """
+    payload = ":".join([str(campaign_seed), *[str(label) for label in labels]])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+def trial_seed(campaign_seed: int, index: int) -> int:
+    """The RNG seed of trial ``index`` — the deterministic-sharding core."""
+    if index < 0:
+        raise ValueError(f"trial index must be >= 0, got {index}")
+    return derive_seed(campaign_seed, "trial", index)
+
+
+def build_initial_values(
+    program, params: Mapping[str, int], how: Mapping[str, str], seed: int
+):
+    """Initial numpy arrays for ``program`` from initializer names.
+
+    ``how`` maps array name to one of ``zeros`` (default), ``rand``
+    (uniform [-1,1]), ``randpos`` (uniform [0.5,1.5]), ``randspd``
+    (symmetric positive definite), ``arange``.  Raises ``ValueError``
+    on unknown initializers — the CLI turns that into a usage error.
+    """
+    import numpy as np
+
+    from repro.ir.analysis import to_affine
+
+    rng = np.random.default_rng(seed)
+    values: dict[str, Any] = {}
+    for decl in program.arrays:
+        shape = tuple(
+            int(to_affine(d, set(program.params)).evaluate(params))
+            for d in decl.dims
+        )
+        kind = how.get(decl.name, "zeros")
+        if kind == "zeros":
+            array = np.zeros(shape)
+        elif kind == "rand":
+            array = rng.uniform(-1.0, 1.0, size=shape)
+        elif kind == "randpos":
+            array = rng.uniform(0.5, 1.5, size=shape)
+        elif kind == "arange":
+            array = np.arange(int(np.prod(shape)), dtype=float).reshape(shape)
+        elif kind == "randspd":
+            if len(shape) != 2 or shape[0] != shape[1]:
+                raise ValueError(
+                    f"randspd needs a square 2-D array: {decl.name}"
+                )
+            m = rng.standard_normal(shape)
+            array = m @ m.T + shape[0] * np.eye(shape[0])
+        else:
+            raise ValueError(
+                f"unknown initializer {kind!r} for {decl.name}"
+            )
+        if decl.elem_type == "i64":
+            array = array.astype(np.int64)
+        values[decl.name] = array
+    return values
+
+
+def _rotl(value: int, amount: int) -> int:
+    amount %= WORD_BITS
+    value &= MASK64
+    if amount == 0:
+        return value
+    return ((value << amount) | (value >> (WORD_BITS - amount))) & MASK64
+
+
+def _rotation_for(index: int, base_address: int) -> int:
+    address = base_address + index * 8
+    return (address >> 3) & 0x1F
+
+
+class _DataModel:
+    """Word values without materializing huge all-0/all-1 arrays."""
+
+    def __init__(self, pattern: str, size: int, data_seed: int) -> None:
+        if pattern not in ("all0", "all1", "random"):
+            raise ValueError(f"unknown data pattern {pattern!r}")
+        self.pattern = pattern
+        self.size = size
+        if pattern == "random":
+            rng = random.Random(data_seed)
+            self.words: list[int] | None = [
+                rng.getrandbits(64) for _ in range(size)
+            ]
+        else:
+            self.words = None
+
+    def word(self, index: int) -> int:
+        if self.words is not None:
+            return self.words[index]
+        return 0 if self.pattern == "all0" else MASK64
+
+
+@dataclass(frozen=True)
+class ChecksumCampaignSpec:
+    """Table 1 protocol as a campaign (one table cell).
+
+    Per trial: draw ``bits`` distinct positions over ``size * 64``
+    bits from the trial RNG, apply the flips as per-word XOR masks, and
+    update both checksums *incrementally* (mathematically identical to
+    recomputation; what makes the 10^6-word column affordable).
+    """
+
+    size: int
+    bits: int
+    pattern: str
+    trials: int
+    seed: int
+    base_address: int = 0x1000
+
+    kind = "checksum"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **asdict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChecksumCampaignSpec":
+        fields = {k: v for k, v in data.items() if k != "kind"}
+        return cls(**fields)
+
+    def prepare(self) -> _DataModel:
+        data_seed = derive_seed(self.seed, "data", self.pattern, self.size)
+        return golden_run(
+            ("checksum-data", self.pattern, self.size, data_seed),
+            lambda: _DataModel(self.pattern, self.size, data_seed),
+        )
+
+    def run_trial(self, index: int, prepared: _DataModel) -> TrialRecord:
+        start = time.perf_counter()
+        seed = trial_seed(self.seed, index)
+        rng = random.Random(seed)
+        positions = rng.sample(range(self.size * WORD_BITS), self.bits)
+        masks: dict[int, int] = {}
+        for position in positions:
+            word_index, bit = divmod(position, WORD_BITS)
+            masks[word_index] = masks.get(word_index, 0) ^ (1 << bit)
+        delta_plain = 0
+        delta_rot = 0
+        for word_index, mask in masks.items():
+            old = prepared.word(word_index)
+            new = old ^ mask
+            delta_plain = (delta_plain + new - old) & MASK64
+            rotation = _rotation_for(word_index, self.base_address)
+            delta_rot = (
+                delta_rot + _rotl(new, rotation) - _rotl(old, rotation)
+            ) & MASK64
+        if delta_plain != 0:
+            verdict = DETECTED
+        elif delta_rot != 0:
+            verdict = DETECTED_SECOND
+        else:
+            verdict = UNDETECTED
+        return TrialRecord(
+            index=index,
+            seed=seed,
+            verdict=verdict,
+            injection={"positions": positions},
+            elapsed=time.perf_counter() - start,
+        )
+
+
+@dataclass
+class _PreparedProgram:
+    """Worker-local context of a program campaign (built once)."""
+
+    program: Any
+    params: dict[str, int]
+    values: dict[str, Any]
+    total_loads: int
+    golden_finals: dict[str, Any]
+    targets: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProgramCampaignSpec:
+    """Random-cell injection into an interpreted (instrumented) program.
+
+    The program comes either from ``program_text`` (mini-language
+    source plus ``init`` initializer names, as on the CLI) or from
+    ``benchmark``/``scale`` (a Table 2 benchmark with its canonical
+    initial values).  Exactly one of the two must be set.
+    """
+
+    trials: int
+    seed: int
+    program_text: str | None = None
+    benchmark: str | None = None
+    scale: str = "small"
+    params: tuple[tuple[str, int], ...] = ()
+    init: tuple[tuple[str, str], ...] = ()
+    init_seed: int = 0
+    bits: int = 2
+    target_arrays: tuple[str, ...] | None = None
+    instrument: bool = True
+    split: bool = True
+    hoist: bool = True
+    channels: int = 1
+
+    kind = "program"
+
+    def __post_init__(self) -> None:
+        if (self.program_text is None) == (self.benchmark is None):
+            raise ValueError(
+                "exactly one of program_text / benchmark must be set"
+            )
+        # Normalize dict-style inputs into hashable tuples.
+        if isinstance(self.params, dict):
+            object.__setattr__(self, "params", tuple(sorted(self.params.items())))
+        if isinstance(self.init, dict):
+            object.__setattr__(self, "init", tuple(sorted(self.init.items())))
+        if self.target_arrays is not None and not isinstance(
+            self.target_arrays, tuple
+        ):
+            object.__setattr__(self, "target_arrays", tuple(self.target_arrays))
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["kind"] = self.kind
+        data["params"] = [list(item) for item in self.params]
+        data["init"] = [list(item) for item in self.init]
+        if self.target_arrays is not None:
+            data["target_arrays"] = list(self.target_arrays)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProgramCampaignSpec":
+        fields = {k: v for k, v in data.items() if k != "kind"}
+        fields["params"] = tuple(
+            (name, int(value)) for name, value in fields.get("params", ())
+        )
+        fields["init"] = tuple(
+            (name, str(value)) for name, value in fields.get("init", ())
+        )
+        if fields.get("target_arrays") is not None:
+            fields["target_arrays"] = tuple(fields["target_arrays"])
+        return cls(**fields)
+
+    def digest(self) -> str:
+        """Stable identity for golden-run cache keys."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _resolve(self):
+        """(program, params, values) before instrumentation."""
+        if self.benchmark is not None:
+            from repro.programs import ALL_BENCHMARKS
+
+            module = ALL_BENCHMARKS[self.benchmark]
+            program = module.program()
+            params = dict(
+                module.SMALL_PARAMS
+                if self.scale == "small"
+                else module.DEFAULT_PARAMS
+            )
+            params.update(dict(self.params))
+            values = module.initial_values(params, seed=self.init_seed)
+        else:
+            from repro.ir.analysis import validate_program
+            from repro.ir.parser import parse_program
+
+            program = parse_program(self.program_text)
+            validate_program(program)
+            params = dict(self.params)
+            values = build_initial_values(
+                program, params, dict(self.init), self.init_seed
+            )
+        return program, params, values
+
+    def prepare(self) -> _PreparedProgram:
+        return golden_run(("program-campaign", self.digest()), self._prepare)
+
+    def _prepare(self) -> _PreparedProgram:
+        from repro.instrument.pipeline import (
+            InstrumentationOptions,
+            instrument_program,
+        )
+        from repro.runtime.interpreter import run_program
+
+        program, params, values = self._resolve()
+        original_arrays = tuple(decl.name for decl in program.arrays)
+        if self.instrument:
+            program, _ = instrument_program(
+                program,
+                InstrumentationOptions(
+                    index_set_splitting=self.split,
+                    hoist_inspectors=self.hoist,
+                ),
+            )
+        clean = run_program(
+            program,
+            params,
+            initial_values=_copy_values(values),
+            channels=self.channels,
+        )
+        if clean.mismatches:
+            raise RuntimeError(
+                f"fault-free run flagged an error: {clean.mismatches}"
+            )
+        golden_finals = {
+            name: clean.memory.to_array(name) for name in original_arrays
+        }
+        targets = self.target_arrays or original_arrays
+        return _PreparedProgram(
+            program=program,
+            params=params,
+            values=values,
+            total_loads=max(1, clean.memory.load_count),
+            golden_finals=golden_finals,
+            targets=tuple(targets),
+        )
+
+    def run_trial(self, index: int, prepared: _PreparedProgram) -> TrialRecord:
+        import numpy as np
+
+        from repro.runtime.faults import InjectorSpec, make_injector
+        from repro.runtime.interpreter import run_program
+
+        start = time.perf_counter()
+        seed = trial_seed(self.seed, index)
+        injector = make_injector(
+            InjectorSpec(
+                kind="random_cell",
+                num_bits=self.bits,
+                expected_loads=prepared.total_loads,
+                seed=seed,
+                target_arrays=prepared.targets,
+            )
+        )
+        result = run_program(
+            prepared.program,
+            prepared.params,
+            initial_values=_copy_values(prepared.values),
+            injector=injector,
+            channels=self.channels,
+            wild_reads=True,
+        )
+        record = injector.record
+        if record is None:
+            verdict = NO_INJECTION
+            injection = None
+        elif result.error_detected:
+            verdict = DETECTED
+            injection = _injection_dict(record)
+        else:
+            # Silent data corruption means the fault *propagated*: some
+            # cell other than the one struck ends up wrong.  The struck
+            # cell itself is masked out — a flip that sits unread in a
+            # dead cell until the end is benign, not SDC.
+            corrupted = False
+            for name in prepared.golden_finals:
+                final = result.memory.to_array(name)
+                gold = prepared.golden_finals[name]
+                if name == record.array:
+                    final = final.copy()
+                    gold = gold.copy()
+                    final[tuple(record.indices)] = 0
+                    gold[tuple(record.indices)] = 0
+                if not np.array_equal(final, gold):
+                    corrupted = True
+                    break
+            verdict = SDC if corrupted else BENIGN
+            injection = _injection_dict(record)
+        return TrialRecord(
+            index=index,
+            seed=seed,
+            verdict=verdict,
+            injection=injection,
+            elapsed=time.perf_counter() - start,
+        )
+
+
+def _copy_values(values: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        k: (v.copy() if hasattr(v, "copy") else v) for k, v in values.items()
+    }
+
+
+def _injection_dict(record) -> dict:
+    return {
+        "array": record.array,
+        "indices": list(record.indices),
+        "bits": list(record.bits),
+        "at_load": record.at_load,
+    }
+
+
+SPEC_KINDS: dict[str, type] = {
+    ChecksumCampaignSpec.kind: ChecksumCampaignSpec,
+    ProgramCampaignSpec.kind: ProgramCampaignSpec,
+}
+
+CampaignSpec = ChecksumCampaignSpec | ProgramCampaignSpec
+
+
+def spec_from_dict(data: dict) -> "CampaignSpec":
+    """Reconstruct a spec from its :meth:`to_dict` form (log headers)."""
+    try:
+        cls = SPEC_KINDS[data["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown campaign kind {data.get('kind')!r}") from None
+    return cls.from_dict(data)

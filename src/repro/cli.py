@@ -5,8 +5,15 @@ Exposes the compiler and the experiment harnesses as a small toolchain:
     python -m repro instrument kernel.mini --split -o resilient.mini
     python -m repro run resilient.mini --param n=16 --init A=randspd
     python -m repro analyze kernel.mini
-    python -m repro campaign kernel.mini --param n=12 --trials 100
+    python -m repro campaign run kernel.mini --param n=12 --trials 100 \\
+        --workers 4 --log trials.jsonl
+    python -m repro campaign resume trials.jsonl --workers 4
+    python -m repro campaign report trials.jsonl
     python -m repro table1 / figure10 / figure11 ...
+
+Campaigns are deterministic per trial index (same seed => identical
+verdicts for any --workers value) and resumable from their JSONL log;
+see docs/CAMPAIGNS.md.
 
 ``run`` initializers: ``<array>=zeros`` (default), ``rand`` (uniform
 [-1,1]), ``randpos`` (uniform [0.5,1.5]), ``randspd`` (symmetric
@@ -46,40 +53,21 @@ def _parse_params(pairs: list[str]) -> dict[str, int]:
     return params
 
 
-def _initial_values(program, params, specs: list[str], seed: int):
-    from repro.ir.analysis import to_affine
-
-    rng = np.random.default_rng(seed)
+def _init_specs(specs: list[str]) -> dict[str, str]:
     how = {}
     for spec in specs:
         name, _, kind = spec.partition("=")
         how[name] = kind or "rand"
-    values = {}
-    for decl in program.arrays:
-        shape = tuple(
-            int(to_affine(d, set(program.params)).evaluate(params))
-            for d in decl.dims
-        )
-        kind = how.get(decl.name, "zeros")
-        if kind == "zeros":
-            array = np.zeros(shape)
-        elif kind == "rand":
-            array = rng.uniform(-1.0, 1.0, size=shape)
-        elif kind == "randpos":
-            array = rng.uniform(0.5, 1.5, size=shape)
-        elif kind == "arange":
-            array = np.arange(int(np.prod(shape)), dtype=float).reshape(shape)
-        elif kind == "randspd":
-            if len(shape) != 2 or shape[0] != shape[1]:
-                raise SystemExit(f"randspd needs a square 2-D array: {decl.name}")
-            m = rng.standard_normal(shape)
-            array = m @ m.T + shape[0] * np.eye(shape[0])
-        else:
-            raise SystemExit(f"unknown initializer {kind!r} for {decl.name}")
-        if decl.elem_type == "i64":
-            array = array.astype(np.int64)
-        values[decl.name] = array
-    return values
+    return how
+
+
+def _initial_values(program, params, specs: list[str], seed: int):
+    from repro.campaign.spec import build_initial_values
+
+    try:
+        return build_initial_values(program, params, _init_specs(specs), seed)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def cmd_instrument(args) -> int:
@@ -172,48 +160,123 @@ def cmd_analyze(args) -> int:
     return 0
 
 
-def cmd_campaign(args) -> int:
-    import random
+def _campaign_spec_from_args(args):
+    from repro.campaign import ProgramCampaignSpec
 
-    from repro.runtime.faults import RandomCellFlipper
-    from repro.runtime.interpreter import run_program
-
-    program = _load(args.file)
-    params = _parse_params(args.param)
-    values = _initial_values(program, params, args.init, args.seed)
-    instrumented, _ = instrument_program(
-        program, InstrumentationOptions(index_set_splitting=True)
+    if (args.file is None) == (args.benchmark is None):
+        raise SystemExit("campaign run needs a program file OR --benchmark")
+    kwargs = dict(
+        trials=args.trials,
+        seed=args.seed,
+        bits=args.bits,
+        split=not args.no_split,
+        hoist=not args.no_hoist,
+        channels=args.channels,
     )
+    if args.benchmark is not None:
+        from repro.programs import ALL_BENCHMARKS
 
-    def fresh():
-        return {k: v.copy() for k, v in values.items()}
+        if args.benchmark not in ALL_BENCHMARKS:
+            raise SystemExit(
+                f"unknown benchmark '{args.benchmark}' "
+                f"(choices: {', '.join(sorted(ALL_BENCHMARKS))})"
+            )
+        return ProgramCampaignSpec(
+            benchmark=args.benchmark,
+            scale=args.scale,
+            params=_parse_params(args.param),
+            **kwargs,
+        )
+    try:
+        with open(args.file) as handle:
+            text = handle.read()
+    except OSError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        return ProgramCampaignSpec(
+            program_text=text,
+            params=_parse_params(args.param),
+            init=_init_specs(args.init),
+            init_seed=args.seed,
+            **kwargs,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
-    clean = run_program(instrumented, params, initial_values=fresh())
-    if clean.mismatches:
-        raise SystemExit("fault-free run flagged an error; check the program")
-    total_loads = clean.memory.load_count
-    arrays = [d.name for d in program.arrays]
-    detected = 0
-    for trial in range(args.trials):
-        injector = RandomCellFlipper(
-            num_bits=args.bits,
-            expected_loads=total_loads,
-            rng=random.Random(args.seed + trial),
-            target_arrays=arrays,
-        )
-        outcome = run_program(
-            instrumented,
-            params,
-            initial_values=fresh(),
-            injector=injector,
-            wild_reads=True,
-        )
-        detected += outcome.error_detected
+
+def _print_campaign_result(result) -> int:
+    summary = result.summary()
+    mode = (
+        f"{result.workers} workers" if result.workers > 1 else "serial"
+    )
     print(
-        f"{detected}/{args.trials} random {args.bits}-bit faults detected "
-        f"({100 * detected / args.trials:.1f}%); the rest hit dead or "
-        "pre-definition data (see EXPERIMENTS.md)"
+        f"campaign: {summary.trials} trials in {result.elapsed:.2f}s "
+        f"({mode}"
+        + (
+            f", {result.resumed_trials} recovered from log"
+            if result.resumed_trials
+            else ""
+        )
+        + ")"
     )
+    if result.log_path:
+        print(f"log: {result.log_path}")
+    print(summary.format())
+    if summary.counts.get("sdc") or summary.counts.get("benign"):
+        print(
+            "note: benign/sdc trials hit dead or pre-definition data "
+            "(see EXPERIMENTS.md)"
+        )
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import run_campaign
+
+    spec = _campaign_spec_from_args(args)
+    try:
+        result = run_campaign(
+            spec,
+            workers=args.workers,
+            log_path=args.log,
+            resume=args.resume,
+        )
+    except (ValueError, RuntimeError) as error:
+        raise SystemExit(str(error)) from None
+    return _print_campaign_result(result)
+
+
+def cmd_campaign_resume(args) -> int:
+    from repro.campaign import resume_campaign
+
+    try:
+        result = resume_campaign(args.log, workers=args.workers)
+    except (ValueError, RuntimeError, OSError) as error:
+        raise SystemExit(str(error)) from None
+    return _print_campaign_result(result)
+
+
+def cmd_campaign_report(args) -> int:
+    from repro.campaign import read_log, summarize
+    from repro.campaign.spec import spec_from_dict
+
+    try:
+        contents = read_log(args.log)
+    except OSError as error:
+        raise SystemExit(str(error)) from None
+    if contents.spec_dict is not None:
+        spec = spec_from_dict(contents.spec_dict)
+        done = len(contents.records)
+        print(
+            f"campaign log: {args.log} — {done}/{spec.trials} trials"
+            + (" (truncated tail dropped)" if contents.truncated else "")
+        )
+        if done < spec.trials:
+            print(
+                f"incomplete: resume with "
+                f"`repro campaign resume {args.log}`"
+            )
+    print(summarize(contents.records).format())
     return 0
 
 
@@ -260,14 +323,52 @@ def main(argv: list[str] | None = None) -> int:
     p_an.add_argument("file")
     p_an.set_defaults(func=cmd_analyze)
 
-    p_camp = sub.add_parser("campaign", help="random fault-injection campaign")
-    p_camp.add_argument("file")
-    p_camp.add_argument("--param", action="append", default=[], metavar="n=16")
-    p_camp.add_argument("--init", action="append", default=[])
-    p_camp.add_argument("--trials", type=int, default=100)
-    p_camp.add_argument("--bits", type=int, default=2)
-    p_camp.add_argument("--seed", type=int, default=0)
-    p_camp.set_defaults(func=cmd_campaign)
+    p_camp = sub.add_parser(
+        "campaign",
+        help="deterministic fault-injection campaigns (run/resume/report)",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    p_crun = camp_sub.add_parser(
+        "run", help="run a campaign (parallel, optionally logged)"
+    )
+    p_crun.add_argument("file", nargs="?", default=None,
+                        help="mini-language program (or use --benchmark)")
+    p_crun.add_argument("--benchmark", default=None,
+                        help="a Table 2 benchmark name instead of a file")
+    p_crun.add_argument("--scale", choices=("small", "default"),
+                        default="small")
+    p_crun.add_argument("--param", action="append", default=[],
+                        metavar="n=16")
+    p_crun.add_argument("--init", action="append", default=[],
+                        metavar="A=randspd")
+    p_crun.add_argument("--trials", type=int, default=100)
+    p_crun.add_argument("--bits", type=int, default=2)
+    p_crun.add_argument("--seed", type=int, default=0)
+    p_crun.add_argument("--workers", type=int, default=1,
+                        help="worker processes (verdicts are identical "
+                        "for any worker count)")
+    p_crun.add_argument("--log", default=None,
+                        help="JSONL trial log (enables resume)")
+    p_crun.add_argument("--resume", action="store_true",
+                        help="recover finished trials from --log first")
+    p_crun.add_argument("--no-split", action="store_true")
+    p_crun.add_argument("--no-hoist", action="store_true")
+    p_crun.add_argument("--channels", type=int, default=1)
+    p_crun.set_defaults(func=cmd_campaign_run)
+
+    p_cres = camp_sub.add_parser(
+        "resume", help="finish a killed campaign from its JSONL log"
+    )
+    p_cres.add_argument("log")
+    p_cres.add_argument("--workers", type=int, default=1)
+    p_cres.set_defaults(func=cmd_campaign_resume)
+
+    p_crep = camp_sub.add_parser(
+        "report", help="summarize a campaign log (Wilson 95% CIs)"
+    )
+    p_crep.add_argument("log")
+    p_crep.set_defaults(func=cmd_campaign_report)
 
     for name in ("table1", "figure10", "figure11"):
         p_exp = sub.add_parser(name, help=f"run the {name} experiment")

@@ -29,6 +29,7 @@ import argparse
 import time
 from dataclasses import dataclass
 
+from repro.campaign.golden import golden_run
 from repro.codegen.python_gen import compile_to_python
 from repro.experiments.reporting import OverheadRow, format_overheads, geomean
 from repro.instrument.pipeline import InstrumentationOptions, instrument_program
@@ -61,6 +62,7 @@ class BenchmarkBuilds:
     optimized: object
     params: dict
     values: dict
+    scale: str = "default"
 
 
 def build_benchmark(name: str, scale: str = "default") -> BenchmarkBuilds:
@@ -79,6 +81,7 @@ def build_benchmark(name: str, scale: str = "default") -> BenchmarkBuilds:
         optimized=optimized,
         params=params,
         values=values,
+        scale=scale,
     )
 
 
@@ -89,14 +92,26 @@ def _copy_values(values: dict) -> dict:
 
 
 def measure_counts(builds: BenchmarkBuilds) -> dict[str, OpCounts]:
+    """Dynamic operation counts per build variant.
+
+    Fault-free executions are deterministic, so they go through the
+    process-wide golden-run cache: a benchmark/scale/variant triple is
+    interpreted once per process no matter how many harnesses (Figure
+    10, ablations, campaigns) ask for it.
+    """
     counts: dict[str, OpCounts] = {}
     for key, program in (
         ("original", builds.original),
         ("resilient", builds.resilient),
         ("optimized", builds.optimized),
     ):
-        result = run_program(
-            program, builds.params, initial_values=_copy_values(builds.values)
+        result = golden_run(
+            ("figure10", builds.name, builds.scale, key),
+            lambda program=program: run_program(
+                program,
+                builds.params,
+                initial_values=_copy_values(builds.values),
+            ),
         )
         if result.mismatches:
             raise AssertionError(
@@ -182,6 +197,72 @@ def run_figure10(
     return [overhead_row(name, scale, wall) for name in names]
 
 
+def detection_coverage(
+    benchmarks: list[str] | None = None,
+    trials: int = 100,
+    seed: int = 0,
+    workers: int = 1,
+    scale: str = "small",
+    bits: int = 2,
+) -> list[dict]:
+    """Detection coverage of the resilient builds under random faults.
+
+    Each benchmark becomes one
+    :class:`~repro.campaign.ProgramCampaignSpec` run through the
+    campaign engine; verdicts separate detected faults from silent
+    data corruption, benign (dead-data) hits, and trials where no
+    fault landed.  Rates carry Wilson 95% intervals.
+    """
+    from repro.campaign import ProgramCampaignSpec, derive_seed, run_campaign
+
+    rows: list[dict] = []
+    for name in benchmarks or list(ALL_BENCHMARKS):
+        spec = ProgramCampaignSpec(
+            trials=trials,
+            seed=derive_seed(seed, "figure10-detect", name, scale),
+            benchmark=name,
+            scale=scale,
+            bits=bits,
+        )
+        summary = run_campaign(spec, workers=workers).summary()
+        low, high = summary.detection_interval()
+        rows.append(
+            {
+                "benchmark": name,
+                "trials": summary.trials,
+                "counts": summary.counts,
+                "detected": summary.detected,
+                "injected": summary.injected,
+                "rate": summary.detection_rate,
+                "ci": (low, high),
+            }
+        )
+    return rows
+
+
+def format_detection(rows: list[dict]) -> str:
+    lines = [
+        "Detection coverage (random 2-bit cell faults, resilient builds)",
+        "",
+        f"{'benchmark':<10} {'detected':>9} {'sdc':>5} {'benign':>7} "
+        f"{'no_inj':>7} {'rate':>8} {'95% CI':>18}",
+        "-" * 70,
+    ]
+    for row in rows:
+        counts = row["counts"]
+        low, high = row["ci"]
+        lines.append(
+            f"{row['benchmark']:<10} "
+            f"{row['detected']:>9} "
+            f"{counts.get('sdc', 0):>5} "
+            f"{counts.get('benign', 0):>7} "
+            f"{counts.get('no_injection', 0):>7} "
+            f"{100 * row['rate']:>7.1f}% "
+            f"[{100 * low:>5.1f}%, {100 * high:>5.1f}%]"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--benchmarks", nargs="+", default=None)
@@ -194,9 +275,27 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--list", action="store_true", help="print Table 2 and exit"
     )
+    parser.add_argument(
+        "--detect",
+        action="store_true",
+        help="run the detection-coverage campaign instead of overheads",
+    )
+    parser.add_argument("--trials", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
     args = parser.parse_args(argv)
     if args.list:
         print(format_table2())
+        return
+    if args.detect:
+        rows = detection_coverage(
+            args.benchmarks,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            scale=args.scale,
+        )
+        print(format_detection(rows))
         return
     rows = run_figure10(args.benchmarks, args.scale, args.wall)
     print(

@@ -16,6 +16,13 @@ the default here is scaled down and configurable
 (``python -m repro.experiments.table1 --trials 100000`` reproduces the
 paper's protocol exactly).
 
+Each table cell is one :class:`~repro.campaign.ChecksumCampaignSpec`
+run through the campaign engine (``repro.campaign``): trials are
+seeded per-index, so ``--workers 4`` fans the cell out over processes
+and produces *bit-identical* counts to the serial run.
+:func:`run_cell` remains as the self-contained serial reference kernel
+(one shared RNG) used by older tests and benchmarks.
+
 Analytically expected rates (64-bit words, k=2): the flips cancel in
 one checksum iff they hit the same bit position in different words
 with opposite bit values — probability ``1/64 * 1/2 ≈ 0.78%`` for
@@ -28,7 +35,7 @@ from __future__ import annotations
 
 import argparse
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 MASK64 = (1 << 64) - 1
 WORD_BITS = 64
@@ -64,6 +71,9 @@ class Table1Config:
     trials: int = 20_000
     seed: int = 12345
     base_address: int = 0x1000
+    workers: int = 1
+    """Worker processes per cell campaign (1 = in-process serial);
+    results are bit-identical for any value."""
 
 
 @dataclass
@@ -149,31 +159,60 @@ def run_cell(
     return (100.0 * missed_one / trials, 100.0 * missed_two / trials)
 
 
-def run_table1(config: Table1Config | None = None) -> list[Table1Row]:
+def cell_spec(
+    config: Table1Config, bits: int, size: int, pattern: str
+):
+    """The campaign spec of one table cell.
+
+    The cell's campaign seed is derived from the table seed and the
+    cell coordinates, so cells are independent streams and any one cell
+    (or any one trial within it) can be reproduced in isolation.
+    """
+    from repro.campaign import ChecksumCampaignSpec, derive_seed
+
+    return ChecksumCampaignSpec(
+        size=size,
+        bits=bits,
+        pattern=pattern,
+        trials=config.trials,
+        seed=derive_seed(config.seed, "table1", bits, size, pattern),
+        base_address=config.base_address,
+    )
+
+
+def run_cell_campaign(
+    config: Table1Config, bits: int, size: int, pattern: str
+) -> Table1Row:
+    """One table cell via the campaign engine (parallel, resumable)."""
+    from repro.campaign import run_campaign
+
+    result = run_campaign(
+        cell_spec(config, bits, size, pattern),
+        workers=config.workers,
+        keep_records=False,
+    )
+    summary = result.summary()
+    return Table1Row(
+        bits=bits,
+        size=size,
+        pattern=pattern,
+        undetected_one=100.0 * summary.missed_one / config.trials,
+        undetected_two=100.0 * summary.missed_two / config.trials,
+        trials=config.trials,
+    )
+
+
+def run_table1(
+    config: Table1Config | None = None, workers: int | None = None
+) -> list[Table1Row]:
     config = config or Table1Config()
-    rng = random.Random(config.seed)
+    if workers is not None:
+        config = replace(config, workers=workers)
     rows: list[Table1Row] = []
     for bits in config.bit_counts:
         for size in config.sizes:
             for pattern in config.patterns:
-                one, two = run_cell(
-                    size,
-                    bits,
-                    pattern,
-                    config.trials,
-                    rng,
-                    config.base_address,
-                )
-                rows.append(
-                    Table1Row(
-                        bits=bits,
-                        size=size,
-                        pattern=pattern,
-                        undetected_one=one,
-                        undetected_two=two,
-                        trials=config.trials,
-                    )
-                )
+                rows.append(run_cell_campaign(config, bits, size, pattern))
     return rows
 
 
@@ -221,12 +260,20 @@ def main(argv: list[str] | None = None) -> None:
         default=[10**2, 10**4, 10**6],
     )
     parser.add_argument("--bits", type=int, nargs="+", default=[2, 3, 4, 5, 6])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per cell (same-seed runs are "
+        "bit-identical for any worker count)",
+    )
     args = parser.parse_args(argv)
     config = Table1Config(
         sizes=tuple(args.sizes),
         bit_counts=tuple(args.bits),
         trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
     rows = run_table1(config)
     print(format_table(rows))

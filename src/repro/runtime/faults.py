@@ -114,16 +114,39 @@ class RandomCellFlipper(FaultInjector):
         self.rng = rng
         self.target_arrays = tuple(target_arrays) if target_arrays else None
         self.record: InjectionRecord | None = None
+        self.no_targets = False
+        """Set when the trigger fired but no targetable cell existed
+        (empty target list, or every target has zero extent).  Campaigns
+        must report such trials as ``no_injection``, not undetected."""
+
+    @property
+    def injected(self) -> bool:
+        """Whether a fault actually landed (False also when the program
+        performed no loads, so the trigger never fired)."""
+        return self.record is not None
 
     def before_load(self, memory, name, indices, word):
-        if self.record is not None or memory.load_count < self.trigger:
+        if (
+            self.record is not None
+            or self.no_targets
+            or memory.load_count < self.trigger
+        ):
             return None
         arrays = (
             list(self.target_arrays)
             if self.target_arrays is not None
             else memory.region_names(include_shadow=False)
         )
-        arrays = [a for a in arrays if memory.shape(a) != () or True]
+        # Only regions with at least one cell are injectable (scalars
+        # have shape () and count as one cell).
+        arrays = [
+            a
+            for a in arrays
+            if all(extent > 0 for extent in memory.shape(a))
+        ]
+        if not arrays:
+            self.no_targets = True
+            return None
         array = self.rng.choice(arrays)
         shape = memory.shape(array)
         cell = tuple(self.rng.randrange(extent) for extent in shape)
@@ -160,6 +183,93 @@ class MultiInjector(FaultInjector):
                 result = mutated
                 word = mutated
         return result
+
+
+@dataclass(frozen=True)
+class InjectorSpec:
+    """A fault injector as pure data.
+
+    Campaign engines ship these across process boundaries instead of
+    live injector objects (which hold an RNG mid-stream and are not
+    meaningfully picklable).  :func:`make_injector` turns a spec into a
+    fresh injector; two calls with the same spec behave identically, so
+    any campaign trial can be replayed from its record alone.
+
+    Kinds: ``"none"`` (:class:`NoFaults`), ``"scheduled"``
+    (:class:`ScheduledBitFlip`, uses ``array``/``indices``/
+    ``bit_positions``/``at_load``), ``"random_cell"``
+    (:class:`RandomCellFlipper`, uses ``num_bits``/``expected_loads``/
+    ``seed``/``target_arrays``).
+    """
+
+    kind: str = "random_cell"
+    num_bits: int = 2
+    expected_loads: int = 1
+    seed: int = 0
+    target_arrays: tuple[str, ...] | None = None
+    array: str | None = None
+    indices: tuple[int, ...] = ()
+    bit_positions: tuple[int, ...] = ()
+    at_load: int = 1
+
+    def to_dict(self) -> dict:
+        data = {
+            "kind": self.kind,
+            "num_bits": self.num_bits,
+            "expected_loads": self.expected_loads,
+            "seed": self.seed,
+            "target_arrays": (
+                list(self.target_arrays)
+                if self.target_arrays is not None
+                else None
+            ),
+            "array": self.array,
+            "indices": list(self.indices),
+            "bit_positions": list(self.bit_positions),
+            "at_load": self.at_load,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InjectorSpec":
+        return cls(
+            kind=data.get("kind", "random_cell"),
+            num_bits=data.get("num_bits", 2),
+            expected_loads=data.get("expected_loads", 1),
+            seed=data.get("seed", 0),
+            target_arrays=(
+                tuple(data["target_arrays"])
+                if data.get("target_arrays") is not None
+                else None
+            ),
+            array=data.get("array"),
+            indices=tuple(data.get("indices", ())),
+            bit_positions=tuple(data.get("bit_positions", ())),
+            at_load=data.get("at_load", 1),
+        )
+
+
+def make_injector(spec: InjectorSpec) -> FaultInjector:
+    """Instantiate the injector an :class:`InjectorSpec` describes."""
+    if spec.kind == "none":
+        return NoFaults()
+    if spec.kind == "scheduled":
+        if spec.array is None:
+            raise ValueError("scheduled injector needs an array")
+        return ScheduledBitFlip(
+            array=spec.array,
+            indices=spec.indices,
+            bit_positions=spec.bit_positions,
+            at_load=spec.at_load,
+        )
+    if spec.kind == "random_cell":
+        return RandomCellFlipper(
+            num_bits=spec.num_bits,
+            expected_loads=spec.expected_loads,
+            rng=random.Random(spec.seed),
+            target_arrays=spec.target_arrays,
+        )
+    raise ValueError(f"unknown injector kind {spec.kind!r}")
 
 
 def flip_random_bits_in_words(

@@ -1,0 +1,101 @@
+"""Wilson intervals and campaign summaries."""
+
+import math
+
+import pytest
+
+from repro.campaign.records import (
+    BENIGN,
+    DETECTED,
+    DETECTED_SECOND,
+    NO_INJECTION,
+    SDC,
+    UNDETECTED,
+    TrialRecord,
+)
+from repro.campaign.stats import (
+    CampaignSummary,
+    summarize,
+    summarize_counts,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_reference_value(self):
+        """8/10 at 95%: the textbook Wilson interval ~ (0.490, 0.943)."""
+        low, high = wilson_interval(8, 10)
+        assert math.isclose(low, 0.4901625, abs_tol=1e-4)
+        assert math.isclose(high, 0.9433178, abs_tol=1e-4)
+
+    def test_degenerate_zero(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0
+        assert 0.0 < high < 0.05
+
+    def test_degenerate_all(self):
+        low, high = wilson_interval(100, 100)
+        assert high == 1.0
+        assert 0.95 < low < 1.0
+
+    def test_empty(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_contains_point_estimate(self):
+        for k, n in [(1, 7), (3, 9), (250, 500), (499, 500)]:
+            low, high = wilson_interval(k, n)
+            assert low <= k / n <= high
+
+    def test_narrows_with_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert large[1] - large[0] < small[1] - small[0]
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+
+def _records(verdicts):
+    return [
+        TrialRecord(index=i, seed=i, verdict=v) for i, v in enumerate(verdicts)
+    ]
+
+
+class TestSummaries:
+    def test_counts_and_rate(self):
+        summary = summarize(
+            _records([DETECTED, DETECTED, SDC, BENIGN, NO_INJECTION])
+        )
+        assert summary.trials == 5
+        assert summary.injected == 4  # no_injection excluded
+        assert summary.detected == 2
+        assert summary.detection_rate == 0.5
+
+    def test_detected_second_counts_as_detected(self):
+        summary = summarize(
+            _records([DETECTED, DETECTED_SECOND, UNDETECTED])
+        )
+        assert summary.detected == 2
+        # Table 1 views: the first checksum missed the latter two.
+        assert summary.missed_one == 2
+        assert summary.missed_two == 1
+
+    def test_no_injection_only(self):
+        summary = summarize(_records([NO_INJECTION, NO_INJECTION]))
+        assert summary.injected == 0
+        assert summary.detection_rate == 0.0
+        assert "no faults injected" in summary.format()
+
+    def test_summarize_counts_equivalent(self):
+        records = _records([DETECTED, SDC, SDC])
+        assert summarize(records) == summarize_counts(
+            {DETECTED: 1, SDC: 2}
+        )
+
+    def test_format_mentions_ci(self):
+        text = summarize(_records([DETECTED] * 8 + [SDC] * 2)).format()
+        assert "95% CI" in text
+        assert "8/10" in text

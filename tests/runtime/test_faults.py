@@ -1,15 +1,18 @@
 """Fault injector tests."""
 
+import pickle
 import random
 
 import pytest
 
 from repro.runtime.faults import (
+    InjectorSpec,
     MultiInjector,
     NoFaults,
     RandomCellFlipper,
     ScheduledBitFlip,
     flip_random_bits_in_words,
+    make_injector,
 )
 from repro.runtime.memory import Memory
 
@@ -98,6 +101,126 @@ class TestRandomCellFlipper:
                 mem.load("A", (i,))
             records.append((inj.record.array, inj.record.indices, inj.record.bits))
         assert records[0] == records[1]
+
+    def test_no_loads_means_no_injection(self):
+        """A program that never loads gives the trigger nothing to fire
+        on: the trial injected nothing and must be reported as such."""
+        mem = make_memory()
+        inj = RandomCellFlipper(2, 10, random.Random(1))
+        mem.injector = inj
+        assert inj.record is None
+        assert not inj.injected
+
+    def test_empty_extent_targets_report_no_injection(self):
+        """Targets whose arrays have zero cells cannot host a fault;
+        the injector must flag no_targets instead of crashing or
+        silently counting the trial as undetected."""
+        mem = make_memory()
+        mem.declare("E", (0,))
+        inj = RandomCellFlipper(
+            num_bits=1,
+            expected_loads=1,
+            rng=random.Random(5),
+            target_arrays=["E"],
+        )
+        mem.injector = inj
+        for i in range(4):
+            mem.load("A", (i,))
+        assert inj.record is None
+        assert inj.no_targets
+        assert not inj.injected
+
+    def test_empty_extent_arrays_filtered_from_pool(self):
+        """Zero-cell regions are skipped, not drawn (which would raise
+        in randrange(0))."""
+        mem = make_memory()
+        mem.declare("E", (0,))
+        inj = RandomCellFlipper(
+            num_bits=1,
+            expected_loads=1,
+            rng=random.Random(5),
+            target_arrays=["E", "A"],
+        )
+        mem.injector = inj
+        mem.load("A", (0,))
+        assert inj.record is not None
+        assert inj.record.array == "A"
+        assert inj.injected
+
+    def test_no_targets_stops_retrying(self):
+        mem = make_memory()
+        inj = RandomCellFlipper(
+            num_bits=1,
+            expected_loads=1,
+            rng=random.Random(5),
+            target_arrays=["E"],
+        )
+        mem.declare("E", (0,))
+        mem.injector = inj
+        for i in range(4):
+            mem.load("A", (i,))
+        # Memory contents untouched.
+        assert [mem.load("A", (i,)) for i in range(4)] == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestInjectorSpec:
+    def test_random_cell_factory_is_deterministic(self):
+        spec = InjectorSpec(
+            kind="random_cell", num_bits=2, expected_loads=4, seed=99
+        )
+        records = []
+        for _ in range(2):
+            mem = make_memory()
+            mem.injector = make_injector(spec)
+            for i in range(4):
+                mem.load("A", (i,))
+            rec = mem.injector.record
+            records.append((rec.array, rec.indices, rec.bits, rec.at_load))
+        assert records[0] == records[1]
+
+    def test_matches_hand_built_injector(self):
+        spec = InjectorSpec(
+            kind="random_cell", num_bits=2, expected_loads=4, seed=7
+        )
+        by_factory = make_injector(spec)
+        by_hand = RandomCellFlipper(2, 4, random.Random(7))
+        assert by_factory.trigger == by_hand.trigger
+
+    def test_scheduled_kind(self):
+        spec = InjectorSpec(
+            kind="scheduled",
+            array="A",
+            indices=(2,),
+            bit_positions=(5,),
+            at_load=1,
+        )
+        mem = make_memory()
+        before = mem.peek_bits("A", (2,))
+        mem.injector = make_injector(spec)
+        mem.load("A", (0,))
+        assert mem.peek_bits("A", (2,)) == before ^ (1 << 5)
+
+    def test_none_kind(self):
+        assert isinstance(make_injector(InjectorSpec(kind="none")), NoFaults)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_injector(InjectorSpec(kind="cosmic_ray"))
+
+    def test_scheduled_requires_array(self):
+        with pytest.raises(ValueError):
+            make_injector(InjectorSpec(kind="scheduled"))
+
+    def test_spec_round_trips(self):
+        spec = InjectorSpec(
+            kind="random_cell",
+            num_bits=3,
+            expected_loads=12,
+            seed=4,
+            target_arrays=("A", "B"),
+        )
+        assert InjectorSpec.from_dict(spec.to_dict()) == spec
+        assert pickle.loads(pickle.dumps(spec)) == spec
 
 
 class TestMultiInjector:

@@ -90,6 +90,7 @@ class TestCampaign:
         code = main(
             [
                 "campaign",
+                "run",
                 demo_file,
                 "--param",
                 "n=6",
@@ -101,6 +102,61 @@ class TestCampaign:
         )
         assert code == 0
         assert "faults detected" in capsys.readouterr().out
+
+    def test_benchmark_campaign_with_log_and_report(self, tmp_path, capsys):
+        log = str(tmp_path / "trials.jsonl")
+        code = main(
+            [
+                "campaign",
+                "run",
+                "--benchmark",
+                "cholesky",
+                "--scale",
+                "small",
+                "--trials",
+                "4",
+                "--log",
+                log,
+            ]
+        )
+        assert code == 0
+        run_out = capsys.readouterr().out
+        assert "trials" in run_out
+
+        assert main(["campaign", "report", log]) == 0
+        report_out = capsys.readouterr().out
+        assert "4/4 trials" in report_out
+
+    def test_resume_completes_truncated_log(self, demo_file, tmp_path, capsys):
+        log = str(tmp_path / "trials.jsonl")
+        args = [
+            "campaign",
+            "run",
+            demo_file,
+            "--param",
+            "n=6",
+            "--init",
+            "A=randspd",
+            "--trials",
+            "5",
+            "--log",
+            log,
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Simulate a kill: drop the last record and tear the one before.
+        lines = open(log).readlines()
+        with open(log, "w") as handle:
+            handle.write("".join(lines[:-2]) + lines[-2][:10])
+        assert main(["campaign", "resume", log]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from log" in out
+        assert main(["campaign", "report", log]) == 0
+        assert "5/5 trials" in capsys.readouterr().out
+
+    def test_run_requires_program_or_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--trials", "2"])
 
 
 class TestMacroParsing:
