@@ -82,6 +82,10 @@ class CampaignResult:
     """How many trials were recovered from the log instead of re-run."""
     log_path: str | None = None
     workers: int = 1
+    golden_cache: dict[str, int] | None = None
+    """Golden-run cache counters (hits/misses/evictions/size/limit) of
+    the driving process at campaign end.  Workers keep their own caches;
+    a miss here means this process computed a fresh golden run."""
 
     def summary(self) -> CampaignSummary:
         return summarize_counts(self.counts)
@@ -166,6 +170,8 @@ def run_campaign(
 
     if keep_records:
         kept.sort(key=lambda record: record.index)
+    from repro.campaign.golden import cache_stats
+
     return CampaignResult(
         spec=spec,
         counts=dict(counts),
@@ -174,6 +180,7 @@ def run_campaign(
         resumed_trials=len(done),
         log_path=log_path,
         workers=workers,
+        golden_cache=cache_stats(),
     )
 
 

@@ -11,28 +11,73 @@ digest, in the Figure 10 harness it is (benchmark, scale, variant).
 Worker processes each hold their own copy of the cache (one golden run
 per worker, amortized over its whole trial share); the cache is never
 pickled across the pool boundary.
+
+The cache is LRU-bounded (golden states carry full memory images, and
+a long-lived process sweeping many specs would otherwise grow without
+limit) and keeps hit/miss/eviction counters that ``campaign report``
+surfaces, so cache thrash in a sweep is visible instead of silent.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Hashable, TypeVar
 
 T = TypeVar("T")
 
-_CACHE: dict[Hashable, object] = {}
+_CACHE: "OrderedDict[Hashable, object]" = OrderedDict()
+_CACHE_LIMIT = 64
+_hits = 0
+_misses = 0
+_evictions = 0
 
 
 def golden_run(key: Hashable, runner: Callable[[], T]) -> T:
     """Return the cached value for ``key``, computing it on first use."""
-    if key not in _CACHE:
-        _CACHE[key] = runner()
-    return _CACHE[key]  # type: ignore[return-value]
+    global _hits, _misses, _evictions
+    if key in _CACHE:
+        _hits += 1
+        _CACHE.move_to_end(key)
+        return _CACHE[key]  # type: ignore[return-value]
+    _misses += 1
+    value = runner()
+    _CACHE[key] = value
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+        _evictions += 1
+    return value
 
 
 def cached_keys() -> list[Hashable]:
     return list(_CACHE)
 
 
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters plus current size and bound."""
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "evictions": _evictions,
+        "size": len(_CACHE),
+        "limit": _CACHE_LIMIT,
+    }
+
+
+def set_cache_limit(limit: int) -> None:
+    """Re-bound the cache (evicting oldest entries if shrinking)."""
+    global _CACHE_LIMIT, _evictions
+    if limit < 1:
+        raise ValueError("cache limit must be positive")
+    _CACHE_LIMIT = limit
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+        _evictions += 1
+
+
 def clear_cache() -> None:
     """Drop all cached golden runs (tests, or after program edits)."""
+    global _hits, _misses, _evictions
     _CACHE.clear()
+    _hits = 0
+    _misses = 0
+    _evictions = 0

@@ -226,6 +226,9 @@ class _PreparedProgram:
     total_loads: int
     golden_finals: dict[str, Any]
     targets: tuple[str, ...]
+    kernel: Any = None
+    """Compiled kernel shared by every trial of this worker; ``None``
+    when the spec asks for the interpreter or compilation fell back."""
 
 
 @dataclass(frozen=True)
@@ -252,6 +255,7 @@ class ProgramCampaignSpec:
     split: bool = True
     hoist: bool = True
     channels: int = 1
+    backend: str = "compiled"
 
     kind = "program"
 
@@ -259,6 +263,12 @@ class ProgramCampaignSpec:
         if (self.program_text is None) == (self.benchmark is None):
             raise ValueError(
                 "exactly one of program_text / benchmark must be set"
+            )
+        from repro.runtime.compile import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
         # Normalize dict-style inputs into hashable tuples.
         if isinstance(self.params, dict):
@@ -334,6 +344,7 @@ class ProgramCampaignSpec:
             InstrumentationOptions,
             instrument_program,
         )
+        from repro.runtime.compile import CompileError, compile_program
         from repro.runtime.interpreter import run_program
 
         program, params, values = self._resolve()
@@ -346,12 +357,29 @@ class ProgramCampaignSpec:
                     hoist_inspectors=self.hoist,
                 ),
             )
-        clean = run_program(
-            program,
-            params,
-            initial_values=_copy_values(values),
-            channels=self.channels,
-        )
+        # Compile once per worker; every trial (and the golden run)
+        # reuses the kernel.  Unsupported constructs fall back to the
+        # interpreter — the two backends are bit-identical, so the
+        # choice never changes a verdict.
+        kernel = None
+        if self.backend == "compiled":
+            try:
+                kernel = compile_program(program)
+            except CompileError:
+                kernel = None
+        if kernel is not None:
+            clean = kernel.execute(
+                params,
+                initial_values=_copy_values(values),
+                channels=self.channels,
+            )
+        else:
+            clean = run_program(
+                program,
+                params,
+                initial_values=_copy_values(values),
+                channels=self.channels,
+            )
         if clean.mismatches:
             raise RuntimeError(
                 f"fault-free run flagged an error: {clean.mismatches}"
@@ -367,6 +395,7 @@ class ProgramCampaignSpec:
             total_loads=max(1, clean.memory.load_count),
             golden_finals=golden_finals,
             targets=tuple(targets),
+            kernel=kernel,
         )
 
     def run_trial(self, index: int, prepared: _PreparedProgram) -> TrialRecord:
@@ -386,14 +415,23 @@ class ProgramCampaignSpec:
                 target_arrays=prepared.targets,
             )
         )
-        result = run_program(
-            prepared.program,
-            prepared.params,
-            initial_values=_copy_values(prepared.values),
-            injector=injector,
-            channels=self.channels,
-            wild_reads=True,
-        )
+        if prepared.kernel is not None:
+            result = prepared.kernel.execute(
+                prepared.params,
+                initial_values=_copy_values(prepared.values),
+                injector=injector,
+                channels=self.channels,
+                wild_reads=True,
+            )
+        else:
+            result = run_program(
+                prepared.program,
+                prepared.params,
+                initial_values=_copy_values(prepared.values),
+                injector=injector,
+                channels=self.channels,
+                wild_reads=True,
+            )
         record = injector.record
         if record is None:
             verdict = NO_INJECTION

@@ -106,14 +106,15 @@ def cmd_instrument(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from repro.runtime.interpreter import run_program
+    from repro.runtime.compile import execute_program
 
     program = _load(args.file)
     params = _parse_params(args.param)
     values = _initial_values(program, params, args.init, args.seed)
-    result = run_program(
+    result = execute_program(
         program,
         params,
+        backend=args.backend,
         initial_values=values,
         channels=args.channels,
         register_budget=args.register_budget,
@@ -172,6 +173,7 @@ def _campaign_spec_from_args(args):
         split=not args.no_split,
         hoist=not args.no_hoist,
         channels=args.channels,
+        backend=args.backend,
     )
     if args.benchmark is not None:
         from repro.programs import ALL_BENCHMARKS
@@ -222,12 +224,22 @@ def _print_campaign_result(result) -> int:
     if result.log_path:
         print(f"log: {result.log_path}")
     print(summary.format())
+    if result.golden_cache is not None:
+        print(_format_cache_stats(result.golden_cache))
     if summary.counts.get("sdc") or summary.counts.get("benign"):
         print(
             "note: benign/sdc trials hit dead or pre-definition data "
             "(see EXPERIMENTS.md)"
         )
     return 0
+
+
+def _format_cache_stats(stats: dict) -> str:
+    return (
+        f"golden cache: hits={stats['hits']} misses={stats['misses']} "
+        f"evictions={stats['evictions']} "
+        f"size={stats['size']}/{stats['limit']}"
+    )
 
 
 def cmd_campaign_run(args) -> int:
@@ -258,6 +270,7 @@ def cmd_campaign_resume(args) -> int:
 
 def cmd_campaign_report(args) -> int:
     from repro.campaign import read_log, summarize
+    from repro.campaign.golden import cache_stats
     from repro.campaign.spec import spec_from_dict
 
     try:
@@ -271,12 +284,18 @@ def cmd_campaign_report(args) -> int:
             f"campaign log: {args.log} — {done}/{spec.trials} trials"
             + (" (truncated tail dropped)" if contents.truncated else "")
         )
+        backend = contents.spec_dict.get("backend")
+        if backend is not None:
+            print(f"backend: {backend}")
         if done < spec.trials:
             print(
                 f"incomplete: resume with "
                 f"`repro campaign resume {args.log}`"
             )
     print(summarize(contents.records).format())
+    stats = cache_stats()
+    if stats["hits"] or stats["misses"]:
+        print(_format_cache_stats(stats))
     return 0
 
 
@@ -314,7 +333,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="checksum channels (2 = rotated second checksum)")
     p_run.add_argument("--register-budget", type=int, default=None,
                        help="per-bundle register file size (enables the "
-                       "Section 5 spill modeling)")
+                       "Section 5 spill modeling; forces the interpreter)")
+    p_run.add_argument("--backend", choices=("interp", "compiled"),
+                       default="compiled",
+                       help="execution backend (compiled falls back to the "
+                       "interpreter on unsupported constructs)")
     p_run.add_argument("--dump", action="append", default=None,
                        metavar="ARRAY", help="print an array after the run")
     p_run.set_defaults(func=cmd_run)
@@ -355,6 +378,10 @@ def main(argv: list[str] | None = None) -> int:
     p_crun.add_argument("--no-split", action="store_true")
     p_crun.add_argument("--no-hoist", action="store_true")
     p_crun.add_argument("--channels", type=int, default=1)
+    p_crun.add_argument("--backend", choices=("interp", "compiled"),
+                        default="compiled",
+                        help="per-trial execution backend (bit-identical "
+                        "results; compiled is faster)")
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_cres = camp_sub.add_parser(

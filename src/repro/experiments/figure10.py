@@ -35,7 +35,6 @@ from repro.experiments.reporting import OverheadRow, format_overheads, geomean
 from repro.instrument.pipeline import InstrumentationOptions, instrument_program
 from repro.programs import ALL_BENCHMARKS
 from repro.runtime.costmodel import CostModel, OpCounts
-from repro.runtime.interpreter import run_program
 
 PAPER_GEOMEANS = {"resilient": 1.788, "optimized": 1.402}
 PAPER_ANCHORS = {
@@ -91,14 +90,19 @@ def _copy_values(values: dict) -> dict:
     }
 
 
-def measure_counts(builds: BenchmarkBuilds) -> dict[str, OpCounts]:
+def measure_counts(
+    builds: BenchmarkBuilds, backend: str = "compiled"
+) -> dict[str, OpCounts]:
     """Dynamic operation counts per build variant.
 
     Fault-free executions are deterministic, so they go through the
     process-wide golden-run cache: a benchmark/scale/variant triple is
-    interpreted once per process no matter how many harnesses (Figure
-    10, ablations, campaigns) ask for it.
+    executed once per process no matter how many harnesses (Figure
+    10, ablations, campaigns) ask for it.  Both backends produce
+    identical counts; the key still records which one ran.
     """
+    from repro.runtime.compile import execute_program
+
     counts: dict[str, OpCounts] = {}
     for key, program in (
         ("original", builds.original),
@@ -106,10 +110,11 @@ def measure_counts(builds: BenchmarkBuilds) -> dict[str, OpCounts]:
         ("optimized", builds.optimized),
     ):
         result = golden_run(
-            ("figure10", builds.name, builds.scale, key),
-            lambda program=program: run_program(
+            ("figure10", builds.name, builds.scale, key, backend),
+            lambda program=program: execute_program(
                 program,
                 builds.params,
+                backend=backend,
                 initial_values=_copy_values(builds.values),
             ),
         )
@@ -169,10 +174,11 @@ def overhead_row(
     scale: str = "default",
     wall: bool = False,
     cost_model: CostModel | None = None,
+    backend: str = "compiled",
 ) -> OverheadRow:
     cost_model = cost_model or CostModel()
     builds = build_benchmark(name, scale)
-    counts = measure_counts(builds)
+    counts = measure_counts(builds, backend=backend)
     resilient = cost_model.overhead(counts["original"], counts["resilient"])
     optimized = cost_model.overhead(counts["original"], counts["optimized"])
     row = OverheadRow(
@@ -192,9 +198,12 @@ def run_figure10(
     benchmarks: list[str] | None = None,
     scale: str = "default",
     wall: bool = False,
+    backend: str = "compiled",
 ) -> list[OverheadRow]:
     names = benchmarks or list(ALL_BENCHMARKS)
-    return [overhead_row(name, scale, wall) for name in names]
+    return [
+        overhead_row(name, scale, wall, backend=backend) for name in names
+    ]
 
 
 def detection_coverage(
@@ -204,6 +213,7 @@ def detection_coverage(
     workers: int = 1,
     scale: str = "small",
     bits: int = 2,
+    backend: str = "compiled",
 ) -> list[dict]:
     """Detection coverage of the resilient builds under random faults.
 
@@ -223,6 +233,7 @@ def detection_coverage(
             benchmark=name,
             scale=scale,
             bits=bits,
+            backend=backend,
         )
         summary = run_campaign(spec, workers=workers).summary()
         low, high = summary.detection_interval()
@@ -283,6 +294,12 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--trials", type=int, default=100)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--backend",
+        choices=("interp", "compiled"),
+        default="compiled",
+        help="execution backend (bit-identical counts; compiled is faster)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print(format_table2())
@@ -294,10 +311,13 @@ def main(argv: list[str] | None = None) -> None:
             seed=args.seed,
             workers=args.workers,
             scale=args.scale,
+            backend=args.backend,
         )
         print(format_detection(rows))
         return
-    rows = run_figure10(args.benchmarks, args.scale, args.wall)
+    rows = run_figure10(
+        args.benchmarks, args.scale, args.wall, backend=args.backend
+    )
     print(
         format_overheads(
             rows,

@@ -267,6 +267,14 @@ def main(argv: list[str] | None = None) -> None:
         help="worker processes per cell (same-seed runs are "
         "bit-identical for any worker count)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("interp", "compiled"),
+        default="compiled",
+        help="accepted for harness uniformity; Table 1 cells are "
+        "incremental checksum updates and never execute a program, "
+        "so the flag has no effect here",
+    )
     args = parser.parse_args(argv)
     config = Table1Config(
         sizes=tuple(args.sizes),

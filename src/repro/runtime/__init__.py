@@ -21,6 +21,10 @@ simulates exactly that boundary:
 * :mod:`repro.runtime.costmodel` — dynamic operation accounting used by
   the Figure 10/11 overhead estimates, including the hardware-assist
   mode where checksum operations cost a nop.
+* :mod:`repro.runtime.compile` / :mod:`repro.runtime.codegen` — the
+  compile-once backend: IR lowered to Python source, ``exec``'d once,
+  cached by IR content hash, bit-identical to the interpreter (see
+  docs/BACKENDS.md).
 """
 
 from repro.runtime.memory import Memory, MemoryError64, decode_value, encode_value
@@ -33,8 +37,22 @@ from repro.runtime.faults import (
 from repro.runtime.state import ChecksumState, ChecksumMismatch
 from repro.runtime.interpreter import ExecutionResult, Interpreter, run_program
 from repro.runtime.costmodel import CostModel, CostParams
+from repro.runtime.compile import (
+    BACKENDS,
+    CompiledKernel,
+    CompileError,
+    compile_program,
+    execute_program,
+    run_compiled,
+)
 
 __all__ = [
+    "BACKENDS",
+    "CompiledKernel",
+    "CompileError",
+    "compile_program",
+    "execute_program",
+    "run_compiled",
     "Memory",
     "MemoryError64",
     "decode_value",

@@ -1,0 +1,811 @@
+"""IR → Python source generation for the compiled execution backend.
+
+The emitter lowers one (possibly instrumented) program to the source of
+a single Python function ``_kernel(_rt)`` whose observable behaviour is
+**bit-identical** to :class:`~repro.runtime.interpreter.Interpreter`:
+
+* every load and store goes through the same :class:`Memory` methods in
+  the same order, so fault injectors trigger on exactly the same access
+  (the injector's trigger is a load-event index — ordering is part of
+  the contract, not an implementation detail);
+* :class:`~repro.runtime.costmodel.OpCounts` accumulate in local
+  integers and are spilled into the shared context once, in a
+  ``finally`` block, so partial counts survive step-limit aborts;
+* the statement step counter, bundle load cache, halt-on-mismatch
+  unwind and checksum contribution order all replicate the interpreter
+  statement by statement.
+
+The strategy is three-address-code style: every counted operation's
+operands are materialized as *atoms* (constants, ``v_<name>`` locals or
+``_t<n>`` temporaries) so that counting code can mention them without
+re-evaluating anything.  Where the operand types are statically known
+(region element types, loop iterators, literals) the float/int
+classification of :meth:`Interpreter._count_arith` is resolved at
+compile time; otherwise a runtime ``isinstance`` check is emitted that
+mirrors the interpreter exactly.
+
+Programs using features the emitter does not model (``register_budget``
+spill simulation is handled one level up, in
+:mod:`repro.runtime.compile`) raise :class:`CompileError`; callers fall
+back to the interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    ChecksumAssert,
+    ChecksumReset,
+    Const,
+    CounterIncrement,
+    Expr,
+    If,
+    Loop,
+    Program,
+    Select,
+    Stmt,
+    UnOp,
+    VarRef,
+    WhileLoop,
+    walk_expressions,
+)
+from repro.runtime.state import _valid_name
+
+MASK64 = (1 << 64) - 1
+
+_COUNTERS = (
+    "loads",
+    "stores",
+    "fp_adds",
+    "fp_muls",
+    "fp_divs",
+    "fp_sqrts",
+    "fp_others",
+    "int_ops",
+    "branches",
+    "checksum_ops",
+    "counter_ops",
+)
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_ARITH_FP_BUCKET = {
+    "+": "_n_fp_adds",
+    "-": "_n_fp_adds",
+    "*": "_n_fp_muls",
+    "/": "_n_fp_divs",
+    "%": "_n_fp_divs",
+}
+
+
+class CompileError(Exception):
+    """The program uses a construct the codegen backend cannot lower."""
+
+
+def _pytype(elem_type: str) -> str:
+    if elem_type == "f64":
+        return "float"
+    if elem_type == "i64":
+        return "int"
+    raise CompileError(f"unknown element type {elem_type!r}")
+
+
+class _Emitter:
+    """Stateful line emitter for one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.lines: list[str] = []
+        self.depth = 1
+        self._temp = 0
+        self.scalar_types = {d.name: d.elem_type for d in program.scalars}
+        self.array_types = {d.name: d.elem_type for d in program.arrays}
+        # Names resolvable without touching memory: parameters plus the
+        # loop iterators of enclosing loops.  The interpreter looks these
+        # up in ``_env`` before falling back to a scalar load, and a loop
+        # variable is always in ``_env`` while its body runs — so static
+        # lexical resolution gives the same answer.
+        self.bound: set[str] = set(program.params)
+        # Per-bundle compile-time memo: syntactically identical data
+        # references whose indices are count-free atoms resolve to the
+        # same runtime cache key, so the interpreter's second access is
+        # always a cache hit with no observable effect — the emitted
+        # code can reuse the first load's atoms outright.
+        self._memo: dict | None = None
+        # Inside a conditionally executed expression region (select
+        # branch, short-circuit right operand) memo entries must not be
+        # created: the load may not have happened on this path.
+        self._cond_depth = 0
+
+    # -- low-level helpers ------------------------------------------------
+    def out(self, line: str) -> None:
+        self.lines.append("    " * self.depth + line)
+
+    def tmp(self) -> str:
+        self._temp += 1
+        return f"_t{self._temp}"
+
+    def _as_int(self, atom: str, typ: str) -> str:
+        return atom if typ == "int" else f"int({atom})"
+
+    def _elem_type(self, name: str) -> str:
+        if name in self.array_types:
+            return self.array_types[name]
+        if name in self.scalar_types:
+            return self.scalar_types[name]
+        raise CompileError(f"no region {name!r} declared")
+
+    def _decode(self, bits_atom: str, elem_type: str) -> str:
+        if elem_type == "f64":
+            return f"_unpd(_pkq({bits_atom}))[0]"
+        if elem_type == "i64":
+            return (
+                f"({bits_atom} - 18446744073709551616 "
+                f"if {bits_atom} >= 9223372036854775808 else {bits_atom})"
+            )
+        raise CompileError(f"unknown element type {elem_type!r}")
+
+    def _encode(self, value_atom: str, value_type: str, elem_type: str) -> str:
+        if elem_type == "f64":
+            inner = value_atom if value_type == "float" else f"float({value_atom})"
+            return f"_unpq(_pkd({inner}))[0]"
+        if elem_type == "i64":
+            inner = value_atom if value_type == "int" else f"int({value_atom})"
+            return f"{inner} & 18446744073709551615"
+        raise CompileError(f"unknown element type {elem_type!r}")
+
+    # -- data references --------------------------------------------------
+    def _index_tuple(self, indices, cache) -> str:
+        """Atom for an int-converted index tuple (evaluated in order)."""
+        if not indices:
+            return "()"
+        atoms = [
+            self._as_int(*self.eval_expr(index, cache)) for index in indices
+        ]
+        return "(" + ", ".join(atoms) + ",)"
+
+    def _memoizable(self, ref) -> bool:
+        """Re-evaluating this ref's indices has no observable effect.
+
+        The interpreter re-evaluates index expressions on every cache
+        access, which re-counts their arithmetic; only refs indexed by
+        bare iterators/params or literals may skip that re-evaluation.
+        """
+        if isinstance(ref, VarRef):
+            return True
+        return all(
+            isinstance(index, Const)
+            or (isinstance(index, VarRef) and index.name in self.bound)
+            for index in ref.indices
+        )
+
+    def _invalidate_memo(self, name: str) -> None:
+        """Drop memo entries that may alias a freshly stored cell."""
+        if self._memo:
+            for ref in [
+                r
+                for r in self._memo
+                if (r.array if isinstance(r, ArrayRef) else r.name) == name
+            ]:
+                del self._memo[ref]
+
+    def load_ref(self, ref, cache: str | None):
+        """Emit a load of a data reference.
+
+        Returns ``(value, bits, address, type)`` atom strings; address
+        is only materialized on the cached path (the interpreter's
+        uncached loads compute it too, but it is never observable
+        there — ``Memory.address_of`` touches no counters).
+        """
+        memoizable = (
+            cache is not None
+            and self._memo is not None
+            and self._memoizable(ref)
+        )
+        if memoizable:
+            hit4 = self._memo.get(ref)
+            if hit4 is not None:
+                return hit4
+        if isinstance(ref, ArrayRef):
+            name = ref.array
+            idx = self._index_tuple(ref.indices, cache)
+        else:
+            name = ref.name
+            if name not in self.scalar_types and name not in self.array_types:
+                raise CompileError(f"unbound data reference {name!r}")
+            idx = "()"
+        elem_type = self._elem_type(name)
+        if cache is None:
+            bits = self.tmp()
+            value = self.tmp()
+            self.out(f"{bits} = _lb({name!r}, {idx})")
+            self.out("_n_loads += 1")
+            self.out(f"{value} = {self._decode(bits, elem_type)}")
+            return value, bits, "None", _pytype(elem_type)
+        key = self.tmp()
+        hit = self.tmp()
+        self.out(f"{key} = ({name!r}, {idx})")
+        self.out(f"{hit} = {cache}.get({key})")
+        self.out(f"if {hit} is None:")
+        self.depth += 1
+        bits = self.tmp()
+        addr = self.tmp()
+        self.out(f"{bits}, {addr} = _lba({name!r}, {key}[1])")
+        self.out("_n_loads += 1")
+        self.out(f"{hit} = ({self._decode(bits, elem_type)}, {bits}, {addr})")
+        self.out(f"{cache}[{key}] = {hit}")
+        self.depth -= 1
+        result = (
+            f"{hit}[0]",
+            f"{hit}[1]",
+            f"{hit}[2]",
+            _pytype(elem_type),
+        )
+        if memoizable and self._cond_depth == 0:
+            self._memo[ref] = result
+        return result
+
+    # -- expressions ------------------------------------------------------
+    def eval_expr(self, expr: Expr, cache: str | None) -> tuple[str, str]:
+        """Emit evaluation code; return ``(atom, type)`` with type one of
+        ``"int"``, ``"float"``, ``"dyn"``."""
+        if isinstance(expr, Const):
+            if isinstance(expr.value, bool) or not isinstance(
+                expr.value, (int, float)
+            ):
+                raise CompileError(f"unsupported constant {expr.value!r}")
+            typ = "float" if isinstance(expr.value, float) else "int"
+            return repr(expr.value), typ
+        if isinstance(expr, VarRef):
+            if expr.name in self.bound:
+                return f"v_{expr.name}", "int"
+            if expr.name in self.scalar_types:
+                value, _, _, typ = self.load_ref(expr, cache)
+                return value, typ
+            raise CompileError(f"unbound name {expr.name!r}")
+        if isinstance(expr, ArrayRef):
+            value, _, _, typ = self.load_ref(expr, cache)
+            return value, typ
+        if isinstance(expr, BinOp):
+            return self._emit_binop(expr, cache)
+        if isinstance(expr, UnOp):
+            return self._emit_unop(expr, cache)
+        if isinstance(expr, Call):
+            return self._emit_call(expr, cache)
+        if isinstance(expr, Select):
+            return self._emit_select(expr, cache)
+        raise CompileError(f"cannot compile expression {expr!r}")
+
+    def _emit_count_arith(self, op: str, la: str, lt: str, ra: str, rt: str):
+        bucket = _ARITH_FP_BUCKET[op]
+        if lt == "float" or rt == "float":
+            self.out(f"{bucket} += 1")
+        elif lt == "int" and rt == "int":
+            self.out("_n_int_ops += 1")
+        else:
+            self.out(f"if isinstance({la}, float) or isinstance({ra}, float):")
+            self.out(f"    {bucket} += 1")
+            self.out("else:")
+            self.out("    _n_int_ops += 1")
+
+    def _emit_binop(self, expr: BinOp, cache) -> tuple[str, str]:
+        op = expr.op
+        res = self.tmp()
+        if op in ("&&", "||"):
+            la, _ = self.eval_expr(expr.left, cache)
+            self.out("_n_branches += 1")
+            if op == "&&":
+                self.out(f"if {la}:")
+                self.depth += 1
+                self._cond_depth += 1
+                ra, _ = self.eval_expr(expr.right, cache)
+                self._cond_depth -= 1
+                self.out(f"{res} = 1 if {ra} else 0")
+                self.depth -= 1
+                self.out("else:")
+                self.out(f"    {res} = 0")
+            else:
+                self.out(f"if {la}:")
+                self.out(f"    {res} = 1")
+                self.out("else:")
+                self.depth += 1
+                self._cond_depth += 1
+                ra, _ = self.eval_expr(expr.right, cache)
+                self._cond_depth -= 1
+                self.out(f"{res} = 1 if {ra} else 0")
+                self.depth -= 1
+            return res, "int"
+        la, lt = self.eval_expr(expr.left, cache)
+        ra, rt = self.eval_expr(expr.right, cache)
+        if op in _CMP_OPS:
+            self.out("_n_int_ops += 1")
+            self.out(f"{res} = 1 if {la} {op} {ra} else 0")
+            return res, "int"
+        if op not in _ARITH_FP_BUCKET:
+            raise CompileError(f"unknown binary op {op!r}")
+        self._emit_count_arith(op, la, lt, ra, rt)
+        if lt == "int" and rt == "int":
+            rtype = "int"
+        elif lt == "float" or rt == "float":
+            rtype = "float"
+        else:
+            rtype = "dyn"
+        if op in ("+", "-", "*"):
+            self.out(f"{res} = {la} {op} {ra}")
+        elif op == "/":
+            if rtype == "int":
+                self.out(f"{res} = _idiv({la}, {ra})")
+            elif rtype == "float":
+                self.out(f"{res} = _fdiv({la}, {ra})")
+            else:
+                self.out(f"{res} = _xdiv({la}, {ra})")
+        else:  # "%"
+            self.out(f"{res} = _rmod({la}, {ra})")
+        return res, rtype
+
+    def _emit_unop(self, expr: UnOp, cache) -> tuple[str, str]:
+        oa, ot = self.eval_expr(expr.operand, cache)
+        res = self.tmp()
+        if expr.op == "-":
+            # _count_arith("-", operand, 0): the literal 0 is an int, so
+            # the classification depends only on the operand.
+            if ot == "float":
+                self.out("_n_fp_adds += 1")
+            elif ot == "int":
+                self.out("_n_int_ops += 1")
+            else:
+                self.out(f"if isinstance({oa}, float):")
+                self.out("    _n_fp_adds += 1")
+                self.out("else:")
+                self.out("    _n_int_ops += 1")
+            self.out(f"{res} = -({oa})")
+            return res, ot
+        if expr.op == "!":
+            self.out("_n_int_ops += 1")
+            self.out(f"{res} = 0 if {oa} else 1")
+            return res, "int"
+        raise CompileError(f"unknown unary op {expr.op!r}")
+
+    def _emit_call(self, expr: Call, cache) -> tuple[str, str]:
+        evaluated = [self.eval_expr(arg, cache) for arg in expr.args]
+        atoms = [atom for atom, _ in evaluated]
+        func = expr.func
+        res = self.tmp()
+        arity = {"mod": 2}.get(func, 1)
+        if func in ("min", "max"):
+            if not atoms:
+                raise CompileError(f"{func}() needs at least one argument")
+        elif len(atoms) < arity:
+            raise CompileError(f"{func}() needs {arity} argument(s)")
+        if func == "sqrt":
+            self.out("_n_fp_sqrts += 1")
+            self.out(f"{res} = _rsqrt({atoms[0]})")
+            return res, "float"
+        if func == "abs":
+            self.out("_n_fp_others += 1")
+            self.out(f"{res} = abs({atoms[0]})")
+            return res, evaluated[0][1]
+        if func in ("min", "max"):
+            self.out("_n_int_ops += 1")
+            if len(atoms) == 1:
+                self.out(f"{res} = {atoms[0]}")
+                return res, evaluated[0][1]
+            self.out(f"{res} = {func}({', '.join(atoms)})")
+            types = {typ for _, typ in evaluated}
+            return res, types.pop() if len(types) == 1 else "dyn"
+        if func == "exp":
+            self.out("_n_fp_others += 1")
+            self.out(f"{res} = _rexp({atoms[0]})")
+            return res, "float"
+        if func == "sin":
+            self.out("_n_fp_others += 1")
+            self.out(f"{res} = _sin({atoms[0]})")
+            return res, "float"
+        if func == "cos":
+            self.out("_n_fp_others += 1")
+            self.out(f"{res} = _cos({atoms[0]})")
+            return res, "float"
+        if func == "floor":
+            self.out("_n_int_ops += 1")
+            self.out(f"{res} = _floor({atoms[0]})")
+            return res, "int"
+        if func == "mod":
+            self.out("_n_int_ops += 1")
+            self.out(f"{res} = {atoms[0]} % {atoms[1]}")
+            lt, rt = evaluated[0][1], evaluated[1][1]
+            if lt == "int" and rt == "int":
+                return res, "int"
+            if lt == "float" or rt == "float":
+                return res, "float"
+            return res, "dyn"
+        raise CompileError(f"unknown intrinsic {func!r}")
+
+    def _emit_select(self, expr: Select, cache) -> tuple[str, str]:
+        self.out("_n_branches += 1")
+        ca, _ = self.eval_expr(expr.cond, cache)
+        res = self.tmp()
+        self._cond_depth += 1
+        self.out(f"if {ca}:")
+        self.depth += 1
+        ta, tt = self.eval_expr(expr.if_true, cache)
+        self.out(f"{res} = {ta}")
+        self.depth -= 1
+        self.out("else:")
+        self.depth += 1
+        fa, ft = self.eval_expr(expr.if_false, cache)
+        self.out(f"{res} = {fa}")
+        self.depth -= 1
+        self._cond_depth -= 1
+        return res, tt if tt == ft else "dyn"
+
+    # -- statements -------------------------------------------------------
+    def emit_body(self, body) -> None:
+        for stmt in body:
+            self.emit_statement(stmt)
+
+    def emit_statement(self, stmt: Stmt) -> None:
+        self.out("_steps += 1")
+        self.out("if _steps > _max: _slimit(_rt)")
+        if isinstance(stmt, Assign):
+            self._emit_assign(stmt)
+        elif isinstance(stmt, Loop):
+            self._emit_loop(stmt)
+        elif isinstance(stmt, WhileLoop):
+            self._emit_while(stmt)
+        elif isinstance(stmt, If):
+            self._emit_if(stmt)
+        elif isinstance(stmt, ChecksumAdd):
+            self._emit_checksum_add(stmt)
+        elif isinstance(stmt, CounterIncrement):
+            self._emit_counter_increment(stmt)
+        elif isinstance(stmt, ChecksumAssert):
+            self._emit_assert(stmt)
+        elif isinstance(stmt, ChecksumReset):
+            self._emit_reset(stmt)
+        else:
+            raise CompileError(f"cannot compile statement {stmt!r}")
+
+    def _emit_loop(self, stmt: Loop) -> None:
+        lo, lt = self.eval_expr(stmt.lower, None)
+        hi, ht = self.eval_expr(stmt.upper, None)
+        shadowed = stmt.var in self.bound
+        saved = None
+        if shadowed:
+            saved = self.tmp()
+            self.out(f"{saved} = v_{stmt.var}")
+        self.out(
+            f"for v_{stmt.var} in range({self._as_int(lo, lt)}, "
+            f"{self._as_int(hi, ht)} + 1):"
+        )
+        self.depth += 1
+        self.out("_n_branches += 1")
+        self.bound.add(stmt.var)
+        self.emit_body(stmt.body)
+        if not stmt.body:
+            self.out("pass")
+        self.depth -= 1
+        if not shadowed:
+            self.bound.discard(stmt.var)
+        self.out("_n_branches += 1")
+        if shadowed:
+            self.out(f"v_{stmt.var} = {saved}")
+
+    def _emit_while(self, stmt: WhileLoop) -> None:
+        self.out("while True:")
+        self.depth += 1
+        self.out("_n_branches += 1")
+        ca, _ = self.eval_expr(stmt.cond, None)
+        self.out(f"if not {ca}: break")
+        if stmt.counter is not None:
+            if stmt.counter not in self.scalar_types:
+                raise CompileError(
+                    f"while counter {stmt.counter!r} is not a scalar"
+                )
+            cur = self.tmp()
+            self.out(f"{cur} = _mload({stmt.counter!r}, ())")
+            self.out(f"_mstore({stmt.counter!r}, (), int({cur}) + 1)")
+            self.out(
+                "_n_loads += 1; _n_stores += 1; "
+                "_n_int_ops += 1; _n_counter_ops += 1"
+            )
+        self.emit_body(stmt.body)
+        self.depth -= 1
+
+    def _emit_if(self, stmt: If) -> None:
+        self.out("_n_branches += 1")
+        ca, _ = self.eval_expr(stmt.cond, None)
+        self.out(f"if {ca}:")
+        self.depth += 1
+        self.emit_body(stmt.then_body)
+        if not stmt.then_body:
+            self.out("pass")
+        self.depth -= 1
+        if stmt.else_body:
+            self.out("else:")
+            self.depth += 1
+            self.emit_body(stmt.else_body)
+            self.depth -= 1
+
+    def _emit_csadd(
+        self, which: str, bits: str, count: str, address: str
+    ) -> None:
+        """Inline ``ChecksumState.add`` for the single-channel case.
+
+        Channel 0 never rotates, ``bits`` atoms are already masked
+        (memory words and encode results live in [0, 2^64)), and the
+        checksum name is validated at compile time — so the plain-sum
+        update inlines to one dict read-modify-write.  Multi-channel
+        runs take the method call (rotation needs the address).
+        """
+        if not _valid_name(which):
+            raise CompileError(f"unknown checksum {which!r}")
+        self.out("if _ch1:")
+        self.depth += 1
+        self.out("_cs.contribution_count += 1")
+        self.out(
+            f"_s0[{which!r}] = (_s0.get({which!r}, 0) + {bits} * {count}) "
+            "& 18446744073709551615"
+        )
+        self.depth -= 1
+        self.out("else:")
+        self.out(f"    _csadd({which!r}, {bits}, {count}, {address})")
+
+    def _exprs_need_cache(self, exprs) -> bool:
+        """Whether any expression performs a data load (and therefore
+        needs the bundle's runtime load-cache dict)."""
+        for expr in exprs:
+            for node in walk_expressions(expr):
+                if isinstance(node, ArrayRef):
+                    return True
+                if isinstance(node, VarRef) and node.name not in self.bound:
+                    return True
+        return False
+
+    def _counter_location(self, ref, cache) -> tuple[str, str]:
+        """(region name, index-tuple atom) of a shadow counter ref."""
+        if isinstance(ref, ArrayRef):
+            return ref.array, self._index_tuple(ref.indices, cache)
+        return ref.name, "()"
+
+    def _emit_bump_counter(self, ref, cache, amount_atom: str) -> None:
+        name, loc = self._counter_location(ref, cache)
+        if name not in self.array_types and name not in self.scalar_types:
+            raise CompileError(f"counter region {name!r} not declared")
+        cur = self.tmp()
+        self.out(f"{cur} = int(_mload({name!r}, {loc}))")
+        self.out(f"_mstore({name!r}, {loc}, {cur} + {amount_atom})")
+        self.out(
+            "_n_loads += 1; _n_stores += 1; "
+            "_n_int_ops += 1; _n_counter_ops += 1"
+        )
+
+    def _emit_assign(self, stmt: Assign) -> None:
+        instr = stmt.instrumentation
+        exprs = [stmt.rhs]
+        if isinstance(stmt.lhs, ArrayRef):
+            exprs.extend(stmt.lhs.indices)
+        refs_through_cache = bool(
+            instr and (instr.uses or instr.pre_overwrite)
+        )
+        if instr:
+            exprs.extend(use.count for use in instr.uses)
+            for counter_ref in instr.counter_increments:
+                if isinstance(counter_ref, ArrayRef):
+                    exprs.extend(counter_ref.indices)
+            if isinstance(instr.duplicate_store, ArrayRef):
+                exprs.extend(instr.duplicate_store.indices)
+            if instr.definition:
+                exprs.append(instr.definition.count)
+        cached = refs_through_cache or self._exprs_need_cache(exprs)
+        self._memo = {}
+        if cached:
+            self.out("_bc = {}")
+        # 1. Target location (index loads go through the bundle cache).
+        if isinstance(stmt.lhs, ArrayRef):
+            tname = stmt.lhs.array
+            if tname not in self.array_types:
+                raise CompileError(f"store to undeclared array {tname!r}")
+            tidx = self.tmp()
+            self.out(
+                f"{tidx} = {self._index_tuple(stmt.lhs.indices, '_bc')}"
+            )
+            if stmt.lhs.indices:
+                self.out(f"_n_int_ops += {len(stmt.lhs.indices)}")
+            elem_type = self.array_types[tname]
+        else:
+            tname = stmt.lhs.name
+            if tname not in self.scalar_types:
+                raise CompileError(f"store to undeclared scalar {tname!r}")
+            tidx = "()"
+            elem_type = self.scalar_types[tname]
+        # 2. Right-hand side.
+        va, vt = self.eval_expr(stmt.rhs, "_bc")
+        # 3. Use contributions, counter bumps, pre-overwrite adjustment.
+        if instr:
+            for use in instr.uses:
+                _, ubits, uaddr, _ = self.load_ref(use.ref, "_bc")
+                ca, ct = self.eval_expr(use.count, "_bc")
+                self._emit_csadd(
+                    use.checksum, ubits, self._as_int(ca, ct), uaddr
+                )
+                self.out("_n_checksum_ops += _channels")
+            for counter_ref in instr.counter_increments:
+                self._emit_bump_counter(counter_ref, "_bc", "1")
+            if instr.pre_overwrite:
+                self._emit_pre_overwrite(stmt, instr.pre_overwrite)
+        # 4. The store (encode, store through memory, drop cache entry).
+        bits = self.tmp()
+        addr = self.tmp()
+        self.out(f"{bits} = {self._encode(va, vt, elem_type)}")
+        self.out(f"{addr} = _sba({tname!r}, {tidx}, {bits})")
+        self.out("_n_stores += 1")
+        if cached:
+            self.out(f"_bc.pop(({tname!r}, {tidx}), None)")
+        self._invalidate_memo(tname)
+        # 4b. Duplication baseline: second store of the same bits.
+        if instr and instr.duplicate_store is not None:
+            dup = instr.duplicate_store
+            if isinstance(dup, ArrayRef):
+                dname = dup.array
+                didx = self.tmp()
+                self.out(
+                    f"{didx} = {self._index_tuple(dup.indices, '_bc')}"
+                )
+            else:
+                dname = dup.name
+                didx = "()"
+            if (
+                dname not in self.array_types
+                and dname not in self.scalar_types
+            ):
+                raise CompileError(f"duplicate store to undeclared {dname!r}")
+            self.out(f"_sb({dname!r}, {didx}, {bits})")
+            self.out("_n_stores += 1")
+            if cached:
+                self.out(f"_bc.pop(({dname!r}, {didx}), None)")
+            self._invalidate_memo(dname)
+        # 5. Def contribution — the register copy just stored.
+        if instr and instr.definition:
+            d = instr.definition
+            ca, ct = self.eval_expr(d.count, "_bc")
+            self._emit_csadd(
+                d.checksum, bits, self._as_int(ca, ct), addr
+            )
+            self.out("_n_checksum_ops += _channels")
+            if d.aux:
+                self._emit_csadd(d.aux_checksum, bits, "1", addr)
+                self.out("_n_checksum_ops += _channels")
+
+    def _emit_pre_overwrite(self, stmt: Assign, adjust) -> None:
+        # Algorithm 3 lines 13-16: old value + shadow counter, then the
+        # counter location is re-evaluated for the reset store (the
+        # interpreter evaluates it once per counter access).
+        _, obits, oaddr, _ = self.load_ref(stmt.lhs, "_bc")
+        name, loc = self._counter_location(adjust.counter, "_bc")
+        if name not in self.array_types and name not in self.scalar_types:
+            raise CompileError(f"counter region {name!r} not declared")
+        cv = self.tmp()
+        self.out(f"{cv} = int(_mload({name!r}, {loc}))")
+        self.out("_n_loads += 1; _n_counter_ops += 1")
+        self._emit_csadd(
+            adjust.def_checksum, obits, f"({cv} - 1)", oaddr
+        )
+        self._emit_csadd(adjust.e_use_checksum, obits, "1", oaddr)
+        self.out("_n_checksum_ops += 2 * _channels")
+        name2, loc2 = self._counter_location(adjust.counter, "_bc")
+        self.out(f"_mstore({name2!r}, {loc2}, 0)")
+        self.out("_n_stores += 1")
+
+    def _emit_checksum_add(self, stmt: ChecksumAdd) -> None:
+        value = stmt.value
+        is_data_ref = isinstance(value, ArrayRef) or (
+            isinstance(value, VarRef) and value.name in self.scalar_types
+        )
+        cached = is_data_ref or self._exprs_need_cache(
+            [value, stmt.count]
+        )
+        self._memo = {}
+        if cached:
+            self.out("_bc = {}")
+        if is_data_ref:
+            # A data reference: contribute the loaded bits and address.
+            # Note the interpreter's _is_data_ref checks scalar
+            # declarations *before* the environment, so a scalar that
+            # shadows a loop variable still loads from memory here.
+            _, ba, aa, _ = self.load_ref(value, "_bc")
+        else:
+            va, vt = self.eval_expr(value, "_bc")
+            ba = self.tmp()
+            if vt == "int":
+                self.out(f"{ba} = {va} & 18446744073709551615")
+            elif vt == "float":
+                self.out(f"{ba} = _unpq(_pkd({va}))[0]")
+            else:
+                self.out(f"{ba} = _encdyn({va})")
+            aa = "None"
+        ca, ct = self.eval_expr(stmt.count, "_bc")
+        self._emit_csadd(stmt.checksum, ba, self._as_int(ca, ct), aa)
+        self.out("_n_checksum_ops += _channels")
+
+    def _emit_counter_increment(self, stmt: CounterIncrement) -> None:
+        exprs = [stmt.amount]
+        if isinstance(stmt.counter, ArrayRef):
+            exprs.extend(stmt.counter.indices)
+        self._memo = {}
+        if self._exprs_need_cache(exprs):
+            self.out("_bc = {}")
+        aa, at = self.eval_expr(stmt.amount, "_bc")
+        amount = self.tmp()
+        self.out(f"{amount} = {self._as_int(aa, at)}")
+        self._emit_bump_counter(stmt.counter, "_bc", amount)
+
+    def _emit_assert(self, stmt: ChecksumAssert) -> None:
+        pairs = tuple(tuple(pair) for pair in stmt.pairs)
+        self.out(f"_n_branches += {len(pairs)} * _channels")
+        found = self.tmp()
+        self.out(f"{found} = _verify({pairs!r})")
+        self.out(f"if {found}:")
+        self.depth += 1
+        self.out("if _first is None: _first = _steps")
+        self.out(f"_mismatches.extend({found})")
+        self.out("if _halt: raise _Halt")
+        self.depth -= 1
+
+    def _emit_reset(self, stmt: ChecksumReset) -> None:
+        self.out("for _sums in _cs.sums:")
+        if stmt.names is None:
+            self.out("    for _k in list(_sums): _sums[_k] = 0")
+        else:
+            names = tuple(stmt.names)
+            self.out(f"    for _k in {names!r}: _sums[_k] = 0")
+
+
+def generate_source(program: Program) -> str:
+    """The Python source of ``_kernel(_rt)`` for one program."""
+    em = _Emitter(program)
+    em.out("_mem = _rt.memory")
+    em.out("_lb = _mem.load_bits")
+    em.out("_lba = _mem.load_bits_addr")
+    em.out("_sb = _mem.store_bits")
+    em.out("_sba = _mem.store_bits_addr")
+    em.out("_mload = _mem.load")
+    em.out("_mstore = _mem.store")
+    em.out("_cs = _rt.checksums")
+    em.out("_csadd = _cs.add")
+    em.out("_verify = _cs.verify")
+    em.out("_channels = _cs.channels")
+    em.out("_s0 = _cs.sums[0]")
+    em.out("_ch1 = _channels == 1")
+    em.out("_halt = _rt.halt_on_mismatch")
+    em.out("_mismatches = _rt.mismatches")
+    em.out("_max = _INF if _rt.max_steps is None else _rt.max_steps")
+    for param in program.params:
+        em.out(f"v_{param} = _rt.params[{param!r}]")
+    for counter in _COUNTERS:
+        em.out(f"_n_{counter} = 0")
+    em.out("_steps = 0")
+    em.out("_first = None")
+    em.out("try:")
+    em.depth += 1
+    em.out("try:")
+    em.depth += 1
+    em.emit_body(program.body)
+    if not program.body:
+        em.out("pass")
+    em.depth -= 1
+    em.out("except _Halt:")
+    em.out("    pass")
+    em.depth -= 1
+    em.out("finally:")
+    em.depth += 1
+    em.out("_c = _rt.counts")
+    for counter in _COUNTERS:
+        em.out(f"_c.{counter} += _n_{counter}")
+    em.out("_rt.statements_executed = _steps")
+    em.out("_rt.first_detection_step = _first")
+    em.depth -= 1
+    header = f"def _kernel(_rt):\n"
+    return header + "\n".join(em.lines) + "\n"

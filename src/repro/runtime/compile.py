@@ -1,0 +1,382 @@
+"""Compile-once execution backend.
+
+:func:`compile_program` lowers a program through
+:mod:`repro.runtime.codegen` to one Python function, ``exec``s it once
+and caches the :class:`CompiledKernel` in a process-wide LRU keyed by a
+stable content hash of the IR tree.  Campaign trials — thousands of
+runs of the *same* instrumented program — then pay codegen exactly once
+per worker process and per-trial cost drops to a plain function call.
+
+Bit-identity contract: a kernel run and an interpreter run of the same
+program observe the same memory access sequence (fault injectors fire
+on the same load), produce equal :class:`ExecutionResult` fields, and
+raise the same exceptions (step budget, division by zero, out-of-bounds
+in strict mode).  ``tests/runtime/test_compile_differential.py`` pins
+this for every bundled benchmark.
+
+Fallback: programs using constructs the emitter cannot lower raise
+:class:`CompileError`; :func:`run_compiled` (and everything layered on
+it) silently falls back to the interpreter.  A ``register_budget``
+(Section 5 spill modeling) always uses the interpreter — spill traffic
+is a per-bundle LRU simulation the generated code does not carry.
+Failed compiles are cached too, so a fallback is decided once, not per
+trial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.ir.nodes import Program
+from repro.runtime.codegen import CompileError, generate_source
+from repro.runtime.costmodel import OpCounts
+from repro.runtime.interpreter import (
+    ExecutionResult,
+    InterpreterError,
+    StepLimitExceeded,
+    run_program,
+)
+from repro.runtime.memory import (
+    Memory,
+    build_memory_for_program,
+    encode_value,
+)
+from repro.runtime.state import ChecksumState
+
+__all__ = [
+    "CompileError",
+    "CompiledKernel",
+    "compile_program",
+    "ir_digest",
+    "run_compiled",
+    "execute_program",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
+    "BACKENDS",
+]
+
+BACKENDS = ("interp", "compiled")
+
+
+class _Halt(Exception):
+    """Kernel-internal fail-stop unwind (mirrors _HaltDetected)."""
+
+
+class _RuntimeContext:
+    """Everything a generated kernel touches at run time."""
+
+    __slots__ = (
+        "memory",
+        "checksums",
+        "counts",
+        "mismatches",
+        "params",
+        "max_steps",
+        "halt_on_mismatch",
+        "statements_executed",
+        "first_detection_step",
+    )
+
+    def __init__(
+        self,
+        memory: Memory,
+        checksums: ChecksumState,
+        params: dict[str, int],
+        max_steps: int | None,
+        halt_on_mismatch: bool,
+    ) -> None:
+        self.memory = memory
+        self.checksums = checksums
+        self.counts = OpCounts()
+        self.mismatches: list = []
+        self.params = params
+        self.max_steps = max_steps
+        self.halt_on_mismatch = halt_on_mismatch
+        self.statements_executed = 0
+        self.first_detection_step: int | None = None
+
+
+def _slimit(rt: _RuntimeContext) -> None:
+    raise StepLimitExceeded(
+        f"exceeded {rt.max_steps} statement executions"
+    )
+
+
+def _idiv(left, right):
+    if right == 0:
+        raise InterpreterError("integer division by zero")
+    return left // right
+
+
+def _fdiv(left, right):
+    if right == 0:
+        # IEEE semantics: x/0 is ±inf, 0/0 is NaN; corrupted data keeps
+        # flowing until the verifier flags it.
+        if left == 0:
+            return float("nan")
+        sign = math.copysign(1.0, float(left)) * math.copysign(
+            1.0, float(right)
+        )
+        return math.copysign(math.inf, sign)
+    return left / right
+
+
+def _xdiv(left, right):
+    if isinstance(left, int) and isinstance(right, int):
+        return _idiv(left, right)
+    return _fdiv(left, right)
+
+
+def _rmod(left, right):
+    if right == 0:
+        raise InterpreterError("modulo by zero")
+    return left % right
+
+
+def _rsqrt(value):
+    if value < 0:
+        return float("nan")
+    return math.sqrt(value)
+
+
+def _rexp(value):
+    try:
+        return math.exp(value)
+    except OverflowError:
+        return math.inf
+
+
+def _encdyn(value):
+    return encode_value(value, "i64" if isinstance(value, int) else "f64")
+
+
+_BASE_NAMESPACE = {
+    "_Halt": _Halt,
+    "_INF": float("inf"),
+    "_slimit": _slimit,
+    "_idiv": _idiv,
+    "_fdiv": _fdiv,
+    "_xdiv": _xdiv,
+    "_rmod": _rmod,
+    "_rsqrt": _rsqrt,
+    "_rexp": _rexp,
+    "_encdyn": _encdyn,
+    "_sin": math.sin,
+    "_cos": math.cos,
+    "_floor": math.floor,
+    "_pkd": struct.Struct("<d").pack,
+    "_pkq": struct.Struct("<Q").pack,
+    "_unpd": struct.Struct("<d").unpack,
+    "_unpq": struct.Struct("<Q").unpack,
+}
+
+
+@dataclass
+class CompiledKernel:
+    """One program, lowered and ``exec``'d once."""
+
+    program: Program
+    digest: str
+    source: str
+    entry: Callable[[_RuntimeContext], None]
+
+    def execute(
+        self,
+        params: Mapping[str, int],
+        initial_values: Mapping[str, object] | None = None,
+        memory: Memory | None = None,
+        injector=None,
+        channels: int = 1,
+        max_steps: int | None = 50_000_000,
+        wild_reads: bool = False,
+        halt_on_mismatch: bool = False,
+    ) -> ExecutionResult:
+        """Run the kernel; mirrors ``run_program``'s contract."""
+        run_params = {p: int(params[p]) for p in self.program.params}
+        if memory is None:
+            memory = build_memory_for_program(
+                self.program, run_params, injector, wild_reads=wild_reads
+            )
+        elif injector is not None:
+            memory.injector = injector
+        if initial_values:
+            for name, values in initial_values.items():
+                memory.initialize(name, values)
+        rt = _RuntimeContext(
+            memory=memory,
+            checksums=ChecksumState(channels=channels),
+            params=run_params,
+            max_steps=max_steps,
+            halt_on_mismatch=halt_on_mismatch,
+        )
+        self.entry(rt)
+        return ExecutionResult(
+            checksums=rt.checksums,
+            mismatches=rt.mismatches,
+            counts=rt.counts,
+            memory=memory,
+            statements_executed=rt.statements_executed,
+            spills=0,
+            first_detection_step=rt.first_detection_step,
+        )
+
+
+def ir_digest(program: Program) -> str:
+    """Stable content hash of an IR tree (the kernel cache key).
+
+    ``repr`` of a frozen-dataclass tree is deterministic and complete
+    (every field, every literal, including int/float distinction), so
+    structurally equal programs share one cache slot.
+    """
+    return hashlib.sha256(repr(program).encode("utf-8")).hexdigest()
+
+
+_KERNEL_CACHE: "OrderedDict[str, CompiledKernel | CompileError]" = (
+    OrderedDict()
+)
+KERNEL_CACHE_LIMIT = 128
+_hits = 0
+_misses = 0
+
+
+def compile_program(program: Program, cache: bool = True) -> CompiledKernel:
+    """Compile (or fetch from the cache) a kernel for ``program``.
+
+    Raises :class:`CompileError` when the program cannot be lowered;
+    the failure itself is cached so repeated attempts stay cheap.
+    """
+    global _hits, _misses
+    digest = ir_digest(program)
+    if cache:
+        entry = _KERNEL_CACHE.get(digest)
+        if entry is not None:
+            _KERNEL_CACHE.move_to_end(digest)
+            _hits += 1
+            if isinstance(entry, CompileError):
+                raise entry
+            return entry
+        _misses += 1
+    try:
+        source = generate_source(program)
+        namespace = dict(_BASE_NAMESPACE)
+        exec(  # noqa: S102 - generated from a closed IR, no user strings
+            compile(source, f"<compiled {program.name}>", "exec"), namespace
+        )
+        kernel = CompiledKernel(
+            program=program,
+            digest=digest,
+            source=source,
+            entry=namespace["_kernel"],
+        )
+    except CompileError as error:
+        if cache:
+            _remember(digest, error)
+        raise
+    if cache:
+        _remember(digest, kernel)
+    return kernel
+
+
+def _remember(digest: str, entry) -> None:
+    _KERNEL_CACHE[digest] = entry
+    _KERNEL_CACHE.move_to_end(digest)
+    while len(_KERNEL_CACHE) > KERNEL_CACHE_LIMIT:
+        _KERNEL_CACHE.popitem(last=False)
+
+
+def kernel_cache_stats() -> dict[str, int]:
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "size": len(_KERNEL_CACHE),
+        "limit": KERNEL_CACHE_LIMIT,
+    }
+
+
+def clear_kernel_cache() -> None:
+    global _hits, _misses
+    _KERNEL_CACHE.clear()
+    _hits = 0
+    _misses = 0
+
+
+def run_compiled(
+    program: Program,
+    params: Mapping[str, int],
+    initial_values: Mapping[str, object] | None = None,
+    injector=None,
+    channels: int = 1,
+    max_steps: int | None = 50_000_000,
+    wild_reads: bool = False,
+    register_budget: int | None = None,
+    halt_on_mismatch: bool = False,
+    fallback: bool = True,
+) -> ExecutionResult:
+    """``run_program`` signature, compiled backend.
+
+    With ``fallback=True`` (default) any :class:`CompileError` — or a
+    ``register_budget``, which the kernel cannot model — reruns through
+    the interpreter; ``fallback=False`` surfaces the error (used by the
+    differential tests to prove no silent fallback happened).
+    """
+    if register_budget is not None:
+        if not fallback:
+            raise CompileError(
+                "register_budget spill modeling needs the interpreter"
+            )
+        return run_program(
+            program,
+            params,
+            initial_values=initial_values,
+            injector=injector,
+            channels=channels,
+            max_steps=max_steps,
+            wild_reads=wild_reads,
+            register_budget=register_budget,
+            halt_on_mismatch=halt_on_mismatch,
+        )
+    try:
+        kernel = compile_program(program)
+    except CompileError:
+        if not fallback:
+            raise
+        return run_program(
+            program,
+            params,
+            initial_values=initial_values,
+            injector=injector,
+            channels=channels,
+            max_steps=max_steps,
+            wild_reads=wild_reads,
+            halt_on_mismatch=halt_on_mismatch,
+        )
+    return kernel.execute(
+        params,
+        initial_values=initial_values,
+        injector=injector,
+        channels=channels,
+        max_steps=max_steps,
+        wild_reads=wild_reads,
+        halt_on_mismatch=halt_on_mismatch,
+    )
+
+
+def execute_program(
+    program: Program,
+    params: Mapping[str, int],
+    backend: str = "compiled",
+    **kwargs,
+) -> ExecutionResult:
+    """Backend dispatcher: ``backend`` is ``"interp"`` or ``"compiled"``."""
+    if backend == "interp":
+        return run_program(program, params, **kwargs)
+    if backend == "compiled":
+        return run_compiled(program, params, **kwargs)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS}"
+    )

@@ -142,6 +142,28 @@ class Interpreter:
         self._steps = 0
         self._env: dict[str, int] = dict(self.params)
         self._scalar_types = {d.name: d.elem_type for d in program.scalars}
+        # Type-keyed dispatch tables: one dict lookup per statement /
+        # expression instead of an isinstance chain re-walked on every
+        # visit (bench_backends.py measures the win).
+        self._stmt_dispatch = {
+            Assign: self._exec_assign,
+            Loop: self._exec_loop,
+            WhileLoop: self._exec_while,
+            If: self._exec_if,
+            ChecksumAdd: self._exec_checksum_add,
+            CounterIncrement: self._exec_counter_increment,
+            ChecksumAssert: self._exec_assert,
+            ChecksumReset: self._exec_reset,
+        }
+        self._eval_dispatch = {
+            Const: self._eval_const,
+            VarRef: self._eval_varref,
+            ArrayRef: self._eval_arrayref,
+            BinOp: self._eval_binop,
+            UnOp: self._eval_unop,
+            Call: self._eval_call,
+            Select: self._eval_select,
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -174,27 +196,22 @@ class Interpreter:
             raise StepLimitExceeded(
                 f"exceeded {self.max_steps} statement executions"
             )
-        if isinstance(stmt, Assign):
-            self._exec_assign(stmt)
-        elif isinstance(stmt, Loop):
-            self._exec_loop(stmt)
-        elif isinstance(stmt, WhileLoop):
-            self._exec_while(stmt)
-        elif isinstance(stmt, If):
-            self._exec_if(stmt)
-        elif isinstance(stmt, ChecksumAdd):
-            self._exec_checksum_add(stmt)
-        elif isinstance(stmt, CounterIncrement):
-            self._exec_counter_increment(stmt)
-        elif isinstance(stmt, ChecksumAssert):
-            self._exec_assert(stmt)
-        elif isinstance(stmt, ChecksumReset):
-            for sums in self.checksums.sums:
-                keys = stmt.names if stmt.names is not None else list(sums)
-                for key in keys:
-                    sums[key] = 0
-        else:
-            raise InterpreterError(f"cannot execute statement {stmt!r}")
+        handler = self._stmt_dispatch.get(type(stmt))
+        if handler is None:
+            # Subclassed node types miss the exact-type table.
+            for node_type, candidate in self._stmt_dispatch.items():
+                if isinstance(stmt, node_type):
+                    handler = candidate
+                    break
+            else:
+                raise InterpreterError(f"cannot execute statement {stmt!r}")
+        handler(stmt)
+
+    def _exec_reset(self, stmt: ChecksumReset) -> None:
+        for sums in self.checksums.sums:
+            keys = stmt.names if stmt.names is not None else list(sums)
+            for key in keys:
+                sums[key] = 0
 
     def _exec_loop(self, stmt: Loop) -> None:
         lower = int(self._eval(stmt.lower, None))
@@ -454,35 +471,44 @@ class Interpreter:
         return cached
 
     def _eval(self, expr: Expr, cache) -> float | int:
-        if isinstance(expr, Const):
-            return expr.value
-        if isinstance(expr, VarRef):
-            if expr.name in self._env:
-                return self._env[expr.name]
-            if expr.name in self._scalar_types:
-                return self._ref_through_cache(expr, cache).value
-            raise InterpreterError(f"unbound name {expr.name!r}")
-        if isinstance(expr, ArrayRef):
+        handler = self._eval_dispatch.get(type(expr))
+        if handler is None:
+            for node_type, candidate in self._eval_dispatch.items():
+                if isinstance(expr, node_type):
+                    handler = candidate
+                    break
+            else:
+                raise InterpreterError(f"cannot evaluate {expr!r}")
+        return handler(expr, cache)
+
+    def _eval_const(self, expr: Const, cache) -> float | int:
+        return expr.value
+
+    def _eval_varref(self, expr: VarRef, cache) -> float | int:
+        if expr.name in self._env:
+            return self._env[expr.name]
+        if expr.name in self._scalar_types:
             return self._ref_through_cache(expr, cache).value
-        if isinstance(expr, BinOp):
-            return self._eval_binop(expr, cache)
-        if isinstance(expr, UnOp):
-            operand = self._eval(expr.operand, cache)
-            if expr.op == "-":
-                self._count_arith("-", operand, 0)
-                return -operand
-            if expr.op == "!":
-                self.counts.int_ops += 1
-                return 0 if operand else 1
-            raise InterpreterError(f"unknown unary op {expr.op!r}")
-        if isinstance(expr, Call):
-            return self._eval_call(expr, cache)
-        if isinstance(expr, Select):
-            self.counts.branches += 1
-            if self._eval(expr.cond, cache):
-                return self._eval(expr.if_true, cache)
-            return self._eval(expr.if_false, cache)
-        raise InterpreterError(f"cannot evaluate {expr!r}")
+        raise InterpreterError(f"unbound name {expr.name!r}")
+
+    def _eval_arrayref(self, expr: ArrayRef, cache) -> float | int:
+        return self._ref_through_cache(expr, cache).value
+
+    def _eval_unop(self, expr: UnOp, cache) -> float | int:
+        operand = self._eval(expr.operand, cache)
+        if expr.op == "-":
+            self._count_arith("-", operand, 0)
+            return -operand
+        if expr.op == "!":
+            self.counts.int_ops += 1
+            return 0 if operand else 1
+        raise InterpreterError(f"unknown unary op {expr.op!r}")
+
+    def _eval_select(self, expr: Select, cache) -> float | int:
+        self.counts.branches += 1
+        if self._eval(expr.cond, cache):
+            return self._eval(expr.if_true, cache)
+        return self._eval(expr.if_false, cache)
 
     def _eval_binop(self, expr: BinOp, cache) -> float | int:
         op = expr.op

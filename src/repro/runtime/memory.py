@@ -68,19 +68,36 @@ class _Region:
         self.is_shadow = is_shadow
 
     def offset(self, indices: tuple[int, ...]) -> int:
-        if len(indices) != len(self.shape):
+        shape = self.shape
+        rank = len(shape)
+        if len(indices) != rank:
             raise MemoryError64(
-                f"{self.name}: rank {len(self.shape)} indexed with {indices}"
+                f"{self.name}: rank {rank} indexed with {indices}"
             )
-        offset = 0
-        for index, extent in zip(indices, self.shape):
-            if not 0 <= index < extent:
-                raise MemoryError64(
-                    f"{self.name}{list(indices)}: index out of bounds "
-                    f"for shape {self.shape}"
-                )
-            offset = offset * extent + index
-        return offset
+        # Unrolled rank-1/rank-2 fast paths: this sits on the hot path
+        # of every simulated load and store.
+        if rank == 1:
+            index = indices[0]
+            if 0 <= index < shape[0]:
+                return index
+        elif rank == 2:
+            i, j = indices
+            if 0 <= i < shape[0] and 0 <= j < shape[1]:
+                return i * shape[1] + j
+        elif rank == 0:
+            return 0
+        else:
+            offset = 0
+            for index, extent in zip(indices, shape):
+                if not 0 <= index < extent:
+                    break
+                offset = offset * extent + index
+            else:
+                return offset
+        raise MemoryError64(
+            f"{self.name}{list(indices)}: index out of bounds "
+            f"for shape {self.shape}"
+        )
 
 
 def _wild_word(name: str, indices: tuple[int, ...]) -> int:
@@ -200,6 +217,58 @@ class Memory:
             )
             if mutated is not None:
                 region.words[offset] = mutated & MASK64
+
+    def load_bits_addr(
+        self, name: str, indices: tuple[int, ...] = ()
+    ) -> tuple[int, int]:
+        """Fused :meth:`load_bits` + :meth:`address_of` (one region walk).
+
+        Counter, injector-hook and wild-read semantics are identical to
+        calling the two methods in sequence; the compiled backend uses
+        this on its hot path to avoid the double region lookup.
+        """
+        region = self._region(name)
+        try:
+            offset = region.offset(indices)
+        except MemoryError64:
+            if not self.wild_reads:
+                raise
+            self.load_count += 1
+            self.wild_accesses += 1
+            word = _wild_word(name, indices)
+            return word, (word & 0xFFFF_FFF8) | 0x8000_0000
+        self.load_count += 1
+        if self.injector is not None:
+            mutated = self.injector.before_load(
+                self, name, indices, region.words[offset]
+            )
+            if mutated is not None:
+                region.words[offset] = mutated & MASK64
+        return region.words[offset], region.base + offset * WORD_BYTES
+
+    def store_bits_addr(
+        self, name: str, indices: tuple[int, ...], bits: int
+    ) -> int:
+        """Fused :meth:`store_bits` + :meth:`address_of`; returns the
+        stored element's address (same semantics as the sequence)."""
+        region = self._region(name)
+        try:
+            offset = region.offset(indices)
+        except MemoryError64:
+            if not self.wild_reads:
+                raise
+            self.store_count += 1
+            self.wild_accesses += 1
+            return (_wild_word(name, indices) & 0xFFFF_FFF8) | 0x8000_0000
+        self.store_count += 1
+        region.words[offset] = bits & MASK64
+        if self.injector is not None:
+            mutated = self.injector.after_store(
+                self, name, indices, region.words[offset]
+            )
+            if mutated is not None:
+                region.words[offset] = mutated & MASK64
+        return region.base + offset * WORD_BYTES
 
     def peek_bits(self, name: str, indices: tuple[int, ...] = ()) -> int:
         """Read without triggering fault hooks or counters (for tests)."""
