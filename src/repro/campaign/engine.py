@@ -86,6 +86,10 @@ class CampaignResult:
     """Golden-run cache counters (hits/misses/evictions/size/limit) of
     the driving process at campaign end.  Workers keep their own caches;
     a miss here means this process computed a fresh golden run."""
+    instrument_cache: dict[str, int] | None = None
+    """Instrumentation-cache counters (hits/misses/disk_hits/...) of the
+    driving process at campaign end (see
+    :mod:`repro.instrument.cache`)."""
 
     def summary(self) -> CampaignSummary:
         return summarize_counts(self.counts)
@@ -171,6 +175,7 @@ def run_campaign(
     if keep_records:
         kept.sort(key=lambda record: record.index)
     from repro.campaign.golden import cache_stats
+    from repro.instrument.cache import cache_stats as instrument_cache_stats
 
     return CampaignResult(
         spec=spec,
@@ -181,6 +186,7 @@ def run_campaign(
         log_path=log_path,
         workers=workers,
         golden_cache=cache_stats(),
+        instrument_cache=instrument_cache_stats(),
     )
 
 

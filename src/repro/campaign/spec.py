@@ -340,17 +340,19 @@ class ProgramCampaignSpec:
         return golden_run(("program-campaign", self.digest()), self._prepare)
 
     def _prepare(self) -> _PreparedProgram:
-        from repro.instrument.pipeline import (
-            InstrumentationOptions,
-            instrument_program,
-        )
+        from repro.instrument.cache import instrument_cached
+        from repro.instrument.pipeline import InstrumentationOptions
         from repro.runtime.compile import CompileError, compile_program
         from repro.runtime.interpreter import run_program
 
         program, params, values = self._resolve()
         original_arrays = tuple(decl.name for decl in program.arrays)
         if self.instrument:
-            program, _ = instrument_program(
+            # Content-addressed: repeat sweeps over the same program and
+            # options skip the instrumenter entirely (and across
+            # processes too when REPRO_INSTRUMENT_CACHE names a
+            # directory — worker processes inherit the env var).
+            program, _ = instrument_cached(
                 program,
                 InstrumentationOptions(
                     index_set_splitting=self.split,

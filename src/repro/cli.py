@@ -27,18 +27,19 @@ import sys
 
 import numpy as np
 
-from repro.instrument.pipeline import (
-    InstrumentationOptions,
-    instrument_program,
-)
+from repro.instrument.pipeline import InstrumentationOptions
 from repro.ir.analysis import validate_program
 from repro.ir.parser import parse_program
 from repro.ir.printer import program_to_text
 
 
 def _load(path: str):
-    with open(path) as handle:
-        program = parse_program(handle.read())
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as error:
+        raise SystemExit(str(error)) from None
+    program = parse_program(source)
     validate_program(program)
     return program
 
@@ -88,7 +89,11 @@ def cmd_instrument(args) -> int:
         hoist_inspectors=not args.no_hoist,
         localize=args.localize,
     )
-    instrumented, report = instrument_program(program, options)
+    from repro.instrument.cache import instrument_cached, set_cache_dir
+
+    if args.instrument_cache:
+        set_cache_dir(args.instrument_cache)
+    instrumented, report = instrument_cached(program, options)
     text = program_to_text(instrumented)
     if args.output:
         with open(args.output, "w") as handle:
@@ -226,6 +231,13 @@ def _print_campaign_result(result) -> int:
     print(summary.format())
     if result.golden_cache is not None:
         print(_format_cache_stats(result.golden_cache))
+    instrument_stats = getattr(result, "instrument_cache", None)
+    if instrument_stats is not None and (
+        instrument_stats["hits"]
+        or instrument_stats["misses"]
+        or instrument_stats["disk_hits"]
+    ):
+        print(_format_instrument_cache_stats(instrument_stats))
     if summary.counts.get("sdc") or summary.counts.get("benign"):
         print(
             "note: benign/sdc trials hit dead or pre-definition data "
@@ -242,9 +254,25 @@ def _format_cache_stats(stats: dict) -> str:
     )
 
 
+def _format_instrument_cache_stats(stats: dict) -> str:
+    return (
+        f"instrument cache: hits={stats['hits']} "
+        f"misses={stats['misses']} disk_hits={stats['disk_hits']} "
+        f"evictions={stats['evictions']} "
+        f"size={stats['size']}/{stats['limit']}"
+    )
+
+
 def cmd_campaign_run(args) -> int:
+    import os
+
     from repro.campaign import run_campaign
 
+    if args.instrument_cache:
+        # Via the environment so multiprocessing workers inherit it.
+        os.environ[
+            "REPRO_INSTRUMENT_CACHE"
+        ] = args.instrument_cache
     spec = _campaign_spec_from_args(args)
     try:
         result = run_campaign(
@@ -296,6 +324,11 @@ def cmd_campaign_report(args) -> int:
     stats = cache_stats()
     if stats["hits"] or stats["misses"]:
         print(_format_cache_stats(stats))
+    from repro.instrument.cache import cache_stats as instrument_cache_stats
+
+    istats = instrument_cache_stats()
+    if istats["hits"] or istats["misses"] or istats["disk_hits"]:
+        print(_format_instrument_cache_stats(istats))
     return 0
 
 
@@ -321,6 +354,9 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="emit a baseline transform instead of the "
                         "def/use checksum scheme")
+    p_inst.add_argument("--instrument-cache", default=None, metavar="DIR",
+                        help="on-disk instrumentation cache directory "
+                        "(content-addressed; see docs/COMPILE_PERF.md)")
     p_inst.set_defaults(func=cmd_instrument)
 
     p_run = sub.add_parser("run", help="execute a program on the simulator")
@@ -382,6 +418,9 @@ def main(argv: list[str] | None = None) -> int:
                         default="compiled",
                         help="per-trial execution backend (bit-identical "
                         "results; compiled is faster)")
+    p_crun.add_argument("--instrument-cache", default=None, metavar="DIR",
+                        help="on-disk instrumentation cache shared by all "
+                        "workers (sets REPRO_INSTRUMENT_CACHE)")
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_cres = camp_sub.add_parser(

@@ -32,7 +32,8 @@ from dataclasses import dataclass
 from repro.campaign.golden import golden_run
 from repro.codegen.python_gen import compile_to_python
 from repro.experiments.reporting import OverheadRow, format_overheads, geomean
-from repro.instrument.pipeline import InstrumentationOptions, instrument_program
+from repro.instrument.cache import instrument_cached
+from repro.instrument.pipeline import InstrumentationOptions
 from repro.programs import ALL_BENCHMARKS
 from repro.runtime.costmodel import CostModel, OpCounts
 
@@ -71,8 +72,10 @@ def build_benchmark(name: str, scale: str = "default") -> BenchmarkBuilds:
         module.SMALL_PARAMS if scale == "small" else module.DEFAULT_PARAMS
     )
     values = module.initial_values(params)
-    resilient, _ = instrument_program(program, RESILIENT)
-    optimized, _ = instrument_program(program, OPTIMIZED)
+    # Content-addressed: repeated harness invocations (and campaign
+    # sweeps over the same kernels) reuse the instrumented builds.
+    resilient, _ = instrument_cached(program, RESILIENT)
+    optimized, _ = instrument_cached(program, OPTIMIZED)
     return BenchmarkBuilds(
         name=name,
         original=program,
@@ -300,7 +303,18 @@ def main(argv: list[str] | None = None) -> None:
         default="compiled",
         help="execution backend (bit-identical counts; compiled is faster)",
     )
+    parser.add_argument(
+        "--instrument-cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk instrumentation cache directory (content-"
+        "addressed; repeat harness runs skip the instrumenter)",
+    )
     args = parser.parse_args(argv)
+    if args.instrument_cache:
+        from repro.instrument.cache import set_cache_dir
+
+        set_cache_dir(args.instrument_cache)
     if args.list:
         print(format_table2())
         return

@@ -18,12 +18,18 @@
   and their hoisting.
 * :mod:`repro.instrument.splitting` — Algorithm 2 index-set splitting.
 * :mod:`repro.instrument.pipeline` — the end-to-end instrumenter.
+* :mod:`repro.instrument.cache` — content-addressed memoization of the
+  instrumenter (in-memory LRU + opt-in on-disk directory).
 """
 
 from repro.instrument.pipeline import (
     InstrumentationOptions,
     InstrumentationReport,
     instrument_program,
+)
+from repro.instrument.cache import (
+    cache_key,
+    instrument_cached,
 )
 from repro.instrument.duplication import duplicate_program
 from repro.instrument.epochs import instrument_with_epochs
@@ -44,6 +50,8 @@ __all__ = [
     "InstrumentationOptions",
     "InstrumentationReport",
     "instrument_program",
+    "instrument_cached",
+    "cache_key",
     "ChecksumOperator",
     "ModularAddChecksum",
     "XorChecksum",

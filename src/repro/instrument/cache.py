@@ -1,0 +1,204 @@
+"""Content-addressed instrumentation cache.
+
+Instrumenting a program is a pure function of its printed IR and the
+:class:`InstrumentationOptions`, and for the larger Table 2 kernels it
+costs hundreds of milliseconds even on the fast ISL path.  Campaign
+sweeps, the Figure 10 harness and repeated CLI invocations all
+re-instrument identical inputs, so :func:`instrument_cached` memoizes
+``instrument_program`` under a SHA-256 key of
+
+    ``program_to_text(program)`` + the options field tuple.
+
+Two layers:
+
+* an **in-memory LRU** (process-wide, bounded, with hit/miss/eviction
+  counters mirroring :mod:`repro.campaign.golden` so ``campaign
+  report`` can surface them), and
+* an **opt-in on-disk directory** (``set_cache_dir`` or the
+  ``REPRO_INSTRUMENT_CACHE`` environment variable — the env var so
+  campaign worker processes inherit it) holding one pickle per key.
+  Disk entries are written atomically (temp file + rename) and read
+  tolerantly: a corrupted, truncated or unreadable entry is treated as
+  a miss and recomputed, never an error.
+
+``Program`` is a frozen dataclass, so sharing the cached instance is
+safe; treat the cached :class:`InstrumentationReport` as read-only.
+Programs that print to identical text are identical by construction of
+the key — that is the content-addressing contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import fields
+from pathlib import Path
+
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    InstrumentationReport,
+    instrument_program,
+)
+from repro.ir.nodes import Program
+from repro.ir.printer import program_to_text
+
+ENV_CACHE_DIR = "REPRO_INSTRUMENT_CACHE"
+
+_Entry = tuple[Program, InstrumentationReport]
+
+_CACHE: "OrderedDict[str, _Entry]" = OrderedDict()
+_CACHE_LIMIT = 128
+_CACHE_DIR: Path | None = None
+_hits = 0
+_misses = 0
+_evictions = 0
+_disk_hits = 0
+
+
+def cache_key(
+    program: Program, options: InstrumentationOptions | None = None
+) -> str:
+    """SHA-256 over the printed program and every options field.
+
+    Adding a field to ``InstrumentationOptions`` automatically changes
+    the key, so stale entries can never be served across an options
+    schema change.
+    """
+    options = options or InstrumentationOptions()
+    option_items = tuple(
+        (f.name, getattr(options, f.name)) for f in fields(options)
+    )
+    payload = program_to_text(program) + "\n#options#" + repr(option_items)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def instrument_cached(
+    program: Program, options: InstrumentationOptions | None = None
+) -> _Entry:
+    """``instrument_program`` memoized under the content-addressed key."""
+    global _hits, _misses, _evictions, _disk_hits
+    key = cache_key(program, options)
+    entry = _CACHE.get(key)
+    if entry is not None:
+        _hits += 1
+        _CACHE.move_to_end(key)
+        return entry
+    entry = _disk_load(key)
+    if entry is not None:
+        _disk_hits += 1
+    else:
+        _misses += 1
+        entry = instrument_program(program, options)
+        _disk_store(key, entry)
+    _CACHE[key] = entry
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+        _evictions += 1
+    return entry
+
+
+# ----------------------------------------------------------------------
+# On-disk layer (opt-in)
+# ----------------------------------------------------------------------
+def cache_dir() -> Path | None:
+    """The active on-disk directory, if any (explicit beats env var)."""
+    if _CACHE_DIR is not None:
+        return _CACHE_DIR
+    env = os.environ.get(ENV_CACHE_DIR)
+    return Path(env) if env else None
+
+
+def set_cache_dir(path: str | os.PathLike | None) -> None:
+    """Enable (or with ``None`` disable) the on-disk layer."""
+    global _CACHE_DIR
+    _CACHE_DIR = Path(path) if path is not None else None
+
+
+def _entry_path(key: str) -> Path | None:
+    directory = cache_dir()
+    if directory is None:
+        return None
+    return directory / f"{key}.pkl"
+
+
+def _disk_load(key: str) -> _Entry | None:
+    path = _entry_path(key)
+    if path is None:
+        return None
+    try:
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError):
+        return None
+    if (
+        isinstance(entry, tuple)
+        and len(entry) == 2
+        and isinstance(entry[0], Program)
+        and isinstance(entry[1], InstrumentationReport)
+    ):
+        return entry
+    return None
+
+
+def _disk_store(key: str, entry: _Entry) -> None:
+    path = _entry_path(key)
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full cache directory degrades to memory-only.
+        pass
+
+
+# ----------------------------------------------------------------------
+# Stats / management (mirrors repro.campaign.golden)
+# ----------------------------------------------------------------------
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction/disk-hit counters plus current size and bound."""
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "evictions": _evictions,
+        "disk_hits": _disk_hits,
+        "size": len(_CACHE),
+        "limit": _CACHE_LIMIT,
+    }
+
+
+def set_cache_limit(limit: int) -> None:
+    """Re-bound the in-memory layer (evicting oldest when shrinking)."""
+    global _CACHE_LIMIT, _evictions
+    if limit < 1:
+        raise ValueError("cache limit must be positive")
+    _CACHE_LIMIT = limit
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+        _evictions += 1
+
+
+def clear_cache() -> None:
+    """Drop the in-memory layer and reset counters (disk is untouched)."""
+    global _hits, _misses, _evictions, _disk_hits
+    _CACHE.clear()
+    _hits = 0
+    _misses = 0
+    _evictions = 0
+    _disk_hits = 0

@@ -25,6 +25,7 @@ import math
 from typing import Iterable, Mapping, Sequence
 
 from repro.isl.constraints import Constraint
+from repro.isl.fastpath import fast_path_enabled, memo_lookup, memo_store
 from repro.isl.fourier_motzkin import eliminate_variables
 from repro.isl.linear import LinExpr
 from repro.isl.space import Space
@@ -115,15 +116,77 @@ class BasicSet:
     # ------------------------------------------------------------------
     # Logical operations
     # ------------------------------------------------------------------
+    @classmethod
+    def _trusted(
+        cls,
+        space: Space,
+        constraints: tuple[Constraint, ...],
+        known_empty: bool,
+    ) -> "BasicSet":
+        """Build without re-validating (constraints already clean)."""
+        result = cls.__new__(cls)
+        result._space = space
+        result._constraints = constraints
+        result._known_empty = known_empty
+        result._empty_cache = True if known_empty else None
+        result._hash = None
+        return result
+
     def intersect(self, other: "BasicSet") -> "BasicSet":
         if not self._space.compatible_with(other._space):
             raise ValueError(
                 f"space mismatch: {self._space!r} vs {other._space!r}"
             )
-        return BasicSet(self._space, self._constraints + other._constraints)
+        # Both operands' constraints were validated (and tautologies /
+        # contradictions resolved) at their own construction; only
+        # deduplication is left to do.
+        if self._known_empty:
+            return self
+        if other._known_empty:
+            return BasicSet._trusted(self._space, other._constraints, True)
+        kept = list(self._constraints)
+        seen = set(kept)
+        for c in other._constraints:
+            if c not in seen:
+                seen.add(c)
+                kept.append(c)
+        return BasicSet._trusted(self._space, tuple(kept), False)
 
     def add_constraints(self, constraints: Iterable[Constraint]) -> "BasicSet":
-        return BasicSet(self._space, self._constraints + tuple(constraints))
+        """Extend with new constraints (the subtraction-chain hot path).
+
+        The existing constraints are trusted — already validated,
+        deduplicated and free of constant tautologies — so only the new
+        ones pay the checks.
+        """
+        if self._known_empty:
+            return self
+        extra = tuple(constraints)
+        if not extra:
+            return self
+        kept = list(self._constraints)
+        seen = set(kept)
+        known_empty = False
+        valid_names: set[str] | None = None
+        for c in extra:
+            if c.is_tautology():
+                continue
+            if c.is_contradiction():
+                known_empty = True
+                kept = [c]
+                break
+            if valid_names is None:
+                valid_names = set(self._space.all_names())
+            unknown = c.variables() - valid_names
+            if unknown:
+                raise ValueError(
+                    f"constraint {c} uses names {sorted(unknown)} "
+                    f"not in {self._space!r}"
+                )
+            if c not in seen:
+                seen.add(c)
+                kept.append(c)
+        return BasicSet._trusted(self._space, tuple(kept), known_empty)
 
     def fix(self, name: str, value: int) -> "BasicSet":
         """Constrain dimension or parameter ``name`` to ``value``."""
@@ -205,21 +268,33 @@ class BasicSet:
                 return any(c.is_contradiction() for c in result.constraints)
         if self._empty_cache is not None:
             return self._empty_cache
-        constraints: list[Constraint] = list(self._constraints)
+        # The parametric verdict depends only on the (normalized,
+        # deduplicated) constraint system — every name it mentions gets
+        # eliminated — so verdicts are shared process-wide under the
+        # structural hash of that system.
+        key = frozenset(self._constraints) if fast_path_enabled() else None
+        if key is not None:
+            memoized = memo_lookup(key)
+            if memoized is not None:
+                self._empty_cache = memoized
+                return memoized
+        verdict = self._decide_empty()
+        self._empty_cache = verdict
+        if key is not None:
+            memo_store(key, verdict)
+        return verdict
+
+    def _decide_empty(self) -> bool:
         if not self._solve_integer_equalities_feasible():
-            self._empty_cache = True
             return True
         if self._quick_nonempty():
-            self._empty_cache = False
             return False
         if self._quick_empty():
-            self._empty_cache = True
             return True
-        result = eliminate_variables(constraints, list(self._space.all_names()))
-        self._empty_cache = any(
-            c.is_contradiction() for c in result.constraints
+        result = eliminate_variables(
+            list(self._constraints), list(self._space.all_names())
         )
-        return self._empty_cache
+        return any(c.is_contradiction() for c in result.constraints)
 
     def _quick_nonempty(self) -> bool:
         """Cheap feasibility witness: greedily assign each name a value
@@ -229,16 +304,13 @@ class BasicSet:
         nothing and the caller falls back to elimination."""
         names = list(self._space.all_names())
         order = {name: index for index, name in enumerate(names)}
-        # Pre-extract integer coefficient rows; give up on fractions.
+        # Interned integer coefficient rows; give up on fractions.
         rows: list[tuple[dict[str, int], int, bool]] = []
         for c in self._constraints:
-            if not c.expr.is_integral():
+            row = c.row()
+            if row is None:
                 return False
-            coeffs = {
-                name: int(value)
-                for name, value in c.expr.coefficients().items()
-            }
-            rows.append((coeffs, int(c.expr.const), c.is_equality()))
+            rows.append(row)
         assignment: dict[str, int] = {}
         for position, name in enumerate(names):
             lo: int | None = None
@@ -296,12 +368,14 @@ class BasicSet:
         constraints) hit this pattern constantly.  Sound but
         incomplete — the caller still runs elimination when this finds
         nothing."""
-        best: dict[frozenset, "object"] = {}
+        best: dict[frozenset, int] = {}
         for c in self._constraints:
-            linear = frozenset(c.expr.coefficients().items())
+            pair = c.linear_key()
+            if pair is None:
+                continue
+            linear, const = pair
             if not linear:
                 continue
-            const = c.expr.const
             kinds = [(linear, const)]
             if c.is_equality():
                 negated = frozenset(
@@ -320,19 +394,47 @@ class BasicSet:
         return False
 
     def _solve_integer_equalities_feasible(self) -> bool:
-        """GCD test on equalities: detect e.g. ``2x == 1`` infeasibility."""
-        for c in self.equalities():
-            coeffs = c.expr.coefficients()
-            if not coeffs:
-                continue
-            gcd = 0
-            for value in coeffs.values():
-                gcd = math.gcd(gcd, abs(int(value)))
-            const = c.expr.const
-            if const.denominator != 1:
-                return False
-            if gcd and int(const) % gcd != 0:
-                return False
+        """Integer feasibility of the equality subsystem.
+
+        Gaussian substitution on unit-coefficient pivots, then a GCD
+        test per remaining equality.  Catches direct infeasibility
+        (``2x == 1``) and combined infeasibility (``j == 0`` with
+        ``2i - j == 1``, which forces ``2i == 1``).  Sound but not
+        complete: True only means no contradiction was found.
+        """
+        exprs = [c.expr for c in self.equalities()]
+        while exprs:
+            pivot_index: int | None = None
+            pivot_name = ""
+            for index, expr in enumerate(exprs):
+                coeffs = expr.coefficients()
+                if not coeffs:
+                    if expr.const != 0:
+                        return False
+                    continue
+                if any(v.denominator != 1 for v in coeffs.values()):
+                    continue  # rational row: leave to elimination
+                gcd = 0
+                for value in coeffs.values():
+                    gcd = math.gcd(gcd, abs(int(value)))
+                const = expr.const
+                if const.denominator != 1:
+                    return False
+                if gcd and int(const) % gcd != 0:
+                    return False
+                if pivot_index is None:
+                    for name, value in coeffs.items():
+                        if value == 1 or value == -1:
+                            pivot_index, pivot_name = index, name
+                            break
+            if pivot_index is None:
+                return True
+            expr = exprs.pop(pivot_index)
+            pivot_coeff = expr.coefficients()[pivot_name]
+            # a*pivot + rest == 0 with a = ±1  ⇒  pivot = -a * rest.
+            rest = expr - LinExpr.var(pivot_name, pivot_coeff)
+            replacement = rest * (-pivot_coeff)
+            exprs = [e.substitute({pivot_name: replacement}) for e in exprs]
         return True
 
     def sample(self, params: Mapping[str, int]) -> dict[str, int] | None:

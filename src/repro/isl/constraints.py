@@ -18,7 +18,6 @@ loop nests, and never loses integer points.
 from __future__ import annotations
 
 import math
-from fractions import Fraction
 from typing import Mapping
 
 from repro.isl.linear import LinExpr
@@ -35,13 +34,16 @@ class Constraint:
     'n - j - 1 >= 0'
     """
 
-    __slots__ = ("_expr", "_kind", "_hash")
+    __slots__ = ("_expr", "_kind", "_hash", "_row", "_key", "_negated")
 
     def __init__(self, expr: LinExpr, kind: str) -> None:
         if kind not in (EQ, GE):
             raise ValueError(f"unknown constraint kind {kind!r}")
         self._expr, self._kind = _normalize(expr, kind)
         self._hash: int | None = None
+        self._row: tuple[dict[str, int], int, bool] | None | bool = False
+        self._key: tuple[frozenset, int] | None | bool = False
+        self._negated: tuple["Constraint", ...] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -104,6 +106,35 @@ class Constraint:
     def involves(self, name: str) -> bool:
         return self._expr.coeff(name) != 0
 
+    def row(self) -> tuple[dict[str, int], int, bool] | None:
+        """Interned ``(coefficients, constant, is_equality)`` row.
+
+        Built once per constraint (``None`` for the rare non-integral
+        equality kept to signal a contradiction); the dict is shared, so
+        callers must not mutate it.
+        """
+        if self._row is False:
+            int_row = self._expr.int_row()
+            if int_row is None:
+                self._row = None
+            else:
+                items, const = int_row
+                self._row = (dict(items), const, self._kind == EQ)
+        return self._row
+
+    def linear_key(self) -> tuple[frozenset, int] | None:
+        """``(frozenset of coefficient items, constant)`` for pairing
+        opposite-linear-part constraints; ``None`` when non-integral.
+        Interned per constraint."""
+        if self._key is False:
+            int_row = self._expr.int_row()
+            if int_row is None:
+                self._key = None
+            else:
+                items, const = int_row
+                self._key = (frozenset(items), const)
+        return self._key
+
     # ------------------------------------------------------------------
     # Logic
     # ------------------------------------------------------------------
@@ -121,18 +152,21 @@ class Constraint:
             return value != 0 if self.is_equality() else value < 0
         return False
 
-    def negated(self) -> list["Constraint"]:
-        """The integer negation as a disjunction of constraints.
+    def negated(self) -> tuple["Constraint", ...]:
+        """The integer negation as a disjunction of constraints (cached).
 
         ``not (e >= 0)`` is ``-e - 1 >= 0``; ``not (e == 0)`` is
         ``e - 1 >= 0  OR  -e - 1 >= 0``.
         """
-        if self.is_inequality():
-            return [Constraint.ineq(-self._expr - 1)]
-        return [
-            Constraint.ineq(self._expr - 1),
-            Constraint.ineq(-self._expr - 1),
-        ]
+        if self._negated is None:
+            if self.is_inequality():
+                self._negated = (Constraint.ineq(-self._expr - 1),)
+            else:
+                self._negated = (
+                    Constraint.ineq(self._expr - 1),
+                    Constraint.ineq(-self._expr - 1),
+                )
+        return self._negated
 
     def satisfied_by(self, assignment: Mapping[str, int]) -> bool:
         value = self._expr.evaluate(assignment)
@@ -151,9 +185,26 @@ class Constraint:
     # Comparison / display
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Constraint):
             return NotImplemented
-        return self._kind == other._kind and self._expr == other._expr
+        if self._kind != other._kind:
+            return False
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
+        # Compare interned integer rows when available: tuple-of-int
+        # comparison is far cheaper than Fraction-based LinExpr equality
+        # on the memo/dedup hot paths.
+        mine = self._expr.int_row()
+        theirs = other._expr.int_row()
+        if mine is not None and theirs is not None:
+            return mine == theirs
+        return self._expr == other._expr
 
     def __hash__(self) -> int:
         if self._hash is None:
@@ -182,19 +233,23 @@ def _normalize(expr: LinExpr, kind: str) -> tuple[LinExpr, str]:
     for value in coeffs.values():
         gcd = math.gcd(gcd, abs(int(value)))
     if gcd > 1:
-        scaled = expr * Fraction(1, gcd)
+        const = int(expr.const)
         if kind == GE:
             # Tighten: (g*e' + c >= 0)  <=>  (e' >= ceil(-c/g))  <=>
-            # (e' + floor(c/g) >= 0) over the integers.
-            const = scaled.const
-            floored = Fraction(math.floor(const))
-            expr = scaled - const + floored
-        else:
-            # An equality with non-integral constant after scaling has no
-            # integer solutions; keep it unscaled so that evaluation still
-            # detects the contradiction (handled by basic_set emptiness).
-            if scaled.const.denominator == 1:
-                expr = scaled
+            # (e' + floor(c/g) >= 0) over the integers; floor division
+            # is exactly that floor for negative constants too.
+            expr = LinExpr._raw(
+                {name: int(v) // gcd for name, v in coeffs.items()},
+                const // gcd,
+            )
+        elif const % gcd == 0:
+            expr = LinExpr._raw(
+                {name: int(v) // gcd for name, v in coeffs.items()},
+                const // gcd,
+            )
+        # else: an equality with non-integral constant after scaling has
+        # no integer solutions; keep it unscaled so that evaluation still
+        # detects the contradiction (handled by basic_set emptiness).
     if kind == EQ:
         for name in sorted(expr.variables()):
             coeff = expr.coeff(name)

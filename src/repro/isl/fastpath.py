@@ -1,0 +1,121 @@
+"""ISL hot-path switchboard: memoization and pruning toggles.
+
+The polyhedral substrate spends almost all of its time deciding
+emptiness of conjunctive systems produced by subtraction chains
+(``Set.subtract`` → ``BasicSet.is_empty``).  Three optimizations make
+that path fast:
+
+* **gist pruning** in ``set_ops._subtract_basic`` — constraints of the
+  subtrahend already implied by the minuend are dropped before
+  negation, so their (necessarily empty) disjuncts are never built;
+* a **process-wide emptiness memo** keyed by the canonical structural
+  hash of a constraint system (the frozenset of its normalized
+  constraints — the parametric verdict depends on nothing else);
+* **interned coefficient rows** on ``Constraint`` so the quick
+  feasibility/contradiction witnesses stop rebuilding dicts per call.
+
+All three are semantics-preserving.  They can be disabled together via
+:func:`set_fast_path` — ``benchmarks/bench_instrument.py`` uses the
+slow path as its same-machine baseline, and the differential tests in
+``tests/isl/`` pit the two paths against each other and against point
+enumeration.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Hashable
+
+_ENABLED = True
+
+_EMPTY_MEMO: "OrderedDict[Hashable, bool]" = OrderedDict()
+_EMPTY_MEMO_LIMIT = 1 << 16
+_memo_hits = 0
+_memo_misses = 0
+
+
+def fast_path_enabled() -> bool:
+    """Whether the ISL hot-path optimizations are active."""
+    return _ENABLED
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Toggle gist pruning + emptiness memoization (benchmark baseline)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def slow_path():
+    """Run a block with the optimizations disabled (fresh memo after)."""
+    previous = _ENABLED
+    set_fast_path(False)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)
+
+
+def memo_lookup(key: Hashable) -> bool | None:
+    """Cached emptiness verdict for a constraint system, if any."""
+    global _memo_hits, _memo_misses
+    if not _ENABLED:
+        return None
+    verdict = _EMPTY_MEMO.get(key)
+    if verdict is None:
+        _memo_misses += 1
+        return None
+    _memo_hits += 1
+    _EMPTY_MEMO.move_to_end(key)
+    return verdict
+
+
+def memo_store(key: Hashable, verdict: bool) -> None:
+    if not _ENABLED:
+        return
+    _EMPTY_MEMO[key] = verdict
+    while len(_EMPTY_MEMO) > _EMPTY_MEMO_LIMIT:
+        _EMPTY_MEMO.popitem(last=False)
+
+
+_FM_MEMO: "OrderedDict[Hashable, tuple[tuple, bool]]" = OrderedDict()
+_FM_MEMO_LIMIT = 1 << 14
+
+
+def fm_memo_lookup(key: Hashable) -> tuple[tuple, bool] | None:
+    """Cached Fourier–Motzkin elimination result, if any."""
+    if not _ENABLED:
+        return None
+    entry = _FM_MEMO.get(key)
+    if entry is not None:
+        _FM_MEMO.move_to_end(key)
+    return entry
+
+
+def fm_memo_store(key: Hashable, constraints: tuple, exact: bool) -> None:
+    if not _ENABLED:
+        return
+    _FM_MEMO[key] = (constraints, exact)
+    while len(_FM_MEMO) > _FM_MEMO_LIMIT:
+        _FM_MEMO.popitem(last=False)
+
+
+def memo_stats() -> dict[str, int]:
+    return {
+        "hits": _memo_hits,
+        "misses": _memo_misses,
+        "size": len(_EMPTY_MEMO),
+        "limit": _EMPTY_MEMO_LIMIT,
+        "fm_size": len(_FM_MEMO),
+        "fm_limit": _FM_MEMO_LIMIT,
+    }
+
+
+def clear_memo() -> None:
+    """Drop all cached verdicts (benchmarks, tests)."""
+    global _memo_hits, _memo_misses
+    _EMPTY_MEMO.clear()
+    _FM_MEMO.clear()
+    _memo_hits = 0
+    _memo_misses = 0

@@ -49,13 +49,25 @@ def eliminate_variable(
 def eliminate_variables(
     constraints: list[Constraint], names: list[str]
 ) -> EliminationResult:
-    """Project out several variables, innermost first."""
+    """Project out several variables, innermost first.
+
+    Elimination is a pure function of (constraints, names), so results
+    are memoized process-wide (see :mod:`repro.isl.fastpath`);
+    subtraction chains re-project the same systems constantly.
+    """
+    from repro.isl.fastpath import fm_memo_lookup, fm_memo_store
+
+    key = (tuple(constraints), tuple(names))
+    cached = fm_memo_lookup(key)
+    if cached is not None:
+        return EliminationResult(list(cached[0]), cached[1])
     exact = True
     current = list(constraints)
     for name in names:
         result = eliminate_variable(current, name)
         current = result.constraints
         exact = exact and result.exact
+    fm_memo_store(key, tuple(current), exact)
     return EliminationResult(current, exact)
 
 

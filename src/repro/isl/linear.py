@@ -2,8 +2,11 @@
 
 ``LinExpr`` is the workhorse value of the whole polyhedral substrate: loop
 bounds, array subscripts, schedule components and constraint left-hand
-sides are all affine expressions.  Coefficients are exact rationals
-(``fractions.Fraction``); most client code keeps them integral, and
+sides are all affine expressions.  Coefficients are exact: plain ``int``
+whenever integral (the common case for loop nests, and an order of
+magnitude cheaper to compute with), ``fractions.Fraction`` otherwise.
+``Fraction(n) == n`` and ``hash(Fraction(n)) == hash(n)``, so the mixed
+representation is invisible to equality, hashing and arithmetic;
 :meth:`LinExpr.scaled_to_integral` clears denominators when a constraint
 needs integer coefficients.
 
@@ -21,11 +24,20 @@ from typing import Iterable, Mapping, Union
 Coefficient = Union[int, Fraction]
 
 
-def _as_fraction(value: Coefficient) -> Fraction:
-    if isinstance(value, Fraction):
+def _as_coeff(value: Coefficient) -> Coefficient:
+    """Canonicalize a coefficient: plain ``int`` when integral.
+
+    Integer coefficients dominate every system the analyses build, and
+    ``int`` arithmetic is an order of magnitude cheaper than
+    ``Fraction``; since ``Fraction(n) == n`` and their hashes agree,
+    mixing the two representations is semantically transparent.
+    """
+    if type(value) is int:
         return value
+    if isinstance(value, Fraction):
+        return value.numerator if value.denominator == 1 else value
     if isinstance(value, int):
-        return Fraction(value)
+        return int(value)
     raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
 
 
@@ -38,27 +50,45 @@ class LinExpr:
 
     >>> e = LinExpr.var("n") - LinExpr.var("j") - 1
     >>> e.coeff("n"), e.coeff("j"), e.const
-    (Fraction(1, 1), Fraction(-1, 1), Fraction(-1, 1))
+    (1, -1, -1)
     >>> e.substitute({"j": LinExpr.constant(2)})
     LinExpr(n - 3)
     """
 
-    __slots__ = ("_coeffs", "_const", "_hash")
+    __slots__ = ("_coeffs", "_const", "_hash", "_int_row")
 
     def __init__(
         self,
         coeffs: Mapping[str, Coefficient] | None = None,
         const: Coefficient = 0,
     ) -> None:
-        cleaned: dict[str, Fraction] = {}
+        cleaned: dict[str, Coefficient] = {}
         if coeffs:
             for name, value in coeffs.items():
-                frac = _as_fraction(value)
-                if frac != 0:
-                    cleaned[name] = frac
+                if type(value) is not int:
+                    value = _as_coeff(value)
+                if value:
+                    cleaned[name] = value
         self._coeffs = cleaned
-        self._const = _as_fraction(const)
+        self._const = const if type(const) is int else _as_coeff(const)
         self._hash: int | None = None
+        self._int_row: tuple[tuple[tuple[str, int], ...], int] | None | bool = False
+
+    @classmethod
+    def _raw(
+        cls, coeffs: dict[str, Coefficient], const: Coefficient
+    ) -> "LinExpr":
+        """Trusted constructor for arithmetic results.
+
+        ``coeffs`` values must already be ``int`` or ``Fraction`` (zeros
+        are filtered here); the dict is owned by the new expression.
+        """
+        self = cls.__new__(cls)
+        self._coeffs = {n: v for n, v in coeffs.items() if v}
+        self._const = const
+        self._hash = None
+        self._int_row = False
+        return self
 
     # ------------------------------------------------------------------
     # Constructors
@@ -81,18 +111,18 @@ class LinExpr:
     # Accessors
     # ------------------------------------------------------------------
     @property
-    def const(self) -> Fraction:
+    def const(self) -> Coefficient:
         return self._const
 
-    def coeff(self, name: str) -> Fraction:
-        """Coefficient of ``name`` (zero when absent)."""
-        return self._coeffs.get(name, Fraction(0))
+    def coeff(self, name: str) -> Coefficient:
+        """Coefficient of ``name`` (zero when absent; ``int`` or ``Fraction``)."""
+        return self._coeffs.get(name, 0)
 
     def variables(self) -> frozenset[str]:
         """Names with a non-zero coefficient."""
         return frozenset(self._coeffs)
 
-    def coefficients(self) -> dict[str, Fraction]:
+    def coefficients(self) -> dict[str, Coefficient]:
         """A copy of the non-zero coefficient mapping."""
         return dict(self._coeffs)
 
@@ -108,7 +138,28 @@ class LinExpr:
             c.denominator == 1 for c in self._coeffs.values()
         )
 
-    def constant_value(self) -> Fraction:
+    def int_row(self) -> tuple[tuple[tuple[str, int], ...], int] | None:
+        """Interned integer coefficient row ``((name, coeff), ...), const``.
+
+        Computed once per expression (items sorted by name); ``None``
+        when any coefficient or the constant is fractional.  The hot
+        emptiness witnesses iterate these rows instead of rebuilding
+        coefficient dicts and doing Fraction arithmetic per call.
+        """
+        if self._int_row is False:
+            if not self.is_integral():
+                self._int_row = None
+            else:
+                self._int_row = (
+                    tuple(
+                        (name, int(value))
+                        for name, value in sorted(self._coeffs.items())
+                    ),
+                    int(self._const),
+                )
+        return self._int_row
+
+    def constant_value(self) -> Coefficient:
         """The value of a constant expression.
 
         Raises :class:`ValueError` if any variable remains.
@@ -121,20 +172,29 @@ class LinExpr:
     # Arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: "LinExpr | Coefficient") -> "LinExpr":
+        if type(other) is int:
+            if other == 0:
+                return self
+            return LinExpr._raw(self._coeffs, self._const + other)
         other_expr = _coerce(other)
         coeffs = dict(self._coeffs)
         for name, value in other_expr._coeffs.items():
-            coeffs[name] = coeffs.get(name, Fraction(0)) + value
-        return LinExpr(coeffs, self._const + other_expr._const)
+            current = coeffs.get(name, 0)
+            coeffs[name] = current + value
+        return LinExpr._raw(coeffs, self._const + other_expr._const)
 
     __radd__ = __add__
 
     def __neg__(self) -> "LinExpr":
-        return LinExpr(
+        return LinExpr._raw(
             {name: -value for name, value in self._coeffs.items()}, -self._const
         )
 
     def __sub__(self, other: "LinExpr | Coefficient") -> "LinExpr":
+        if type(other) is int:
+            if other == 0:
+                return self
+            return LinExpr._raw(self._coeffs, self._const - other)
         return self + (-_coerce(other))
 
     def __rsub__(self, other: "LinExpr | Coefficient") -> "LinExpr":
@@ -143,8 +203,8 @@ class LinExpr:
     def __mul__(self, scalar: Coefficient) -> "LinExpr":
         if scalar == 1:
             return self
-        factor = _as_fraction(scalar)
-        return LinExpr(
+        factor = _as_coeff(scalar)
+        return LinExpr._raw(
             {name: value * factor for name, value in self._coeffs.items()},
             self._const * factor,
         )
@@ -152,7 +212,7 @@ class LinExpr:
     __rmul__ = __mul__
 
     def __truediv__(self, scalar: Coefficient) -> "LinExpr":
-        factor = _as_fraction(scalar)
+        factor = _as_coeff(scalar)
         if factor == 0:
             raise ZeroDivisionError("division of LinExpr by zero")
         return self * (Fraction(1) / factor)
@@ -166,21 +226,26 @@ class LinExpr:
         Unbound variables are left untouched.  Substitution is
         simultaneous, not sequential.
         """
-        result = LinExpr.constant(self._const)
+        coeffs: dict[str, Coefficient] = {}
+        const = self._const
         for name, value in self._coeffs.items():
-            if name in bindings:
-                result = result + _coerce(bindings[name]) * value
+            bound = bindings.get(name)
+            if bound is None:
+                coeffs[name] = coeffs.get(name, 0) + value
             else:
-                result = result + LinExpr.var(name, value)
-        return result
+                bound_expr = _coerce(bound)
+                const += bound_expr._const * value
+                for other, other_value in bound_expr._coeffs.items():
+                    coeffs[other] = coeffs.get(other, 0) + other_value * value
+        return LinExpr._raw(coeffs, const)
 
     def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
         """Rename variables according to ``mapping`` (missing names kept)."""
-        coeffs: dict[str, Fraction] = {}
+        coeffs: dict[str, Coefficient] = {}
         for name, value in self._coeffs.items():
             new_name = mapping.get(name, name)
-            coeffs[new_name] = coeffs.get(new_name, Fraction(0)) + value
-        return LinExpr(coeffs, self._const)
+            coeffs[new_name] = coeffs.get(new_name, 0) + value
+        return LinExpr._raw(coeffs, self._const)
 
     def scaled_to_integral(self) -> tuple["LinExpr", int]:
         """Scale by the positive LCM of denominators to clear fractions.
@@ -202,21 +267,29 @@ class LinExpr:
             gcd = _gcd(gcd, abs(value.numerator))
         return Fraction(gcd)
 
-    def evaluate(self, assignment: Mapping[str, Coefficient]) -> Fraction:
+    def evaluate(self, assignment: Mapping[str, Coefficient]) -> Coefficient:
         """Evaluate under a full assignment of this expression's variables."""
         total = self._const
         for name, value in self._coeffs.items():
             if name not in assignment:
                 raise KeyError(f"no value for variable {name!r}")
-            total += value * _as_fraction(assignment[name])
+            total += value * assignment[name]
         return total
 
     # ------------------------------------------------------------------
     # Comparison / hashing / display
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, LinExpr):
             return NotImplemented
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
         return self._coeffs == other._coeffs and self._const == other._const
 
     def __hash__(self) -> int:

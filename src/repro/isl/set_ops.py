@@ -21,6 +21,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.isl.basic_set import BasicSet
 from repro.isl.constraints import Constraint
+from repro.isl.fastpath import fast_path_enabled
 from repro.isl.space import Space
 
 
@@ -115,17 +116,20 @@ class Set:
         return Set(self._space, current)
 
     def coalesce(self) -> "Set":
-        """Drop pieces that are subsets of other pieces (cheap cleanup)."""
+        """Drop pieces that are subsets of other pieces (cheap cleanup).
+
+        Structurally equal pieces are hash-deduplicated first (keeping
+        the earliest), so the quadratic subset pass only runs over
+        distinct pieces.
+        """
+        unique = list(dict.fromkeys(self._pieces))
         kept: list[BasicSet] = []
-        for i, piece in enumerate(self._pieces):
+        for i, piece in enumerate(unique):
             redundant = False
-            for j, other in enumerate(self._pieces):
+            for j, other in enumerate(unique):
                 if i == j:
                     continue
-                if j < i and piece == other:
-                    redundant = True
-                    break
-                if piece is not other and piece.is_subset_of(other) and not (
+                if piece.is_subset_of(other) and not (
                     other.is_subset_of(piece) and j > i
                 ):
                     redundant = True
@@ -138,7 +142,23 @@ class Set:
     # Queries
     # ------------------------------------------------------------------
     def is_subset_of(self, other: "Set") -> bool:
-        return self.subtract(other).is_empty()
+        if not fast_path_enabled():
+            return self.subtract(other).is_empty()
+        # Per-piece short circuit: the first piece with a non-empty
+        # remainder decides, without materializing the full difference
+        # of the remaining pieces.
+        for a in self._pieces:
+            remainder = [a]
+            for b in other._pieces:
+                next_pieces: list[BasicSet] = []
+                for r in remainder:
+                    next_pieces.extend(_subtract_basic(r, b))
+                remainder = next_pieces
+                if not remainder:
+                    break
+            if remainder:
+                return False
+        return True
 
     def equals(self, other: "Set") -> bool:
         return self.is_subset_of(other) and other.is_subset_of(self)
@@ -204,18 +224,97 @@ class Set:
 
 
 def _subtract_basic(a: BasicSet, b: BasicSet) -> list[BasicSet]:
-    """``a - b`` as a disjoint union of basic sets."""
+    """``a - b`` as a disjoint union of basic sets.
+
+    Gist-style pruning: constraints of ``b`` that every point of ``a``
+    already satisfies contribute an empty disjunct (``a ∧ ¬c = ∅``), so
+    they are dropped before negation — shrinking both the emitted
+    disjunction and the number of emptiness checks.  When every
+    constraint of ``b`` is implied, ``a ⊆ b`` and the difference is
+    empty outright.
+    """
     if not a.space.compatible_with(b.space):
         raise ValueError("space mismatch in subtraction")
+    implied: frozenset[Constraint] | None = None
+    if fast_path_enabled():
+        ineq_min: dict[frozenset, int] = {}
+        equalities: dict[frozenset, int] = {}
+        for other in a.constraints:
+            pair = other.linear_key()
+            if pair is None:
+                continue
+            linear, const = pair
+            if other.is_equality():
+                equalities[linear] = const
+            else:
+                current = ineq_min.get(linear)
+                if current is None or const < current:
+                    ineq_min[linear] = const
+        implied = frozenset(
+            c
+            for c in b.constraints
+            if _implied_by(c, ineq_min, equalities)
+        )
     result: list[BasicSet] = []
     accumulated: list[Constraint] = []
     for constraint in b.constraints:
-        for negation in constraint.negated():
-            piece = a.add_constraints(accumulated + [negation])
-            if not piece.is_empty():
-                result.append(piece)
-        if constraint.is_equality():
-            accumulated.append(constraint)
-        else:
-            accumulated.append(constraint)
+        # An implied constraint's disjunct is a ∧ ... ∧ ¬c = ∅: skip
+        # building it, but keep c in the accumulated chain so the
+        # surviving pieces are *identical* to the slow path's.
+        if implied is None or constraint not in implied:
+            for negation in constraint.negated():
+                piece = a.add_constraints(accumulated + [negation])
+                if not piece.is_empty():
+                    result.append(piece)
+        accumulated.append(constraint)
     return result
+
+
+def _implied_by(
+    c: Constraint,
+    ineq_min: Mapping[frozenset, int],
+    equalities: Mapping[frozenset, int],
+) -> bool:
+    """Cheap sufficient test that every point of ``a`` satisfies ``c``.
+
+    ``ineq_min`` maps each inequality linear part of ``a`` to its
+    tightest (smallest) constant; ``equalities`` maps equality linear
+    parts to their constant.  ``L + k >= 0`` follows from
+    ``L + k' >= 0`` with ``k' <= k`` or from an equality pinning ``L``;
+    an equality follows from the structurally identical equality or
+    from both bounding inequalities.  Sound but incomplete — a miss
+    just means the disjunct gets built and decided by the regular
+    emptiness test.
+    """
+    pair = c.linear_key()
+    if pair is None:
+        return False
+    linear, const = pair
+    if not linear:
+        # Constant constraints never survive BasicSet construction.
+        return False
+    negated = frozenset((name, -value) for name, value in linear)
+    if c.is_inequality():
+        tightest = ineq_min.get(linear)
+        if tightest is not None and tightest <= const:
+            return True
+        pinned = equalities.get(linear)
+        if pinned is not None and pinned <= const:
+            return True
+        pinned = equalities.get(negated)
+        if pinned is not None and -pinned <= const:
+            return True
+        return False
+    # Equalities carry a canonical sign, so a matching equality of ``a``
+    # has the same linear part.
+    pinned = equalities.get(linear)
+    if pinned is not None and pinned == const:
+        return True
+    lower = ineq_min.get(linear)
+    upper = ineq_min.get(negated)
+    return (
+        lower is not None
+        and lower <= const
+        and upper is not None
+        and upper <= -const
+    )
