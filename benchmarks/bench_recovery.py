@@ -1,0 +1,283 @@
+"""Recovery subsystem cost: checkpoint overhead and recovery latency.
+
+Times, for every Table 2 benchmark, four compiled-backend runs:
+
+* **original** — the uninstrumented program;
+* **detect** — the detection-only build recovery semantically
+  replaces: ``instrument_with_epochs`` (per-epoch boundary handoff)
+  where the shape allows, the plain instrumented program otherwise;
+* **recovery (fault-free)** — the same program under the epoch
+  checkpoint + re-execution controller (:mod:`repro.recovery`) with no
+  fault injected: instrumentation + per-segment copy-on-write
+  checkpoints, zero replays.  ``overhead = recovery_s / original_s``
+  is the full price of being *able* to recover;
+  ``checkpoint_overhead = recovery_s / detect_s`` isolates what
+  checkpointing adds on top of detection — the gated number.  It is
+  often *below* 1.0: the controller batches √epochs iterations per
+  boundary handoff, which the detection build pays every epoch;
+* **recovery (faulty)** — a seeded single-transient-fault trial that
+  the verifiers detect, so the controller actually restores and
+  replays.  ``latency_s = faulty_s - recovery_s`` approximates the
+  added cost of one detect–localize–restore–replay episode.
+
+Writes ``BENCH_recovery.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py
+    PYTHONPATH=src python benchmarks/bench_recovery.py --quick \
+        --fail-above 2.0 --out BENCH_recovery.json
+
+``--fail-above X`` exits non-zero when the geometric-mean checkpoint
+overhead (vs the detection build) exceeds ``X`` (the acceptance bar is
+2.0 at default scale).  See docs/RECOVERY.md for how to read the
+output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.instrument.cache import instrument_cached  # noqa: E402
+from repro.instrument.epochs import (  # noqa: E402
+    EpochError,
+    instrument_with_epochs,
+)
+from repro.instrument.pipeline import InstrumentationOptions  # noqa: E402
+from repro.programs import ALL_BENCHMARKS  # noqa: E402
+from repro.recovery import build_recovery_plan, run_plan  # noqa: E402
+from repro.runtime.compile import compile_program  # noqa: E402
+from repro.runtime.faults import RandomCellFlipper  # noqa: E402
+
+OPTIMIZED = InstrumentationOptions(
+    index_set_splitting=True, hoist_inspectors=True
+)
+
+
+def _copy_values(values: dict) -> dict:
+    return {
+        k: (v.copy() if hasattr(v, "copy") else v) for k, v in values.items()
+    }
+
+
+def _detecting_seed(
+    plan, params, values, total_loads: int, targets: list[str], base_seed: int
+) -> tuple[int, object] | tuple[None, None]:
+    """First seed (of a bounded scan) whose injected fault is detected."""
+    for offset in range(64):
+        seed = base_seed + offset
+        injector = RandomCellFlipper(
+            2, total_loads, random.Random(seed), target_arrays=targets
+        )
+        outcome = run_plan(
+            plan,
+            params,
+            initial_values=_copy_values(values),
+            injector=injector,
+            wild_reads=True,
+            backend="compiled",
+        )
+        if outcome.detected and outcome.completed:
+            return seed, outcome
+    return None, None
+
+
+def bench_one(name: str, scale: str, repeats: int) -> dict:
+    module = ALL_BENCHMARKS[name]
+    program = module.program()
+    params = dict(
+        module.SMALL_PARAMS if scale == "small" else module.DEFAULT_PARAMS
+    )
+    values = module.initial_values(params, seed=7)
+    targets = [decl.name for decl in program.arrays]
+    plan = build_recovery_plan(program, options=OPTIMIZED)
+    try:
+        detect_build, _ = instrument_with_epochs(program, OPTIMIZED)
+    except EpochError:
+        detect_build, _ = instrument_cached(program, OPTIMIZED)
+    kernel = compile_program(program)
+    detect_kernel = compile_program(detect_build)
+
+    original_s = float("inf")
+    detect_s = float("inf")
+    recovery_s = float("inf")
+    clean = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kernel.execute(params, initial_values=_copy_values(values))
+        original_s = min(original_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        detect_kernel.execute(params, initial_values=_copy_values(values))
+        detect_s = min(detect_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        clean = run_plan(
+            plan,
+            params,
+            initial_values=_copy_values(values),
+            backend="compiled",
+        )
+        recovery_s = min(recovery_s, time.perf_counter() - start)
+    assert clean is not None and not clean.detected, (
+        f"{name}: fault-free recovery run flagged an error"
+    )
+
+    total_loads = max(1, clean.memory.load_count)
+    seed, faulty = _detecting_seed(
+        plan, params, values, total_loads, targets, base_seed=20140609
+    )
+    faulty_s = float("inf")
+    if seed is not None:
+        for _ in range(repeats):
+            injector = RandomCellFlipper(
+                2, total_loads, random.Random(seed), target_arrays=targets
+            )
+            start = time.perf_counter()
+            faulty = run_plan(
+                plan,
+                params,
+                initial_values=_copy_values(values),
+                injector=injector,
+                wild_reads=True,
+                backend="compiled",
+            )
+            faulty_s = min(faulty_s, time.perf_counter() - start)
+
+    row = {
+        "benchmark": name,
+        "scale": scale,
+        "params": params,
+        "mode": plan.mode,
+        "epochs": clean.epochs,
+        "original_s": original_s,
+        "detect_s": detect_s,
+        "recovery_s": recovery_s,
+        "overhead": recovery_s / original_s,
+        "checkpoint_overhead": recovery_s / detect_s,
+        "checkpoint_stats": dict(clean.checkpoint_stats),
+    }
+    if seed is not None:
+        row.update(
+            faulty_seed=seed,
+            faulty_s=faulty_s,
+            latency_s=max(0.0, faulty_s - recovery_s),
+            replays=faulty.replays,
+            targeted_restores=faulty.targeted_restores,
+            full_restores=faulty.full_restores,
+        )
+    return row
+
+
+def geomean(values: list[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else float("nan")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        choices=sorted(ALL_BENCHMARKS),
+        help="subset to time (default: all 10)",
+    )
+    parser.add_argument(
+        "--scale", choices=("small", "default"), default="default"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scale, 1 repeat, 3 benchmarks — the CI smoke set",
+    )
+    parser.add_argument("--out", default="BENCH_recovery.json")
+    parser.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 when the geomean fault-free overhead exceeds X",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.benchmarks or list(ALL_BENCHMARKS)
+    scale = args.scale
+    repeats = args.repeats
+    if args.quick:
+        names = args.benchmarks or ["jacobi1d", "trisolv", "cholesky"]
+        scale = "small"
+        repeats = 1
+
+    rows = []
+    for name in names:
+        row = bench_one(name, scale, repeats)
+        rows.append(row)
+        latency = (
+            f" latency={row['latency_s']:7.3f}s replays={row['replays']}"
+            if "latency_s" in row
+            else " (no detecting seed found)"
+        )
+        print(
+            f"{row['benchmark']:<10} {row['mode']:<6} "
+            f"orig={row['original_s']:8.3f}s "
+            f"detect={row['detect_s']:8.3f}s "
+            f"recover={row['recovery_s']:8.3f}s "
+            f"ckpt={row['checkpoint_overhead']:5.2f}x{latency}"
+        )
+
+    latencies = [row["latency_s"] for row in rows if "latency_s" in row]
+    summary = {
+        "scale": scale,
+        "repeats": repeats,
+        "geomean_overhead": geomean([row["overhead"] for row in rows]),
+        "geomean_checkpoint_overhead": geomean(
+            [row["checkpoint_overhead"] for row in rows]
+        ),
+        "total_original_s": sum(row["original_s"] for row in rows),
+        "total_detect_s": sum(row["detect_s"] for row in rows),
+        "total_recovery_s": sum(row["recovery_s"] for row in rows),
+        "mean_latency_s": (
+            sum(latencies) / len(latencies) if latencies else None
+        ),
+    }
+    print(
+        f"{'geomean':<10} overhead={summary['geomean_overhead']:.2f}x "
+        f"(vs original)  "
+        f"checkpoint={summary['geomean_checkpoint_overhead']:.2f}x "
+        f"(vs detect)  mean latency="
+        + (
+            f"{summary['mean_latency_s']:.3f}s"
+            if summary["mean_latency_s"] is not None
+            else "n/a"
+        )
+    )
+
+    payload = {"benchmarks": rows, "summary": summary}
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if (
+        args.fail_above is not None
+        and summary["geomean_checkpoint_overhead"] > args.fail_above
+    ):
+        print(
+            f"FAIL: geomean checkpoint overhead "
+            f"{summary['geomean_checkpoint_overhead']:.2f}x "
+            f"> allowed {args.fail_above:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,8 +46,34 @@ hit dead or already-consumed data (program campaigns)."""
 NO_INJECTION = "no_injection"
 """The injector never fired (no loads, or no targetable cells) — the
 trial exercised nothing and must not count as undetected."""
+RECOVERED = "recovered"
+"""Recovery campaigns: a verifier fired, the recovery controller rolled
+back and replayed, and the final state equals the golden run — the
+fault was survived."""
+RECOVERY_FAILED = "recovery_failed"
+"""Recovery campaigns: a verifier fired but the retry budget was
+exhausted without a clean replay — the run is declared unrecoverable
+(fail-stop with state intact)."""
+SDC_AFTER_RECOVERY = "sdc_after_recovery"
+"""Recovery campaigns: recovery reported success but the final state
+still differs from the golden run — the most alarming outcome, tracked
+separately precisely because it must stay at zero."""
 
-VERDICTS = (DETECTED, DETECTED_SECOND, UNDETECTED, SDC, BENIGN, NO_INJECTION)
+VERDICTS = (
+    DETECTED,
+    DETECTED_SECOND,
+    UNDETECTED,
+    SDC,
+    BENIGN,
+    NO_INJECTION,
+    RECOVERED,
+    RECOVERY_FAILED,
+    SDC_AFTER_RECOVERY,
+)
+
+RECOVERY_VERDICTS = (RECOVERED, RECOVERY_FAILED, SDC_AFTER_RECOVERY)
+"""The outcomes only recovery-mode campaigns produce; each implies a
+detection (the controller only acts when a verifier fires)."""
 
 
 @dataclass

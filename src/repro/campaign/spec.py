@@ -38,7 +38,10 @@ from repro.campaign.records import (
     DETECTED,
     DETECTED_SECOND,
     NO_INJECTION,
+    RECOVERED,
+    RECOVERY_FAILED,
     SDC,
+    SDC_AFTER_RECOVERY,
     UNDETECTED,
     TrialRecord,
 )
@@ -229,6 +232,9 @@ class _PreparedProgram:
     kernel: Any = None
     """Compiled kernel shared by every trial of this worker; ``None``
     when the spec asks for the interpreter or compilation fell back."""
+    plan: Any = None
+    """Recovery plan (``repro.recovery.RecoveryPlan``) shared by every
+    trial; ``None`` unless the spec has ``recover=True``."""
 
 
 @dataclass(frozen=True)
@@ -256,6 +262,15 @@ class ProgramCampaignSpec:
     hoist: bool = True
     channels: int = 1
     backend: str = "compiled"
+    recover: bool = False
+    """Run trials through the detect–localize–recover controller
+    (:mod:`repro.recovery`): a mismatch triggers checkpoint rollback
+    and replay instead of ending the run, and the verdicts grow the
+    ``recovered`` / ``recovery_failed`` / ``sdc_after_recovery``
+    taxonomy."""
+    recover_retries: int = 3
+    """Replays allowed per detection episode (the default covers the
+    controller's full escalation ladder)."""
 
     kind = "program"
 
@@ -263,6 +278,11 @@ class ProgramCampaignSpec:
         if (self.program_text is None) == (self.benchmark is None):
             raise ValueError(
                 "exactly one of program_text / benchmark must be set"
+            )
+        if self.recover and not self.instrument:
+            raise ValueError(
+                "recover=True needs instrumentation (the recovery plan "
+                "instruments the program itself)"
             )
         from repro.runtime.compile import BACKENDS
 
@@ -347,6 +367,10 @@ class ProgramCampaignSpec:
 
         program, params, values = self._resolve()
         original_arrays = tuple(decl.name for decl in program.arrays)
+        if self.recover:
+            return self._prepare_recovery(
+                program, params, values, original_arrays
+            )
         if self.instrument:
             # Content-addressed: repeat sweeps over the same program and
             # options skip the instrumenter entirely (and across
@@ -400,6 +424,45 @@ class ProgramCampaignSpec:
             kernel=kernel,
         )
 
+    def _prepare_recovery(
+        self, program, params, values, original_arrays
+    ) -> _PreparedProgram:
+        from repro.instrument.pipeline import InstrumentationOptions
+        from repro.recovery import build_recovery_plan, run_plan
+
+        plan = build_recovery_plan(
+            program,
+            options=InstrumentationOptions(
+                index_set_splitting=self.split,
+                hoist_inspectors=self.hoist,
+            ),
+        )
+        clean = run_plan(
+            plan,
+            params,
+            initial_values=_copy_values(values),
+            channels=self.channels,
+            backend=self.backend,
+        )
+        if clean.detected:
+            raise RuntimeError(
+                f"fault-free recovery run flagged an error: "
+                f"{clean.mismatches}"
+            )
+        golden_finals = {
+            name: clean.memory.to_array(name) for name in original_arrays
+        }
+        targets = self.target_arrays or original_arrays
+        return _PreparedProgram(
+            program=program,
+            params=params,
+            values=values,
+            total_loads=max(1, clean.memory.load_count),
+            golden_finals=golden_finals,
+            targets=tuple(targets),
+            plan=plan,
+        )
+
     def run_trial(self, index: int, prepared: _PreparedProgram) -> TrialRecord:
         import numpy as np
 
@@ -417,6 +480,10 @@ class ProgramCampaignSpec:
                 target_arrays=prepared.targets,
             )
         )
+        if prepared.plan is not None:
+            return self._run_recovery_trial(
+                index, seed, start, prepared, injector
+            )
         if prepared.kernel is not None:
             result = prepared.kernel.execute(
                 prepared.params,
@@ -466,6 +533,78 @@ class ProgramCampaignSpec:
             verdict=verdict,
             injection=injection,
             elapsed=time.perf_counter() - start,
+        )
+
+    def _run_recovery_trial(
+        self, index, seed, start, prepared: _PreparedProgram, injector
+    ) -> TrialRecord:
+        import numpy as np
+
+        from repro.recovery import RecoveryPolicy, run_plan
+
+        outcome = run_plan(
+            prepared.plan,
+            prepared.params,
+            initial_values=_copy_values(prepared.values),
+            injector=injector,
+            channels=self.channels,
+            wild_reads=True,
+            backend=self.backend,
+            policy=RecoveryPolicy(max_retries=self.recover_retries),
+        )
+        record = injector.record
+        extra = {
+            "mode": prepared.plan.mode,
+            "epochs": outcome.epochs,
+            "replays": outcome.replays,
+            "targeted_restores": outcome.targeted_restores,
+            "full_restores": outcome.full_restores,
+            "implicated": list(outcome.implicated),
+        }
+        if record is None:
+            verdict = NO_INJECTION
+            injection = None
+        elif outcome.failed:
+            verdict = RECOVERY_FAILED
+            injection = _injection_dict(record)
+        elif outcome.detected:
+            # Recovery claims success: hold it to the strictest bar —
+            # EVERY final value equals the golden run, the struck cell
+            # included (the rollback must have restored it).
+            matches = all(
+                np.array_equal(
+                    outcome.memory.to_array(name),
+                    prepared.golden_finals[name],
+                )
+                for name in prepared.golden_finals
+            )
+            verdict = RECOVERED if matches else SDC_AFTER_RECOVERY
+            injection = _injection_dict(record)
+        else:
+            # No verifier fired: classify exactly like a plain campaign
+            # (struck cell masked — an unread flip in a dead cell is
+            # benign, not SDC).
+            corrupted = False
+            for name in prepared.golden_finals:
+                final = outcome.memory.to_array(name)
+                gold = prepared.golden_finals[name]
+                if name == record.array:
+                    final = final.copy()
+                    gold = gold.copy()
+                    final[tuple(record.indices)] = 0
+                    gold[tuple(record.indices)] = 0
+                if not np.array_equal(final, gold):
+                    corrupted = True
+                    break
+            verdict = SDC if corrupted else BENIGN
+            injection = _injection_dict(record)
+        return TrialRecord(
+            index=index,
+            seed=seed,
+            verdict=verdict,
+            injection=injection,
+            elapsed=time.perf_counter() - start,
+            extra=extra,
         )
 
 

@@ -19,7 +19,10 @@ from repro.campaign.records import (
     DETECTED,
     DETECTED_SECOND,
     NO_INJECTION,
+    RECOVERED,
+    RECOVERY_FAILED,
     SDC,
+    SDC_AFTER_RECOVERY,
     UNDETECTED,
     TrialRecord,
 )
@@ -71,9 +74,38 @@ class CampaignSummary:
 
     @property
     def detected(self) -> int:
-        return self.counts.get(DETECTED, 0) + self.counts.get(
-            DETECTED_SECOND, 0
+        """Trials in which a verifier fired.  The recovery verdicts all
+        imply detection — the controller only acts on a mismatch — so a
+        recovery campaign's detection rate stays comparable to a plain
+        campaign's."""
+        return (
+            self.counts.get(DETECTED, 0)
+            + self.counts.get(DETECTED_SECOND, 0)
+            + self.recovery_outcomes
         )
+
+    @property
+    def recovery_outcomes(self) -> int:
+        """Detected trials that went through the recovery controller."""
+        return (
+            self.counts.get(RECOVERED, 0)
+            + self.counts.get(RECOVERY_FAILED, 0)
+            + self.counts.get(SDC_AFTER_RECOVERY, 0)
+        )
+
+    @property
+    def recovered(self) -> int:
+        return self.counts.get(RECOVERED, 0)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Recovered fraction of the trials recovery was attempted on."""
+        if self.recovery_outcomes == 0:
+            return 0.0
+        return self.recovered / self.recovery_outcomes
+
+    def recovery_interval(self, z: float = Z_95) -> tuple[float, float]:
+        return wilson_interval(self.recovered, self.recovery_outcomes, z)
 
     @property
     def detection_rate(self) -> float:
@@ -108,6 +140,9 @@ class CampaignSummary:
             SDC,
             BENIGN,
             NO_INJECTION,
+            RECOVERED,
+            RECOVERY_FAILED,
+            SDC_AFTER_RECOVERY,
         ):
             if verdict in self.counts:
                 lines.append(f"{verdict + ':':<14} {self.counts[verdict]}")
@@ -120,6 +155,14 @@ class CampaignSummary:
             )
         else:
             lines.append("detection:     no faults injected")
+        if self.recovery_outcomes:
+            low, high = self.recovery_interval()
+            lines.append(
+                f"recovery:      {self.recovered}/{self.recovery_outcomes} "
+                f"detected faults survived "
+                f"({100 * self.recovery_rate:.1f}%, "
+                f"95% CI [{100 * low:.1f}%, {100 * high:.1f}%])"
+            )
         return "\n".join(lines)
 
 

@@ -116,6 +116,8 @@ def cmd_run(args) -> int:
     program = _load(args.file)
     params = _parse_params(args.param)
     values = _initial_values(program, params, args.init, args.seed)
+    if args.recover:
+        return _run_with_recovery(args, program, params, values)
     result = execute_program(
         program,
         params,
@@ -139,6 +141,51 @@ def cmd_run(args) -> int:
     if args.dump:
         for name in args.dump:
             print(f"{name} = {result.memory.to_array(name)}")
+    return 0
+
+
+def _run_with_recovery(args, program, params, values) -> int:
+    from repro.recovery import (
+        RecoveryPlanError,
+        RecoveryPolicy,
+        run_with_recovery,
+    )
+
+    if args.register_budget is not None:
+        raise SystemExit("--recover does not model register budgets")
+    try:
+        outcome = run_with_recovery(
+            program,
+            params,
+            initial_values=values,
+            channels=args.channels,
+            backend=args.backend,
+            policy=RecoveryPolicy(max_retries=args.recover_retries),
+        )
+    except RecoveryPlanError as error:
+        raise SystemExit(str(error)) from None
+    print(f"recovery mode: {outcome.plan.mode} "
+          f"(backend={outcome.backend})")
+    print(f"epochs run: {outcome.epochs}, replays: {outcome.replays} "
+          f"(targeted restores: {outcome.targeted_restores}, "
+          f"full restores: {outcome.full_restores})")
+    print(f"statements executed: {outcome.statements_executed}")
+    print(f"loads={outcome.counts.loads} stores={outcome.counts.stores} "
+          f"checksum_ops={outcome.counts.checksum_ops}")
+    if outcome.failed:
+        print("RECOVERY FAILED — retry budget exhausted:")
+        for mismatch in outcome.mismatches:
+            print(f"  {mismatch}")
+        return 1
+    if outcome.detected:
+        implicated = ", ".join(outcome.implicated) or "(not localized)"
+        print("transient memory error detected and RECOVERED "
+              f"(implicated: {implicated})")
+    else:
+        print("checksums balanced (no error detected)")
+    if args.dump:
+        for name in args.dump:
+            print(f"{name} = {outcome.memory.to_array(name)}")
     return 0
 
 
@@ -179,6 +226,8 @@ def _campaign_spec_from_args(args):
         hoist=not args.no_hoist,
         channels=args.channels,
         backend=args.backend,
+        recover=args.recover,
+        recover_retries=args.recover_retries,
     )
     if args.benchmark is not None:
         from repro.programs import ALL_BENCHMARKS
@@ -376,6 +425,11 @@ def main(argv: list[str] | None = None) -> int:
                        "interpreter on unsupported constructs)")
     p_run.add_argument("--dump", action="append", default=None,
                        metavar="ARRAY", help="print an array after the run")
+    p_run.add_argument("--recover", action="store_true",
+                       help="run under the epoch checkpoint + re-execution "
+                       "recovery controller (docs/RECOVERY.md)")
+    p_run.add_argument("--recover-retries", type=int, default=3,
+                       help="replay budget per detection episode")
     p_run.set_defaults(func=cmd_run)
 
     p_an = sub.add_parser("analyze", help="show dependences and use counts")
@@ -421,6 +475,12 @@ def main(argv: list[str] | None = None) -> int:
     p_crun.add_argument("--instrument-cache", default=None, metavar="DIR",
                         help="on-disk instrumentation cache shared by all "
                         "workers (sets REPRO_INSTRUMENT_CACHE)")
+    p_crun.add_argument("--recover", action="store_true",
+                        help="run every trial under the recovery "
+                        "controller; verdicts become recovered / "
+                        "recovery_failed / sdc_after_recovery")
+    p_crun.add_argument("--recover-retries", type=int, default=3,
+                        help="replay budget per detection episode")
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_cres = camp_sub.add_parser(

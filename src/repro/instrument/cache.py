@@ -49,6 +49,35 @@ ENV_CACHE_DIR = "REPRO_INSTRUMENT_CACHE"
 
 _Entry = tuple[Program, InstrumentationReport]
 
+_CODE_DIGEST: str | None = None
+
+
+def instrumenter_code_digest() -> str:
+    """SHA-256 over the source of every ``repro.instrument`` module.
+
+    Folded into :func:`cache_key` so an on-disk cache directory can
+    never serve entries produced by a *different version of the
+    instrumenter*: editing any file in the package changes every key,
+    and the stale pickles simply stop being addressed.  Computed once
+    per process (the sources cannot change under a running process we
+    care about) from the files in sorted order.
+    """
+    global _CODE_DIGEST
+    if _CODE_DIGEST is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).resolve().parent
+        for path in sorted(package_dir.glob("*.py")):
+            digest.update(path.name.encode("utf-8"))
+            digest.update(b"\0")
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                pass
+            digest.update(b"\0")
+        _CODE_DIGEST = digest.hexdigest()[:16]
+    return _CODE_DIGEST
+
+
 _CACHE: "OrderedDict[str, _Entry]" = OrderedDict()
 _CACHE_LIMIT = 128
 _CACHE_DIR: Path | None = None
@@ -61,17 +90,27 @@ _disk_hits = 0
 def cache_key(
     program: Program, options: InstrumentationOptions | None = None
 ) -> str:
-    """SHA-256 over the printed program and every options field.
+    """SHA-256 over the printed program, every options field, and the
+    instrumenter's own code digest.
 
     Adding a field to ``InstrumentationOptions`` automatically changes
     the key, so stale entries can never be served across an options
-    schema change.
+    schema change; :func:`instrumenter_code_digest` does the same for
+    changes to the instrumenter implementation itself (an on-disk cache
+    surviving a ``git pull`` would otherwise serve outputs of the old
+    code).
     """
     options = options or InstrumentationOptions()
     option_items = tuple(
         (f.name, getattr(options, f.name)) for f in fields(options)
     )
-    payload = program_to_text(program) + "\n#options#" + repr(option_items)
+    payload = (
+        program_to_text(program)
+        + "\n#options#"
+        + repr(option_items)
+        + "\n#code#"
+        + instrumenter_code_digest()
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -25,8 +25,6 @@ program with the existing pipeline, so everything Sections 3–5 provide
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.instrument.pipeline import (
     InstrumentationOptions,
     InstrumentationReport,
@@ -39,28 +37,37 @@ class EpochError(ValueError):
     """The program does not have the single-outer-time-loop shape."""
 
 
+def outer_time_loop(program: Program) -> Loop:
+    """The single outer (time) loop, or :class:`EpochError`."""
+    if len(program.body) != 1 or not isinstance(program.body[0], Loop):
+        raise EpochError(
+            "epoch instrumentation needs a single outer (time) loop"
+        )
+    return program.body[0]
+
+
+def epoch_body_program(program: Program, outer: Loop) -> Program:
+    """One iteration of the time loop as a standalone program.
+
+    The outer iterator is a parameter from the body's point of view —
+    bounds and subscripts referencing it stay affine.
+    """
+    return Program(
+        name=program.name + "__epoch_body",
+        params=program.params + (outer.var,),
+        arrays=program.arrays,
+        scalars=program.scalars,
+        body=outer.body,
+    )
+
+
 def instrument_with_epochs(
     program: Program, options: InstrumentationOptions | None = None
 ) -> tuple[Program, InstrumentationReport]:
     """Verify-and-reset at the end of every outer-loop iteration."""
     options = options or InstrumentationOptions()
-    if len(program.body) != 1 or not isinstance(program.body[0], Loop):
-        raise EpochError(
-            "epoch instrumentation needs a single outer (time) loop"
-        )
-    outer = program.body[0]
-    body_program = Program(
-        name=program.name + "__epoch_body",
-        params=program.params,
-        arrays=program.arrays,
-        scalars=program.scalars,
-        body=outer.body,
-    )
-    # The outer iterator is a parameter from the body's point of view —
-    # bounds and subscripts referencing it stay affine.
-    body_program = replace(
-        body_program, params=program.params + (outer.var,)
-    )
+    outer = outer_time_loop(program)
+    body_program = epoch_body_program(program, outer)
     if options.localize:
         raise EpochError("epoch and localized instrumentation do not compose")
     instrumented_body, report = instrument_program(body_program, options)
@@ -104,8 +111,27 @@ BOUNDARY_DEF = "def@__epoch_boundary"
 BOUNDARY_USE = "use@__epoch_boundary"
 
 
-def _boundary_loops(program: Program, which: str):
-    """Add every (original) array cell and scalar to a boundary sum."""
+BOUNDARY_GROUP_PREFIX = "__bnd_"
+"""Prefix of per-array boundary checksum groups (recovery mode): a
+mismatch on ``def@__bnd_A`` / ``use@__bnd_A`` implicates array ``A``
+without being confused with the body's own ``def@A`` group."""
+
+
+def boundary_group(name: str) -> str:
+    """The boundary checksum group implicating array/scalar ``name``."""
+    return BOUNDARY_GROUP_PREFIX + name
+
+
+def boundary_loops(program: Program, base: str, per_array: bool = False):
+    """Add every (original) array cell and scalar to a boundary sum.
+
+    ``base`` is either a full checksum name (the classic single
+    ``def@__epoch_boundary`` pair) or, with ``per_array=True``, a bare
+    base (``"def"``/``"use"``) that is qualified per declaration as
+    ``<base>@__bnd_<name>`` — the localized boundary used by the
+    recovery subsystem to map a boundary-window detection back to the
+    corrupted structure.
+    """
     from repro.instrument.affine import cell_loop_nest, cell_ref
     from repro.ir.nodes import ChecksumAdd, Const, VarRef
 
@@ -113,6 +139,7 @@ def _boundary_loops(program: Program, which: str):
     for decl in program.arrays:
         if decl.is_shadow:
             continue
+        which = f"{base}@{boundary_group(decl.name)}" if per_array else base
         body = [
             ChecksumAdd(checksum=which, value=cell_ref(decl), count=Const(1))
         ]
@@ -120,10 +147,15 @@ def _boundary_loops(program: Program, which: str):
     for decl in program.scalars:
         if decl.is_shadow:
             continue
+        which = f"{base}@{boundary_group(decl.name)}" if per_array else base
         statements.append(
             ChecksumAdd(checksum=which, value=VarRef(decl.name), count=Const(1))
         )
     return statements
+
+
+def _boundary_loops(program: Program, which: str):
+    return boundary_loops(program, which)
 
 
 def _shadow_counter_resets(instrumented_body: Program, report):

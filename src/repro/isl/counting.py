@@ -58,14 +58,28 @@ def count_points(obj, dims: list[str] | None = None) -> PiecewisePolynomial:
     >>> pw.evaluate({"n": 10, "jp": 9})
     Fraction(0, 1)
     """
+    from repro.isl.fastpath import count_memo_lookup, count_memo_store
+
     if isinstance(obj, BasicSet):
-        pieces = [obj]
+        content = (obj.space, frozenset(obj.constraints))
         space = obj.space
     elif isinstance(obj, Set):
-        pieces = list(make_disjoint(obj).basic_sets)
+        content = (
+            obj.space,
+            tuple(frozenset(bs.constraints) for bs in obj.basic_sets),
+        )
         space = obj.space
     else:
         raise TypeError(f"cannot count {type(obj).__name__}")
+    key = (content, tuple(dims) if dims is not None else None)
+    cached = count_memo_lookup(key)
+    if cached is not None:
+        return cached
+    pieces = (
+        [obj]
+        if isinstance(obj, BasicSet)
+        else list(make_disjoint(obj).basic_sets)
+    )
     if dims is None:
         dims = list(space.all_dims())
     remaining = [d for d in space.all_dims() if d not in set(dims)]
@@ -73,7 +87,9 @@ def count_points(obj, dims: list[str] | None = None) -> PiecewisePolynomial:
     total = PiecewisePolynomial.zero(result_space)
     for piece in pieces:
         total = total.add(_count_basic(piece, dims, result_space))
-    return total.normalized().merged()
+    result = total.normalized().merged()
+    count_memo_store(key, result)
+    return result
 
 
 def make_disjoint(union: Set) -> Set:

@@ -101,6 +101,41 @@ def fm_memo_store(key: Hashable, constraints: tuple, exact: bool) -> None:
         _FM_MEMO.popitem(last=False)
 
 
+_COUNT_MEMO: "OrderedDict[Hashable, object]" = OrderedDict()
+_COUNT_MEMO_LIMIT = 1 << 12
+_count_hits = 0
+_count_misses = 0
+
+
+def count_memo_lookup(key: Hashable):
+    """Cached piecewise-polynomial cardinality for a set, if any.
+
+    Keyed by content (space + the frozensets of normalized
+    constraints + the counted dims), so structurally equal sets built
+    by different instrumentation runs share one construction.  The
+    cached :class:`~repro.isl.piecewise.PiecewisePolynomial` is
+    immutable, so returning the same instance is safe.
+    """
+    global _count_hits, _count_misses
+    if not _ENABLED:
+        return None
+    entry = _COUNT_MEMO.get(key)
+    if entry is None:
+        _count_misses += 1
+        return None
+    _count_hits += 1
+    _COUNT_MEMO.move_to_end(key)
+    return entry
+
+
+def count_memo_store(key: Hashable, value) -> None:
+    if not _ENABLED:
+        return
+    _COUNT_MEMO[key] = value
+    while len(_COUNT_MEMO) > _COUNT_MEMO_LIMIT:
+        _COUNT_MEMO.popitem(last=False)
+
+
 def memo_stats() -> dict[str, int]:
     return {
         "hits": _memo_hits,
@@ -109,13 +144,20 @@ def memo_stats() -> dict[str, int]:
         "limit": _EMPTY_MEMO_LIMIT,
         "fm_size": len(_FM_MEMO),
         "fm_limit": _FM_MEMO_LIMIT,
+        "count_hits": _count_hits,
+        "count_misses": _count_misses,
+        "count_size": len(_COUNT_MEMO),
+        "count_limit": _COUNT_MEMO_LIMIT,
     }
 
 
 def clear_memo() -> None:
     """Drop all cached verdicts (benchmarks, tests)."""
-    global _memo_hits, _memo_misses
+    global _memo_hits, _memo_misses, _count_hits, _count_misses
     _EMPTY_MEMO.clear()
     _FM_MEMO.clear()
+    _COUNT_MEMO.clear()
     _memo_hits = 0
     _memo_misses = 0
+    _count_hits = 0
+    _count_misses = 0

@@ -1,0 +1,44 @@
+"""Detect–localize–recover subsystem (epoch checkpoint + re-execution).
+
+The paper's verifiers *detect* (Section 2) and the localization
+extension *names* the corrupted structure; this package adds the third
+step — surviving the fault:
+
+* :mod:`repro.recovery.checkpoint` — copy-on-write epoch checkpoint
+  store with a bounded ring of retained epochs;
+* :mod:`repro.recovery.plan` — programs decomposed into replayable
+  segments (per time-loop epoch where the shape allows, whole-program
+  otherwise) with optionally localized boundary checksums;
+* :mod:`repro.recovery.controller` — on a mismatch: restore the
+  implicated/dirty regions (or the whole epoch), replay, and enforce a
+  retry budget; identical outcomes on both execution backends.
+
+See ``docs/RECOVERY.md`` for the design and the outcome taxonomy the
+campaign layer builds on (``recovered`` / ``recovery_failed`` /
+``sdc_after_recovery``).
+"""
+
+from repro.recovery.checkpoint import CheckpointStore, EpochCheckpoint
+from repro.recovery.controller import (
+    RecoveryPolicy,
+    RecoveryResult,
+    run_plan,
+    run_with_recovery,
+)
+from repro.recovery.plan import (
+    RecoveryPlan,
+    RecoveryPlanError,
+    build_recovery_plan,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "EpochCheckpoint",
+    "RecoveryPolicy",
+    "RecoveryResult",
+    "RecoveryPlan",
+    "RecoveryPlanError",
+    "build_recovery_plan",
+    "run_plan",
+    "run_with_recovery",
+]

@@ -1,0 +1,179 @@
+"""Epoch-granular checkpoint store with copy-on-write snapshots.
+
+A checkpoint captures, at a verification point (an epoch boundary),
+everything a rollback needs: the raw words of every memory region —
+shadow counters included, they are epoch state like any other — and
+the register-resident checksum accumulators.
+
+Copy-on-write: region words are stored as immutable tuples, and a
+region whose write-generation counter (:attr:`_Region.version`) is
+unchanged since the previous retained checkpoint *shares* that
+checkpoint's tuple instead of copying again.  In a stencil time loop
+most regions are rewritten every epoch, but read-only inputs and
+shadow structures of static arrays are snapshotted exactly once.
+
+Validity note: injected corruption (``flip_bits`` / injector hooks)
+deliberately does not bump region versions — a transient flip is
+invisible to software — so a shared tuple always holds the *uncorrupted*
+program state.  This is exactly what a restore wants under the paper's
+single-transient-fault model; it is the model under which the recovery
+guarantees hold.
+
+The store retains a bounded ring of recent epochs (``ring`` deep).
+Depth 2 is load-bearing: the controller's escalation ladder rewinds to
+the *previous* checkpoint when restoring the current one keeps
+replaying the same mismatch (the boundary-window case — see
+``docs/RECOVERY.md``); a clean older checkpoint costs one shared
+reference per region.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.runtime.memory import Memory
+from repro.runtime.state import ChecksumState
+
+__all__ = ["EpochCheckpoint", "CheckpointStore"]
+
+
+@dataclass
+class EpochCheckpoint:
+    """State at one verification point."""
+
+    epoch: int
+    words: dict[str, tuple[int, ...]]
+    versions: dict[str, int]
+    checksums: tuple[list[dict[str, int]], int]
+
+
+def _default_checkpoint(
+    memory: Memory,
+    regions: tuple[str, ...],
+    prev: tuple[dict, dict] | None,
+) -> tuple[dict, dict]:
+    """Interpreter-path snapshot (compiled kernels carry generated code
+    with identical semantics — see ``codegen.generate_checkpoint_source``)."""
+    prev_words, prev_versions = prev if prev is not None else (None, None)
+    words: dict[str, tuple[int, ...]] = {}
+    versions: dict[str, int] = {}
+    for name in regions:
+        version = memory.region_version(name)
+        if prev_versions is not None and prev_versions[name] == version:
+            words[name] = prev_words[name]
+        else:
+            words[name] = memory.copy_region_words(name)
+        versions[name] = version
+    return words, versions
+
+
+def _default_restore(
+    memory: Memory, words: dict[str, tuple[int, ...]], names: Iterable[str]
+) -> None:
+    for name in names:
+        memory.restore_region_words(name, words[name])
+
+
+class CheckpointStore:
+    """Bounded ring of :class:`EpochCheckpoint`\\ s over one memory.
+
+    ``checkpoint_fn`` / ``restore_fn`` default to the generic region
+    walk; the compiled backend passes the kernel's generated
+    ``_checkpoint`` / ``_restore`` functions, which unroll the same
+    operations per region.
+    """
+
+    def __init__(
+        self,
+        memory: Memory,
+        regions: Iterable[str] | None = None,
+        ring: int = 2,
+        checkpoint_fn: Callable | None = None,
+        restore_fn: Callable | None = None,
+    ) -> None:
+        if ring < 1:
+            raise ValueError("checkpoint ring must retain at least one epoch")
+        self.memory = memory
+        if regions is None:
+            regions = memory.region_names(include_shadow=True)
+        self.regions = tuple(regions)
+        self._ring: deque[EpochCheckpoint] = deque(maxlen=ring)
+        self._checkpoint_fn = checkpoint_fn
+        self._restore_fn = restore_fn or _default_restore
+        self.stats = {
+            "checkpoints": 0,
+            "regions_copied": 0,
+            "regions_shared": 0,
+            "restores_full": 0,
+            "restores_targeted": 0,
+            "regions_restored": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def take(self, epoch: int, checksums: ChecksumState) -> EpochCheckpoint:
+        """Snapshot current state as the checkpoint for ``epoch``."""
+        latest = self._ring[-1] if self._ring else None
+        prev = (latest.words, latest.versions) if latest is not None else None
+        if self._checkpoint_fn is not None:
+            words, versions = self._checkpoint_fn(self.memory, prev)
+        else:
+            words, versions = _default_checkpoint(
+                self.memory, self.regions, prev
+            )
+        if latest is not None:
+            for name in self.regions:
+                if words[name] is latest.words[name]:
+                    self.stats["regions_shared"] += 1
+                else:
+                    self.stats["regions_copied"] += 1
+        else:
+            self.stats["regions_copied"] += len(self.regions)
+        checkpoint = EpochCheckpoint(
+            epoch=epoch,
+            words=words,
+            versions=versions,
+            checksums=checksums.snapshot(),
+        )
+        self._ring.append(checkpoint)
+        self.stats["checkpoints"] += 1
+        return checkpoint
+
+    def latest(self) -> EpochCheckpoint | None:
+        return self._ring[-1] if self._ring else None
+
+    def retained(self) -> tuple[EpochCheckpoint, ...]:
+        return tuple(self._ring)
+
+    # ------------------------------------------------------------------
+    def dirty_since(self, checkpoint: EpochCheckpoint) -> set[str]:
+        """Regions whose write-generation moved past the checkpoint."""
+        return {
+            name
+            for name in self.regions
+            if self.memory.region_version(name) != checkpoint.versions[name]
+        }
+
+    def restore(
+        self,
+        checkpoint: EpochCheckpoint,
+        checksums: ChecksumState,
+        only: Iterable[str] | None = None,
+    ) -> tuple[str, ...]:
+        """Roll memory (all regions, or ``only``) and checksums back.
+
+        Returns the region names actually restored, in deterministic
+        (declaration) order.
+        """
+        if only is None:
+            names = self.regions
+            self.stats["restores_full"] += 1
+        else:
+            wanted = set(only)
+            names = tuple(n for n in self.regions if n in wanted)
+            self.stats["restores_targeted"] += 1
+        self._restore_fn(self.memory, checkpoint.words, names)
+        checksums.restore(checkpoint.checksums)
+        self.stats["regions_restored"] += len(names)
+        return names

@@ -1,0 +1,301 @@
+"""Recovery plans: a program decomposed into replayable segments.
+
+A *segment* is the unit of checkpoint-and-replay.  Two shapes exist:
+
+* ``"epochs"`` — the program has the single-outer-time-loop shape of
+  :mod:`repro.instrument.epochs`.  A segment is a contiguous *batch* of
+  time-loop iterations ``__seg_lo .. __seg_hi`` (both plan parameters,
+  so one compiled kernel serves every batching the controller picks):
+  the loop body is instrumented stand-alone (everything the pipeline
+  provides works per epoch), the batch is bracketed by the boundary
+  checksum handoff, and the controller drives the time loop itself so
+  it can checkpoint before — and replay — any batch.  Batching matters
+  because the boundary handoff sums *every* array cell: stamping per
+  iteration would cost ``O(epochs × cells)``, dominating benchmarks
+  whose outer loop is fine-grained (trisolv's row loop), while
+  ``O(√epochs × cells)`` under the controller's default batching is
+  amortized noise.
+* ``"single"`` — any other program (cg's and moldyn's convergence
+  ``while`` loops do not decompose).  The whole instrumented program is
+  one segment; rollback is to the initial state.
+
+With ``localize=True`` every contribution is qualified per array
+(:mod:`repro.instrument.localize`) and the boundary sums are kept
+per-array too (``def@__bnd_A``), so a mismatch names the corrupted
+structure wherever in the epoch it is caught — that is what lets the
+controller restore only the implicated regions.
+
+Plans are content-addressed-memoized like kernels: campaign workers
+build each plan once per process.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.instrument.cache import instrument_cached
+from repro.instrument.epochs import (
+    EpochError,
+    boundary_group,
+    BOUNDARY_GROUP_PREFIX,
+    boundary_loops,
+    epoch_body_program,
+    outer_time_loop,
+)
+from repro.instrument.localize import localize_checksums
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    InstrumentationReport,
+)
+from repro.ir.analysis import to_affine
+from repro.ir.nodes import (
+    ChecksumAssert,
+    ChecksumReset,
+    Loop,
+    Program,
+    VarRef,
+)
+from repro.runtime.state import CHECKSUM_NAMES
+
+__all__ = [
+    "RecoveryPlan",
+    "RecoveryPlanError",
+    "build_recovery_plan",
+    "SEGMENT_LO",
+    "SEGMENT_HI",
+]
+
+SEGMENT_LO = "__seg_lo"
+"""Parameter: first time-loop iteration value a segment runs."""
+SEGMENT_HI = "__seg_hi"
+"""Parameter: last (inclusive) iteration value a segment runs."""
+
+
+class RecoveryPlanError(ValueError):
+    """The program cannot be given a recovery plan."""
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """Everything the controller needs to run one program recoverably."""
+
+    mode: str  # "epochs" | "single"
+    source: Program  # the uninstrumented original
+    first_program: Program  # segment 0 (epochs: prologue stamp + body)
+    rest_program: Program | None  # segments 1.. (epochs mode only)
+    outer_var: str | None
+    localized: bool
+    report: InstrumentationReport
+
+    def epoch_range(self, params) -> range:
+        """Time-loop iteration values (empty range in single mode)."""
+        if self.mode != "epochs":
+            return range(1)
+        outer = outer_time_loop(self.source)
+        names = set(self.source.params)
+        lower = to_affine(outer.lower, names)
+        upper = to_affine(outer.upper, names)
+        if lower is None or upper is None:
+            raise RecoveryPlanError(
+                f"time loop bounds of {self.source.name!r} are not affine "
+                "in the parameters"
+            )
+        lo = int(lower.evaluate(params))
+        hi = int(upper.evaluate(params))
+        return range(lo, hi + 1)
+
+    def segment_program(self, index: int) -> Program:
+        return self.first_program if index == 0 else self.rest_program
+
+    def implicated_regions(self, groups) -> set[str] | None:
+        """Map mismatch groups to memory regions, or ``None`` when any
+        group cannot be mapped (caller must fall back to full restore)."""
+        known = {d.name for d in self.first_program.arrays}
+        known.update(d.name for d in self.first_program.scalars)
+        regions: set[str] = set()
+        for group in groups:
+            name = group
+            if group.startswith(BOUNDARY_GROUP_PREFIX):
+                name = group[len(BOUNDARY_GROUP_PREFIX):]
+            if name not in known:
+                return None
+            regions.add(name)
+        return regions
+
+
+def _checksum_names_of(program: Program) -> tuple[str, ...]:
+    """All checksum names a program's verifier compares (plus the base
+    four), in deterministic order — the epoch-end reset set."""
+    names: list[str] = list(CHECKSUM_NAMES)
+    seen = set(names)
+    for stmt in program.body:
+        if isinstance(stmt, ChecksumAssert):
+            for left, right in stmt.pairs:
+                for name in (left, right):
+                    if name not in seen:
+                        seen.add(name)
+                        names.append(name)
+    return tuple(names)
+
+
+def _shadow_resets(instrumented_body: Program, report) -> list:
+    from repro.instrument.epochs import _shadow_counter_resets
+
+    return _shadow_counter_resets(instrumented_body, report)
+
+
+def _build_epoch_plan(
+    program: Program,
+    options: InstrumentationOptions,
+    localize: bool,
+) -> RecoveryPlan:
+    outer = outer_time_loop(program)
+    body_program = epoch_body_program(program, outer)
+    instrumented_body, report = instrument_cached(body_program, options)
+    if localize:
+        instrumented_body = localize_checksums(instrumented_body)
+    resets = _shadow_resets(instrumented_body, report)
+    body_checksums = _checksum_names_of(instrumented_body)
+
+    if localize:
+        boundary_def = boundary_loops(program, "def", per_array=True)
+        boundary_use = boundary_loops(program, "use", per_array=True)
+        groups = [
+            boundary_group(d.name)
+            for d in program.arrays
+            if not d.is_shadow
+        ] + [
+            boundary_group(d.name)
+            for d in program.scalars
+            if not d.is_shadow
+        ]
+        boundary_pairs = tuple(
+            (f"def@{g}", f"use@{g}") for g in groups
+        )
+    else:
+        from repro.instrument.epochs import BOUNDARY_DEF, BOUNDARY_USE
+
+        boundary_def = boundary_loops(program, BOUNDARY_DEF)
+        boundary_use = boundary_loops(program, BOUNDARY_USE)
+        boundary_pairs = ((BOUNDARY_DEF, BOUNDARY_USE),)
+    boundary_names = tuple(
+        name for pair in boundary_pairs for name in pair
+    )
+
+    # One segment = a batch of epochs ``__seg_lo .. __seg_hi``: verify
+    # the handoff from the previous segment first (closing the boundary
+    # window), run the self-contained instrumented body once per
+    # iteration — zeroing the shadow counters and per-epoch
+    # accumulators after each — then stamp the handoff for the next
+    # segment.  This is the epoch structure of
+    # ``instrument_with_epochs`` with the time loop peeled off (the
+    # controller is the loop) and the boundary hoisted out of it.
+    per_iteration = (
+        instrumented_body.body
+        + tuple(resets)
+        + (ChecksumReset(names=body_checksums),)
+    )
+    segment_stmts = (
+        tuple(boundary_use)
+        + (
+            ChecksumAssert(pairs=boundary_pairs),
+            ChecksumReset(names=boundary_names),
+        )
+        + (
+            Loop(
+                var=outer.var,
+                lower=VarRef(SEGMENT_LO),
+                upper=VarRef(SEGMENT_HI),
+                body=per_iteration,
+            ),
+        )
+        + tuple(boundary_def)
+    )
+    segment_params = program.params + (SEGMENT_LO, SEGMENT_HI)
+    rest_program = Program(
+        name=program.name + "__recovery_epoch",
+        params=segment_params,
+        arrays=instrumented_body.arrays,
+        scalars=instrumented_body.scalars,
+        body=segment_stmts,
+    )
+    # Segment 0 additionally stamps the initial boundary state, so a
+    # fault striking during that stamp is caught (and rolled back) by
+    # segment 0's own handoff check.
+    first_program = Program(
+        name=program.name + "__recovery_first",
+        params=segment_params,
+        arrays=instrumented_body.arrays,
+        scalars=instrumented_body.scalars,
+        body=tuple(boundary_def) + segment_stmts,
+    )
+    return RecoveryPlan(
+        mode="epochs",
+        source=program,
+        first_program=first_program,
+        rest_program=rest_program,
+        outer_var=outer.var,
+        localized=localize,
+        report=report,
+    )
+
+
+def _build_single_plan(
+    program: Program,
+    options: InstrumentationOptions,
+    localize: bool,
+) -> RecoveryPlan:
+    instrumented, report = instrument_cached(program, options)
+    if localize:
+        instrumented = localize_checksums(instrumented)
+    # Deliberately NOT renamed: in localize=False mode this is the same
+    # program the non-recovery path runs, so both share a kernel-cache
+    # entry.
+    return RecoveryPlan(
+        mode="single",
+        source=program,
+        first_program=instrumented,
+        rest_program=None,
+        outer_var=None,
+        localized=localize,
+        report=report,
+    )
+
+
+_PLAN_CACHE: "OrderedDict[tuple, RecoveryPlan]" = OrderedDict()
+_PLAN_CACHE_LIMIT = 64
+
+
+def build_recovery_plan(
+    program: Program,
+    options: InstrumentationOptions | None = None,
+    localize: bool = True,
+) -> RecoveryPlan:
+    """Decompose (epochs where possible, whole-program otherwise).
+
+    ``localize`` controls per-array checksum groups — required for
+    targeted restores; without it every rollback restores every region.
+    """
+    options = options or InstrumentationOptions()
+    if options.localize:
+        raise RecoveryPlanError(
+            "pass localize= to build_recovery_plan, not via "
+            "InstrumentationOptions — the plan localizes after epoch "
+            "decomposition"
+        )
+    from repro.instrument.cache import cache_key
+
+    key = (cache_key(program, options), bool(localize))
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        _PLAN_CACHE.move_to_end(key)
+        return cached
+    try:
+        plan = _build_epoch_plan(program, options, localize)
+    except EpochError:
+        plan = _build_single_plan(program, options, localize)
+    _PLAN_CACHE[key] = plan
+    while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+        _PLAN_CACHE.popitem(last=False)
+    return plan

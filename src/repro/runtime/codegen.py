@@ -809,3 +809,45 @@ def generate_source(program: Program) -> str:
     em.depth -= 1
     header = f"def _kernel(_rt):\n"
     return header + "\n".join(em.lines) + "\n"
+
+
+def generate_checkpoint_source(program: Program) -> str:
+    """Python source of ``_checkpoint`` / ``_restore`` for one program.
+
+    The recovery subsystem snapshots every region the program declares
+    (shadow counters included — they are epoch state like any other).
+    The checkpoint function is unrolled per region with literal names,
+    and is copy-on-write: a region whose write-generation counter
+    matches the previous checkpoint shares that checkpoint's immutable
+    word tuple instead of copying again.
+
+    Compiled and interpreted recovery share the :class:`Memory` region
+    API, so both backends observe identical snapshot contents; the
+    generated form exists so compiled kernels carry their own
+    checkpoint/restore code (no per-region dict walk at run time).
+    """
+    names = [d.name for d in program.arrays] + [d.name for d in program.scalars]
+    lines = [
+        "def _checkpoint(_mem, _prev):",
+        "    _pw, _pv = _prev if _prev is not None else (None, None)",
+        "    _words = {}",
+        "    _vers = {}",
+    ]
+    for name in names:
+        lines += [
+            f"    _v = _mem.region_version({name!r})",
+            f"    if _pv is not None and _pv[{name!r}] == _v:",
+            f"        _words[{name!r}] = _pw[{name!r}]",
+            "    else:",
+            f"        _words[{name!r}] = _mem.copy_region_words({name!r})",
+            f"    _vers[{name!r}] = _v",
+        ]
+    if not names:
+        lines.append("    pass")
+    lines += [
+        "    return _words, _vers",
+        "def _restore(_mem, _words, _names):",
+        "    for _n in _names:",
+        "        _mem.restore_region_words(_n, _words[_n])",
+    ]
+    return "\n".join(lines) + "\n"

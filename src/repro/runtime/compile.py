@@ -33,7 +33,11 @@ from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.ir.nodes import Program
-from repro.runtime.codegen import CompileError, generate_source
+from repro.runtime.codegen import (
+    CompileError,
+    generate_checkpoint_source,
+    generate_source,
+)
 from repro.runtime.costmodel import OpCounts
 from repro.runtime.interpreter import (
     ExecutionResult,
@@ -184,6 +188,9 @@ class CompiledKernel:
     digest: str
     source: str
     entry: Callable[[_RuntimeContext], None]
+    checkpoint_source: str
+    checkpoint_entry: Callable
+    restore_entry: Callable
 
     def execute(
         self,
@@ -195,8 +202,14 @@ class CompiledKernel:
         max_steps: int | None = 50_000_000,
         wild_reads: bool = False,
         halt_on_mismatch: bool = False,
+        checksums: ChecksumState | None = None,
     ) -> ExecutionResult:
-        """Run the kernel; mirrors ``run_program``'s contract."""
+        """Run the kernel; mirrors ``run_program``'s contract.
+
+        A caller-supplied ``checksums`` state is used as-is (the
+        recovery controller threads one state through its per-epoch
+        sub-runs); otherwise a fresh one is created.
+        """
         run_params = {p: int(params[p]) for p in self.program.params}
         if memory is None:
             memory = build_memory_for_program(
@@ -207,9 +220,16 @@ class CompiledKernel:
         if initial_values:
             for name, values in initial_values.items():
                 memory.initialize(name, values)
+        if checksums is None:
+            checksums = ChecksumState(channels=channels)
+        elif checksums.channels != channels:
+            raise InterpreterError(
+                f"resumed checksum state has {checksums.channels} channels, "
+                f"kernel was asked for {channels}"
+            )
         rt = _RuntimeContext(
             memory=memory,
-            checksums=ChecksumState(channels=channels),
+            checksums=checksums,
             params=run_params,
             max_steps=max_steps,
             halt_on_mismatch=halt_on_mismatch,
@@ -263,15 +283,27 @@ def compile_program(program: Program, cache: bool = True) -> CompiledKernel:
         _misses += 1
     try:
         source = generate_source(program)
+        checkpoint_source = generate_checkpoint_source(program)
         namespace = dict(_BASE_NAMESPACE)
         exec(  # noqa: S102 - generated from a closed IR, no user strings
             compile(source, f"<compiled {program.name}>", "exec"), namespace
+        )
+        exec(  # noqa: S102 - same closed-IR provenance
+            compile(
+                checkpoint_source,
+                f"<checkpoint {program.name}>",
+                "exec",
+            ),
+            namespace,
         )
         kernel = CompiledKernel(
             program=program,
             digest=digest,
             source=source,
             entry=namespace["_kernel"],
+            checkpoint_source=checkpoint_source,
+            checkpoint_entry=namespace["_checkpoint"],
+            restore_entry=namespace["_restore"],
         )
     except CompileError as error:
         if cache:

@@ -106,6 +106,7 @@ class Interpreter:
         profile: bool = False,
         register_budget: int | None = None,
         halt_on_mismatch: bool = False,
+        checksums: ChecksumState | None = None,
     ) -> None:
         self.halt_on_mismatch = halt_on_mismatch
         """Stop execution at the first failing verifier — gives fail-
@@ -135,7 +136,17 @@ class Interpreter:
         elif injector is not None:
             memory.injector = injector
         self.memory = memory
-        self.checksums = ChecksumState(channels=channels)
+        if checksums is None:
+            checksums = ChecksumState(channels=channels)
+        elif checksums.channels != channels:
+            raise InterpreterError(
+                f"resumed checksum state has {checksums.channels} channels, "
+                f"interpreter was asked for {channels}"
+            )
+        self.checksums = checksums
+        """Normally a fresh :class:`ChecksumState`; the recovery
+        controller passes a shared one so accumulators persist across
+        the per-epoch sub-runs it stitches together."""
         self.counts = OpCounts()
         self.mismatches: list[ChecksumMismatch] = []
         self.max_steps = max_steps
@@ -629,6 +640,8 @@ def run_program(
     wild_reads: bool = False,
     register_budget: int | None = None,
     halt_on_mismatch: bool = False,
+    memory: Memory | None = None,
+    checksums: ChecksumState | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build memory, initialize arrays, run.
 
@@ -640,12 +653,14 @@ def run_program(
     interpreter = Interpreter(
         program,
         params,
+        memory=memory,
         injector=injector,
         channels=channels,
         max_steps=max_steps,
         wild_reads=wild_reads,
         register_budget=register_budget,
         halt_on_mismatch=halt_on_mismatch,
+        checksums=checksums,
     )
     if initial_values:
         for name, values in initial_values.items():

@@ -47,7 +47,9 @@ def decode_value(bits: int, elem_type: str) -> float | int:
 class _Region:
     """One array (or scalar, shape ()) in memory."""
 
-    __slots__ = ("name", "shape", "elem_type", "base", "words", "is_shadow")
+    __slots__ = (
+        "name", "shape", "elem_type", "base", "words", "is_shadow", "version"
+    )
 
     def __init__(
         self,
@@ -66,6 +68,12 @@ class _Region:
             size *= extent
         self.words = [0] * size
         self.is_shadow = is_shadow
+        # Monotonic write-generation counter: bumped on every mutation a
+        # *program* can perform (stores, pokes, initialization, restore).
+        # Injected corruption (`flip_bits`, injector hooks) deliberately
+        # does NOT bump it — a transient flip is invisible to software,
+        # so checkpoint copy-on-write must not treat it as a dirty write.
+        self.version = 0
 
     def offset(self, indices: tuple[int, ...]) -> int:
         shape = self.shape
@@ -211,6 +219,7 @@ class Memory:
             return
         self.store_count += 1
         region.words[offset] = bits & MASK64
+        region.version += 1
         if self.injector is not None:
             mutated = self.injector.after_store(
                 self, name, indices, region.words[offset]
@@ -262,6 +271,7 @@ class Memory:
             return (_wild_word(name, indices) & 0xFFFF_FFF8) | 0x8000_0000
         self.store_count += 1
         region.words[offset] = bits & MASK64
+        region.version += 1
         if self.injector is not None:
             mutated = self.injector.after_store(
                 self, name, indices, region.words[offset]
@@ -279,6 +289,7 @@ class Memory:
         """Write without hooks (initialization, direct corruption)."""
         region = self._region(name)
         region.words[region.offset(indices)] = bits & MASK64
+        region.version += 1
 
     # -- typed access ---------------------------------------------------
     def load(self, name: str, indices: tuple[int, ...] = ()) -> float | int:
@@ -311,6 +322,7 @@ class Memory:
             )
         for offset, value in enumerate(flat.tolist()):
             region.words[offset] = encode_value(value, region.elem_type)
+        region.version += 1
 
     def to_array(self, name: str):
         """The region's current contents as a numpy array (no hooks)."""
@@ -325,6 +337,30 @@ class Memory:
     def snapshot(self) -> dict[str, list[int]]:
         """Raw words of every region (for corruption diffing in tests)."""
         return {name: list(r.words) for name, r in self._regions.items()}
+
+    # -- checkpoint support ----------------------------------------------
+    def region_version(self, name: str) -> int:
+        """Write-generation counter of a region (checkpoint dirtiness)."""
+        return self._region(name).version
+
+    def copy_region_words(self, name: str) -> tuple[int, ...]:
+        """Immutable snapshot of a region's raw words (no hooks)."""
+        return tuple(self._region(name).words)
+
+    def restore_region_words(self, name: str, words) -> None:
+        """Overwrite a region's raw words from a snapshot (no hooks).
+
+        Counts as a program-visible write: the region's version is
+        bumped so a later checkpoint re-copies the restored contents.
+        """
+        region = self._region(name)
+        if len(words) != len(region.words):
+            raise MemoryError64(
+                f"snapshot for {name!r} has {len(words)} words, "
+                f"region holds {len(region.words)}"
+            )
+        region.words[:] = words
+        region.version += 1
 
     def flip_bits(
         self, name: str, indices: tuple[int, ...], bit_positions: Iterable[int]

@@ -117,6 +117,29 @@ class ChecksumState:
         return self.sums[channel].get(which, 0)
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> tuple[list[dict[str, int]], int]:
+        """Copy of all channels' sums plus the contribution count.
+
+        The checkpoint subsystem stores this next to the memory image so
+        a rollback rewinds the register-resident accumulators together
+        with the arrays they summarize.
+        """
+        return [dict(sums) for sums in self.sums], self.contribution_count
+
+    def restore(self, saved: tuple[list[dict[str, int]], int]) -> None:
+        """Rewind to a :meth:`snapshot` (in place, bindings preserved)."""
+        snapshot_sums, count = saved
+        if len(snapshot_sums) != self.channels:
+            raise ValueError(
+                f"snapshot has {len(snapshot_sums)} channels, "
+                f"state has {self.channels}"
+            )
+        for sums, saved_sums in zip(self.sums, snapshot_sums):
+            sums.clear()
+            sums.update(saved_sums)
+        self.contribution_count = count
+
+    # ------------------------------------------------------------------
     def verify(
         self, pairs: tuple[tuple[str, str], ...] = (("def", "use"), ("e_def", "e_use"))
     ) -> list[ChecksumMismatch]:

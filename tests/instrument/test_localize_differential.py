@@ -1,0 +1,149 @@
+"""Localized checksums: interpreter vs compiled-kernel differential.
+
+The recovery controller trusts per-array localization to decide which
+regions to restore, on whichever backend a campaign picked — so the
+localized builds must behave *identically* on both: same checksum
+sums per group fault-free, and the same implicated groups under the
+same fault.
+"""
+
+import random
+
+import pytest
+
+from repro.instrument.localize import corrupted_groups, localize_checksums
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.compile import compile_program
+from repro.runtime.faults import RandomCellFlipper, ScheduledBitFlip
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import copy_values
+
+LOCALIZED = InstrumentationOptions(index_set_splitting=True, localize=True)
+
+BENCHMARKS = ["cholesky", "trisolv", "jacobi1d", "cg"]
+
+
+def _build(name):
+    module = ALL_BENCHMARKS[name]
+    params = dict(module.SMALL_PARAMS)
+    values = module.initial_values(params)
+    instrumented, _ = instrument_program(module.program(), LOCALIZED)
+    return module, params, values, instrumented
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_group_sums_identical(self, name):
+        _, params, values, instrumented = _build(name)
+        interp = run_program(
+            instrumented, params, initial_values=copy_values(values)
+        )
+        kernel = compile_program(instrumented)
+        compiled = kernel.execute(
+            params, initial_values=copy_values(values)
+        )
+        assert not interp.mismatches and not compiled.mismatches
+        # The full per-group accumulator maps, not just the verdict:
+        # every def@A / use@A pair must agree bit for bit.
+        assert interp.checksums.sums == compiled.checksums.sums
+        assert any(
+            "@" in key for key in interp.checksums.sums[0]
+        ), "localized build should carry per-array groups"
+
+
+class TestSeededFaults:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_implicated_groups_identical(self, name):
+        _, params, values, instrumented = _build(name)
+        clean = run_program(
+            instrumented, params, initial_values=copy_values(values)
+        )
+        total_loads = max(1, clean.memory.load_count)
+        targets = [d.name for d in instrumented.arrays if not d.is_shadow]
+        kernel = compile_program(instrumented)
+        disagreements = []
+        implicated_any = False
+        for seed in range(25):
+            outcomes = []
+            for backend in ("interp", "compiled"):
+                injector = RandomCellFlipper(
+                    2, total_loads, random.Random(seed), target_arrays=targets
+                )
+                if backend == "interp":
+                    result = run_program(
+                        instrumented,
+                        params,
+                        initial_values=copy_values(values),
+                        injector=injector,
+                        wild_reads=True,
+                    )
+                else:
+                    result = kernel.execute(
+                        params,
+                        initial_values=copy_values(values),
+                        injector=injector,
+                        wild_reads=True,
+                    )
+                groups = corrupted_groups(result.mismatches)
+                outcomes.append(
+                    (bool(result.mismatches), tuple(sorted(groups)))
+                )
+            if outcomes[0] != outcomes[1]:
+                disagreements.append((seed, outcomes))
+            implicated_any = implicated_any or outcomes[0][1]
+        assert not disagreements
+        assert implicated_any, "no seed implicated any group — weak test"
+
+    def test_scheduled_flip_names_same_array_both_backends(self):
+        _, params, values, instrumented = _build("trisolv")
+        injector_args = ("L", (3, 1), [21, 40], 180)
+        kernel = compile_program(instrumented)
+        groups = []
+        for backend in ("interp", "compiled"):
+            injector = ScheduledBitFlip(*injector_args)
+            if backend == "interp":
+                result = run_program(
+                    instrumented,
+                    params,
+                    initial_values=copy_values(values),
+                    injector=injector,
+                )
+            else:
+                result = kernel.execute(
+                    params,
+                    initial_values=copy_values(values),
+                    injector=injector,
+                )
+            assert injector.fired
+            groups.append(sorted(corrupted_groups(result.mismatches)))
+        assert groups[0] == groups[1]
+        assert "L" in groups[0]
+
+
+class TestLocalizeOfEpochBody:
+    """`localize_checksums` applied after instrumentation (the recovery
+    plan's composition order) is also backend-identical."""
+
+    @pytest.mark.parametrize("name", ["jacobi1d", "cholesky"])
+    def test_post_localized_build_identical(self, name):
+        module = ALL_BENCHMARKS[name]
+        params = dict(module.SMALL_PARAMS)
+        values = module.initial_values(params)
+        base, _ = instrument_program(
+            module.program(),
+            InstrumentationOptions(index_set_splitting=True),
+        )
+        localized = localize_checksums(base)
+        interp = run_program(
+            localized, params, initial_values=copy_values(values)
+        )
+        compiled = compile_program(localized).execute(
+            params, initial_values=copy_values(values)
+        )
+        assert not interp.mismatches and not compiled.mismatches
+        assert interp.checksums.sums == compiled.checksums.sums

@@ -1,0 +1,1 @@
+"""Detect–localize–recover subsystem tests."""

@@ -1,0 +1,111 @@
+"""Recovery campaigns: verdict taxonomy, determinism, serialization."""
+
+import pytest
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.records import (
+    RECOVERED,
+    RECOVERY_FAILED,
+    RECOVERY_VERDICTS,
+    SDC_AFTER_RECOVERY,
+    VERDICTS,
+)
+from repro.campaign.spec import ProgramCampaignSpec, spec_from_dict
+from repro.campaign.stats import summarize
+
+
+class TestSpec:
+    def test_recover_requires_instrumentation(self):
+        with pytest.raises(ValueError):
+            ProgramCampaignSpec(
+                trials=1,
+                seed=0,
+                benchmark="jacobi1d",
+                instrument=False,
+                recover=True,
+            )
+
+    def test_round_trips_through_dict(self):
+        spec = ProgramCampaignSpec(
+            trials=5,
+            seed=3,
+            benchmark="jacobi1d",
+            recover=True,
+            recover_retries=5,
+        )
+        clone = spec_from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.recover and clone.recover_retries == 5
+
+    def test_recovery_verdicts_are_registered(self):
+        for verdict in RECOVERY_VERDICTS:
+            assert verdict in VERDICTS
+
+
+class TestCampaign:
+    @pytest.mark.parametrize("bench_name", ["jacobi1d", "cg"])
+    def test_detected_trials_recover(self, bench_name):
+        spec = ProgramCampaignSpec(
+            trials=25,
+            seed=20140609,
+            benchmark=bench_name,
+            scale="small",
+            recover=True,
+        )
+        result = run_campaign(spec)
+        counts = result.counts
+        assert counts.get(RECOVERY_FAILED, 0) == 0
+        assert counts.get(SDC_AFTER_RECOVERY, 0) == 0
+        assert counts.get(RECOVERED, 0) > 0
+        summary = result.summary()
+        assert summary.recovery_outcomes == summary.recovered
+        assert summary.recovery_rate == 1.0
+        # Every recovery record carries the controller observables.
+        for record in result.records:
+            if record.verdict in RECOVERY_VERDICTS:
+                assert record.extra["mode"] in ("epochs", "single")
+                assert record.extra["replays"] >= 1
+
+    def test_parallel_matches_serial(self):
+        spec = ProgramCampaignSpec(
+            trials=20,
+            seed=11,
+            benchmark="cholesky",
+            scale="small",
+            recover=True,
+        )
+        serial = run_campaign(spec, workers=1)
+        parallel = run_campaign(spec, workers=2)
+        assert [r.canonical() for r in serial.records] == [
+            r.canonical() for r in parallel.records
+        ]
+
+    def test_backends_produce_identical_verdicts(self):
+        records = {}
+        for backend in ("interp", "compiled"):
+            spec = ProgramCampaignSpec(
+                trials=15,
+                seed=7,
+                benchmark="jacobi1d",
+                scale="small",
+                recover=True,
+                backend=backend,
+            )
+            result = run_campaign(spec)
+            records[backend] = [
+                {**r.canonical(), "backend": None} for r in result.records
+            ]
+        assert records["interp"] == records["compiled"]
+
+    def test_summary_format_mentions_recovery(self):
+        spec = ProgramCampaignSpec(
+            trials=15,
+            seed=20140609,
+            benchmark="jacobi1d",
+            scale="small",
+            recover=True,
+        )
+        summary = summarize(run_campaign(spec).records)
+        text = summary.format()
+        assert "recovery:" in text
+        assert "detected faults survived" in text

@@ -1,0 +1,145 @@
+"""Checkpoint store: copy-on-write, the ring bound, targeted restore —
+plus the substrate contracts they depend on (region version counters,
+checksum-state snapshot/restore)."""
+
+import numpy as np
+import pytest
+
+from repro.programs import ALL_BENCHMARKS
+from repro.recovery.checkpoint import CheckpointStore
+from repro.runtime.memory import Memory, build_memory_for_program
+from repro.runtime.state import ChecksumState
+
+
+def _memory():
+    module = ALL_BENCHMARKS["jacobi1d"]
+    params = dict(module.SMALL_PARAMS)
+    program = module.program()
+    memory = build_memory_for_program(program, params)
+    for name, values in module.initial_values(params).items():
+        memory.initialize(name, values)
+    return memory
+
+
+class TestRegionVersions:
+    def test_store_bumps_version(self):
+        memory = _memory()
+        before = memory.region_version("A")
+        memory.store_bits("A", (1,), memory.peek_bits("A", (1,)) ^ 1)
+        assert memory.region_version("A") == before + 1
+
+    def test_initialize_bumps_version(self):
+        memory = _memory()
+        before = memory.region_version("A")
+        memory.initialize("A", np.zeros(16))
+        assert memory.region_version("A") > before
+
+    def test_corruption_does_not_bump_version(self):
+        # flip_bits models a transient fault striking the cell at rest;
+        # the version counter tracks *program* writes only, which is
+        # what makes copy-on-write sharing safe under the
+        # single-transient-fault model.
+        memory = _memory()
+        before = memory.region_version("A")
+        memory.flip_bits("A", (2,), [3])
+        assert memory.region_version("A") == before
+
+    def test_restore_region_words_roundtrip(self):
+        memory = _memory()
+        saved = memory.copy_region_words("A")
+        memory.flip_bits("A", (2,), [3, 17])
+        assert memory.copy_region_words("A") != saved
+        memory.restore_region_words("A", saved)
+        assert memory.copy_region_words("A") == saved
+
+    def test_restore_rejects_wrong_length(self):
+        memory = _memory()
+        with pytest.raises(Exception):
+            memory.restore_region_words("A", (0, 1, 2))
+
+
+class TestChecksumSnapshot:
+    def test_roundtrip(self):
+        state = ChecksumState(channels=2)
+        state.add("def", 0, 123)
+        state.add("use", 1, 456)
+        saved = state.snapshot()
+        state.add("def", 0, 999)
+        state.restore(saved)
+        fresh = ChecksumState(channels=2)
+        fresh.add("def", 0, 123)
+        fresh.add("use", 1, 456)
+        assert state.sums == fresh.sums
+
+    def test_channel_mismatch_rejected(self):
+        saved = ChecksumState(channels=1).snapshot()
+        with pytest.raises(Exception):
+            ChecksumState(channels=2).restore(saved)
+
+
+class TestStore:
+    def test_cow_shares_untouched_regions(self):
+        memory = _memory()
+        checksums = ChecksumState(channels=1)
+        store = CheckpointStore(memory, ring=2)
+        first = store.take(0, checksums)
+        memory.store_bits("A", (0,), memory.peek_bits("A", (0,)) ^ 1)
+        second = store.take(1, checksums)
+        assert second.words["A"] is not first.words["A"]
+        untouched = [n for n in first.words if n != "A"]
+        assert untouched, "benchmark should have more than one region"
+        for name in untouched:
+            assert second.words[name] is first.words[name]
+        assert store.stats["regions_shared"] > 0
+
+    def test_ring_is_bounded(self):
+        memory = _memory()
+        checksums = ChecksumState(channels=1)
+        store = CheckpointStore(memory, ring=2)
+        for epoch in range(5):
+            store.take(epoch, checksums)
+        retained = store.retained()
+        assert len(retained) == 2
+        assert [cp.epoch for cp in retained] == [3, 4]
+
+    def test_dirty_since_tracks_program_writes_only(self):
+        memory = _memory()
+        checksums = ChecksumState(channels=1)
+        store = CheckpointStore(memory, ring=2)
+        checkpoint = store.take(0, checksums)
+        assert store.dirty_since(checkpoint) == set()
+        memory.store_bits("A", (3,), memory.peek_bits("A", (3,)) ^ 1)
+        memory.flip_bits("B", (1,), [5])  # corruption: not "dirty"
+        assert store.dirty_since(checkpoint) == {"A"}
+
+    def test_targeted_restore_restores_only_named_regions(self):
+        memory = _memory()
+        checksums = ChecksumState(channels=1)
+        store = CheckpointStore(memory, ring=2)
+        checkpoint = store.take(0, checksums)
+        a_saved = memory.copy_region_words("A")
+        for name in ("A", "B"):
+            memory.store_bits(name, (0,), memory.peek_bits(name, (0,)) ^ 1)
+        b_dirty = memory.copy_region_words("B")
+        restored = store.restore(checkpoint, checksums, only={"A"})
+        assert list(restored) == ["A"]
+        assert memory.copy_region_words("A") == a_saved
+        assert memory.copy_region_words("B") == b_dirty
+        assert store.stats["restores_targeted"] == 1
+
+    def test_full_restore_restores_everything(self):
+        memory = _memory()
+        checksums = ChecksumState(channels=1)
+        checksums.add("def", 0, 7)
+        store = CheckpointStore(memory, ring=2)
+        checkpoint = store.take(0, checksums)
+        snapshot = {n: memory.copy_region_words(n) for n in checkpoint.words}
+        for name in ("A", "B"):
+            memory.store_bits(name, (0,), memory.peek_bits(name, (0,)) ^ 1)
+        checksums.add("def", 0, 1000)
+        store.restore(checkpoint, checksums)
+        for name, words in snapshot.items():
+            assert memory.copy_region_words(name) == words
+        fresh = ChecksumState(channels=1)
+        fresh.add("def", 0, 7)
+        assert checksums.sums == fresh.sums

@@ -1,0 +1,200 @@
+"""Recovery controller: detect → localize → restore → replay.
+
+The determinism/bit-identity suite for the subsystem: fault-free runs
+match the uninstrumented golden output on both backends, seeded faults
+are survived with golden-matching finals, the two backends agree on
+every observable of every trial, and the retry budget turns
+unrecoverable situations into an explicit failure rather than a loop.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.instrument.pipeline import InstrumentationOptions
+from repro.programs import ALL_BENCHMARKS
+from repro.recovery import (
+    RecoveryPlanError,
+    RecoveryPolicy,
+    build_recovery_plan,
+    run_plan,
+    run_with_recovery,
+)
+from repro.runtime.compile import execute_program
+from repro.runtime.faults import RandomCellFlipper
+
+from tests.conftest import copy_values
+
+OPT = InstrumentationOptions(index_set_splitting=True, hoist_inspectors=True)
+
+EPOCH_BENCH = ["jacobi1d", "cholesky", "seidel"]
+SINGLE_BENCH = ["cg"]
+
+
+def _setup(name):
+    module = ALL_BENCHMARKS[name]
+    program = module.program()
+    params = dict(module.SMALL_PARAMS)
+    values = module.initial_values(params, seed=7)
+    golden = execute_program(
+        program, params, initial_values=copy_values(values)
+    )
+    plan = build_recovery_plan(program, options=OPT)
+    return program, params, values, golden, plan
+
+
+def _matches_golden(program, golden, result) -> bool:
+    return all(
+        np.array_equal(
+            golden.memory.to_array(d.name), result.memory.to_array(d.name)
+        )
+        for d in program.arrays
+    )
+
+
+class TestPlan:
+    @pytest.mark.parametrize("name", EPOCH_BENCH)
+    def test_epoch_mode_for_time_loop_shapes(self, name):
+        plan = build_recovery_plan(ALL_BENCHMARKS[name].program(), options=OPT)
+        assert plan.mode == "epochs"
+        assert plan.outer_var is not None
+        assert plan.rest_program is not None
+
+    @pytest.mark.parametrize("name", SINGLE_BENCH + ["moldyn"])
+    def test_single_mode_for_irregular_shapes(self, name):
+        plan = build_recovery_plan(ALL_BENCHMARKS[name].program(), options=OPT)
+        assert plan.mode == "single"
+        assert plan.rest_program is None
+
+    def test_localize_option_rejected(self):
+        with pytest.raises(RecoveryPlanError):
+            build_recovery_plan(
+                ALL_BENCHMARKS["jacobi1d"].program(),
+                options=InstrumentationOptions(localize=True),
+            )
+
+    def test_plans_are_memoized(self):
+        program = ALL_BENCHMARKS["jacobi1d"].program()
+        assert build_recovery_plan(program, options=OPT) is build_recovery_plan(
+            program, options=OPT
+        )
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("name", EPOCH_BENCH + SINGLE_BENCH)
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    def test_matches_uninstrumented_golden(self, name, backend):
+        program, params, values, golden, plan = _setup(name)
+        result = run_plan(
+            plan, params, initial_values=copy_values(values), backend=backend
+        )
+        assert not result.detected
+        assert result.completed
+        assert _matches_golden(program, golden, result)
+        assert result.checkpoint_stats["checkpoints"] >= 1
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("name", EPOCH_BENCH + SINGLE_BENCH)
+    def test_seeded_faults_survived_and_backends_agree(self, name):
+        program, params, values, golden, plan = _setup(name)
+        clean = run_plan(plan, params, initial_values=copy_values(values))
+        total_loads = max(1, clean.memory.load_count)
+        targets = [d.name for d in program.arrays]
+        detected = 0
+        for seed in range(20):
+            observables = []
+            for backend in ("interp", "compiled"):
+                injector = RandomCellFlipper(
+                    2, total_loads, random.Random(seed), target_arrays=targets
+                )
+                result = run_plan(
+                    plan,
+                    params,
+                    initial_values=copy_values(values),
+                    injector=injector,
+                    wild_reads=True,
+                    backend=backend,
+                )
+                observables.append(
+                    (
+                        result.detected,
+                        result.failed,
+                        result.epochs,
+                        result.replays,
+                        result.targeted_restores,
+                        result.full_restores,
+                        result.implicated,
+                        _matches_golden(program, golden, result),
+                    )
+                )
+            assert observables[0] == observables[1], (name, seed)
+            was_detected, failed, *_, match = observables[0]
+            if was_detected:
+                detected += 1
+                assert not failed, (name, seed)
+                assert match, (name, seed)
+        assert detected > 0, f"{name}: no seed produced a detection"
+
+    def test_exhausted_budget_is_explicit_failure(self):
+        # A sticky injector (re-corrupts on every load of the cell)
+        # violates the transient-fault model, so every replay re-detects
+        # and the budget must end the run rather than loop forever.
+        class StickyCorruptor:
+            def before_load(self, memory, name, indices, bits):
+                if name == "A" and indices == (3,):
+                    return bits ^ (1 << 17)
+                return None
+
+            def after_store(self, memory, name, indices, bits):
+                return None
+
+        program, params, values, _, plan = _setup("jacobi1d")
+        result = run_plan(
+            plan,
+            params,
+            initial_values=copy_values(values),
+            injector=StickyCorruptor(),
+            policy=RecoveryPolicy(max_retries=2),
+        )
+        assert result.detected
+        assert result.failed
+        assert not result.completed
+        assert result.replays <= 2
+
+    def test_single_epoch_batching_still_recovers(self):
+        program, params, values, golden, plan = _setup("jacobi1d")
+        clean = run_plan(plan, params, initial_values=copy_values(values))
+        total_loads = max(1, clean.memory.load_count)
+        targets = [d.name for d in program.arrays]
+        recovered = 0
+        for seed in range(20):
+            injector = RandomCellFlipper(
+                2, total_loads, random.Random(seed), target_arrays=targets
+            )
+            result = run_plan(
+                plan,
+                params,
+                initial_values=copy_values(values),
+                injector=injector,
+                wild_reads=True,
+                policy=RecoveryPolicy(segment_epochs=1),
+            )
+            if result.detected:
+                assert not result.failed, seed
+                assert _matches_golden(program, golden, result), seed
+                recovered += 1
+        assert recovered > 0
+
+    def test_run_with_recovery_convenience(self):
+        module = ALL_BENCHMARKS["jacobi1d"]
+        params = dict(module.SMALL_PARAMS)
+        values = module.initial_values(params, seed=7)
+        result = run_with_recovery(
+            module.program(),
+            params,
+            initial_values=copy_values(values),
+            options=OPT,
+        )
+        assert result.completed and not result.detected
