@@ -229,6 +229,7 @@ class _PreparedProgram:
     total_loads: int
     golden_finals: dict[str, Any]
     targets: tuple[str, ...]
+    total_stores: int = 1
     kernel: Any = None
     """Compiled kernel shared by every trial of this worker; ``None``
     when the spec asks for the interpreter or compilation fell back."""
@@ -239,12 +240,23 @@ class _PreparedProgram:
 
 @dataclass(frozen=True)
 class ProgramCampaignSpec:
-    """Random-cell injection into an interpreted (instrumented) program.
+    """Fault injection into an interpreted (instrumented) program.
 
     The program comes either from ``program_text`` (mini-language
     source plus ``init`` initializer names, as on the CLI) or from
     ``benchmark``/``scale`` (a Table 2 benchmark with its canonical
     initial values).  Exactly one of the two must be set.
+
+    ``fault_model`` picks what each trial injects (see
+    ``docs/FAULT_MODELS.md``): ``random_cell`` (the paper's value
+    flips, default), ``addrgen_load`` / ``addrgen_store``
+    (PRESAGE-style address-generation faults), ``stuck_bit``
+    (ITHICA-style intermittent stuck bit), or ``burst`` (multi-cell
+    corruption).  Every injected trial additionally records the
+    RepTFD-style replay-comparison baseline verdict in its ``extra``
+    (``replay_detected``: does the final state differ from the golden
+    re-execution, struck cells *not* masked), so checksum coverage can
+    be benchmarked against output-diffing per model.
     """
 
     trials: int
@@ -271,6 +283,15 @@ class ProgramCampaignSpec:
     recover_retries: int = 3
     """Replays allowed per detection episode (the default covers the
     controller's full escalation ladder)."""
+    fault_model: str = "random_cell"
+    """What each trial injects — one of
+    :data:`repro.runtime.faults.FAULT_MODELS`."""
+    stuck_window: int = 0
+    """``stuck_bit`` model: load events the defect stays active.  0
+    picks ``max(16, total_loads // 16)`` — a fixed fraction of the run
+    at any scale."""
+    burst_cells: int = 4
+    """``burst`` model: consecutive cells struck per injection."""
 
     kind = "program"
 
@@ -289,6 +310,21 @@ class ProgramCampaignSpec:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        from repro.runtime.faults import FAULT_MODELS
+
+        if self.fault_model not in FAULT_MODELS:
+            raise ValueError(
+                f"unknown fault model {self.fault_model!r}; expected one "
+                f"of {', '.join(FAULT_MODELS)}"
+            )
+        if self.stuck_window < 0:
+            raise ValueError(
+                f"stuck_window must be >= 0, got {self.stuck_window}"
+            )
+        if self.burst_cells < 1:
+            raise ValueError(
+                f"burst_cells must be >= 1, got {self.burst_cells}"
             )
         # Normalize dict-style inputs into hashable tuples.
         if isinstance(self.params, dict):
@@ -323,8 +359,30 @@ class ProgramCampaignSpec:
         return cls(**fields)
 
     def digest(self) -> str:
-        """Stable identity for golden-run cache keys."""
+        """Stable identity of the full spec."""
         payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def golden_digest(self) -> str:
+        """Identity of everything the *fault-free* golden run depends on.
+
+        Fields that only shape the injected trials — trial count, seed,
+        fault model and its knobs — are excluded, so campaigns that
+        differ only in those (a fault-model sweep, a differential
+        matrix) share one golden run per (program, build, backend)
+        instead of re-executing it per spec."""
+        data = self.to_dict()
+        for key in (
+            "trials",
+            "seed",
+            "bits",
+            "fault_model",
+            "stuck_window",
+            "burst_cells",
+            "recover_retries",
+        ):
+            data.pop(key, None)
+        payload = json.dumps(data, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     # ------------------------------------------------------------------
@@ -357,7 +415,9 @@ class ProgramCampaignSpec:
         return program, params, values
 
     def prepare(self) -> _PreparedProgram:
-        return golden_run(("program-campaign", self.digest()), self._prepare)
+        return golden_run(
+            ("program-campaign", self.golden_digest()), self._prepare
+        )
 
     def _prepare(self) -> _PreparedProgram:
         from repro.instrument.cache import instrument_cached
@@ -419,6 +479,7 @@ class ProgramCampaignSpec:
             params=params,
             values=values,
             total_loads=max(1, clean.memory.load_count),
+            total_stores=max(1, clean.memory.store_count),
             golden_finals=golden_finals,
             targets=tuple(targets),
             kernel=kernel,
@@ -458,28 +519,74 @@ class ProgramCampaignSpec:
             params=params,
             values=values,
             total_loads=max(1, clean.memory.load_count),
+            total_stores=max(1, clean.memory.store_count),
             golden_finals=golden_finals,
             targets=tuple(targets),
             plan=plan,
         )
 
-    def run_trial(self, index: int, prepared: _PreparedProgram) -> TrialRecord:
+    def _make_trial_injector(self, seed: int, prepared: _PreparedProgram):
+        from repro.runtime.faults import injector_spec_for_model, make_injector
+
+        return make_injector(
+            injector_spec_for_model(
+                self.fault_model,
+                seed=seed,
+                expected_loads=prepared.total_loads,
+                expected_stores=prepared.total_stores,
+                num_bits=self.bits,
+                target_arrays=prepared.targets,
+                window=self.stuck_window,
+                burst_cells=self.burst_cells,
+            )
+        )
+
+    def _replay_diverges(self, memory, prepared: _PreparedProgram) -> bool:
+        """The RepTFD-style replay-comparison baseline: does the final
+        state differ *anywhere* from the golden re-execution?  Unlike
+        SDC classification nothing is masked — output diffing sees the
+        struck cells too."""
         import numpy as np
 
-        from repro.runtime.faults import InjectorSpec, make_injector
+        return any(
+            not np.array_equal(
+                memory.to_array(name), prepared.golden_finals[name]
+            )
+            for name in prepared.golden_finals
+        )
+
+    def _propagated(self, memory, record, prepared: _PreparedProgram) -> bool:
+        """Whether corruption reached cells the fault did not directly
+        strike.  The struck cells (``record.masked_cells()``) are
+        zeroed on both sides first — a flip that sits unread in a dead
+        cell until the end is benign, not SDC.  Address-generation
+        *loads* mask nothing (no cell at rest was corrupted), so any
+        divergence counts."""
+        import numpy as np
+
+        masked: dict[str, list[tuple[int, ...]]] = {}
+        for cell in record.masked_cells():
+            masked.setdefault(record.array, []).append(cell)
+        for name in prepared.golden_finals:
+            final = memory.to_array(name)
+            gold = prepared.golden_finals[name]
+            cells = masked.get(name)
+            if cells:
+                final = final.copy()
+                gold = gold.copy()
+                for cell in cells:
+                    final[tuple(cell)] = 0
+                    gold[tuple(cell)] = 0
+            if not np.array_equal(final, gold):
+                return True
+        return False
+
+    def run_trial(self, index: int, prepared: _PreparedProgram) -> TrialRecord:
         from repro.runtime.interpreter import run_program
 
         start = time.perf_counter()
         seed = trial_seed(self.seed, index)
-        injector = make_injector(
-            InjectorSpec(
-                kind="random_cell",
-                num_bits=self.bits,
-                expected_loads=prepared.total_loads,
-                seed=seed,
-                target_arrays=prepared.targets,
-            )
-        )
+        injector = self._make_trial_injector(seed, prepared)
         if prepared.plan is not None:
             return self._run_recovery_trial(
                 index, seed, start, prepared, injector
@@ -502,44 +609,36 @@ class ProgramCampaignSpec:
                 wild_reads=True,
             )
         record = injector.record
+        extra = {"fault_model": self.fault_model}
         if record is None:
             verdict = NO_INJECTION
             injection = None
-        elif result.error_detected:
-            verdict = DETECTED
-            injection = _injection_dict(record)
         else:
-            # Silent data corruption means the fault *propagated*: some
-            # cell other than the one struck ends up wrong.  The struck
-            # cell itself is masked out — a flip that sits unread in a
-            # dead cell until the end is benign, not SDC.
-            corrupted = False
-            for name in prepared.golden_finals:
-                final = result.memory.to_array(name)
-                gold = prepared.golden_finals[name]
-                if name == record.array:
-                    final = final.copy()
-                    gold = gold.copy()
-                    final[tuple(record.indices)] = 0
-                    gold[tuple(record.indices)] = 0
-                if not np.array_equal(final, gold):
-                    corrupted = True
-                    break
-            verdict = SDC if corrupted else BENIGN
-            injection = _injection_dict(record)
+            injection = record.to_dict()
+            extra["replay_detected"] = self._replay_diverges(
+                result.memory, prepared
+            )
+            extra["detection_step"] = result.first_detection_step
+            extra["total_steps"] = result.statements_executed
+            if result.error_detected:
+                verdict = DETECTED
+            else:
+                propagated = self._propagated(
+                    result.memory, record, prepared
+                )
+                verdict = SDC if propagated else BENIGN
         return TrialRecord(
             index=index,
             seed=seed,
             verdict=verdict,
             injection=injection,
             elapsed=time.perf_counter() - start,
+            extra=extra,
         )
 
     def _run_recovery_trial(
         self, index, seed, start, prepared: _PreparedProgram, injector
     ) -> TrialRecord:
-        import numpy as np
-
         from repro.recovery import RecoveryPolicy, run_plan
 
         outcome = run_plan(
@@ -554,6 +653,7 @@ class ProgramCampaignSpec:
         )
         record = injector.record
         extra = {
+            "fault_model": self.fault_model,
             "mode": prepared.plan.mode,
             "epochs": outcome.epochs,
             "replays": outcome.replays,
@@ -564,40 +664,37 @@ class ProgramCampaignSpec:
         if record is None:
             verdict = NO_INJECTION
             injection = None
-        elif outcome.failed:
+            return TrialRecord(
+                index=index,
+                seed=seed,
+                verdict=verdict,
+                injection=injection,
+                elapsed=time.perf_counter() - start,
+                extra=extra,
+            )
+        injection = record.to_dict()
+        extra["replay_detected"] = self._replay_diverges(
+            outcome.memory, prepared
+        )
+        if outcome.failed:
             verdict = RECOVERY_FAILED
-            injection = _injection_dict(record)
         elif outcome.detected:
             # Recovery claims success: hold it to the strictest bar —
-            # EVERY final value equals the golden run, the struck cell
-            # included (the rollback must have restored it).
-            matches = all(
-                np.array_equal(
-                    outcome.memory.to_array(name),
-                    prepared.golden_finals[name],
-                )
-                for name in prepared.golden_finals
+            # EVERY final value equals the golden run, the struck cells
+            # included (the rollback must have restored them).  A
+            # still-divergent state is reported as sdc_after_recovery,
+            # never a silent wrong-output "recovered".
+            verdict = (
+                SDC_AFTER_RECOVERY
+                if extra["replay_detected"]
+                else RECOVERED
             )
-            verdict = RECOVERED if matches else SDC_AFTER_RECOVERY
-            injection = _injection_dict(record)
         else:
             # No verifier fired: classify exactly like a plain campaign
-            # (struck cell masked — an unread flip in a dead cell is
+            # (struck cells masked — an unread flip in a dead cell is
             # benign, not SDC).
-            corrupted = False
-            for name in prepared.golden_finals:
-                final = outcome.memory.to_array(name)
-                gold = prepared.golden_finals[name]
-                if name == record.array:
-                    final = final.copy()
-                    gold = gold.copy()
-                    final[tuple(record.indices)] = 0
-                    gold[tuple(record.indices)] = 0
-                if not np.array_equal(final, gold):
-                    corrupted = True
-                    break
-            verdict = SDC if corrupted else BENIGN
-            injection = _injection_dict(record)
+            propagated = self._propagated(outcome.memory, record, prepared)
+            verdict = SDC if propagated else BENIGN
         return TrialRecord(
             index=index,
             seed=seed,
@@ -611,15 +708,6 @@ class ProgramCampaignSpec:
 def _copy_values(values: Mapping[str, Any]) -> dict[str, Any]:
     return {
         k: (v.copy() if hasattr(v, "copy") else v) for k, v in values.items()
-    }
-
-
-def _injection_dict(record) -> dict:
-    return {
-        "array": record.array,
-        "indices": list(record.indices),
-        "bits": list(record.bits),
-        "at_load": record.at_load,
     }
 
 

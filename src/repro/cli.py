@@ -228,6 +228,9 @@ def _campaign_spec_from_args(args):
         backend=args.backend,
         recover=args.recover,
         recover_retries=args.recover_retries,
+        fault_model=args.fault_model,
+        stuck_window=args.stuck_window,
+        burst_cells=args.burst_cells,
     )
     if args.benchmark is not None:
         from repro.programs import ALL_BENCHMARKS
@@ -364,6 +367,9 @@ def cmd_campaign_report(args) -> int:
         backend = contents.spec_dict.get("backend")
         if backend is not None:
             print(f"backend: {backend}")
+        fault_model = contents.spec_dict.get("fault_model")
+        if fault_model is not None:
+            print(f"fault model: {fault_model}")
         if done < spec.trials:
             print(
                 f"incomplete: resume with "
@@ -457,6 +463,20 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="A=randspd")
     p_crun.add_argument("--trials", type=int, default=100)
     p_crun.add_argument("--bits", type=int, default=2)
+    from repro.runtime.faults import FAULT_MODELS
+
+    p_crun.add_argument("--fault-model", choices=FAULT_MODELS,
+                        default="random_cell",
+                        help="what each trial injects: value flips "
+                        "(random_cell), address-generation faults "
+                        "(addrgen_load/addrgen_store), an intermittent "
+                        "stuck bit (stuck_bit), or a multi-cell burst "
+                        "(burst); see docs/FAULT_MODELS.md")
+    p_crun.add_argument("--stuck-window", type=int, default=0,
+                        help="stuck_bit: load events the defect stays "
+                        "active (0 = max(16, total_loads // 16))")
+    p_crun.add_argument("--burst-cells", type=int, default=4,
+                        help="burst: consecutive cells struck")
     p_crun.add_argument("--seed", type=int, default=0)
     p_crun.add_argument("--workers", type=int, default=1,
                         help="worker processes (verdicts are identical "

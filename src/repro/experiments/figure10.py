@@ -294,6 +294,189 @@ def detection_coverage(
     return rows
 
 
+def fault_model_coverage(
+    benchmarks: list[str] | None = None,
+    models: list[str] | None = None,
+    trials: int = 40,
+    seed: int = 0,
+    workers: int = 1,
+    scale: str = "small",
+    bits: int = 2,
+    backend: str = "compiled",
+) -> list[dict]:
+    """Checksum vs. replay-baseline coverage per fault model.
+
+    One campaign per (model × benchmark) cell.  Each row reports the
+    paper's checksum detection rate next to the RepTFD-style
+    replay-comparison baseline (re-execute golden, diff outputs —
+    recorded per trial in ``extra["replay_detected"]``), plus the mean
+    detection latency of checksum hits as a fraction of the run.  The
+    interesting cells are where the two detectors disagree:
+    address-generation *loads* read pristine words through a corrupted
+    address, so value checksums are structurally blind to them while
+    output diffing is not (``docs/FAULT_MODELS.md``).
+    """
+    from repro.campaign import ProgramCampaignSpec, derive_seed, run_campaign
+    from repro.runtime.faults import FAULT_MODELS
+
+    rows: list[dict] = []
+    for model in models or list(FAULT_MODELS):
+        for name in benchmarks or list(ALL_BENCHMARKS):
+            spec = ProgramCampaignSpec(
+                trials=trials,
+                seed=derive_seed(
+                    seed, "figure10-models", model, name, scale
+                ),
+                benchmark=name,
+                scale=scale,
+                bits=bits,
+                backend=backend,
+                fault_model=model,
+            )
+            result = run_campaign(spec, workers=workers)
+            summary = result.summary()
+            records = result.records or []
+            replay = sum(
+                1 for r in records if r.extra.get("replay_detected")
+            )
+            fractions = [
+                r.extra["detection_step"] / r.extra["total_steps"]
+                for r in records
+                if r.verdict == "detected"
+                and r.extra.get("detection_step") is not None
+                and r.extra.get("total_steps")
+            ]
+            rows.append(
+                {
+                    "model": model,
+                    "benchmark": name,
+                    "trials": summary.trials,
+                    "injected": summary.injected,
+                    "detected": summary.detected,
+                    "checksum_rate": summary.detection_rate,
+                    "replay_detected": replay,
+                    "replay_rate": (
+                        replay / summary.injected if summary.injected else 0.0
+                    ),
+                    "sdc": summary.counts.get("sdc", 0),
+                    "benign": summary.counts.get("benign", 0),
+                    "no_injection": summary.counts.get("no_injection", 0),
+                    "mean_detection_frac": (
+                        sum(fractions) / len(fractions) if fractions else None
+                    ),
+                }
+            )
+    return rows
+
+
+def aggregate_fault_models(rows: list[dict]) -> list[dict]:
+    """Collapse per-benchmark coverage rows into one row per model."""
+    order: list[str] = []
+    agg: dict[str, dict] = {}
+    for row in rows:
+        model = row["model"]
+        if model not in agg:
+            order.append(model)
+            agg[model] = {
+                "model": model,
+                "trials": 0,
+                "injected": 0,
+                "detected": 0,
+                "replay_detected": 0,
+                "sdc": 0,
+                "benign": 0,
+                "no_injection": 0,
+                "_fracs": [],
+            }
+        entry = agg[model]
+        for key in (
+            "trials",
+            "injected",
+            "detected",
+            "replay_detected",
+            "sdc",
+            "benign",
+            "no_injection",
+        ):
+            entry[key] += row[key]
+        if row["mean_detection_frac"] is not None:
+            entry["_fracs"].append(
+                (row["mean_detection_frac"], row["detected"])
+            )
+    out: list[dict] = []
+    for model in order:
+        entry = agg[model]
+        fracs = entry.pop("_fracs")
+        weight = sum(n for _, n in fracs)
+        entry["checksum_rate"] = (
+            entry["detected"] / entry["injected"] if entry["injected"] else 0.0
+        )
+        entry["replay_rate"] = (
+            entry["replay_detected"] / entry["injected"]
+            if entry["injected"]
+            else 0.0
+        )
+        entry["mean_detection_frac"] = (
+            sum(f * n for f, n in fracs) / weight if weight else None
+        )
+        out.append(entry)
+    return out
+
+
+def format_fault_models(rows: list[dict]) -> str:
+    """The coverage table: per-model aggregates, then per-benchmark."""
+    aggregates = aggregate_fault_models(rows)
+    header = (
+        f"{'model':<14} {'injected':>8} {'checksum':>9} {'replay':>9} "
+        f"{'sdc':>5} {'benign':>7} {'latency':>8}"
+    )
+    lines = [
+        "Fault-model coverage: checksum detection vs. replay baseline",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    for entry in aggregates:
+        latency = entry["mean_detection_frac"]
+        lines.append(
+            f"{entry['model']:<14} "
+            f"{entry['injected']:>8} "
+            f"{100 * entry['checksum_rate']:>8.1f}% "
+            f"{100 * entry['replay_rate']:>8.1f}% "
+            f"{entry['sdc']:>5} "
+            f"{entry['benign']:>7} "
+            + (f"{100 * latency:>7.1f}%" if latency is not None else
+               f"{'—':>8}")
+        )
+    missed = [
+        entry["model"]
+        for entry in aggregates
+        if entry["replay_rate"] - entry["checksum_rate"] > 1e-9
+    ]
+    if missed:
+        lines.append(
+            "\nchecksums miss coverage the replay baseline has on: "
+            + ", ".join(missed)
+        )
+    lines.append("")
+    per_bench = (
+        f"{'model':<14} {'benchmark':<10} {'injected':>8} {'checksum':>9} "
+        f"{'replay':>9} {'sdc':>5} {'benign':>7}"
+    )
+    lines.extend([per_bench, "-" * len(per_bench)])
+    for row in rows:
+        lines.append(
+            f"{row['model']:<14} "
+            f"{row['benchmark']:<10} "
+            f"{row['injected']:>8} "
+            f"{100 * row['checksum_rate']:>8.1f}% "
+            f"{100 * row['replay_rate']:>8.1f}% "
+            f"{row['sdc']:>5} "
+            f"{row['benign']:>7}"
+        )
+    return "\n".join(lines)
+
+
 def format_detection(rows: list[dict], recover: bool = False) -> str:
     title = "Detection coverage (random 2-bit cell faults, resilient builds)"
     if recover:
@@ -358,6 +541,22 @@ def main(argv: list[str] | None = None) -> None:
         help="with --detect: run trials under the recovery controller "
         "and report survived faults",
     )
+    parser.add_argument(
+        "--fault-models",
+        nargs="*",
+        default=None,
+        metavar="MODEL",
+        help="run the fault-model coverage table (checksum vs. replay "
+        "baseline) for the listed models, or all models when none are "
+        "listed",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="with --fault-models: also write the coverage rows as a "
+        "JSON artifact",
+    )
     parser.add_argument("--trials", type=int, default=100)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
@@ -382,6 +581,33 @@ def main(argv: list[str] | None = None) -> None:
     if args.list:
         print(format_table2())
         return
+    if args.fault_models is not None:
+        rows = fault_model_coverage(
+            args.benchmarks,
+            models=args.fault_models or None,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            scale=args.scale,
+            backend=args.backend,
+        )
+        print(format_fault_models(rows))
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(
+                    {
+                        "rows": rows,
+                        "models": aggregate_fault_models(rows),
+                    },
+                    handle,
+                    indent=2,
+                )
+            print(f"\nwrote {args.json}")
+        return
+    if args.json:
+        parser.error("--json needs --fault-models")
     if args.detect:
         rows = detection_coverage(
             args.benchmarks,

@@ -8,9 +8,10 @@ simulates exactly that boundary:
 * :mod:`repro.runtime.memory` — a word-addressed memory holding every
   program array and scalar as raw 64-bit patterns; all loads and stores
   go through it.
-* :mod:`repro.runtime.faults` — fault injectors that flip bits in
-  stored words between a write and a later read (multi-bit, scheduled
-  or randomized campaigns).
+* :mod:`repro.runtime.faults` — the fault-model taxonomy: value flips
+  in stored words (scheduled, random-cell, burst), PRESAGE-style
+  address-generation faults that redirect an access, and ITHICA-style
+  intermittent stuck bits (see docs/FAULT_MODELS.md).
 * :mod:`repro.runtime.state` — register-resident checksum channels
   (plain modulo-2^64 sum, plus the address-rotated second checksum of
   Section 6.1) and the verifier.
@@ -29,10 +30,16 @@ simulates exactly that boundary:
 
 from repro.runtime.memory import Memory, MemoryError64, decode_value, encode_value
 from repro.runtime.faults import (
+    FAULT_MODELS,
+    AddressGenerationFault,
+    BurstCorruption,
     FaultInjector,
+    InjectorSpec,
+    IntermittentStuckBit,
     NoFaults,
-    ScheduledBitFlip,
     RandomCellFlipper,
+    ScheduledBitFlip,
+    make_injector,
 )
 from repro.runtime.state import ChecksumState, ChecksumMismatch
 from repro.runtime.interpreter import ExecutionResult, Interpreter, run_program
@@ -57,10 +64,16 @@ __all__ = [
     "MemoryError64",
     "decode_value",
     "encode_value",
+    "AddressGenerationFault",
+    "BurstCorruption",
+    "FAULT_MODELS",
     "FaultInjector",
+    "InjectorSpec",
+    "IntermittentStuckBit",
     "NoFaults",
-    "ScheduledBitFlip",
     "RandomCellFlipper",
+    "ScheduledBitFlip",
+    "make_injector",
     "ChecksumState",
     "ChecksumMismatch",
     "ExecutionResult",

@@ -7,7 +7,13 @@ a single Python function ``_kernel(_rt)`` whose observable behaviour is
 * every load and store goes through the same :class:`Memory` methods in
   the same order, so fault injectors trigger on exactly the same access
   (the injector's trigger is a load-event index — ordering is part of
-  the contract, not an implementation detail);
+  the contract, not an implementation detail); this covers the
+  address-redirect hooks too: a redirected access lands on the same
+  cell under either backend, and the fused ``_lba``/``_sba`` calls
+  return the **intended** (architectural) address — exactly what the
+  interpreter's separate ``address_of`` on the intended indices
+  yields — so checksum streams stay bit-identical under
+  address-generation faults;
 * :class:`~repro.runtime.costmodel.OpCounts` accumulate in local
   integers and are spilled into the shared context once, in a
   ``finally`` block, so partial counts survive step-limit aborts;

@@ -1,0 +1,288 @@
+"""Injector specs: fault models as validated, picklable data.
+
+Campaign engines ship :class:`InjectorSpec` across process boundaries
+instead of live injector objects (which hold an RNG mid-stream and are
+not meaningfully picklable).  :func:`make_injector` turns a spec into a
+fresh injector; two calls with the same spec behave identically, so any
+campaign trial can be replayed from its record alone.
+
+Validation happens **at construction** (and hence in
+:meth:`InjectorSpec.from_dict`): a malformed or unknown model name
+raises a ``ValueError`` naming the known kinds immediately, not deep
+inside ``make_injector`` at trial time.
+
+:data:`FAULT_MODELS` is the campaign-facing vocabulary — the values
+``ProgramCampaignSpec.fault_model`` and ``campaign run --fault-model``
+accept — and :func:`injector_spec_for_model` maps each model name to
+the :class:`InjectorSpec` a trial uses (see ``docs/FAULT_MODELS.md``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.runtime.faults.addrgen import AddressGenerationFault
+from repro.runtime.faults.base import FaultInjector, NoFaults
+from repro.runtime.faults.intermittent import IntermittentStuckBit
+from repro.runtime.faults.value import (
+    BurstCorruption,
+    RandomCellFlipper,
+    ScheduledBitFlip,
+)
+
+INJECTOR_KINDS = (
+    "none",
+    "scheduled",
+    "random_cell",
+    "addrgen",
+    "stuck_bit",
+    "burst",
+)
+"""Every ``InjectorSpec.kind`` :func:`make_injector` understands."""
+
+FAULT_MODELS = (
+    "random_cell",
+    "addrgen_load",
+    "addrgen_store",
+    "stuck_bit",
+    "burst",
+)
+"""Campaign fault-model names (``--fault-model`` vocabulary)."""
+
+
+@dataclass(frozen=True)
+class InjectorSpec:
+    """A fault injector as pure data.
+
+    Kinds and the fields they read:
+
+    * ``"none"`` — :class:`NoFaults`;
+    * ``"scheduled"`` — :class:`ScheduledBitFlip`: ``array`` /
+      ``indices`` / ``bit_positions`` / ``at_load``;
+    * ``"random_cell"`` — :class:`RandomCellFlipper`: ``num_bits`` /
+      ``expected_loads`` / ``seed`` / ``target_arrays``;
+    * ``"addrgen"`` — :class:`AddressGenerationFault`: ``addr_mode``
+      (``"load"`` or ``"store"``), ``expected_loads`` or
+      ``expected_stores`` (per mode), ``seed``, ``target_arrays``;
+    * ``"stuck_bit"`` — :class:`IntermittentStuckBit`:
+      ``expected_loads`` / ``window`` / ``stuck_to`` / ``seed`` /
+      ``target_arrays``;
+    * ``"burst"`` — :class:`BurstCorruption`: ``num_bits`` /
+      ``burst_cells`` / ``expected_loads`` / ``seed`` /
+      ``target_arrays``.
+    """
+
+    kind: str = "random_cell"
+    num_bits: int = 2
+    expected_loads: int = 1
+    seed: int = 0
+    target_arrays: tuple[str, ...] | None = None
+    array: str | None = None
+    indices: tuple[int, ...] = ()
+    bit_positions: tuple[int, ...] = ()
+    at_load: int = 1
+    expected_stores: int = 1
+    addr_mode: str = "load"
+    window: int = 64
+    stuck_to: int | None = None
+    burst_cells: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in INJECTOR_KINDS:
+            raise ValueError(
+                f"unknown injector kind {self.kind!r}; expected one of "
+                f"{', '.join(INJECTOR_KINDS)}"
+            )
+        if self.addr_mode not in ("load", "store"):
+            raise ValueError(
+                f"addr_mode must be 'load' or 'store', got {self.addr_mode!r}"
+            )
+        if self.stuck_to not in (None, 0, 1):
+            raise ValueError(
+                f"stuck_to must be None, 0 or 1, got {self.stuck_to!r}"
+            )
+        for name, minimum in (
+            ("expected_loads", 1),
+            ("expected_stores", 1),
+            ("at_load", 1),
+            ("window", 1),
+            ("num_bits", 0),
+            ("burst_cells", 0),
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"{name} must be an int, got {value!r}")
+            if value < minimum:
+                raise ValueError(f"{name} must be >= {minimum}, got {value}")
+        if self.num_bits > 64:
+            raise ValueError(f"num_bits must be <= 64, got {self.num_bits}")
+        # Normalize sequence fields to tuples (hashability + pickling).
+        for name in ("indices", "bit_positions"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if self.target_arrays is not None and not isinstance(
+            self.target_arrays, tuple
+        ):
+            object.__setattr__(
+                self, "target_arrays", tuple(self.target_arrays)
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "num_bits": self.num_bits,
+            "expected_loads": self.expected_loads,
+            "seed": self.seed,
+            "target_arrays": (
+                list(self.target_arrays)
+                if self.target_arrays is not None
+                else None
+            ),
+            "array": self.array,
+            "indices": list(self.indices),
+            "bit_positions": list(self.bit_positions),
+            "at_load": self.at_load,
+            "expected_stores": self.expected_stores,
+            "addr_mode": self.addr_mode,
+            "window": self.window,
+            "stuck_to": self.stuck_to,
+            "burst_cells": self.burst_cells,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "InjectorSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"injector spec must be a mapping, got {type(data).__name__}"
+            )
+        return cls(
+            kind=data.get("kind", "random_cell"),
+            num_bits=data.get("num_bits", 2),
+            expected_loads=data.get("expected_loads", 1),
+            seed=data.get("seed", 0),
+            target_arrays=(
+                tuple(data["target_arrays"])
+                if data.get("target_arrays") is not None
+                else None
+            ),
+            array=data.get("array"),
+            indices=tuple(data.get("indices", ())),
+            bit_positions=tuple(data.get("bit_positions", ())),
+            at_load=data.get("at_load", 1),
+            expected_stores=data.get("expected_stores", 1),
+            addr_mode=data.get("addr_mode", "load"),
+            window=data.get("window", 64),
+            stuck_to=data.get("stuck_to"),
+            burst_cells=data.get("burst_cells", 4),
+        )
+
+
+def make_injector(spec: InjectorSpec) -> FaultInjector:
+    """Instantiate the injector an :class:`InjectorSpec` describes."""
+    if spec.kind == "none":
+        return NoFaults()
+    if spec.kind == "scheduled":
+        if spec.array is None:
+            raise ValueError("scheduled injector needs an array")
+        return ScheduledBitFlip(
+            array=spec.array,
+            indices=spec.indices,
+            bit_positions=spec.bit_positions,
+            at_load=spec.at_load,
+        )
+    if spec.kind == "random_cell":
+        return RandomCellFlipper(
+            num_bits=spec.num_bits,
+            expected_loads=spec.expected_loads,
+            rng=random.Random(spec.seed),
+            target_arrays=spec.target_arrays,
+        )
+    if spec.kind == "addrgen":
+        expected = (
+            spec.expected_loads
+            if spec.addr_mode == "load"
+            else spec.expected_stores
+        )
+        return AddressGenerationFault(
+            mode=spec.addr_mode,
+            expected_events=expected,
+            rng=random.Random(spec.seed),
+            target_arrays=spec.target_arrays,
+        )
+    if spec.kind == "stuck_bit":
+        return IntermittentStuckBit(
+            expected_loads=spec.expected_loads,
+            window=spec.window,
+            rng=random.Random(spec.seed),
+            target_arrays=spec.target_arrays,
+            stuck_to=spec.stuck_to,
+        )
+    if spec.kind == "burst":
+        return BurstCorruption(
+            num_bits=spec.num_bits,
+            burst_cells=spec.burst_cells,
+            expected_loads=spec.expected_loads,
+            rng=random.Random(spec.seed),
+            target_arrays=spec.target_arrays,
+        )
+    raise ValueError(f"unknown injector kind {spec.kind!r}")
+
+
+def injector_spec_for_model(
+    model: str,
+    *,
+    seed: int,
+    expected_loads: int,
+    expected_stores: int = 1,
+    num_bits: int = 2,
+    target_arrays: tuple[str, ...] | None = None,
+    window: int = 0,
+    burst_cells: int = 4,
+) -> InjectorSpec:
+    """The per-trial :class:`InjectorSpec` of a campaign fault model.
+
+    ``window=0`` picks the default intermittent window:
+    ``max(16, expected_loads // 16)`` load events, so the defect stays
+    active for a fixed fraction of the run at any problem scale.
+    """
+    if model not in FAULT_MODELS:
+        raise ValueError(
+            f"unknown fault model {model!r}; expected one of "
+            f"{', '.join(FAULT_MODELS)}"
+        )
+    if model == "random_cell":
+        return InjectorSpec(
+            kind="random_cell",
+            num_bits=num_bits,
+            expected_loads=expected_loads,
+            seed=seed,
+            target_arrays=target_arrays,
+        )
+    if model in ("addrgen_load", "addrgen_store"):
+        return InjectorSpec(
+            kind="addrgen",
+            addr_mode=model.removeprefix("addrgen_"),
+            expected_loads=expected_loads,
+            expected_stores=expected_stores,
+            seed=seed,
+            target_arrays=target_arrays,
+        )
+    if model == "stuck_bit":
+        return InjectorSpec(
+            kind="stuck_bit",
+            expected_loads=expected_loads,
+            window=window if window > 0 else max(16, expected_loads // 16),
+            seed=seed,
+            target_arrays=target_arrays,
+        )
+    return InjectorSpec(
+        kind="burst",
+        num_bits=num_bits,
+        burst_cells=burst_cells,
+        expected_loads=expected_loads,
+        seed=seed,
+        target_arrays=target_arrays,
+    )

@@ -6,7 +6,14 @@ Execution semantics:
   Python values the fault injector can never touch.
 * Array elements and declared scalars live in the simulated
   :class:`~repro.runtime.memory.Memory`; every load/store passes
-  through it (and through the fault injector).
+  through it (and through the fault injector).  That choke point is
+  also the trigger site for *address-generation* faults
+  (:mod:`repro.runtime.faults.addrgen`): the memory may redirect an
+  access to a different cell, while the interpreter keeps computing
+  the architectural address — ``address_of`` on the **intended**
+  indices, matching the compiled backend's fused ``*_addr`` calls —
+  for every checksum rotation, because address arithmetic lives in
+  resilient registers under the paper's model.
 * An **instrumented assignment executes as one bundle** with a per-cell
   load cache: each distinct cell is loaded once, and the checksum
   contributions consume the *same register copy* as the computation —

@@ -125,6 +125,22 @@ class Memory:
     consulted on every load and store with the element's address; it
     may mutate the stored word (modelling corruption at rest) — the
     interpreter only ever sees what :meth:`load` returns.
+
+    Injectors with :attr:`~repro.runtime.faults.FaultInjector.redirects`
+    set are additionally offered the chance to *redirect* each access
+    (address-generation faults): the access then reads or writes a
+    different cell of the same region — or, out of bounds, takes the
+    wild-access path.  Two invariants keep both backends bit-identical
+    under redirection:
+
+    * the redirect hook runs after the access counter advanced and only
+      for accesses whose intended indices are themselves in bounds (a
+      program's own wild access is never an injection site);
+    * the *address* the fused ``*_addr`` methods return — the one the
+      rotated checksums consume — is always that of the **intended**
+      indices: under the paper's fault model address arithmetic lives
+      in resilient registers, so the checksum machinery sees the
+      architectural address while the memory honours the corrupted one.
     """
 
     def __init__(self, injector=None, wild_reads: bool = False) -> None:
@@ -199,8 +215,19 @@ class Memory:
             self.wild_accesses += 1
             return _wild_word(name, indices)
         self.load_count += 1
-        if self.injector is not None:
-            mutated = self.injector.before_load(
+        injector = self.injector
+        if injector is not None:
+            if getattr(injector, "redirects", False):
+                redirected = injector.redirect_load(self, name, indices)
+                if redirected is not None:
+                    try:
+                        offset = region.offset(redirected)
+                    except MemoryError64:
+                        if not self.wild_reads:
+                            raise
+                        self.wild_accesses += 1
+                        return _wild_word(name, redirected)
+            mutated = injector.before_load(
                 self, name, indices, region.words[offset]
             )
             if mutated is not None:
@@ -218,10 +245,21 @@ class Memory:
             self.wild_accesses += 1
             return
         self.store_count += 1
+        injector = self.injector
+        if injector is not None and getattr(injector, "redirects", False):
+            redirected = injector.redirect_store(self, name, indices)
+            if redirected is not None:
+                try:
+                    offset = region.offset(redirected)
+                except MemoryError64:
+                    if not self.wild_reads:
+                        raise
+                    self.wild_accesses += 1
+                    return  # store dropped at a wild address
         region.words[offset] = bits & MASK64
         region.version += 1
-        if self.injector is not None:
-            mutated = self.injector.after_store(
+        if injector is not None:
+            mutated = injector.after_store(
                 self, name, indices, region.words[offset]
             )
             if mutated is not None:
@@ -247,13 +285,27 @@ class Memory:
             word = _wild_word(name, indices)
             return word, (word & 0xFFFF_FFF8) | 0x8000_0000
         self.load_count += 1
-        if self.injector is not None:
-            mutated = self.injector.before_load(
+        address = region.base + offset * WORD_BYTES
+        injector = self.injector
+        if injector is not None:
+            if getattr(injector, "redirects", False):
+                redirected = injector.redirect_load(self, name, indices)
+                if redirected is not None:
+                    try:
+                        offset = region.offset(redirected)
+                    except MemoryError64:
+                        if not self.wild_reads:
+                            raise
+                        self.wild_accesses += 1
+                        # The architectural (intended) address is what
+                        # the checksums rotate by.
+                        return _wild_word(name, redirected), address
+            mutated = injector.before_load(
                 self, name, indices, region.words[offset]
             )
             if mutated is not None:
                 region.words[offset] = mutated & MASK64
-        return region.words[offset], region.base + offset * WORD_BYTES
+        return region.words[offset], address
 
     def store_bits_addr(
         self, name: str, indices: tuple[int, ...], bits: int
@@ -270,15 +322,27 @@ class Memory:
             self.wild_accesses += 1
             return (_wild_word(name, indices) & 0xFFFF_FFF8) | 0x8000_0000
         self.store_count += 1
+        address = region.base + offset * WORD_BYTES
+        injector = self.injector
+        if injector is not None and getattr(injector, "redirects", False):
+            redirected = injector.redirect_store(self, name, indices)
+            if redirected is not None:
+                try:
+                    offset = region.offset(redirected)
+                except MemoryError64:
+                    if not self.wild_reads:
+                        raise
+                    self.wild_accesses += 1
+                    return address  # store dropped at a wild address
         region.words[offset] = bits & MASK64
         region.version += 1
-        if self.injector is not None:
-            mutated = self.injector.after_store(
+        if injector is not None:
+            mutated = injector.after_store(
                 self, name, indices, region.words[offset]
             )
             if mutated is not None:
                 region.words[offset] = mutated & MASK64
-        return region.base + offset * WORD_BYTES
+        return address
 
     def peek_bits(self, name: str, indices: tuple[int, ...] = ()) -> int:
         """Read without triggering fault hooks or counters (for tests)."""

@@ -1,0 +1,161 @@
+"""Resume semantics across the fault-model taxonomy.
+
+A crash-interrupted campaign log now carries records whose injection
+dicts come from *different* ``InjectorSpec`` shapes depending on the
+spec's ``fault_model`` — addrgen records have ``actual``/``cells``,
+stuck-bit records have ``window``/``stuck_to``, value records keep the
+legacy four-key shape.  Resume must (a) round-trip every shape through
+the JSONL log losslessly, (b) re-run exactly the missing indices (no
+double-running, no mis-attribution of a logged record to a fresh
+trial), and (c) refuse a log whose header was written by a campaign
+with a different fault model, so records of two models can never merge
+into one result.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    ProgramCampaignSpec,
+    read_log,
+    resume_campaign,
+    run_campaign,
+)
+from repro.runtime.faults import FAULT_MODELS
+
+
+def canonical(result):
+    return [record.canonical() for record in result.records]
+
+
+def _spec(model: str, **overrides) -> ProgramCampaignSpec:
+    fields = dict(
+        trials=6,
+        seed=31 + list(FAULT_MODELS).index(model),
+        benchmark="trisolv",
+        scale="small",
+        fault_model=model,
+        backend="compiled",
+    )
+    fields.update(overrides)
+    return ProgramCampaignSpec(**fields)
+
+
+def _truncate(path, keep_lines, torn_bytes=23):
+    lines = open(path).readlines()
+    assert len(lines) > keep_lines + 1
+    with open(path, "w") as handle:
+        handle.write("".join(lines[:keep_lines]))
+        handle.write(lines[keep_lines][:torn_bytes])
+
+
+@pytest.mark.parametrize("model", FAULT_MODELS)
+def test_truncated_log_resumes_to_uninterrupted_run(model, tmp_path):
+    spec = _spec(model)
+    log = str(tmp_path / f"{model}.jsonl")
+    uninterrupted = run_campaign(spec, workers=1)
+    run_campaign(spec, workers=1, log_path=log)
+    _truncate(log, keep_lines=1 + 3)  # header + 3 whole records
+    resumed = run_campaign(spec, workers=1, log_path=log, resume=True)
+    assert resumed.resumed_trials == 3
+    assert canonical(resumed) == canonical(uninterrupted)
+    # The rewritten log itself must also round-trip the model-specific
+    # injection fields bit-exactly.
+    reread = read_log(log)
+    assert [r.canonical() for r in reread.records] == canonical(uninterrupted)
+
+
+@pytest.mark.parametrize("model", ("addrgen_store", "stuck_bit"))
+def test_resume_reruns_only_missing_indices(model, tmp_path):
+    """The logged prefix is trusted verbatim: resumed records are the
+    logged objects, not re-executions, and the fresh run covers exactly
+    the complement."""
+    spec = _spec(model)
+    log = str(tmp_path / "trials.jsonl")
+    run_campaign(spec, workers=1, log_path=log)
+    _truncate(log, keep_lines=1 + 4)
+    logged_before = {r.index: r.canonical() for r in read_log(log).records}
+    resumed = run_campaign(spec, workers=1, log_path=log, resume=True)
+    assert sorted(logged_before) == [0, 1, 2, 3]
+    assert resumed.resumed_trials == 4
+    by_index = {r.index: r for r in resumed.records}
+    assert sorted(by_index) == list(range(spec.trials))
+    for index, before in logged_before.items():
+        assert by_index[index].canonical() == before
+    # Attribution: every record still names the spec's model.
+    for record in resumed.records:
+        assert record.extra["fault_model"] == model
+
+
+def test_resume_refuses_log_from_different_fault_model(tmp_path):
+    """Records of two injector specs must never merge: a burst log
+    cannot seed an addrgen resume even though seeds and trial counts
+    agree."""
+    log = str(tmp_path / "trials.jsonl")
+    burst = _spec("burst", seed=11)
+    run_campaign(burst, workers=1, log_path=log)
+    _truncate(log, keep_lines=1 + 2)
+    addrgen = _spec("addrgen_load", seed=11)
+    with pytest.raises(ValueError, match="different campaign"):
+        run_campaign(addrgen, workers=1, log_path=log, resume=True)
+    # Changing only a model knob (window) is refused just the same.
+    stuck_a = _spec("stuck_bit", seed=11)
+    run_campaign(stuck_a, workers=1, log_path=log)
+    _truncate(log, keep_lines=1 + 2)
+    stuck_b = _spec("stuck_bit", seed=11, stuck_window=7)
+    with pytest.raises(ValueError, match="different campaign"):
+        run_campaign(stuck_b, workers=1, log_path=log, resume=True)
+
+
+def test_resume_from_header_reconstructs_model_spec(tmp_path):
+    """resume_campaign rebuilds the full spec — fault model and its
+    knobs included — from the log header alone."""
+    spec = _spec("stuck_bit", stuck_window=9, burst_cells=2)
+    log = str(tmp_path / "trials.jsonl")
+    run_campaign(spec, workers=1, log_path=log)
+    _truncate(log, keep_lines=1 + 2)
+    resumed = resume_campaign(log, workers=1)
+    assert resumed.spec == spec
+    assert canonical(resumed) == canonical(run_campaign(spec, workers=1))
+
+
+def test_mixed_model_logs_in_one_directory_stay_separate(tmp_path):
+    """The operational shape of a fault-model sweep: one log per model
+    in the same directory, each resumable independently, none bleeding
+    into another's result set."""
+    logs = {}
+    interrupted = {}
+    for model in ("random_cell", "addrgen_store", "burst"):
+        spec = _spec(model, trials=4)
+        log = str(tmp_path / f"{model}.jsonl")
+        run_campaign(spec, workers=1, log_path=log)
+        _truncate(log, keep_lines=1 + 2)
+        logs[model] = (spec, log)
+        interrupted[model] = {
+            r.index for r in read_log(log).records
+        }
+    for model, (spec, log) in logs.items():
+        resumed = resume_campaign(log)
+        assert resumed.spec == spec
+        assert resumed.resumed_trials == len(interrupted[model])
+        assert {r.extra["fault_model"] for r in resumed.records} == {model}
+        assert canonical(resumed) == canonical(run_campaign(spec, workers=1))
+
+
+def test_injection_dicts_survive_json_round_trip(tmp_path):
+    """Every model's injection record must be JSON-stable: writing and
+    re-reading the log cannot lose or mutate model-specific keys."""
+    for model in FAULT_MODELS:
+        spec = _spec(model, trials=4)
+        log = str(tmp_path / f"{model}.jsonl")
+        result = run_campaign(spec, workers=1, log_path=log)
+        with open(log) as handle:
+            lines = [json.loads(line) for line in handle]
+        records = lines[1:]
+        assert len(records) == spec.trials
+        by_index = {r.index: r for r in result.records}
+        for line in records:
+            assert line["injection"] == by_index[line["index"]].injection

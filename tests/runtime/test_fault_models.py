@@ -1,0 +1,359 @@
+"""Unit tests for the new fault-model injectors.
+
+The differential suite (test_fault_models_differential.py) pins
+cross-backend equality end to end; these tests pin the *semantics* of
+each injector in isolation against a hand-built :class:`Memory`:
+redirect targets, window arithmetic, burst extents, record shapes,
+masked cells, and the zero-probability/no-target contract shared with
+``RandomCellFlipper``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runtime.faults import (
+    AddressGenerationFault,
+    BurstCorruption,
+    InjectionRecord,
+    IntermittentStuckBit,
+    MultiInjector,
+    ScheduledBitFlip,
+)
+from repro.runtime.memory import Memory
+
+
+def make_memory(size: int = 8, wild_reads: bool = True) -> Memory:
+    mem = Memory(wild_reads=wild_reads)
+    mem.declare("A", (size,))
+    for i in range(size):
+        mem.store("A", (i,), float(i + 1))
+    mem.load_count = 0
+    mem.store_count = 0
+    return mem
+
+
+class TestAddressGenerationFault:
+    def test_load_redirect_reads_wrong_cell(self):
+        mem = make_memory()
+        inj = AddressGenerationFault("load", 1, random.Random(0))
+        mem.injector = inj
+        value = mem.load("A", (2,))
+        record = inj.record
+        assert record is not None
+        assert record.kind == "addrgen_load"
+        assert record.indices == (2,)
+        assert record.actual != (2,)
+        # The read came from the actual cell; nothing at rest changed.
+        if record.actual[0] < 8:
+            assert value == float(record.actual[0] + 1)
+        assert [mem.peek("A", (i,)) for i in range(8)] == [
+            float(i + 1) for i in range(8)
+        ]
+
+    def test_load_redirect_masks_nothing(self):
+        inj = AddressGenerationFault("load", 1, random.Random(0))
+        mem = make_memory()
+        mem.injector = inj
+        mem.load("A", (2,))
+        assert inj.record.cells == ()
+        assert inj.record.masked_cells() == ()
+
+    def test_store_redirect_leaves_intended_stale(self):
+        for seed in range(40):
+            mem = make_memory()
+            inj = AddressGenerationFault("store", 1, random.Random(seed))
+            mem.injector = inj
+            mem.store("A", (3,), 99.0)
+            record = inj.record
+            assert record is not None
+            assert record.kind == "addrgen_store"
+            if record.actual[0] < 8:
+                # In-bounds redirect: intended stale, actual clobbered,
+                # both masked.
+                assert mem.peek("A", (3,)) == 4.0
+                assert mem.peek("A", record.actual) == 99.0
+                assert set(record.masked_cells()) == {(3,), record.actual}
+                return
+        pytest.fail("no seed in range produced an in-bounds redirect")
+
+    def test_store_redirect_out_of_bounds_drops_store(self):
+        for seed in range(60):
+            mem = make_memory(size=8)
+            inj = AddressGenerationFault("store", 1, random.Random(seed))
+            mem.injector = inj
+            before = mem.snapshot()
+            mem.store("A", (7,), 99.0)
+            record = inj.record
+            if record.actual[0] >= 8:
+                # Wild store: memory image completely untouched, only
+                # the intended (stale) cell is masked.
+                assert mem.snapshot() == before
+                assert mem.wild_accesses == 1
+                assert record.masked_cells() == ((7,),)
+                return
+        pytest.fail("no seed in range produced an out-of-bounds redirect")
+
+    def test_fires_exactly_once(self):
+        mem = make_memory()
+        inj = AddressGenerationFault("load", 1, random.Random(1))
+        mem.injector = inj
+        for _ in range(4):
+            for i in range(8):
+                mem.load("A", (i,))
+        assert inj.injected
+        # One redirected read cannot corrupt anything at rest, and the
+        # injector must not keep redirecting later loads.
+        assert inj.record.at_load <= 8
+        assert [mem.peek("A", (i,)) for i in range(8)] == [
+            float(i + 1) for i in range(8)
+        ]
+
+    def test_store_mode_ignores_loads(self):
+        mem = make_memory()
+        inj = AddressGenerationFault("store", 1, random.Random(2))
+        mem.injector = inj
+        for i in range(8):
+            mem.load("A", (i,))
+        assert not inj.injected
+        mem.store("A", (0,), 5.0)
+        assert inj.injected
+
+    def test_scalars_not_redirected(self):
+        mem = make_memory()
+        mem.declare("s", ())
+        mem.store("s", (), 1.5)
+        mem.load_count = 0
+        inj = AddressGenerationFault(
+            "load", 1, random.Random(0), target_arrays=["s"]
+        )
+        mem.injector = inj
+        assert mem.load("s", ()) == 1.5
+        assert not inj.injected
+
+    def test_empty_target_tuple_rng_untouched(self):
+        rng, pristine = random.Random(9), random.Random(9)
+        inj = AddressGenerationFault("load", 10, rng, target_arrays=())
+        assert inj.no_targets
+        assert rng.getstate() == pristine.getstate()
+        mem = make_memory()
+        mem.injector = inj
+        mem.load("A", (0,))
+        assert not inj.injected
+        assert rng.getstate() == pristine.getstate()
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            AddressGenerationFault("branch", 1, random.Random(0))
+
+
+class TestIntermittentStuckBit:
+    def _stuck(self, mem, **kwargs):
+        kwargs.setdefault("rng", random.Random(kwargs.pop("seed", 0)))
+        inj = IntermittentStuckBit(**kwargs)
+        mem.injector = inj
+        return inj
+
+    def test_window_bounds(self):
+        mem = make_memory()
+        inj = self._stuck(
+            mem, expected_loads=4, window=5, seed=3, stuck_to=1
+        )
+        for _ in range(3):
+            for i in range(8):
+                mem.load("A", (i,))
+        record = inj.record
+        assert record is not None
+        assert record.kind == "stuck_bit"
+        arm, end = record.window
+        assert arm == inj.start or arm >= inj.start
+        assert end == arm + 4  # window=5 covers loads [arm, arm+4]
+        assert record.stuck_to == 1
+        assert record.cells == (record.indices,)
+
+    def test_forces_bit_on_every_access_in_window(self):
+        mem = make_memory()
+        inj = self._stuck(
+            mem, expected_loads=1, window=100, seed=1, stuck_to=1
+        )
+        mem.load("A", (0,))  # arms the defect
+        cell = inj.record.indices
+        bit = inj.record.bits[0]
+        # Overwrite the cell: the stuck bit must reassert on the store.
+        mem.store("A", cell, 0.0)
+        assert mem.peek_bits("A", cell) == (1 << bit)
+        # And on a load even if someone poked clean words underneath.
+        mem.poke_bits("A", cell, 0)
+        assert mem.load_bits("A", cell) == (1 << bit)
+
+    def test_heals_after_window(self):
+        mem = make_memory()
+        inj = self._stuck(
+            mem, expected_loads=1, window=2, seed=5, stuck_to=1
+        )
+        mem.load("A", (0,))  # arm (load 1); window covers loads 1-2
+        cell = inj.record.indices
+        mem.load("A", (0,))  # load 2: last active load
+        mem.load("A", (0,))  # load 3: healed
+        mem.store("A", cell, 0.0)
+        assert mem.peek_bits("A", cell) == 0
+        assert mem.load("A", cell) == 0.0
+
+    def test_recorrupts_after_external_restore(self):
+        """The scenario recovery rollback hits: restoring clean words
+        does not cure an active defect."""
+        mem = make_memory()
+        inj = self._stuck(
+            mem, expected_loads=1, window=10_000, seed=2, stuck_to=1
+        )
+        mem.load("A", (0,))
+        cell = inj.record.indices
+        clean = mem.copy_region_words("A")
+        mem.restore_region_words("A", [0] * 8)
+        assert mem.load_bits("A", cell) == (1 << inj.record.bits[0])
+        mem.restore_region_words("A", clean)
+
+    def test_stuck_at_zero(self):
+        mem = make_memory()
+        inj = self._stuck(
+            mem, expected_loads=1, window=100, seed=4, stuck_to=0
+        )
+        mem.load("A", (0,))
+        cell = inj.record.indices
+        bit = inj.record.bits[0]
+        mem.store_bits("A", cell, (1 << bit) | 0b1)
+        assert mem.peek_bits("A", cell) & (1 << bit) == 0
+
+    def test_empty_target_tuple_rng_untouched(self):
+        rng, pristine = random.Random(6), random.Random(6)
+        inj = IntermittentStuckBit(10, 4, rng, target_arrays=())
+        assert inj.no_targets
+        mem = make_memory()
+        mem.injector = inj
+        mem.load("A", (0,))
+        assert not inj.injected
+        assert rng.getstate() == pristine.getstate()
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError, match="window"):
+            IntermittentStuckBit(1, 0, random.Random(0))
+        with pytest.raises(ValueError, match="stuck_to"):
+            IntermittentStuckBit(1, 1, random.Random(0), stuck_to=2)
+
+
+class TestBurstCorruption:
+    def test_strikes_consecutive_cells(self):
+        mem = make_memory(size=16)
+        inj = BurstCorruption(1, 4, 1, random.Random(0))
+        mem.injector = inj
+        mem.load("A", (0,))
+        record = inj.record
+        assert record is not None
+        assert record.kind == "burst"
+        offsets = [cell[0] for cell in record.cells]
+        assert offsets == list(range(offsets[0], offsets[-1] + 1))
+        assert 1 <= len(record.cells) <= 4
+        assert record.masked_cells() == record.cells
+        for cell in record.cells:
+            assert mem.peek("A", cell) != float(cell[0] + 1)
+
+    def test_clips_at_region_end(self):
+        for seed in range(60):
+            mem = make_memory(size=8)
+            inj = BurstCorruption(1, 4, 1, random.Random(seed))
+            mem.injector = inj
+            mem.load("A", (0,))
+            if inj.record.cells[0][0] > 4:
+                assert len(inj.record.cells) < 4
+                assert inj.record.cells[-1] == (7,)
+                return
+        pytest.fail("no seed in range started a burst near the end")
+
+    def test_zero_burst_cells_rng_untouched(self):
+        rng, pristine = random.Random(8), random.Random(8)
+        inj = BurstCorruption(1, 0, 10, rng)
+        assert inj.no_targets
+        assert rng.getstate() == pristine.getstate()
+        mem = make_memory()
+        mem.injector = inj
+        mem.load("A", (0,))
+        assert not inj.injected
+        assert rng.getstate() == pristine.getstate()
+
+    def test_zero_bits_rng_untouched(self):
+        rng, pristine = random.Random(8), random.Random(8)
+        inj = BurstCorruption(0, 4, 10, rng)
+        assert inj.no_targets
+        assert rng.getstate() == pristine.getstate()
+
+
+class TestRecordShapes:
+    def test_value_record_dict_keeps_legacy_shape(self):
+        """Old random_cell logs must keep parsing: a value record's dict
+        has exactly the original four keys."""
+        record = InjectionRecord(
+            array="A", indices=(1,), bits=(3, 5), at_load=7
+        )
+        assert record.to_dict() == {
+            "array": "A",
+            "indices": [1],
+            "bits": [3, 5],
+            "at_load": 7,
+        }
+        assert InjectionRecord.from_dict(record.to_dict()) == record
+
+    def test_model_records_round_trip(self):
+        records = [
+            InjectionRecord(
+                array="A",
+                indices=(2,),
+                bits=(1,),
+                at_load=4,
+                kind="addrgen_store",
+                cells=((2,), (6,)),
+                actual=(6,),
+            ),
+            InjectionRecord(
+                array="A",
+                indices=(0,),
+                bits=(9,),
+                at_load=2,
+                kind="stuck_bit",
+                cells=((0,),),
+                window=(2, 17),
+                stuck_to=0,
+            ),
+            InjectionRecord(
+                array="A",
+                indices=(4,),
+                bits=(1, 2),
+                at_load=3,
+                kind="burst",
+                cells=((4,), (5,), (6,)),
+            ),
+        ]
+        for record in records:
+            assert InjectionRecord.from_dict(record.to_dict()) == record
+
+    def test_masked_cells_default_is_struck_cell(self):
+        record = InjectionRecord(array="A", indices=(1,), bits=(0,), at_load=1)
+        assert record.masked_cells() == ((1,),)
+
+
+class TestRedirectComposition:
+    def test_multi_injector_forwards_redirects(self):
+        mem = make_memory()
+        addr = AddressGenerationFault("load", 1, random.Random(0))
+        multi = MultiInjector(
+            [ScheduledBitFlip("A", (5,), [0], at_load=3), addr]
+        )
+        assert multi.redirects
+        mem.injector = multi
+        mem.load("A", (2,))
+        assert addr.injected
+
+    def test_value_only_multi_does_not_redirect(self):
+        multi = MultiInjector([ScheduledBitFlip("A", (5,), [0], at_load=3)])
+        assert not multi.redirects

@@ -163,6 +163,80 @@ class TestRandomCellFlipper:
         assert [mem.load("A", (i,)) for i in range(4)] == [1.0, 2.0, 3.0, 4.0]
 
 
+class TestZeroProbabilitySpecs:
+    """Un-injectable specs (zero bits, empty target tuple) must yield a
+    deterministic ``no_injection`` without consuming RNG state, so a
+    spec edit that disables the fault cannot perturb the seed stream of
+    anything drawn after injector construction."""
+
+    @staticmethod
+    def _fresh_rngs(seed=42):
+        return random.Random(seed), random.Random(seed)
+
+    def test_zero_bits_is_no_injection_and_rng_untouched(self):
+        rng, pristine = self._fresh_rngs()
+        inj = RandomCellFlipper(num_bits=0, expected_loads=10, rng=rng)
+        assert inj.no_targets
+        assert inj.trigger == 0
+        assert rng.getstate() == pristine.getstate()
+        mem = make_memory()
+        mem.injector = inj
+        for _ in range(3):
+            for i in range(4):
+                mem.load("A", (i,))
+        assert inj.record is None
+        assert not inj.injected
+        assert rng.getstate() == pristine.getstate()
+        assert [mem.load("A", (i,)) for i in range(4)] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_target_tuple_is_no_injection_and_rng_untouched(self):
+        rng, pristine = self._fresh_rngs(7)
+        inj = RandomCellFlipper(
+            num_bits=2, expected_loads=10, rng=rng, target_arrays=()
+        )
+        assert inj.no_targets
+        mem = make_memory()
+        mem.injector = inj
+        for i in range(4):
+            mem.load("A", (i,))
+        assert inj.record is None
+        assert rng.getstate() == pristine.getstate()
+
+    def test_empty_target_tuple_distinct_from_none(self):
+        """An explicit empty tuple means 'no targets'; None means 'all
+        non-shadow arrays'. The constructor must not conflate them."""
+        rng = random.Random(3)
+        all_arrays = RandomCellFlipper(1, 1, rng)
+        assert all_arrays.target_arrays is None
+        assert not all_arrays.no_targets
+        none_at_all = RandomCellFlipper(1, 1, random.Random(3), ())
+        assert none_at_all.target_arrays == ()
+        assert none_at_all.no_targets
+
+    def test_zero_prob_campaign_trials_classify_no_injection(self):
+        """End to end: a campaign whose spec can never inject reports
+        every trial as no_injection."""
+        from repro.campaign import ProgramCampaignSpec, run_campaign
+
+        spec = ProgramCampaignSpec(
+            trials=3,
+            seed=11,
+            benchmark="trisolv",
+            scale="small",
+            bits=0,
+        )
+        result = run_campaign(spec, workers=1)
+        assert [r.verdict for r in result.records] == ["no_injection"] * 3
+
+    def test_zero_prob_spec_via_factory(self):
+        spec = InjectorSpec(
+            kind="random_cell", num_bits=0, expected_loads=5, seed=1
+        )
+        inj = make_injector(spec)
+        assert inj.no_targets
+        assert inj.trigger == 0
+
+
 class TestInjectorSpec:
     def test_random_cell_factory_is_deterministic(self):
         spec = InjectorSpec(

@@ -1,0 +1,169 @@
+"""Property tests: InjectorSpec round-trips and rejects bad input.
+
+An :class:`InjectorSpec` is the wire format campaigns ship across
+process boundaries and embed in JSONL log headers, so its
+``to_dict``/``from_dict`` pair must be lossless for *every* fault-model
+variant — and a malformed dict must fail loudly at construction, not
+deep inside ``make_injector`` at trial time.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.faults import (
+    FAULT_MODELS,
+    INJECTOR_KINDS,
+    InjectorSpec,
+    injector_spec_for_model,
+    make_injector,
+)
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=65, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+target_arrays = st.one_of(
+    st.none(), st.tuples(), st.lists(names, max_size=3).map(tuple)
+)
+index_tuples = st.lists(
+    st.integers(min_value=0, max_value=100), max_size=3
+).map(tuple)
+
+
+@st.composite
+def injector_specs(draw) -> InjectorSpec:
+    """Any valid spec of any kind (field values across the full
+    validated ranges, including those the kind ignores)."""
+    kind = draw(st.sampled_from(INJECTOR_KINDS))
+    return InjectorSpec(
+        kind=kind,
+        num_bits=draw(st.integers(min_value=0, max_value=64)),
+        expected_loads=draw(st.integers(min_value=1, max_value=10**6)),
+        seed=draw(st.integers(min_value=0, max_value=2**62)),
+        target_arrays=draw(target_arrays),
+        array=draw(st.one_of(st.none(), names)),
+        indices=draw(index_tuples),
+        bit_positions=draw(
+            st.lists(
+                st.integers(min_value=0, max_value=63), max_size=4
+            ).map(tuple)
+        ),
+        at_load=draw(st.integers(min_value=1, max_value=10**6)),
+        expected_stores=draw(st.integers(min_value=1, max_value=10**6)),
+        addr_mode=draw(st.sampled_from(("load", "store"))),
+        window=draw(st.integers(min_value=1, max_value=10**6)),
+        stuck_to=draw(st.sampled_from((None, 0, 1))),
+        burst_cells=draw(st.integers(min_value=0, max_value=64)),
+    )
+
+
+@given(spec=injector_specs())
+@settings(max_examples=200, deadline=None)
+def test_round_trips_through_dict(spec):
+    assert InjectorSpec.from_dict(spec.to_dict()) == spec
+
+
+@given(spec=injector_specs())
+@settings(max_examples=100, deadline=None)
+def test_round_trips_through_json_and_pickle(spec):
+    """The dict form must survive an actual JSON encode/decode (what
+    campaign log headers do), and the spec itself must pickle (what
+    the multiprocessing engine does)."""
+    assert InjectorSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == (
+        spec
+    )
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+@given(spec=injector_specs())
+@settings(max_examples=50, deadline=None)
+def test_every_valid_spec_is_instantiable(spec):
+    """make_injector accepts every validated spec — except the one
+    documented hole (scheduled without an array)."""
+    if spec.kind == "scheduled" and spec.array is None:
+        with pytest.raises(ValueError, match="needs an array"):
+            make_injector(spec)
+    else:
+        make_injector(spec)
+
+
+@given(
+    model=st.sampled_from(FAULT_MODELS),
+    seed=st.integers(min_value=0, max_value=2**62),
+    loads=st.integers(min_value=1, max_value=10**6),
+    stores=st.integers(min_value=1, max_value=10**6),
+    bits=st.integers(min_value=0, max_value=64),
+    window=st.integers(min_value=0, max_value=10**4),
+)
+@settings(max_examples=100, deadline=None)
+def test_model_specs_round_trip(model, seed, loads, stores, bits, window):
+    """The campaign-facing model mapping produces specs that survive
+    the full serialize/deserialize/instantiate path."""
+    spec = injector_spec_for_model(
+        model,
+        seed=seed,
+        expected_loads=loads,
+        expected_stores=stores,
+        num_bits=bits,
+        window=window,
+    )
+    assert InjectorSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == (
+        spec
+    )
+    make_injector(spec)
+
+
+@given(
+    kind=st.text(min_size=1, max_size=20).filter(
+        lambda s: s not in INJECTOR_KINDS
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_unknown_kind_rejected_at_construction(kind):
+    with pytest.raises(ValueError, match="unknown injector kind"):
+        InjectorSpec(kind=kind)
+    with pytest.raises(ValueError, match="unknown injector kind"):
+        InjectorSpec.from_dict({"kind": kind})
+
+
+def test_unknown_model_rejected_with_known_names():
+    with pytest.raises(ValueError) as excinfo:
+        injector_spec_for_model("row_hammer", seed=0, expected_loads=1)
+    message = str(excinfo.value)
+    assert "row_hammer" in message
+    for model in FAULT_MODELS:
+        assert model in message
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("expected_loads", 0),
+        ("expected_loads", -3),
+        ("expected_stores", 0),
+        ("at_load", 0),
+        ("window", 0),
+        ("num_bits", -1),
+        ("num_bits", 65),
+        ("burst_cells", -2),
+        ("addr_mode", "branch"),
+        ("stuck_to", 2),
+        ("expected_loads", 1.5),
+        ("window", True),
+    ],
+)
+def test_malformed_fields_rejected(field, value):
+    with pytest.raises(ValueError):
+        InjectorSpec(**{field: value})
+
+
+def test_non_mapping_input_rejected():
+    with pytest.raises(ValueError, match="must be a mapping"):
+        InjectorSpec.from_dict(["random_cell"])
