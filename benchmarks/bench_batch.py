@@ -1,0 +1,147 @@
+"""Batched-campaign throughput: trials/sec serial vs ``--batch T``.
+
+Runs the same fault-injection campaign twice — once with the classic
+per-trial loop and once through :mod:`repro.campaign.batch` — checks
+the records are canonical-identical, and reports trials/sec for both.
+Writes ``BENCH_batch.json`` (CI uploads it as an artifact).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py
+    PYTHONPATH=src python benchmarks/bench_batch.py --benchmark cholesky \
+        --trials 64 --batch 16 --fail-below 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.campaign import ProgramCampaignSpec, run_campaign  # noqa: E402
+from repro.runtime.faults import FAULT_MODELS  # noqa: E402
+
+
+def _canonical(result) -> list[dict]:
+    return [record.canonical() for record in result.records]
+
+
+def bench_model(
+    benchmark: str, scale: str, trials: int, batch: int, fault_model: str
+) -> dict:
+    serial_spec = ProgramCampaignSpec(
+        benchmark=benchmark,
+        scale=scale,
+        trials=trials,
+        fault_model=fault_model,
+        seed=11,
+    )
+    batch_spec = replace(serial_spec, batch=batch)
+
+    # Warm the golden/kernel caches so both runs time steady-state
+    # trial throughput, not one-off compilation.
+    run_campaign(replace(serial_spec, trials=1))
+
+    start = time.perf_counter()
+    serial = run_campaign(serial_spec)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = run_campaign(batch_spec)
+    batch_s = time.perf_counter() - start
+
+    assert _canonical(serial) == _canonical(
+        batched
+    ), f"{fault_model}: batched records diverge from serial"
+    return {
+        "fault_model": fault_model,
+        "trials": trials,
+        "batch": batch,
+        "serial_s": serial_s,
+        "batch_s": batch_s,
+        "serial_trials_per_s": trials / serial_s,
+        "batch_trials_per_s": trials / batch_s,
+        "speedup": serial_s / batch_s,
+        "verdicts": batched.counts,
+    }
+
+
+def geomean(values: list[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else float("nan")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmark", default="cholesky")
+    parser.add_argument(
+        "--scale", choices=("small", "default"), default="small"
+    )
+    parser.add_argument("--trials", type=int, default=48)
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument(
+        "--fault-models",
+        nargs="+",
+        default=["random_cell", "stuck_bit", "burst"],
+        choices=FAULT_MODELS,
+    )
+    parser.add_argument("--out", default="BENCH_batch.json")
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 when the geomean batch-vs-serial speedup is below X",
+    )
+    args = parser.parse_args(argv)
+
+    rows = []
+    for model in args.fault_models:
+        row = bench_model(
+            args.benchmark, args.scale, args.trials, args.batch, model
+        )
+        rows.append(row)
+        print(
+            f"{row['fault_model']:<14} serial="
+            f"{row['serial_trials_per_s']:8.1f} trials/s  batch="
+            f"{row['batch_trials_per_s']:8.1f} trials/s  "
+            f"speedup={row['speedup']:5.2f}x  records identical"
+        )
+
+    summary = {
+        "benchmark": args.benchmark,
+        "scale": args.scale,
+        "trials": args.trials,
+        "batch": args.batch,
+        "geomean_speedup": geomean([row["speedup"] for row in rows]),
+    }
+    print(f"{'geomean':<14} speedup={summary['geomean_speedup']:.2f}x")
+
+    payload = {"fault_models": rows, "summary": summary}
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if (
+        args.fail_below is not None
+        and summary["geomean_speedup"] < args.fail_below
+    ):
+        print(
+            f"FAIL: geomean batch speedup "
+            f"{summary['geomean_speedup']:.2f}x "
+            f"< required {args.fail_below:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

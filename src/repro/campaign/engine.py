@@ -41,19 +41,42 @@ from repro.campaign.stats import CampaignSummary, summarize_counts
 # ----------------------------------------------------------------------
 _WORKER_SPEC: CampaignSpec | None = None
 _WORKER_PREPARED = None
+_WORKER_BATCH = None
 
 
 def _init_worker(spec: CampaignSpec) -> None:
-    global _WORKER_SPEC, _WORKER_PREPARED
+    global _WORKER_SPEC, _WORKER_PREPARED, _WORKER_BATCH
     _WORKER_SPEC = spec
     _WORKER_PREPARED = None
+    _WORKER_BATCH = None
+
+
+def _batch_size(spec: CampaignSpec) -> int:
+    return max(1, int(getattr(spec, "batch", 1)))
+
+
+def _batch_groups(indices: Sequence[int], size: int) -> list[list[int]]:
+    return [
+        list(indices[start : start + size])
+        for start in range(0, len(indices), size)
+    ]
 
 
 def _run_chunk(indices: Sequence[int]) -> list[TrialRecord]:
-    global _WORKER_PREPARED
+    global _WORKER_PREPARED, _WORKER_BATCH
     assert _WORKER_SPEC is not None, "worker used before initialization"
     if _WORKER_PREPARED is None:
         _WORKER_PREPARED = _WORKER_SPEC.prepare()
+    size = _batch_size(_WORKER_SPEC)
+    if size > 1:
+        from repro.campaign.batch import BatchContext
+
+        if _WORKER_BATCH is None:
+            _WORKER_BATCH = BatchContext(_WORKER_SPEC, _WORKER_PREPARED)
+        records: list[TrialRecord] = []
+        for group in _batch_groups(indices, size):
+            records.extend(_WORKER_BATCH.run(group))
+        return records
     return [_WORKER_SPEC.run_trial(i, _WORKER_PREPARED) for i in indices]
 
 
@@ -148,8 +171,17 @@ def run_campaign(
     try:
         if workers <= 1 or len(pending) <= 1:
             prepared = spec.prepare() if pending else None
-            for index in pending:
-                consume(spec.run_trial(index, prepared))
+            size = _batch_size(spec)
+            if pending and size > 1:
+                from repro.campaign.batch import BatchContext
+
+                context = BatchContext(spec, prepared)
+                for group in _batch_groups(pending, size):
+                    for record in context.run(group):
+                        consume(record)
+            else:
+                for index in pending:
+                    consume(spec.run_trial(index, prepared))
         else:
             method = mp_context or (
                 "fork"

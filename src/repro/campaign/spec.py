@@ -292,6 +292,14 @@ class ProgramCampaignSpec:
     at any scale."""
     burst_cells: int = 4
     """``burst`` model: consecutive cells struck per injection."""
+    opt_level: int = 2
+    """Compiled-backend optimization level (``--opt-level``; see
+    :mod:`repro.runtime.opt`).  Every level is bit-identical — this
+    only trades compile time against trial throughput."""
+    batch: int = 1
+    """Trials per batched-execution group (``--batch``; see
+    :mod:`repro.campaign.batch`).  1 = the serial per-trial loop.
+    Batched and serial runs produce canonical-identical records."""
 
     kind = "program"
 
@@ -326,6 +334,14 @@ class ProgramCampaignSpec:
             raise ValueError(
                 f"burst_cells must be >= 1, got {self.burst_cells}"
             )
+        from repro.runtime.opt import OPT_LEVELS
+
+        if self.opt_level not in OPT_LEVELS:
+            raise ValueError(
+                f"opt_level must be one of {OPT_LEVELS}, got {self.opt_level}"
+            )
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
         # Normalize dict-style inputs into hashable tuples.
         if isinstance(self.params, dict):
             object.__setattr__(self, "params", tuple(sorted(self.params.items())))
@@ -380,6 +396,10 @@ class ProgramCampaignSpec:
             "stuck_window",
             "burst_cells",
             "recover_retries",
+            # Batch grouping never changes the golden run; opt_level
+            # stays IN the digest — the cached _PreparedProgram carries
+            # a kernel compiled at that level.
+            "batch",
         ):
             data.pop(key, None)
         payload = json.dumps(data, sort_keys=True)
@@ -436,12 +456,20 @@ class ProgramCampaignSpec:
             # options skip the instrumenter entirely (and across
             # processes too when REPRO_INSTRUMENT_CACHE names a
             # directory — worker processes inherit the env var).
+            from repro.runtime.opt import config_for_level
+
+            backend_fp = (
+                config_for_level(self.opt_level).fingerprint()
+                if self.backend == "compiled"
+                else None
+            )
             program, _ = instrument_cached(
                 program,
                 InstrumentationOptions(
                     index_set_splitting=self.split,
                     hoist_inspectors=self.hoist,
                 ),
+                backend_fingerprint=backend_fp,
             )
         # Compile once per worker; every trial (and the golden run)
         # reuses the kernel.  Unsupported constructs fall back to the
@@ -450,7 +478,7 @@ class ProgramCampaignSpec:
         kernel = None
         if self.backend == "compiled":
             try:
-                kernel = compile_program(program)
+                kernel = compile_program(program, opt_level=self.opt_level)
             except CompileError:
                 kernel = None
         if kernel is not None:

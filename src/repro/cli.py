@@ -125,6 +125,7 @@ def cmd_run(args) -> int:
         initial_values=values,
         channels=args.channels,
         register_budget=args.register_budget,
+        opt_level=args.opt_level,
     )
     if args.register_budget is not None:
         print(f"register spills: {result.spills}")
@@ -231,6 +232,8 @@ def _campaign_spec_from_args(args):
         fault_model=args.fault_model,
         stuck_window=args.stuck_window,
         burst_cells=args.burst_cells,
+        opt_level=args.opt_level,
+        batch=args.batch,
     )
     if args.benchmark is not None:
         from repro.programs import ALL_BENCHMARKS
@@ -240,12 +243,15 @@ def _campaign_spec_from_args(args):
                 f"unknown benchmark '{args.benchmark}' "
                 f"(choices: {', '.join(sorted(ALL_BENCHMARKS))})"
             )
-        return ProgramCampaignSpec(
-            benchmark=args.benchmark,
-            scale=args.scale,
-            params=_parse_params(args.param),
-            **kwargs,
-        )
+        try:
+            return ProgramCampaignSpec(
+                benchmark=args.benchmark,
+                scale=args.scale,
+                params=_parse_params(args.param),
+                **kwargs,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
     try:
         with open(args.file) as handle:
             text = handle.read()
@@ -429,6 +435,12 @@ def main(argv: list[str] | None = None) -> int:
                        default="compiled",
                        help="execution backend (compiled falls back to the "
                        "interpreter on unsupported constructs)")
+    p_run.add_argument("--opt-level", type=int, choices=(0, 1, 2), default=2,
+                       help="compiled-backend optimization level "
+                       "(0 = straight translation, 1 = folding+LICM+"
+                       "fusion+unrolling, 2 = +caching and the inline "
+                       "memory fast path; results are bit-identical "
+                       "at every level)")
     p_run.add_argument("--dump", action="append", default=None,
                        metavar="ARRAY", help="print an array after the run")
     p_run.add_argument("--recover", action="store_true",
@@ -492,6 +504,14 @@ def main(argv: list[str] | None = None) -> int:
                         default="compiled",
                         help="per-trial execution backend (bit-identical "
                         "results; compiled is faster)")
+    p_crun.add_argument("--opt-level", type=int, choices=(0, 1, 2),
+                        default=2,
+                        help="compiled-backend optimization level "
+                        "(verdicts are identical at every level)")
+    p_crun.add_argument("--batch", type=int, default=1, metavar="T",
+                        help="run T trials per batch against one shared "
+                        "memory image (records are canonical-identical "
+                        "to --batch 1)")
     p_crun.add_argument("--instrument-cache", default=None, metavar="DIR",
                         help="on-disk instrumentation cache shared by all "
                         "workers (sets REPRO_INSTRUMENT_CACHE)")

@@ -88,17 +88,24 @@ _disk_hits = 0
 
 
 def cache_key(
-    program: Program, options: InstrumentationOptions | None = None
+    program: Program,
+    options: InstrumentationOptions | None = None,
+    backend_fingerprint: str | None = None,
 ) -> str:
-    """SHA-256 over the printed program, every options field, and the
-    instrumenter's own code digest.
+    """SHA-256 over the printed program, every options field, the
+    instrumenter's own code digest, and (when given) the consuming
+    backend's fingerprint.
 
     Adding a field to ``InstrumentationOptions`` automatically changes
     the key, so stale entries can never be served across an options
     schema change; :func:`instrumenter_code_digest` does the same for
     changes to the instrumenter implementation itself (an on-disk cache
     surviving a ``git pull`` would otherwise serve outputs of the old
-    code).
+    code).  ``backend_fingerprint`` (e.g. the kernel optimizer's
+    ``OptConfig.fingerprint()``) partitions the cache per backend
+    configuration: entries addressed under one optimizer level can
+    never be served to a campaign running another, even across
+    processes sharing one on-disk directory.
     """
     options = options or InstrumentationOptions()
     option_items = tuple(
@@ -110,16 +117,20 @@ def cache_key(
         + repr(option_items)
         + "\n#code#"
         + instrumenter_code_digest()
+        + "\n#backend#"
+        + (backend_fingerprint or "")
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def instrument_cached(
-    program: Program, options: InstrumentationOptions | None = None
+    program: Program,
+    options: InstrumentationOptions | None = None,
+    backend_fingerprint: str | None = None,
 ) -> _Entry:
     """``instrument_program`` memoized under the content-addressed key."""
     global _hits, _misses, _evictions, _disk_hits
-    key = cache_key(program, options)
+    key = cache_key(program, options, backend_fingerprint)
     entry = _CACHE.get(key)
     if entry is not None:
         _hits += 1

@@ -30,6 +30,42 @@ classification of :meth:`Interpreter._count_arith` is resolved at
 compile time; otherwise a runtime ``isinstance`` check is emitted that
 mirrors the interpreter exactly.
 
+On top of that baseline the emitter runs the optimization pipeline of
+:mod:`repro.runtime.opt` when given a non-trivial :class:`OptConfig`:
+
+* **count coalescing / folding** — pure subexpressions fold to single
+  Python expressions and their statically known count vectors are
+  buffered and flushed as one merged ``_n_* += k`` line per basic
+  block.  Pending counts are always materialized before any point
+  where a ``ChecksumAssert`` could raise ``_Halt`` (the only unwind
+  that still returns a result) and at every divergent-control suite
+  boundary; aborting exceptions (``StepLimitExceeded``,
+  ``InterpreterError``, strict memory errors) discard the result, so
+  they need no flush.  Folded *raising* atoms (``/``/``%`` by zero)
+  are materialized at the interpreter's exact evaluation point so
+  error order is preserved; non-raising folds may move freely.
+* **LICM** — loop-invariant non-raising folded values are computed in
+  a per-loop preamble (speculatively: they are pure, so evaluating
+  them for a zero-trip loop is unobservable).  Counts are *not*
+  hoisted — they accrue at each use site exactly as interpreted.
+* **guard fusion** — an ``&&`` conjunction of pure leaves (the guard
+  chains index-set splitting emits) compiles to one merged range test;
+  the interpreter's per-leaf count scenarios are replayed from a
+  compile-time simulation on whichever side the test lands.
+* **unrolling** — constant-trip loops up to ``UNROLL_LIMIT`` and
+  provably 0/1-trip loops (the ``min``/``max``-clamped degenerate
+  split pieces) lose their ``for`` machinery.
+* **static bundle-cache elimination** — when affine analysis decides
+  every bundle-cache hit/miss at compile time, the runtime dict
+  disappears and cache hits re-count their index arithmetic without
+  touching memory, exactly as the interpreter's dict hit would.
+* **inlined memory** (``inline_mem``) — a second kernel body with
+  bounds checks and word-array accesses inlined, used only when no
+  fault injector is attached (the selection happens at run time in
+  :class:`~repro.runtime.compile.CompiledKernel`); out-of-bounds
+  accesses fall back to the :class:`Memory` methods so wild-read and
+  strict-mode semantics stay identical.
+
 Programs using features the emitter does not model (``register_budget``
 spill simulation is handled one level up, in
 :mod:`repro.runtime.compile`) raise :class:`CompileError`; callers fall
@@ -37,6 +73,8 @@ back to the interpreter.
 """
 
 from __future__ import annotations
+
+import re
 
 from repro.ir.nodes import (
     ArrayRef,
@@ -59,23 +97,20 @@ from repro.ir.nodes import (
     WhileLoop,
     walk_expressions,
 )
+from repro.runtime.opt import (
+    COUNTERS as _COUNTERS,
+    OptConfig,
+    UNROLL_LIMIT,
+    analyze_guard_chain,
+    fuse_condition,
+    loop_trip_at_most_one,
+    loop_trip_constant,
+    ref_affine_key,
+    try_fold,
+)
 from repro.runtime.state import _valid_name
 
 MASK64 = (1 << 64) - 1
-
-_COUNTERS = (
-    "loads",
-    "stores",
-    "fp_adds",
-    "fp_muls",
-    "fp_divs",
-    "fp_sqrts",
-    "fp_others",
-    "int_ops",
-    "branches",
-    "checksum_ops",
-    "counter_ops",
-)
 
 _CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
 _ARITH_FP_BUCKET = {
@@ -85,6 +120,9 @@ _ARITH_FP_BUCKET = {
     "/": "_n_fp_divs",
     "%": "_n_fp_divs",
 }
+
+_SIMPLE_ATOM = re.compile(r"^(?:[A-Za-z_]\w*|-?\d+)$")
+_FREE_VARS = re.compile(r"\bv_(\w+)")
 
 
 class CompileError(Exception):
@@ -99,11 +137,25 @@ def _pytype(elem_type: str) -> str:
     raise CompileError(f"unknown element type {elem_type!r}")
 
 
+class _Frame:
+    """One LICM hoisting target: the preamble of one loop statement."""
+
+    __slots__ = ("var", "depth", "preamble", "cache", "outer")
+
+    def __init__(self, var: str | None, depth: int, outer: list[str]) -> None:
+        self.var = var
+        self.depth = depth
+        self.preamble: list[str] = []
+        self.cache: dict[str, str] = {}
+        self.outer = outer
+
+
 class _Emitter:
     """Stateful line emitter for one program."""
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, opt: OptConfig | None = None) -> None:
         self.program = program
+        self.opt = opt if opt is not None else OptConfig()
         self.lines: list[str] = []
         self.depth = 1
         self._temp = 0
@@ -125,6 +177,25 @@ class _Emitter:
         # branch, short-circuit right operand) memo entries must not be
         # created: the load may not have happened on this path.
         self._cond_depth = 0
+        # Pending (compile-time constant) count increments, flushed as
+        # one merged line per basic block; ``_pend_ch`` counts pending
+        # multiples of the runtime ``_channels`` for checksum_ops.
+        self._pend: dict[str, int] = {}
+        self._pend_ch = 0
+        # Static bundle cache (affine symbolic simulation of the
+        # interpreter's per-bundle load cache); ``None`` → dynamic.
+        self._symcache: dict | None = None
+        # LICM frame stack (innermost last).
+        self.frames: list[_Frame] = []
+        self._hoist_n = 0
+        # name -> (local index, rank) for inlined-memory regions.
+        self._region_local: dict[str, tuple[int, int]] = {}
+        if self.opt.inline_mem:
+            decls = list(program.arrays) + list(program.scalars)
+            for i, decl in enumerate(decls):
+                rank = len(getattr(decl, "dims", ()) or ())
+                if rank <= 2:
+                    self._region_local[decl.name] = (i, rank)
 
     # -- low-level helpers ------------------------------------------------
     def out(self, line: str) -> None:
@@ -136,6 +207,14 @@ class _Emitter:
 
     def _as_int(self, atom: str, typ: str) -> str:
         return atom if typ == "int" else f"int({atom})"
+
+    def _simple(self, atom: str) -> str:
+        """Materialize a compound atom into a temp for repeated use."""
+        if _SIMPLE_ATOM.match(atom):
+            return atom
+        t = self.tmp()
+        self.out(f"{t} = {atom}")
+        return t
 
     def _elem_type(self, name: str) -> str:
         if name in self.array_types:
@@ -163,15 +242,158 @@ class _Emitter:
             return f"{inner} & 18446744073709551615"
         raise CompileError(f"unknown element type {elem_type!r}")
 
+    # -- pending counter buffer -------------------------------------------
+    def count(self, bucket: str, n: int = 1) -> None:
+        """Record ``n`` interpreter count units for ``bucket``.
+
+        With folding enabled the increment is buffered and later merged
+        into one flush line; otherwise it is emitted immediately (the
+        level-0 reference emission).  Callers must only use this for
+        increments that are *unconditional* at the current emission
+        point — runtime-conditional counts (dynamic cache miss arms,
+        channel-dependent totals) are emitted directly.
+        """
+        if not n:
+            return
+        if self.opt.fold:
+            self._pend[bucket] = self._pend.get(bucket, 0) + n
+        else:
+            self.out(f"_n_{bucket} += {n}" if n != 1 else f"_n_{bucket} += 1")
+
+    def count_channels(self, n: int = 1) -> None:
+        """``checksum_ops += n * _channels`` (runtime channel count)."""
+        if self.opt.fold:
+            self._pend_ch += n
+        else:
+            self.out(
+                "_n_checksum_ops += _channels"
+                if n == 1
+                else f"_n_checksum_ops += {n} * _channels"
+            )
+
+    def flush(self) -> None:
+        """Materialize pending counts as one merged increment line."""
+        parts = []
+        for bucket in _COUNTERS:
+            value = self._pend.get(bucket)
+            if value:
+                parts.append(f"_n_{bucket} += {value}")
+        if self._pend_ch:
+            parts.append(
+                "_n_checksum_ops += _channels"
+                if self._pend_ch == 1
+                else f"_n_checksum_ops += {self._pend_ch} * _channels"
+            )
+        self._pend.clear()
+        self._pend_ch = 0
+        if parts:
+            self.out("; ".join(parts))
+
+    def _arm_begin(self) -> tuple[dict[str, int], int, int]:
+        """Enter a conditionally executed suite: its counts must land
+        inside the suite, so give it a fresh pending buffer."""
+        saved = (self._pend, self._pend_ch, len(self.lines))
+        self._pend = {}
+        self._pend_ch = 0
+        return saved
+
+    def _arm_end(self, saved) -> None:
+        """Flush the arm's own counts inside the suite and restore the
+        caller's buffer (emitting ``pass`` for an empty suite)."""
+        pend, pend_ch, mark = saved
+        self.flush()
+        if len(self.lines) == mark:
+            self.out("pass")
+        self._pend = pend
+        self._pend_ch = pend_ch
+
+    # -- LICM frames -------------------------------------------------------
+    def _push_frame(self, var: str | None) -> _Frame | None:
+        if not self.opt.licm:
+            return None
+        frame = _Frame(var, self.depth, self.lines)
+        self.frames.append(frame)
+        self.lines = []
+        return frame
+
+    def _pop_frame(self, frame: _Frame | None) -> None:
+        if frame is None:
+            return
+        self.frames.pop()
+        body = self.lines
+        self.lines = frame.outer
+        pad = "    " * frame.depth
+        self.lines.extend(pad + line for line in frame.preamble)
+        self.lines.extend(body)
+
+    def _hoist_to(
+        self, atom: str, free: frozenset[str] | set[str], min_frames: int = 0
+    ) -> str:
+        """Hoist a pure non-raising value atom to the outermost frame
+        it is invariant in; counts are never hoisted (they stay at the
+        use site), so speculative evaluation is unobservable."""
+        target = None
+        for frame in reversed(self.frames):
+            if frame.var is not None and frame.var in free:
+                break
+            target = frame
+        if target is None:
+            return atom
+        if target.var is None and target is self.frames[-1]:
+            # Top-level straight-line code: nothing to hoist out of.
+            return atom
+        name = target.cache.get(atom)
+        if name is None:
+            self._hoist_n += 1
+            name = f"_h{self._hoist_n}"
+            target.cache[atom] = name
+            target.preamble.append(f"{name} = {atom}")
+        return name
+
+    def _hoist_atom(self, atom: str) -> str:
+        """Best-effort hoist of a scaffolding atom (fused guard bounds):
+        pure affine/min/max forms whose free variables are exactly the
+        ``v_`` names it mentions."""
+        if not self.opt.licm or not self.frames or _SIMPLE_ATOM.match(atom):
+            return atom
+        free = set(_FREE_VARS.findall(atom))
+        return self._hoist_to(atom, free)
+
+    # -- folding -----------------------------------------------------------
+    def _use_folded(self, f, condition: bool = False) -> str:
+        """Account a folded expression's counts and return its atom.
+
+        Raising atoms are materialized immediately so a division/modulo
+        error aborts at the interpreter's exact evaluation point (no
+        load may be reordered before it); non-raising atoms are pure
+        and may be inlined or hoisted freely.
+        """
+        for bucket, n in f.counts:
+            self.count(bucket, n)
+        if f.raising:
+            t = self.tmp()
+            self.out(f"{t} = {f.atom}")
+            return t
+        atom = f.condition if condition else f.atom
+        if self.opt.licm and f.complexity >= 3 and self.frames:
+            return self._hoist_to(atom, f.free)
+        return atom
+
     # -- data references --------------------------------------------------
-    def _index_tuple(self, indices, cache) -> str:
-        """Atom for an int-converted index tuple (evaluated in order)."""
-        if not indices:
-            return "()"
-        atoms = [
+    def _index_atoms(self, indices, cache) -> list[str]:
+        """Int-converted index atoms (evaluated in order)."""
+        return [
             self._as_int(*self.eval_expr(index, cache)) for index in indices
         ]
+
+    @staticmethod
+    def _tuple_atom(atoms: list[str]) -> str:
+        if not atoms:
+            return "()"
         return "(" + ", ".join(atoms) + ",)"
+
+    def _index_tuple(self, indices, cache) -> str:
+        return self._tuple_atom(self._index_atoms(indices, cache))
 
     def _memoizable(self, ref) -> bool:
         """Re-evaluating this ref's indices has no observable effect.
@@ -198,14 +420,248 @@ class _Emitter:
             ]:
                 del self._memo[ref]
 
-    def load_ref(self, ref, cache: str | None):
+    # -- raw memory access (inlined-memory fast path) ---------------------
+    def _emit_raw_load(
+        self, name: str, idx_atoms: list[str], need_addr: bool
+    ) -> tuple[str, str | None]:
+        """Emit one load event; returns ``(bits_atom, addr_atom)``.
+
+        Memory-side load counting is handled here (inline arm bumps the
+        local ``_lc``; the method fallback self-counts) — OpCounts'
+        ``loads`` bucket is the caller's job.
+        """
+        info = self._region_local.get(name)
+        idx = self._tuple_atom(idx_atoms)
+        if info is None or info[1] != len(idx_atoms):
+            bits = self.tmp()
+            if need_addr:
+                addr = self.tmp()
+                self.out(f"{bits}, {addr} = _lba({name!r}, {idx})")
+                return bits, addr
+            self.out(f"{bits} = _lb({name!r}, {idx})")
+            return bits, None
+        ri, rank = info
+        bits = self.tmp()
+        if rank == 0:
+            self.out(f"_lc += 1; {bits} = _w{ri}[0]")
+            return bits, (f"_b{ri}" if need_addr else None)
+        atoms = [self._simple(a) for a in idx_atoms]
+        idx = self._tuple_atom(atoms)
+        addr = self.tmp() if need_addr else None
+        if rank == 1:
+            o = atoms[0]
+            self.out(f"if 0 <= {o} < _d{ri}_0:")
+            self.out(f"    _lc += 1; {bits} = _w{ri}[{o}]")
+            if need_addr:
+                self.out(f"    {addr} = _b{ri} + {o} * 8")
+        else:
+            i, j = atoms
+            self.out(
+                f"if 0 <= {i} < _d{ri}_0 and 0 <= {j} < _d{ri}_1:"
+            )
+            if need_addr:
+                off = self.tmp()
+                self.out(f"    {off} = {i} * _d{ri}_1 + {j}")
+                self.out(f"    _lc += 1; {bits} = _w{ri}[{off}]")
+                self.out(f"    {addr} = _b{ri} + {off} * 8")
+            else:
+                self.out(f"    _lc += 1; {bits} = _w{ri}[{i} * _d{ri}_1 + {j}]")
+        self.out("else:")
+        if need_addr:
+            self.out(f"    {bits}, {addr} = _lba({name!r}, {idx})")
+        else:
+            self.out(f"    {bits} = _lb({name!r}, {idx})")
+        return bits, addr
+
+    def _emit_raw_store(
+        self, name: str, idx_atoms: list[str], bits_atom: str, need_addr: bool
+    ) -> str | None:
+        """Emit one store event (``bits_atom`` must be pre-masked);
+        returns the address atom when requested."""
+        info = self._region_local.get(name)
+        idx = self._tuple_atom(idx_atoms)
+        if info is None or info[1] != len(idx_atoms):
+            if need_addr:
+                addr = self.tmp()
+                self.out(f"{addr} = _sba({name!r}, {idx}, {bits_atom})")
+                return addr
+            self.out(f"_sb({name!r}, {idx}, {bits_atom})")
+            return None
+        ri, rank = info
+        if rank == 0:
+            self.out(f"_sc += 1; _w{ri}[0] = {bits_atom}; _R{ri}.version += 1")
+            return f"_b{ri}" if need_addr else None
+        atoms = [self._simple(a) for a in idx_atoms]
+        idx = self._tuple_atom(atoms)
+        addr = self.tmp() if need_addr else None
+        if rank == 1:
+            o = atoms[0]
+            self.out(f"if 0 <= {o} < _d{ri}_0:")
+            self.out(
+                f"    _sc += 1; _w{ri}[{o}] = {bits_atom}; _R{ri}.version += 1"
+            )
+            if need_addr:
+                self.out(f"    {addr} = _b{ri} + {o} * 8")
+        else:
+            i, j = atoms
+            off = self.tmp()
+            self.out(f"if 0 <= {i} < _d{ri}_0 and 0 <= {j} < _d{ri}_1:")
+            self.out(f"    {off} = {i} * _d{ri}_1 + {j}")
+            self.out(
+                f"    _sc += 1; _w{ri}[{off}] = {bits_atom}; "
+                f"_R{ri}.version += 1"
+            )
+            if need_addr:
+                self.out(f"    {addr} = _b{ri} + {off} * 8")
+        self.out("else:")
+        if need_addr:
+            self.out(f"    {addr} = _sba({name!r}, {idx}, {bits_atom})")
+        else:
+            self.out(f"    _sb({name!r}, {idx}, {bits_atom})")
+        return addr
+
+    # -- bundle cache planning --------------------------------------------
+    def _scan_reads(self, expr, conditional: bool, reads: list) -> None:
+        """Collect data-reference read events (with a flag for reads on
+        conditionally executed paths) from one expression tree."""
+        if isinstance(expr, Const):
+            return
+        if isinstance(expr, VarRef):
+            if expr.name not in self.bound and (
+                expr.name in self.scalar_types or expr.name in self.array_types
+            ):
+                reads.append((expr, conditional))
+            return
+        if isinstance(expr, ArrayRef):
+            reads.append((expr, conditional))
+            for index in expr.indices:
+                self._scan_reads(index, conditional, reads)
+            return
+        if isinstance(expr, BinOp):
+            cond_right = conditional or expr.op in ("&&", "||")
+            self._scan_reads(expr.left, conditional, reads)
+            self._scan_reads(expr.right, cond_right, reads)
+            return
+        if isinstance(expr, UnOp):
+            self._scan_reads(expr.operand, conditional, reads)
+            return
+        if isinstance(expr, Call):
+            for arg in expr.args:
+                self._scan_reads(arg, conditional, reads)
+            return
+        if isinstance(expr, Select):
+            self._scan_reads(expr.cond, conditional, reads)
+            self._scan_reads(expr.if_true, True, reads)
+            self._scan_reads(expr.if_false, True, reads)
+            return
+        # Unknown node: emission will raise CompileError; treat as a
+        # conditional read so planning stays conservative.
+        reads.append((None, True))
+
+    def _ref_key(self, ref):
+        return ref_affine_key(ref, self.bound, self.scalar_types)
+
+    def _begin_bundle(self, exprs, explicit_reads=(), writes=()) -> bool:
+        """Choose the bundle's load-cache strategy and open the bundle.
+
+        Returns whether the *dynamic* runtime cache dict is live (the
+        pre-optimizer machinery: ``_bc`` dict plus store pops).  In
+        static mode :attr:`_symcache` simulates the interpreter's cache
+        at compile time; with no reads at all no cache exists.
+        """
+        reads: list = []
+        for expr in exprs:
+            self._scan_reads(expr, False, reads)
+        for ref in explicit_reads:
+            # Explicit reads load even when a loop variable shadows the
+            # scalar name (the interpreter's _is_data_ref checks the
+            # declaration before the environment).
+            reads.append((ref, False))
+            if isinstance(ref, ArrayRef):
+                for index in ref.indices:
+                    self._scan_reads(index, False, reads)
+        self._memo = {}
+        self._symcache = None
+        if not reads:
+            return False
+        static = False
+        if self.opt.static_cache:
+            if len(reads) == 1:
+                # A single read event can never hit any cache: it is
+                # always the bundle's first (and only) load.
+                static = True
+            elif all(ref is not None and not c for ref, c in reads):
+                keys = []
+                ok = True
+                for ref, _ in reads:
+                    key = self._ref_key(ref)
+                    if key is None:
+                        ok = False
+                        break
+                    if isinstance(ref, ArrayRef) and any(
+                        try_fold(index, self.bound) is None
+                        for index in ref.indices
+                    ):
+                        ok = False
+                        break
+                    keys.append(key)
+                if ok:
+                    for ref in writes:
+                        if ref is None:
+                            continue
+                        key = self._ref_key(ref)
+                        if key is None:
+                            ok = False
+                            break
+                        keys.append(key)
+                if ok:
+                    from repro.runtime.opt import keys_never_alias
+
+                    static = all(
+                        a == b or keys_never_alias(a, b)
+                        for m, a in enumerate(keys)
+                        for b in keys[m + 1 :]
+                    )
+        if static:
+            self._symcache = {}
+            self._memo = None
+            return False
+        self.out("_bc = {}")
+        return True
+
+    def _end_bundle(self) -> None:
+        self._symcache = None
+        self._memo = None
+
+    def _pop_store_key(self, ref, cached: bool, tname: str, tidx: str) -> None:
+        """Invalidate the stored cell's cache entry (both cache modes)."""
+        if self._symcache is not None:
+            key = self._ref_key(ref)
+            if key is not None:
+                self._symcache.pop(key, None)
+            # A non-affine store key can only occur in a single-read
+            # bundle, where no later read exists to observe staleness.
+            return
+        if cached:
+            self.out(f"_bc.pop(({tname!r}, {tidx}), None)")
+        self._invalidate_memo(tname)
+
+    # -- loads -------------------------------------------------------------
+    def load_ref(
+        self, ref, cache: str | None, need_value: bool = True,
+        need_addr: bool = False,
+    ):
         """Emit a load of a data reference.
 
-        Returns ``(value, bits, address, type)`` atom strings; address
-        is only materialized on the cached path (the interpreter's
-        uncached loads compute it too, but it is never observable
-        there — ``Memory.address_of`` touches no counters).
+        Returns ``(value, bits, address, type)`` atom strings; value and
+        address are only guaranteed materialized when requested (the
+        interpreter's cached loads always compute the address, but it
+        is observable only through checksum contributions — and
+        ``Memory.address_of`` is pure and uncounted, so deferring it is
+        invisible).
         """
+        if self._symcache is not None:
+            return self._load_ref_static(ref, need_value, need_addr)
         memoizable = (
             cache is not None
             and self._memo is not None
@@ -217,29 +673,26 @@ class _Emitter:
                 return hit4
         if isinstance(ref, ArrayRef):
             name = ref.array
-            idx = self._index_tuple(ref.indices, cache)
+            idx_atoms = self._index_atoms(ref.indices, cache)
         else:
             name = ref.name
             if name not in self.scalar_types and name not in self.array_types:
                 raise CompileError(f"unbound data reference {name!r}")
-            idx = "()"
+            idx_atoms = []
         elem_type = self._elem_type(name)
         if cache is None:
-            bits = self.tmp()
+            bits, _ = self._emit_raw_load(name, idx_atoms, need_addr=False)
+            self.count("loads")
             value = self.tmp()
-            self.out(f"{bits} = _lb({name!r}, {idx})")
-            self.out("_n_loads += 1")
             self.out(f"{value} = {self._decode(bits, elem_type)}")
             return value, bits, "None", _pytype(elem_type)
         key = self.tmp()
         hit = self.tmp()
-        self.out(f"{key} = ({name!r}, {idx})")
+        self.out(f"{key} = ({name!r}, {self._tuple_atom(idx_atoms)})")
         self.out(f"{hit} = {cache}.get({key})")
         self.out(f"if {hit} is None:")
         self.depth += 1
-        bits = self.tmp()
-        addr = self.tmp()
-        self.out(f"{bits}, {addr} = _lba({name!r}, {key}[1])")
+        bits, addr = self._emit_raw_load(name, idx_atoms, need_addr=True)
         self.out("_n_loads += 1")
         self.out(f"{hit} = ({self._decode(bits, elem_type)}, {bits}, {addr})")
         self.out(f"{cache}[{key}] = {hit}")
@@ -254,10 +707,87 @@ class _Emitter:
             self._memo[ref] = result
         return result
 
+    def _load_ref_static(self, ref, need_value: bool, need_addr: bool):
+        """Static-cache load: the hit/miss decision was made at compile
+        time, so a hit emits no memory traffic at all — only the index
+        re-evaluation counts the interpreter's dict hit would accrue."""
+        if isinstance(ref, ArrayRef):
+            name = ref.array
+            indices = ref.indices
+        else:
+            name = ref.name
+            if name not in self.scalar_types and name not in self.array_types:
+                raise CompileError(f"unbound data reference {name!r}")
+            indices = ()
+        elem_type = self._elem_type(name)
+        key = self._ref_key(ref)
+        entry = self._symcache.get(key) if key is not None else None
+        if entry is not None:
+            # Cache hit: the interpreter re-evaluates the index
+            # expressions to build the runtime key (re-counting their
+            # arithmetic) and touches nothing else.
+            for index in indices:
+                folded = try_fold(index, self.bound)
+                for bucket, n in folded.counts:
+                    self.count(bucket, n)
+            value = entry["value"]
+            if need_value and value is None:
+                value = self.tmp()
+                self.out(f"{value} = {self._decode(entry['bits'], elem_type)}")
+                entry["value"] = value
+            addr = entry["addr"]
+            if need_addr and addr is None:
+                addr = self.tmp()
+                self.out(f"{addr} = _adr({name!r}, {entry['idx']})")
+                entry["addr"] = addr
+            return (
+                value if value is not None else "None",
+                entry["bits"],
+                addr if addr is not None else "None",
+                _pytype(elem_type),
+            )
+        idx_atoms = self._index_atoms(indices, None)
+        bits, addr = self._emit_raw_load(name, idx_atoms, need_addr=need_addr)
+        self.count("loads")
+        value = None
+        if need_value:
+            value = self.tmp()
+            self.out(f"{value} = {self._decode(bits, elem_type)}")
+        entry = {
+            "bits": bits,
+            "addr": addr,
+            "value": value,
+            "idx": self._tuple_atom(idx_atoms),
+        }
+        if key is not None and self._cond_depth == 0:
+            self._symcache[key] = entry
+        return (
+            value if value is not None else "None",
+            bits,
+            addr if addr is not None else "None",
+            _pytype(elem_type),
+        )
+
     # -- expressions ------------------------------------------------------
     def eval_expr(self, expr: Expr, cache: str | None) -> tuple[str, str]:
         """Emit evaluation code; return ``(atom, type)`` with type one of
         ``"int"``, ``"float"``, ``"dyn"``."""
+        if self.opt.fold:
+            folded = try_fold(expr, self.bound)
+            if folded is not None:
+                return self._use_folded(folded), folded.typ
+        return self._eval_dispatch(expr, cache)
+
+    def eval_cond(self, expr: Expr, cache: str | None) -> str:
+        """Like :meth:`eval_expr` but in condition position: a folded
+        comparison keeps its raw (un-reified) boolean form."""
+        if self.opt.fold:
+            folded = try_fold(expr, self.bound)
+            if folded is not None:
+                return self._use_folded(folded, condition=True)
+        return self._eval_dispatch(expr, cache)[0]
+
+    def _eval_dispatch(self, expr: Expr, cache: str | None) -> tuple[str, str]:
         if isinstance(expr, Const):
             if isinstance(expr.value, bool) or not isinstance(
                 expr.value, (int, float)
@@ -288,10 +818,11 @@ class _Emitter:
     def _emit_count_arith(self, op: str, la: str, lt: str, ra: str, rt: str):
         bucket = _ARITH_FP_BUCKET[op]
         if lt == "float" or rt == "float":
-            self.out(f"{bucket} += 1")
+            self.count(bucket[3:])
         elif lt == "int" and rt == "int":
-            self.out("_n_int_ops += 1")
+            self.count("int_ops")
         else:
+            self.flush()
             self.out(f"if isinstance({la}, float) or isinstance({ra}, float):")
             self.out(f"    {bucket} += 1")
             self.out("else:")
@@ -302,14 +833,16 @@ class _Emitter:
         res = self.tmp()
         if op in ("&&", "||"):
             la, _ = self.eval_expr(expr.left, cache)
-            self.out("_n_branches += 1")
+            self.count("branches")
             if op == "&&":
                 self.out(f"if {la}:")
                 self.depth += 1
+                saved = self._arm_begin()
                 self._cond_depth += 1
                 ra, _ = self.eval_expr(expr.right, cache)
                 self._cond_depth -= 1
                 self.out(f"{res} = 1 if {ra} else 0")
+                self._arm_end(saved)
                 self.depth -= 1
                 self.out("else:")
                 self.out(f"    {res} = 0")
@@ -318,16 +851,18 @@ class _Emitter:
                 self.out(f"    {res} = 1")
                 self.out("else:")
                 self.depth += 1
+                saved = self._arm_begin()
                 self._cond_depth += 1
                 ra, _ = self.eval_expr(expr.right, cache)
                 self._cond_depth -= 1
                 self.out(f"{res} = 1 if {ra} else 0")
+                self._arm_end(saved)
                 self.depth -= 1
             return res, "int"
         la, lt = self.eval_expr(expr.left, cache)
         ra, rt = self.eval_expr(expr.right, cache)
         if op in _CMP_OPS:
-            self.out("_n_int_ops += 1")
+            self.count("int_ops")
             self.out(f"{res} = 1 if {la} {op} {ra} else 0")
             return res, "int"
         if op not in _ARITH_FP_BUCKET:
@@ -359,10 +894,11 @@ class _Emitter:
             # _count_arith("-", operand, 0): the literal 0 is an int, so
             # the classification depends only on the operand.
             if ot == "float":
-                self.out("_n_fp_adds += 1")
+                self.count("fp_adds")
             elif ot == "int":
-                self.out("_n_int_ops += 1")
+                self.count("int_ops")
             else:
+                self.flush()
                 self.out(f"if isinstance({oa}, float):")
                 self.out("    _n_fp_adds += 1")
                 self.out("else:")
@@ -370,7 +906,7 @@ class _Emitter:
             self.out(f"{res} = -({oa})")
             return res, ot
         if expr.op == "!":
-            self.out("_n_int_ops += 1")
+            self.count("int_ops")
             self.out(f"{res} = 0 if {oa} else 1")
             return res, "int"
         raise CompileError(f"unknown unary op {expr.op!r}")
@@ -387,15 +923,15 @@ class _Emitter:
         elif len(atoms) < arity:
             raise CompileError(f"{func}() needs {arity} argument(s)")
         if func == "sqrt":
-            self.out("_n_fp_sqrts += 1")
+            self.count("fp_sqrts")
             self.out(f"{res} = _rsqrt({atoms[0]})")
             return res, "float"
         if func == "abs":
-            self.out("_n_fp_others += 1")
+            self.count("fp_others")
             self.out(f"{res} = abs({atoms[0]})")
             return res, evaluated[0][1]
         if func in ("min", "max"):
-            self.out("_n_int_ops += 1")
+            self.count("int_ops")
             if len(atoms) == 1:
                 self.out(f"{res} = {atoms[0]}")
                 return res, evaluated[0][1]
@@ -403,23 +939,23 @@ class _Emitter:
             types = {typ for _, typ in evaluated}
             return res, types.pop() if len(types) == 1 else "dyn"
         if func == "exp":
-            self.out("_n_fp_others += 1")
+            self.count("fp_others")
             self.out(f"{res} = _rexp({atoms[0]})")
             return res, "float"
         if func == "sin":
-            self.out("_n_fp_others += 1")
+            self.count("fp_others")
             self.out(f"{res} = _sin({atoms[0]})")
             return res, "float"
         if func == "cos":
-            self.out("_n_fp_others += 1")
+            self.count("fp_others")
             self.out(f"{res} = _cos({atoms[0]})")
             return res, "float"
         if func == "floor":
-            self.out("_n_int_ops += 1")
+            self.count("int_ops")
             self.out(f"{res} = _floor({atoms[0]})")
             return res, "int"
         if func == "mod":
-            self.out("_n_int_ops += 1")
+            self.count("int_ops")
             self.out(f"{res} = {atoms[0]} % {atoms[1]}")
             lt, rt = evaluated[0][1], evaluated[1][1]
             if lt == "int" and rt == "int":
@@ -430,19 +966,23 @@ class _Emitter:
         raise CompileError(f"unknown intrinsic {func!r}")
 
     def _emit_select(self, expr: Select, cache) -> tuple[str, str]:
-        self.out("_n_branches += 1")
-        ca, _ = self.eval_expr(expr.cond, cache)
+        self.count("branches")
+        ca = self.eval_cond(expr.cond, cache)
         res = self.tmp()
         self._cond_depth += 1
         self.out(f"if {ca}:")
         self.depth += 1
+        saved = self._arm_begin()
         ta, tt = self.eval_expr(expr.if_true, cache)
         self.out(f"{res} = {ta}")
+        self._arm_end(saved)
         self.depth -= 1
         self.out("else:")
         self.depth += 1
+        saved = self._arm_begin()
         fa, ft = self.eval_expr(expr.if_false, cache)
         self.out(f"{res} = {fa}")
+        self._arm_end(saved)
         self.depth -= 1
         self._cond_depth -= 1
         return res, tt if tt == ft else "dyn"
@@ -453,6 +993,8 @@ class _Emitter:
             self.emit_statement(stmt)
 
     def emit_statement(self, stmt: Stmt) -> None:
+        # The step-limit unwind discards the result, so pending counts
+        # need no flush here (they become unobservable on that path).
         self.out("_steps += 1")
         self.out("if _steps > _max: _slimit(_rt)")
         if isinstance(stmt, Assign):
@@ -475,6 +1017,16 @@ class _Emitter:
             raise CompileError(f"cannot compile statement {stmt!r}")
 
     def _emit_loop(self, stmt: Loop) -> None:
+        if self.opt.unroll:
+            trip = loop_trip_constant(stmt.lower, stmt.upper, self.bound)
+            if trip is not None and trip <= UNROLL_LIMIT:
+                self._emit_loop_unrolled(stmt, trip)
+                return
+            if trip is None and loop_trip_at_most_one(
+                stmt.lower, stmt.upper, self.bound
+            ):
+                self._emit_loop_single(stmt)
+                return
         lo, lt = self.eval_expr(stmt.lower, None)
         hi, ht = self.eval_expr(stmt.upper, None)
         shadowed = stmt.var in self.bound
@@ -482,28 +1034,100 @@ class _Emitter:
         if shadowed:
             saved = self.tmp()
             self.out(f"{saved} = v_{stmt.var}")
+        self.flush()
+        frame = self._push_frame(stmt.var)
         self.out(
             f"for v_{stmt.var} in range({self._as_int(lo, lt)}, "
             f"{self._as_int(hi, ht)} + 1):"
         )
         self.depth += 1
-        self.out("_n_branches += 1")
+        mark = len(self.lines)
+        self.count("branches")
         self.bound.add(stmt.var)
         self.emit_body(stmt.body)
-        if not stmt.body:
+        self.flush()
+        if len(self.lines) == mark:
             self.out("pass")
         self.depth -= 1
+        self._pop_frame(frame)
         if not shadowed:
             self.bound.discard(stmt.var)
-        self.out("_n_branches += 1")
+        self.count("branches")
+        if shadowed:
+            self.out(f"v_{stmt.var} = {saved}")
+
+    def _emit_loop_unrolled(self, stmt: Loop, trip: int) -> None:
+        """A provably constant-trip loop: straight-line iterations.
+
+        Both bounds are still evaluated (the interpreter counts them);
+        the ``for``/``range`` machinery disappears.  Iterations stay in
+        one basic block, so their counts coalesce into single flushes.
+        """
+        lo, lt = self.eval_expr(stmt.lower, None)
+        self.eval_expr(stmt.upper, None)
+        shadowed = stmt.var in self.bound
+        saved = None
+        if shadowed:
+            saved = self.tmp()
+            self.out(f"{saved} = v_{stmt.var}")
+        if trip == 0:
+            self.count("branches")  # the (only) exit test
+            return
+        lo_int = self._simple(self._as_int(lo, lt))
+        frame = self._push_frame(stmt.var)
+        self.bound.add(stmt.var)
+        for k in range(trip):
+            self.count("branches")
+            self.out(
+                f"v_{stmt.var} = {lo_int}"
+                if k == 0
+                else f"v_{stmt.var} = {lo_int} + {k}"
+            )
+            self.emit_body(stmt.body)
+        self._pop_frame(frame)
+        if not shadowed:
+            self.bound.discard(stmt.var)
+        self.count("branches")
+        if shadowed:
+            self.out(f"v_{stmt.var} = {saved}")
+
+    def _emit_loop_single(self, stmt: Loop) -> None:
+        """A provably 0/1-trip loop (clamped degenerate split piece):
+        one ``if`` instead of a ``for``."""
+        lo, lt = self.eval_expr(stmt.lower, None)
+        hi, ht = self.eval_expr(stmt.upper, None)
+        shadowed = stmt.var in self.bound
+        saved = None
+        if shadowed:
+            saved = self.tmp()
+            self.out(f"{saved} = v_{stmt.var}")
+        lo_int = self._simple(self._as_int(lo, lt))
+        hi_int = self._simple(self._as_int(hi, ht))
+        self.flush()
+        frame = self._push_frame(stmt.var)
+        self.out(f"if {lo_int} <= {hi_int}:")
+        self.depth += 1
+        arm = self._arm_begin()
+        self.count("branches")
+        self.out(f"v_{stmt.var} = {lo_int}")
+        self.bound.add(stmt.var)
+        self.emit_body(stmt.body)
+        self._arm_end(arm)
+        self.depth -= 1
+        self._pop_frame(frame)
+        if not shadowed:
+            self.bound.discard(stmt.var)
+        self.count("branches")
         if shadowed:
             self.out(f"v_{stmt.var} = {saved}")
 
     def _emit_while(self, stmt: WhileLoop) -> None:
+        self.flush()
         self.out("while True:")
         self.depth += 1
-        self.out("_n_branches += 1")
-        ca, _ = self.eval_expr(stmt.cond, None)
+        self.count("branches")
+        ca = self.eval_cond(stmt.cond, None)
+        self.flush()
         self.out(f"if not {ca}: break")
         if stmt.counter is not None:
             if stmt.counter not in self.scalar_types:
@@ -513,27 +1137,112 @@ class _Emitter:
             cur = self.tmp()
             self.out(f"{cur} = _mload({stmt.counter!r}, ())")
             self.out(f"_mstore({stmt.counter!r}, (), int({cur}) + 1)")
-            self.out(
-                "_n_loads += 1; _n_stores += 1; "
-                "_n_int_ops += 1; _n_counter_ops += 1"
-            )
+            self.count("loads")
+            self.count("stores")
+            self.count("int_ops")
+            self.count("counter_ops")
         self.emit_body(stmt.body)
+        self.flush()
         self.depth -= 1
 
     def _emit_if(self, stmt: If) -> None:
-        self.out("_n_branches += 1")
-        ca, _ = self.eval_expr(stmt.cond, None)
+        if self.opt.fuse_guards:
+            chain = analyze_guard_chain(stmt.cond, self.bound)
+            if chain is not None and not any(
+                leaf.raising for leaf in chain.leaves
+            ):
+                self._emit_fused_if(stmt, chain)
+                return
+        self.count("branches")
+        ca = self.eval_cond(stmt.cond, None)
+        self.flush()
         self.out(f"if {ca}:")
         self.depth += 1
+        arm = self._arm_begin()
         self.emit_body(stmt.then_body)
-        if not stmt.then_body:
-            self.out("pass")
+        self._arm_end(arm)
         self.depth -= 1
         if stmt.else_body:
             self.out("else:")
             self.depth += 1
+            arm = self._arm_begin()
             self.emit_body(stmt.else_body)
+            self._arm_end(arm)
             self.depth -= 1
+
+    def _scenario_line(self, counts: dict[str, int]) -> None:
+        """Direct (un-buffered) merged increment for one guard-chain
+        count scenario, plus the If statement's own branch test."""
+        merged = dict(counts)
+        merged["branches"] = merged.get("branches", 0) + 1
+        parts = [
+            f"_n_{bucket} += {merged[bucket]}"
+            for bucket in _COUNTERS
+            if merged.get(bucket)
+        ]
+        self.out("; ".join(parts))
+
+    def _emit_fused_if(self, stmt: If, chain) -> None:
+        """Guard fusion: one merged range test decides the branch; the
+        interpreter's exact per-"first false leaf" count vectors are
+        replayed by re-testing individual (pure, non-raising) leaves
+        only on the false side."""
+        fused = self._hoist_guard_bounds(fuse_condition(chain, self.bound))
+        self.flush()
+        self.out(f"if {fused}:")
+        self.depth += 1
+        self._scenario_line(chain.scenarios[-1])
+        arm = self._arm_begin()
+        self.emit_body(stmt.then_body)
+        self._arm_end(arm)
+        self.depth -= 1
+        self.out("else:")
+        self.depth += 1
+        leaves = chain.leaves
+        if len(leaves) == 2:
+            self.out(f"if not {leaves[0].condition}:")
+            self.out(f"    {self._merged_scenario(chain.scenarios[0])}")
+            self.out("else:")
+            self.out(f"    {self._merged_scenario(chain.scenarios[1])}")
+        else:
+            for i, leaf in enumerate(leaves[:-1]):
+                kw = "if" if i == 0 else "elif"
+                self.out(f"{kw} not {leaf.condition}:")
+                self.out(f"    {self._merged_scenario(chain.scenarios[i])}")
+            self.out("else:")
+            self.out(
+                f"    {self._merged_scenario(chain.scenarios[len(leaves) - 1])}"
+            )
+        if stmt.else_body:
+            arm = self._arm_begin()
+            self.emit_body(stmt.else_body)
+            self._arm_end(arm)
+        self.depth -= 1
+
+    def _merged_scenario(self, counts: dict[str, int]) -> str:
+        merged = dict(counts)
+        merged["branches"] = merged.get("branches", 0) + 1
+        return "; ".join(
+            f"_n_{bucket} += {merged[bucket]}"
+            for bucket in _COUNTERS
+            if merged.get(bucket)
+        )
+
+    def _hoist_guard_bounds(self, fused: str) -> str:
+        """Hoist loop-invariant fused-bound subexpressions (``min``/
+        ``max`` clamps and affine bounds) out of the test."""
+        if not self.opt.licm or not self.frames:
+            return fused
+        parts = fused.split(" and ")
+        out_parts = []
+        for part in parts:
+            pieces = part.split(" <= ")
+            if len(pieces) in (2, 3):
+                pieces = [self._hoist_atom(p) for p in pieces]
+                out_parts.append(" <= ".join(pieces))
+            else:
+                out_parts.append(part)
+        return " and ".join(out_parts)
 
     def _emit_csadd(
         self, which: str, bits: str, count: str, address: str
@@ -559,17 +1268,6 @@ class _Emitter:
         self.out("else:")
         self.out(f"    _csadd({which!r}, {bits}, {count}, {address})")
 
-    def _exprs_need_cache(self, exprs) -> bool:
-        """Whether any expression performs a data load (and therefore
-        needs the bundle's runtime load-cache dict)."""
-        for expr in exprs:
-            for node in walk_expressions(expr):
-                if isinstance(node, ArrayRef):
-                    return True
-                if isinstance(node, VarRef) and node.name not in self.bound:
-                    return True
-        return False
-
     def _counter_location(self, ref, cache) -> tuple[str, str]:
         """(region name, index-tuple atom) of a shadow counter ref."""
         if isinstance(ref, ArrayRef):
@@ -583,48 +1281,55 @@ class _Emitter:
         cur = self.tmp()
         self.out(f"{cur} = int(_mload({name!r}, {loc}))")
         self.out(f"_mstore({name!r}, {loc}, {cur} + {amount_atom})")
-        self.out(
-            "_n_loads += 1; _n_stores += 1; "
-            "_n_int_ops += 1; _n_counter_ops += 1"
-        )
+        self.count("loads")
+        self.count("stores")
+        self.count("int_ops")
+        self.count("counter_ops")
 
     def _emit_assign(self, stmt: Assign) -> None:
         instr = stmt.instrumentation
         exprs = [stmt.rhs]
         if isinstance(stmt.lhs, ArrayRef):
             exprs.extend(stmt.lhs.indices)
-        refs_through_cache = bool(
-            instr and (instr.uses or instr.pre_overwrite)
-        )
+        explicit_reads = []
+        writes = [stmt.lhs]
         if instr:
             exprs.extend(use.count for use in instr.uses)
+            explicit_reads.extend(use.ref for use in instr.uses)
             for counter_ref in instr.counter_increments:
                 if isinstance(counter_ref, ArrayRef):
                     exprs.extend(counter_ref.indices)
+            if instr.pre_overwrite:
+                explicit_reads.append(stmt.lhs)
+                adj_counter = instr.pre_overwrite.counter
+                if isinstance(adj_counter, ArrayRef):
+                    # The counter location is evaluated twice (load and
+                    # reset store) — two read events per index read.
+                    exprs.extend(adj_counter.indices)
+                    exprs.extend(adj_counter.indices)
             if isinstance(instr.duplicate_store, ArrayRef):
                 exprs.extend(instr.duplicate_store.indices)
+            if instr.duplicate_store is not None:
+                writes.append(instr.duplicate_store)
             if instr.definition:
                 exprs.append(instr.definition.count)
-        cached = refs_through_cache or self._exprs_need_cache(exprs)
-        self._memo = {}
-        if cached:
-            self.out("_bc = {}")
+        cached = self._begin_bundle(exprs, explicit_reads, writes)
         # 1. Target location (index loads go through the bundle cache).
         if isinstance(stmt.lhs, ArrayRef):
             tname = stmt.lhs.array
             if tname not in self.array_types:
                 raise CompileError(f"store to undeclared array {tname!r}")
+            tidx_atoms = self._index_atoms(stmt.lhs.indices, "_bc")
+            tidx_atoms = [self._simple(a) for a in tidx_atoms]
             tidx = self.tmp()
-            self.out(
-                f"{tidx} = {self._index_tuple(stmt.lhs.indices, '_bc')}"
-            )
-            if stmt.lhs.indices:
-                self.out(f"_n_int_ops += {len(stmt.lhs.indices)}")
+            self.out(f"{tidx} = {self._tuple_atom(tidx_atoms)}")
+            self.count("int_ops", len(stmt.lhs.indices))
             elem_type = self.array_types[tname]
         else:
             tname = stmt.lhs.name
             if tname not in self.scalar_types:
                 raise CompileError(f"store to undeclared scalar {tname!r}")
+            tidx_atoms = []
             tidx = "()"
             elem_type = self.scalar_types[tname]
         # 2. Right-hand side.
@@ -632,47 +1337,48 @@ class _Emitter:
         # 3. Use contributions, counter bumps, pre-overwrite adjustment.
         if instr:
             for use in instr.uses:
-                _, ubits, uaddr, _ = self.load_ref(use.ref, "_bc")
+                _, ubits, uaddr, _ = self.load_ref(
+                    use.ref, "_bc", need_value=False, need_addr=True
+                )
                 ca, ct = self.eval_expr(use.count, "_bc")
                 self._emit_csadd(
                     use.checksum, ubits, self._as_int(ca, ct), uaddr
                 )
-                self.out("_n_checksum_ops += _channels")
+                self.count_channels()
             for counter_ref in instr.counter_increments:
                 self._emit_bump_counter(counter_ref, "_bc", "1")
             if instr.pre_overwrite:
                 self._emit_pre_overwrite(stmt, instr.pre_overwrite)
         # 4. The store (encode, store through memory, drop cache entry).
         bits = self.tmp()
-        addr = self.tmp()
         self.out(f"{bits} = {self._encode(va, vt, elem_type)}")
-        self.out(f"{addr} = _sba({tname!r}, {tidx}, {bits})")
-        self.out("_n_stores += 1")
-        if cached:
-            self.out(f"_bc.pop(({tname!r}, {tidx}), None)")
-        self._invalidate_memo(tname)
+        need_addr = bool(instr and instr.definition)
+        addr = self._emit_raw_store(tname, tidx_atoms, bits, need_addr)
+        self.count("stores")
+        self._pop_store_key(stmt.lhs, cached, tname, tidx)
         # 4b. Duplication baseline: second store of the same bits.
         if instr and instr.duplicate_store is not None:
             dup = instr.duplicate_store
             if isinstance(dup, ArrayRef):
                 dname = dup.array
+                didx_atoms = [
+                    self._simple(a)
+                    for a in self._index_atoms(dup.indices, "_bc")
+                ]
                 didx = self.tmp()
-                self.out(
-                    f"{didx} = {self._index_tuple(dup.indices, '_bc')}"
-                )
+                self.out(f"{didx} = {self._tuple_atom(didx_atoms)}")
             else:
                 dname = dup.name
+                didx_atoms = []
                 didx = "()"
             if (
                 dname not in self.array_types
                 and dname not in self.scalar_types
             ):
                 raise CompileError(f"duplicate store to undeclared {dname!r}")
-            self.out(f"_sb({dname!r}, {didx}, {bits})")
-            self.out("_n_stores += 1")
-            if cached:
-                self.out(f"_bc.pop(({dname!r}, {didx}), None)")
-            self._invalidate_memo(dname)
+            self._emit_raw_store(dname, didx_atoms, bits, need_addr=False)
+            self.count("stores")
+            self._pop_store_key(dup, cached, dname, didx)
         # 5. Def contribution — the register copy just stored.
         if instr and instr.definition:
             d = instr.definition
@@ -680,49 +1386,51 @@ class _Emitter:
             self._emit_csadd(
                 d.checksum, bits, self._as_int(ca, ct), addr
             )
-            self.out("_n_checksum_ops += _channels")
+            self.count_channels()
             if d.aux:
                 self._emit_csadd(d.aux_checksum, bits, "1", addr)
-                self.out("_n_checksum_ops += _channels")
+                self.count_channels()
+        self._end_bundle()
 
     def _emit_pre_overwrite(self, stmt: Assign, adjust) -> None:
         # Algorithm 3 lines 13-16: old value + shadow counter, then the
         # counter location is re-evaluated for the reset store (the
         # interpreter evaluates it once per counter access).
-        _, obits, oaddr, _ = self.load_ref(stmt.lhs, "_bc")
+        _, obits, oaddr, _ = self.load_ref(
+            stmt.lhs, "_bc", need_value=False, need_addr=True
+        )
         name, loc = self._counter_location(adjust.counter, "_bc")
         if name not in self.array_types and name not in self.scalar_types:
             raise CompileError(f"counter region {name!r} not declared")
         cv = self.tmp()
         self.out(f"{cv} = int(_mload({name!r}, {loc}))")
-        self.out("_n_loads += 1; _n_counter_ops += 1")
+        self.count("loads")
+        self.count("counter_ops")
         self._emit_csadd(
             adjust.def_checksum, obits, f"({cv} - 1)", oaddr
         )
         self._emit_csadd(adjust.e_use_checksum, obits, "1", oaddr)
-        self.out("_n_checksum_ops += 2 * _channels")
+        self.count_channels(2)
         name2, loc2 = self._counter_location(adjust.counter, "_bc")
         self.out(f"_mstore({name2!r}, {loc2}, 0)")
-        self.out("_n_stores += 1")
+        self.count("stores")
 
     def _emit_checksum_add(self, stmt: ChecksumAdd) -> None:
         value = stmt.value
         is_data_ref = isinstance(value, ArrayRef) or (
             isinstance(value, VarRef) and value.name in self.scalar_types
         )
-        cached = is_data_ref or self._exprs_need_cache(
-            [value, stmt.count]
-        )
-        self._memo = {}
-        if cached:
-            self.out("_bc = {}")
         if is_data_ref:
+            self._begin_bundle([stmt.count], explicit_reads=[value])
             # A data reference: contribute the loaded bits and address.
             # Note the interpreter's _is_data_ref checks scalar
             # declarations *before* the environment, so a scalar that
             # shadows a loop variable still loads from memory here.
-            _, ba, aa, _ = self.load_ref(value, "_bc")
+            _, ba, aa, _ = self.load_ref(
+                value, "_bc", need_value=False, need_addr=True
+            )
         else:
+            self._begin_bundle([value, stmt.count])
             va, vt = self.eval_expr(value, "_bc")
             ba = self.tmp()
             if vt == "int":
@@ -734,21 +1442,25 @@ class _Emitter:
             aa = "None"
         ca, ct = self.eval_expr(stmt.count, "_bc")
         self._emit_csadd(stmt.checksum, ba, self._as_int(ca, ct), aa)
-        self.out("_n_checksum_ops += _channels")
+        self.count_channels()
+        self._end_bundle()
 
     def _emit_counter_increment(self, stmt: CounterIncrement) -> None:
         exprs = [stmt.amount]
         if isinstance(stmt.counter, ArrayRef):
             exprs.extend(stmt.counter.indices)
-        self._memo = {}
-        if self._exprs_need_cache(exprs):
-            self.out("_bc = {}")
+        self._begin_bundle(exprs)
         aa, at = self.eval_expr(stmt.amount, "_bc")
         amount = self.tmp()
         self.out(f"{amount} = {self._as_int(aa, at)}")
         self._emit_bump_counter(stmt.counter, "_bc", amount)
+        self._end_bundle()
 
     def _emit_assert(self, stmt: ChecksumAssert) -> None:
+        # Everything pending must be architecturally visible before a
+        # possible _Halt unwind — that is the one exception path that
+        # still returns a result.
+        self.flush()
         pairs = tuple(tuple(pair) for pair in stmt.pairs)
         self.out(f"_n_branches += {len(pairs)} * _channels")
         found = self.tmp()
@@ -761,6 +1473,7 @@ class _Emitter:
         self.depth -= 1
 
     def _emit_reset(self, stmt: ChecksumReset) -> None:
+        self.flush()
         self.out("for _sums in _cs.sums:")
         if stmt.names is None:
             self.out("    for _k in list(_sums): _sums[_k] = 0")
@@ -769,9 +1482,14 @@ class _Emitter:
             self.out(f"    for _k in {names!r}: _sums[_k] = 0")
 
 
-def generate_source(program: Program) -> str:
-    """The Python source of ``_kernel(_rt)`` for one program."""
-    em = _Emitter(program)
+def generate_source(program: Program, opt: OptConfig | None = None) -> str:
+    """The Python source of ``_kernel(_rt)`` for one program.
+
+    ``opt`` selects the optimization pipeline; the default (level-0)
+    configuration reproduces the straight-line reference emission.
+    """
+    em = _Emitter(program, opt)
+    opt = em.opt
     em.out("_mem = _rt.memory")
     em.out("_lb = _mem.load_bits")
     em.out("_lba = _mem.load_bits_addr")
@@ -779,6 +1497,20 @@ def generate_source(program: Program) -> str:
     em.out("_sba = _mem.store_bits_addr")
     em.out("_mload = _mem.load")
     em.out("_mstore = _mem.store")
+    if opt.static_cache:
+        em.out("_adr = _mem.address_of")
+    if opt.inline_mem:
+        decls = list(program.arrays) + list(program.scalars)
+        for name, (ri, rank) in em._region_local.items():
+            em.out(f"_R{ri} = _mem._regions[{name!r}]")
+            em.out(f"_w{ri} = _R{ri}.words")
+            em.out(f"_b{ri} = _R{ri}.base")
+            if rank == 1:
+                em.out(f"(_d{ri}_0,) = _R{ri}.shape")
+            elif rank == 2:
+                em.out(f"_d{ri}_0, _d{ri}_1 = _R{ri}.shape")
+        em.out("_lc = 0")
+        em.out("_sc = 0")
     em.out("_cs = _rt.checksums")
     em.out("_csadd = _cs.add")
     em.out("_verify = _cs.verify")
@@ -798,8 +1530,14 @@ def generate_source(program: Program) -> str:
     em.depth += 1
     em.out("try:")
     em.depth += 1
+    frame = em._push_frame(None)
     em.emit_body(program.body)
-    if not program.body:
+    em.flush()
+    if frame is not None:
+        if not em.lines and not frame.preamble:
+            em.out("pass")
+        em._pop_frame(frame)
+    elif em.lines[-1].strip() == "try:":
         em.out("pass")
     em.depth -= 1
     em.out("except _Halt:")
@@ -807,13 +1545,16 @@ def generate_source(program: Program) -> str:
     em.depth -= 1
     em.out("finally:")
     em.depth += 1
+    if opt.inline_mem:
+        em.out("_mem.load_count += _lc")
+        em.out("_mem.store_count += _sc")
     em.out("_c = _rt.counts")
     for counter in _COUNTERS:
         em.out(f"_c.{counter} += _n_{counter}")
     em.out("_rt.statements_executed = _steps")
     em.out("_rt.first_detection_step = _first")
     em.depth -= 1
-    header = f"def _kernel(_rt):\n"
+    header = "def _kernel(_rt):\n"
     return header + "\n".join(em.lines) + "\n"
 
 

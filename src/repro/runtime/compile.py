@@ -38,6 +38,7 @@ from repro.runtime.codegen import (
     generate_checkpoint_source,
     generate_source,
 )
+from repro.runtime.opt import DEFAULT_OPT_LEVEL, OPT_LEVELS, config_for_level
 from repro.runtime.costmodel import OpCounts
 from repro.runtime.interpreter import (
     ExecutionResult,
@@ -191,6 +192,15 @@ class CompiledKernel:
     checkpoint_source: str
     checkpoint_entry: Callable
     restore_entry: Callable
+    #: Optimization level the sources were generated at.
+    opt_level: int = DEFAULT_OPT_LEVEL
+    #: Batch shape the kernel was compiled for (``None`` = single-trial;
+    #: a cache-key discriminator for the batched campaign runner).
+    batch_shape: tuple[int, ...] | None = None
+    #: Level ≥ 2 only: the inlined-memory fast entry, selected at run
+    #: time when no fault injector is attached to the memory image.
+    fast_source: str | None = None
+    fast_entry: Callable[[_RuntimeContext], None] | None = None
 
     def execute(
         self,
@@ -234,7 +244,13 @@ class CompiledKernel:
             max_steps=max_steps,
             halt_on_mismatch=halt_on_mismatch,
         )
-        self.entry(rt)
+        # The inlined-memory entry bypasses the injector observation
+        # points, so it only ever runs on injector-free memory (golden
+        # runs, benchmarks, batched-trial golden replays).
+        entry = self.entry
+        if self.fast_entry is not None and memory.injector is None:
+            entry = self.fast_entry
+        entry(rt)
         return ExecutionResult(
             checksums=rt.checksums,
             mismatches=rt.mismatches,
@@ -256,7 +272,9 @@ def ir_digest(program: Program) -> str:
     return hashlib.sha256(repr(program).encode("utf-8")).hexdigest()
 
 
-_KERNEL_CACHE: "OrderedDict[str, CompiledKernel | CompileError]" = (
+#: LRU keyed by ``(ir digest, opt level, batch shape)`` — a level-0 and
+#: a level-2 kernel of the same program must never alias.
+_KERNEL_CACHE: "OrderedDict[tuple, CompiledKernel | CompileError]" = (
     OrderedDict()
 )
 KERNEL_CACHE_LIMIT = 128
@@ -264,25 +282,42 @@ _hits = 0
 _misses = 0
 
 
-def compile_program(program: Program, cache: bool = True) -> CompiledKernel:
+def compile_program(
+    program: Program,
+    cache: bool = True,
+    opt_level: int | None = None,
+    batch_shape: tuple[int, ...] | None = None,
+) -> CompiledKernel:
     """Compile (or fetch from the cache) a kernel for ``program``.
 
-    Raises :class:`CompileError` when the program cannot be lowered;
-    the failure itself is cached so repeated attempts stay cheap.
+    ``opt_level`` selects the optimization pipeline (default
+    :data:`DEFAULT_OPT_LEVEL`); at level ≥ 2 the kernel carries a second
+    inlined-memory entry used only on injector-free runs.  Raises
+    :class:`CompileError` when the program cannot be lowered; the
+    failure itself is cached so repeated attempts stay cheap.
     """
     global _hits, _misses
+    level = DEFAULT_OPT_LEVEL if opt_level is None else int(opt_level)
+    if level not in OPT_LEVELS:
+        raise ValueError(
+            f"opt level must be one of {OPT_LEVELS}, got {opt_level!r}"
+        )
+    if batch_shape is not None:
+        batch_shape = tuple(int(n) for n in batch_shape)
     digest = ir_digest(program)
+    key = (digest, level, batch_shape)
     if cache:
-        entry = _KERNEL_CACHE.get(digest)
+        entry = _KERNEL_CACHE.get(key)
         if entry is not None:
-            _KERNEL_CACHE.move_to_end(digest)
+            _KERNEL_CACHE.move_to_end(key)
             _hits += 1
             if isinstance(entry, CompileError):
                 raise entry
             return entry
         _misses += 1
+    opt = config_for_level(level)
     try:
-        source = generate_source(program)
+        source = generate_source(program, opt)
         checkpoint_source = generate_checkpoint_source(program)
         namespace = dict(_BASE_NAMESPACE)
         exec(  # noqa: S102 - generated from a closed IR, no user strings
@@ -296,6 +331,20 @@ def compile_program(program: Program, cache: bool = True) -> CompiledKernel:
             ),
             namespace,
         )
+        fast_source = None
+        fast_entry = None
+        if level >= 2:
+            # Separate namespace: both sources define ``_kernel``.
+            fast_opt = config_for_level(level, inline_mem=True)
+            fast_source = generate_source(program, fast_opt)
+            fast_namespace = dict(_BASE_NAMESPACE)
+            exec(  # noqa: S102 - same closed-IR provenance
+                compile(
+                    fast_source, f"<compiled-fast {program.name}>", "exec"
+                ),
+                fast_namespace,
+            )
+            fast_entry = fast_namespace["_kernel"]
         kernel = CompiledKernel(
             program=program,
             digest=digest,
@@ -304,19 +353,23 @@ def compile_program(program: Program, cache: bool = True) -> CompiledKernel:
             checkpoint_source=checkpoint_source,
             checkpoint_entry=namespace["_checkpoint"],
             restore_entry=namespace["_restore"],
+            opt_level=level,
+            batch_shape=batch_shape,
+            fast_source=fast_source,
+            fast_entry=fast_entry,
         )
     except CompileError as error:
         if cache:
-            _remember(digest, error)
+            _remember(key, error)
         raise
     if cache:
-        _remember(digest, kernel)
+        _remember(key, kernel)
     return kernel
 
 
-def _remember(digest: str, entry) -> None:
-    _KERNEL_CACHE[digest] = entry
-    _KERNEL_CACHE.move_to_end(digest)
+def _remember(key: tuple, entry) -> None:
+    _KERNEL_CACHE[key] = entry
+    _KERNEL_CACHE.move_to_end(key)
     while len(_KERNEL_CACHE) > KERNEL_CACHE_LIMIT:
         _KERNEL_CACHE.popitem(last=False)
 
@@ -348,6 +401,7 @@ def run_compiled(
     register_budget: int | None = None,
     halt_on_mismatch: bool = False,
     fallback: bool = True,
+    opt_level: int | None = None,
 ) -> ExecutionResult:
     """``run_program`` signature, compiled backend.
 
@@ -373,7 +427,7 @@ def run_compiled(
             halt_on_mismatch=halt_on_mismatch,
         )
     try:
-        kernel = compile_program(program)
+        kernel = compile_program(program, opt_level=opt_level)
     except CompileError:
         if not fallback:
             raise
@@ -406,6 +460,7 @@ def execute_program(
 ) -> ExecutionResult:
     """Backend dispatcher: ``backend`` is ``"interp"`` or ``"compiled"``."""
     if backend == "interp":
+        kwargs.pop("opt_level", None)  # interpreter has no optimizer
         return run_program(program, params, **kwargs)
     if backend == "compiled":
         return run_compiled(program, params, **kwargs)

@@ -1,0 +1,136 @@
+"""Batched multi-trial execution (``campaign run --batch T``).
+
+The batcher's contract: records are *canonical-identical* to the
+serial per-trial loop — same verdicts, same injection records (so the
+per-trial RNG/seeding discipline survives batching), same extras —
+for every fault model, any batch size (including sizes that don't
+divide the trial count), and in combination with worker pools.
+Unsupported specs (interp backend, recovery) must silently fall back
+to the serial path, never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.campaign import ProgramCampaignSpec, run_campaign
+from repro.campaign.batch import BatchContext, run_batch, spec_supports_batch
+from repro.runtime.faults import FAULT_MODELS
+
+
+def _spec(**overrides):
+    fields = dict(
+        benchmark="cholesky",
+        scale="small",
+        trials=10,
+        seed=77,
+        fault_model="random_cell",
+        backend="compiled",
+    )
+    fields.update(overrides)
+    return ProgramCampaignSpec(**fields)
+
+
+def _canonical(spec, **kwargs):
+    result = run_campaign(spec, **kwargs)
+    assert result.records is not None
+    return [record.canonical() for record in result.records]
+
+
+@pytest.mark.parametrize("model", FAULT_MODELS)
+def test_batched_records_identical_per_model(model):
+    """Every fault model: --batch 4 reproduces the serial records."""
+    serial = _spec(fault_model=model, seed=300 + FAULT_MODELS.index(model))
+    batched = replace(serial, batch=4)
+    assert _canonical(serial) == _canonical(batched)
+
+
+def test_batch_size_not_dividing_trials():
+    """A ragged final group (10 trials, batch 4 → 4+4+2) is exact."""
+    serial = _spec(trials=10)
+    assert _canonical(serial) == _canonical(replace(serial, batch=4))
+    assert _canonical(serial) == _canonical(replace(serial, batch=64))
+
+
+def test_batched_injection_sites_identical():
+    """RNG discipline: trial i's injector strikes the same site (same
+    trigger index, array, cell, bits) batched and unbatched — the
+    per-trial SHA-256 seed derivation must not observe batching."""
+    serial = _canonical(_spec(trials=8))
+    batched = _canonical(_spec(trials=8, batch=8))
+    for s, b in zip(serial, batched):
+        assert s["seed"] == b["seed"]
+        assert s["injection"] == b["injection"]
+
+
+def test_batch_with_workers():
+    """Worker pools and batching compose; records stay identical."""
+    serial = _spec(trials=12)
+    batched = replace(serial, batch=3)
+    assert _canonical(serial) == _canonical(batched, workers=2)
+
+
+def test_batch_digest_excludes_batch_size():
+    """Batch size is an execution strategy, not an experiment
+    parameter: the golden digest (and so resume identity) ignores it,
+    while the opt level — which selects the kernel — stays in."""
+    base = _spec()
+    assert base.golden_digest() == replace(base, batch=8).golden_digest()
+    assert (
+        base.golden_digest()
+        != replace(base, opt_level=0).golden_digest()
+    )
+
+
+def test_batch_validation():
+    with pytest.raises(ValueError):
+        _spec(batch=0)
+    with pytest.raises(ValueError):
+        _spec(opt_level=5)
+
+
+def test_unsupported_specs_fall_back():
+    """Interp-backend and recovery specs run through the serial path
+    inside BatchContext and still match plain serial records."""
+    interp = _spec(backend="interp", trials=4)
+    prepared = interp.prepare()
+    assert not spec_supports_batch(interp, prepared)
+    records = run_batch(interp, prepared, list(range(4)))
+    serial = [interp.run_trial(i, prepared) for i in range(4)]
+    assert [r.canonical() for r in records] == [
+        r.canonical() for r in serial
+    ]
+
+    recover = _spec(recover=True, trials=2, batch=4)
+    assert not spec_supports_batch(recover, recover.prepare())
+    # End-to-end: run_campaign on a batched recovery spec still works.
+    assert _canonical(recover) == _canonical(replace(recover, batch=1))
+
+
+def test_context_reuse_across_groups():
+    """One BatchContext serves successive index groups (the worker
+    chunk pattern) without cross-trial contamination."""
+    spec = _spec(trials=9, batch=3)
+    prepared = spec.prepare()
+    context = BatchContext(spec, prepared)
+    assert context.native
+    records = []
+    for group in ([0, 1, 2], [3, 4, 5], [6, 7, 8]):
+        records.extend(context.run(group))
+    serial = [spec.run_trial(i, prepared) for i in range(9)]
+    assert [r.canonical() for r in records] == [
+        r.canonical() for r in serial
+    ]
+
+
+def test_batch_round_trips_spec_dict():
+    """batch and opt_level survive to_dict/from_dict (log headers)."""
+    from repro.campaign.spec import spec_from_dict
+
+    spec = _spec(batch=6, opt_level=1)
+    clone = spec_from_dict(spec.to_dict())
+    assert clone.batch == 6
+    assert clone.opt_level == 1
+    assert clone.golden_digest() == spec.golden_digest()
