@@ -1,0 +1,104 @@
+"""Differential smoke: vector runner vs. interpreter on all benchmarks.
+
+Dev aid, not a test — run with PYTHONPATH=src python scripts/smoke_vector.py
+"""
+
+import sys
+from types import SimpleNamespace
+
+from repro.instrument.pipeline import InstrumentationOptions, instrument_program
+from repro.programs import ALL_BENCHMARKS
+from repro.runtime.interpreter import run_program
+from repro.runtime.memory import build_memory_for_program
+from repro.runtime.state import ChecksumState
+from repro.runtime.vector import runner as vrunner
+from repro.runtime.vector.plan import plan_program
+
+OPTIMIZED = InstrumentationOptions(index_set_splitting=True, hoist_inspectors=True)
+
+# seidel's in-place stencil always aliases its own write at run time;
+# the runner is expected to bounce it to the scalar path.
+EXPECTED_FALLBACK = {"seidel"}
+
+
+def snapshot(memory):
+    return {
+        name: list(region.words)
+        for name, region in memory._regions.items()
+    }
+
+
+def main():
+    channels = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    failures = 0
+    for name, module in sorted(ALL_BENCHMARKS.items()):
+        program, _ = instrument_program(module.program(), OPTIMIZED)
+        params = dict(module.DEFAULT_PARAMS)
+        init = module.initial_values(params, seed=7)
+
+        scalar = run_program(program, params, initial_values=init, channels=channels)
+
+        plan = plan_program(program)
+        if plan is None:
+            print(f"{name}: NO PLAN (whole-program fallback)")
+            continue
+        memory = build_memory_for_program(program, params)
+        for rname, values in init.items():
+            memory.initialize(rname, values)
+        checks = ChecksumState(channels=channels)
+        kernel = SimpleNamespace(digest=f"smoke-{name}-{channels}", vector_plan=plan)
+        out = vrunner.execute_vector(
+            kernel, params, memory, checks, 50_000_000, False
+        )
+        if out is None:
+            if name in EXPECTED_FALLBACK:
+                print(f"{name}: fell back (expected)")
+            else:
+                print(f"{name}: vector run fell back")
+                failures += 1
+            continue
+
+        problems = []
+        if snapshot(memory) != snapshot(scalar.memory):
+            bad = [
+                rname
+                for rname in memory._regions
+                if list(memory._regions[rname].words)
+                != list(scalar.memory._regions[rname].words)
+            ]
+            problems.append(f"memory image differs: {bad}")
+        if checks.sums != scalar.checksums.sums:
+            problems.append(
+                f"sums differ:\n  vec={checks.sums}\n  scl={scalar.checksums.sums}"
+            )
+        if checks.contribution_count != scalar.checksums.contribution_count:
+            problems.append(
+                f"contrib {checks.contribution_count} != {scalar.checksums.contribution_count}"
+            )
+        if memory.load_count != scalar.memory.load_count:
+            problems.append(f"loads {memory.load_count} != {scalar.memory.load_count}")
+        if memory.store_count != scalar.memory.store_count:
+            problems.append(f"stores {memory.store_count} != {scalar.memory.store_count}")
+        if out["statements_executed"] != scalar.statements_executed:
+            problems.append(
+                f"steps {out['statements_executed']} != {scalar.statements_executed}"
+            )
+        if out["mismatches"] != list(scalar.mismatches):
+            problems.append("mismatches differ")
+        if out["first_detection_step"] != scalar.first_detection_step:
+            problems.append(
+                f"first_detection {out['first_detection_step']} != {scalar.first_detection_step}"
+            )
+        if problems:
+            failures += 1
+            print(f"{name}: FAIL")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"{name}: OK")
+    print(f"\n{failures} failures (channels={channels})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,12 @@ Specs the batcher cannot run — checksum campaigns, ``recover=True``
 (the recovery controller owns memory lifecycle), interpreter backend or
 compile fallback (no kernel to share) — fall back to the serial
 ``run_trial`` per index, producing the same records either way.
+
+The golden side of the ``(T, words)`` comparison is produced once by
+``ProgramCampaignSpec._prepare`` — which dispatches its injector-free
+golden run through the vector backend when profitable — so the batched
+campaign's only remaining scalar cost is the injected trials, which
+must observe the :class:`Memory` choke point event-by-event.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from repro.campaign.records import (
     TrialRecord,
 )
 from repro.campaign.spec import trial_seed
+from repro.runtime.memory import lazy_numpy
 
 
 def spec_supports_batch(spec, prepared) -> bool:
@@ -63,7 +70,7 @@ class BatchContext:
     """
 
     def __init__(self, spec, prepared) -> None:
-        import numpy as np
+        np = lazy_numpy()
 
         from repro.runtime.memory import build_memory_for_program
 
@@ -102,7 +109,7 @@ class BatchContext:
             return [
                 self.spec.run_trial(i, self.prepared) for i in indices
             ]
-        import numpy as np
+        np = lazy_numpy()
 
         spec = self.spec
         prepared = self.prepared
@@ -196,7 +203,7 @@ class BatchContext:
         """Masked propagation test for one trial — the struck cells are
         excluded from the comparison on both sides, exactly like
         ``ProgramCampaignSpec._propagated`` zeroing them."""
-        import numpy as np
+        np = lazy_numpy()
 
         masked_flat = None
         cells = list(record.masked_cells())

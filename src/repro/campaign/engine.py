@@ -247,9 +247,22 @@ def _check_header(contents: LogContents, spec: CampaignSpec) -> None:
         )
 
 
-def replay_trial(spec: CampaignSpec, index: int) -> TrialRecord:
-    """Re-run one trial in isolation (the per-index replay guarantee)."""
-    return spec.run_trial(index, spec.prepare())
+def replay_trial(
+    spec: CampaignSpec, index: int, prepared=None
+) -> TrialRecord:
+    """Re-run one trial in isolation (the per-index replay guarantee).
+
+    ``spec.prepare()`` is content-addressed end to end — the golden-run
+    cache keys on the spec's golden digest and the kernel LRU on the IR
+    digest — so a replay never recompiles or re-executes a golden run
+    another replay (or the original campaign, in-process) already paid
+    for; the golden leg itself dispatches through the vector backend
+    when profitable.  Pass ``prepared`` to replay many indices against
+    one explicitly shared context without any cache lookups.
+    """
+    if prepared is None:
+        prepared = spec.prepare()
+    return spec.run_trial(index, prepared)
 
 
 def sort_records(log_or_records) -> list[TrialRecord]:

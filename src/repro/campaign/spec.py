@@ -300,6 +300,11 @@ class ProgramCampaignSpec:
     """Trials per batched-execution group (``--batch``; see
     :mod:`repro.campaign.batch`).  1 = the serial per-trial loop.
     Batched and serial runs produce canonical-identical records."""
+    verify_vector: bool = False
+    """Run the golden (and recovery clean) runs through *both* the
+    vector and scalar backends and fail loudly on any contract-field
+    divergence (``--verify-vector``).  Purely a self-check: the scalar
+    result stays authoritative, so records are unchanged."""
 
     kind = "program"
 
@@ -460,7 +465,7 @@ class ProgramCampaignSpec:
 
             backend_fp = (
                 config_for_level(self.opt_level).fingerprint()
-                if self.backend == "compiled"
+                if self.backend in ("compiled", "vector")
                 else None
             )
             program, _ = instrument_cached(
@@ -476,16 +481,22 @@ class ProgramCampaignSpec:
         # interpreter — the two backends are bit-identical, so the
         # choice never changes a verdict.
         kernel = None
-        if self.backend == "compiled":
+        if self.backend in ("compiled", "vector"):
             try:
                 kernel = compile_program(program, opt_level=self.opt_level)
             except CompileError:
                 kernel = None
         if kernel is not None:
+            # The golden run is injector-free: let it dispatch to the
+            # vector backend (probe-gated; scalar stays authoritative
+            # for bit-identity, and every contract field the campaign
+            # reads — finals, load/store totals — is vector-exact).
             clean = kernel.execute(
                 params,
                 initial_values=_copy_values(values),
                 channels=self.channels,
+                vectorize=True,
+                verify_vector=self.verify_vector,
             )
         else:
             clean = run_program(
@@ -532,6 +543,8 @@ class ProgramCampaignSpec:
             initial_values=_copy_values(values),
             channels=self.channels,
             backend=self.backend,
+            vectorize=True,
+            verify_vector=self.verify_vector,
         )
         if clean.detected:
             raise RuntimeError(

@@ -234,6 +234,7 @@ def _campaign_spec_from_args(args):
         burst_cells=args.burst_cells,
         opt_level=args.opt_level,
         batch=args.batch,
+        verify_vector=args.verify_vector,
     )
     if args.benchmark is not None:
         from repro.programs import ALL_BENCHMARKS
@@ -431,10 +432,12 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--register-budget", type=int, default=None,
                        help="per-bundle register file size (enables the "
                        "Section 5 spill modeling; forces the interpreter)")
-    p_run.add_argument("--backend", choices=("interp", "compiled"),
+    p_run.add_argument("--backend", choices=("interp", "compiled", "vector"),
                        default="compiled",
                        help="execution backend (compiled falls back to the "
-                       "interpreter on unsupported constructs)")
+                       "interpreter on unsupported constructs; vector "
+                       "dispatches injector-free runs to the whole-array "
+                       "backend when profitable)")
     p_run.add_argument("--opt-level", type=int, choices=(0, 1, 2), default=2,
                        help="compiled-backend optimization level "
                        "(0 = straight translation, 1 = folding+LICM+"
@@ -500,10 +503,12 @@ def main(argv: list[str] | None = None) -> int:
     p_crun.add_argument("--no-split", action="store_true")
     p_crun.add_argument("--no-hoist", action="store_true")
     p_crun.add_argument("--channels", type=int, default=1)
-    p_crun.add_argument("--backend", choices=("interp", "compiled"),
+    p_crun.add_argument("--backend", choices=("interp", "compiled", "vector"),
                         default="compiled",
                         help="per-trial execution backend (bit-identical "
-                        "results; compiled is faster)")
+                        "results; compiled is faster; vector additionally "
+                        "dispatches injector-free runs to the whole-array "
+                        "backend)")
     p_crun.add_argument("--opt-level", type=int, choices=(0, 1, 2),
                         default=2,
                         help="compiled-backend optimization level "
@@ -521,6 +526,11 @@ def main(argv: list[str] | None = None) -> int:
                         "recovery_failed / sdc_after_recovery")
     p_crun.add_argument("--recover-retries", type=int, default=3,
                         help="replay budget per detection episode")
+    p_crun.add_argument("--verify-vector", action="store_true",
+                        help="run injector-free legs through BOTH the "
+                        "vector and scalar backends and fail on any "
+                        "contract-field divergence (self-check; records "
+                        "are unchanged)")
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_cres = camp_sub.add_parser(

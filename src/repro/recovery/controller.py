@@ -125,6 +125,8 @@ class _SegmentRunner:
         channels: int,
         max_steps: int | None,
         wild_reads: bool,
+        vectorize: bool = False,
+        verify_vector: bool = False,
     ) -> None:
         self.plan = plan
         self.memory = memory
@@ -132,9 +134,11 @@ class _SegmentRunner:
         self.channels = channels
         self.max_steps = max_steps
         self.wild_reads = wild_reads
+        self.vectorize = vectorize
+        self.verify_vector = verify_vector
         self.kernels = None
         self.backend = "interp"
-        if backend == "compiled":
+        if backend in ("compiled", "vector"):
             try:
                 first = compile_program(plan.first_program)
                 rest = (
@@ -160,6 +164,10 @@ class _SegmentRunner:
         program = self.plan.segment_program(index)
         if self.kernels is not None:
             kernel = self.kernels[0] if index == 0 else self.kernels[1]
+            # Injector-bearing memory always takes the scalar path (the
+            # vector guard checks memory.injector); fault-free segment
+            # runs — and every replay after the one-shot fault fired on
+            # an injector-free image — may dispatch vectorized.
             return kernel.execute(
                 params,
                 memory=self.memory,
@@ -167,6 +175,8 @@ class _SegmentRunner:
                 max_steps=self.max_steps,
                 halt_on_mismatch=True,
                 checksums=self.checksums,
+                vectorize=self.vectorize,
+                verify_vector=self.verify_vector,
             )
         interpreter = Interpreter(
             program,
@@ -190,11 +200,16 @@ def run_plan(
     wild_reads: bool = False,
     backend: str = "compiled",
     policy: RecoveryPolicy | None = None,
+    vectorize: bool = False,
+    verify_vector: bool = False,
 ) -> RecoveryResult:
     """Execute a plan with checkpointing and re-execution recovery.
 
     ``max_steps`` is a per-segment budget (each epoch and each replay
-    gets the full allowance).
+    gets the full allowance).  ``vectorize=True`` lets injector-free
+    segment runs (the clean verification leg of a campaign prepare, or
+    any fault-free plan execution) dispatch to the vector backend;
+    runs with an injector attached stay scalar regardless.
     """
     policy = policy or RecoveryPolicy()
     run_params = {p: int(params[p]) for p in plan.source.params}
@@ -206,7 +221,15 @@ def run_plan(
             memory.initialize(name, values)
     checksums = ChecksumState(channels=channels)
     runner = _SegmentRunner(
-        plan, backend, memory, checksums, channels, max_steps, wild_reads
+        plan,
+        backend,
+        memory,
+        checksums,
+        channels,
+        max_steps,
+        wild_reads,
+        vectorize=vectorize,
+        verify_vector=verify_vector,
     )
     checkpoint_fn, restore_fn = runner.checkpoint_fns()
     store = CheckpointStore(
@@ -340,6 +363,8 @@ def run_with_recovery(
     policy: RecoveryPolicy | None = None,
     options=None,
     localize: bool = True,
+    vectorize: bool = False,
+    verify_vector: bool = False,
 ) -> RecoveryResult:
     """Plan + execute in one call (CLI and test convenience)."""
     plan = build_recovery_plan(program, options=options, localize=localize)
@@ -353,4 +378,6 @@ def run_with_recovery(
         wild_reads=wild_reads,
         backend=backend,
         policy=policy,
+        vectorize=vectorize,
+        verify_vector=verify_vector,
     )

@@ -20,6 +20,25 @@ from typing import Iterable, Mapping
 MASK64 = (1 << 64) - 1
 WORD_BYTES = 8
 
+_np = None
+
+
+def lazy_numpy():
+    """Module-level lazy numpy import (one attribute check per call).
+
+    The bulk helpers (:meth:`Memory.initialize`, :meth:`Memory.to_array`,
+    :meth:`Memory.region_words_array`) sit on the vector backend's hot
+    path; a function-local ``import numpy`` per call costs a sys.modules
+    lookup each time and keeps numpy a hard dependency of module import
+    if hoisted naively — this helper does neither.
+    """
+    global _np
+    if _np is None:
+        import numpy
+
+        _np = numpy
+    return _np
+
 
 class MemoryError64(RuntimeError):
     """Out-of-bounds or undeclared access."""
@@ -374,9 +393,15 @@ class Memory:
 
     # -- bulk helpers -----------------------------------------------------
     def initialize(self, name: str, values) -> None:
-        """Fill a region from a nested sequence / numpy array / scalar."""
-        import numpy as np
+        """Fill a region from a nested sequence / numpy array / scalar.
 
+        Bit-exact with per-element :func:`encode_value`: the fast path
+        reinterprets a float64/int64 array as uint64 words (the same
+        IEEE-754 / two's-complement patterns ``struct`` produces); inputs
+        numpy cannot represent losslessly (object arrays, out-of-range
+        Python ints) take the element loop.
+        """
+        np = lazy_numpy()
         region = self._region(name)
         flat = np.asarray(values).reshape(-1)
         if flat.size != len(region.words):
@@ -384,19 +409,50 @@ class Memory:
                 f"initializer for {name!r} has {flat.size} values, "
                 f"region holds {len(region.words)}"
             )
-        for offset, value in enumerate(flat.tolist()):
-            region.words[offset] = encode_value(value, region.elem_type)
+        kind = flat.dtype.kind
+        if region.elem_type == "f64" and kind in "iuf":
+            bits = (
+                np.ascontiguousarray(flat.astype(np.float64))
+                .view(np.uint64)
+                .tolist()
+            )
+        elif region.elem_type == "i64" and kind in "iu":
+            # int64 <- smaller ints widen exactly; uint64 wraps like
+            # ``int(v) & MASK64`` does.
+            bits = (
+                np.ascontiguousarray(flat.astype(np.int64))
+                .view(np.uint64)
+                .tolist()
+            )
+        else:
+            bits = [
+                encode_value(value, region.elem_type)
+                for value in flat.tolist()
+            ]
+        region.words[:] = bits
         region.version += 1
 
     def to_array(self, name: str):
         """The region's current contents as a numpy array (no hooks)."""
-        import numpy as np
-
+        np = lazy_numpy()
         region = self._region(name)
-        values = [decode_value(w, region.elem_type) for w in region.words]
-        dtype = np.float64 if region.elem_type == "f64" else np.int64
-        arr = np.array(values, dtype=dtype)
+        words = np.array(region.words, dtype=np.uint64)
+        arr = (
+            words.view(np.float64)
+            if region.elem_type == "f64"
+            else words.view(np.int64)
+        )
         return arr.reshape(region.shape) if region.shape else arr.reshape(())
+
+    def region_words_array(self, name: str):
+        """A region's raw words as a fresh ``uint64`` array (no hooks).
+
+        The vector backend builds its transactional mirrors from this,
+        and the batched campaign runner uses it for ``(T, words)`` golden
+        comparison images.
+        """
+        np = lazy_numpy()
+        return np.array(self._region(name).words, dtype=np.uint64)
 
     def snapshot(self) -> dict[str, list[int]]:
         """Raw words of every region (for corruption diffing in tests)."""

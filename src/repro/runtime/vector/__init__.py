@@ -1,0 +1,72 @@
+"""Vector backend: whole-array NumPy kernels for injector-free runs.
+
+:func:`repro.runtime.vector.plan.plan_program` compiles instrumented IR
+into a whole-array execution plan (or ``None`` when any construct fails
+the compile-time legality rules); :mod:`repro.runtime.vector.runner`
+executes a plan transactionally against NumPy mirrors of the memory
+image and commits only bit-identical final state.
+
+The backend is *opportunistic*: the scalar kernel stays authoritative,
+and dispatch sites engage the vector path only when no fault injector
+is attached and a measured profitability probe shows a real win for the
+(kernel, params, channels) key.  ``REPRO_VECTOR=0`` in the environment
+disables dispatch process-wide.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.runtime.vector.plan import (
+    VectorFallback,
+    VectorUnsupported,
+    plan_program,
+)
+from repro.runtime.vector.runner import (
+    PROFIT_MARGIN,
+    clear_dispatch_caches,
+    clear_profit_memo,
+    execute_vector,
+    probe,
+    profit_key,
+    profit_state,
+    record_profit,
+    reset_stats,
+)
+
+__all__ = [
+    "PROFIT_MARGIN",
+    "VectorFallback",
+    "VectorUnsupported",
+    "clear_dispatch_caches",
+    "clear_profit_memo",
+    "execute_vector",
+    "plan_program",
+    "probe",
+    "profit_key",
+    "profit_state",
+    "record_profit",
+    "reset_stats",
+    "vector_enabled",
+    "vector_stats",
+]
+
+
+def vector_enabled() -> bool:
+    """Process-wide kill switch: ``REPRO_VECTOR=0`` disables dispatch."""
+    return os.environ.get("REPRO_VECTOR", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def vector_stats() -> dict[str, int]:
+    """Introspection counters (read fresh — tests reset them)."""
+    from repro.runtime.vector import runner
+
+    return {
+        "runs": runner.VECTOR_RUNS,
+        "fallbacks": runner.VECTOR_FALLBACKS,
+    }

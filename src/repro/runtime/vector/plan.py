@@ -1,0 +1,1276 @@
+"""Vector-backend planner: lower instrumented IR to a whole-array plan.
+
+The scalar kernels (``runtime/codegen.py``) replay the interpreter
+bit-for-bit, one statement instance at a time, because injected runs
+must observe the :class:`~repro.runtime.memory.Memory` choke point
+event-by-event.  Injector-free runs (golden, replay baselines, recovery
+re-execution) have no such obligation on the *order* of events — only
+on the final state.  This module compiles the same instrumented IR a
+second time, into a plan whose hot loops execute their whole iteration
+domain as NumPy array operations against transactional ``uint64``
+mirrors of the memory regions.
+
+Contract (enforced by ``tests/runtime/test_vector_differential.py`` and
+at runtime behind ``--verify-vector``): a committed vector run produces
+exactly the same
+
+* final memory image (every region word),
+* checksum sums on every channel, contribution count included,
+* memory load/store counts,
+* statements-executed count, verifier mismatches, detection step,
+
+as the scalar kernel.  Out of contract: the :class:`OpCounts` breakdown
+(``int_ops``/``fp_adds``/...), which the vector path leaves zeroed, and
+the *order* of loads/stores (unobservable without an injector).
+
+Plan node taxonomy
+------------------
+
+Sequential spine (executed one statement at a time, exact):
+``SeqBlock``/``SeqLoop``/``SeqWhile``/``SeqIf``/``SeqAssert``/``SeqReset``.
+
+Vector nests (``Nest``): a band of perfectly nested loops whose lanes
+are expanded into index arrays (ragged inner bounds allowed), executing
+an ordered list of items per lane:
+
+* ``NStmt`` — one assignment / checksum-add / counter-increment over
+  all lanes at once (counter bumps via ``np.add.at``, pre-overwrite
+  adjustments included);
+* ``NSeq``  — a lane-invariant sequential loop whose body runs
+  vectorized per step (``strsm``'s middle loop);
+* ``NChain`` — a fixed-cell accumulation loop ``acc = acc (+|-) term``
+  collapsed into batched gathers plus an exact sequential fold
+  (``dsyrk``/``strsm``/``trisolv`` inner products).
+
+Legality is decided here at plan time (affine accesses, injective
+writes over the band, dependence rules below); anything else degrades
+to a deeper sequential spine, down to single-statement leaves (a leaf
+is a band-free nest — the per-statement fallback).  A whole construct
+the planner cannot express makes :func:`plan_program` return ``None``
+and the caller keeps the scalar kernel (per-program fallback).
+
+Dependence rules for a same-array (write, read) or (write, write) pair
+inside one nest, where the vector schedule runs item A over all lanes
+before item B:
+
+* identical affine rows — same cell per lane; legal because every
+  write is injective over the band (same-lane order is preserved);
+* some dimension whose rows differ by a nonzero constant — never
+  aliases (:func:`keys_never_alias`);
+* a single-band nest with a dimension whose rows are identical with a
+  nonzero band coefficient — lanes are separated, cross-lane accesses
+  can never meet;
+* otherwise, only a *within-statement* pair may survive, guarded by a
+  runtime disjointness check (per-dimension intervals, then flat
+  address intervals, then ``np.isin``); overlap abandons the run.
+
+Runtime anomalies (division by zero, ``sqrt`` of a negative, dynamic
+index out of bounds, NaN into ``min``/``max``, step-budget overflow,
+a failed disjointness check) raise :class:`VectorFallback`: the
+mirrors are discarded untouched and the caller reruns the scalar
+kernel, which reproduces the interpreter's exact behaviour — including
+the exception the anomaly would have raised.
+"""
+
+from __future__ import annotations
+
+from repro.ir.analysis import to_affine
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    ChecksumAssert,
+    ChecksumReset,
+    Const,
+    CounterIncrement,
+    If,
+    Loop,
+    Program,
+    Select,
+    UnOp,
+    VarRef,
+    WhileLoop,
+)
+from repro.runtime.codegen import program_elem_types
+from repro.runtime.memory import lazy_numpy
+from repro.runtime.opt.analysis import integer_rows_rank, keys_never_alias
+
+np = None  # bound by plan_program() via lazy_numpy()
+
+INT = "i"
+FLT = "f"
+
+
+class VectorUnsupported(Exception):
+    """Plan-time: the construct has no vector lowering."""
+
+
+class VectorFallback(Exception):
+    """Run-time: abandon the vector attempt; rerun the scalar kernel."""
+
+
+# ----------------------------------------------------------------------
+# Program facts
+# ----------------------------------------------------------------------
+
+
+class ProgInfo:
+    """Region arities and element types, shared by planner and runner."""
+
+    def __init__(self, program: Program) -> None:
+        self.elems = program_elem_types(program)
+        self.ndims: dict[str, int] = {}
+        self.scalars: set[str] = set()
+        for decl in program.arrays:
+            self.ndims[decl.name] = len(decl.dims)
+        for decl in program.scalars:
+            self.ndims[decl.name] = 0
+            self.scalars.add(decl.name)
+        for name, elem in self.elems.items():
+            if elem not in ("f64", "i64"):
+                raise VectorUnsupported(f"element type {elem!r}")
+        self.params = tuple(program.params)
+
+    def kind(self, name: str) -> str:
+        return FLT if self.elems.get(name, "i64") == "f64" else INT
+
+
+# ----------------------------------------------------------------------
+# Expression compilation: closures fn(env, vals) -> scalar | ndarray
+# ----------------------------------------------------------------------
+#
+# ``env`` maps loop variables and params to python ints (sequential
+# vars) or index arrays (band/chain vars); ``vals`` is the current
+# statement's slot-value list.  Kinds ('i'/'f') are inferred at compile
+# time; int arithmetic on arrays wraps at 64 bits (documented — no
+# benchmark value approaches the boundary), float arithmetic is IEEE
+# and bit-identical to the interpreter's python floats.
+
+
+class _Scope:
+    """Name resolution for one expression compilation."""
+
+    def __init__(self, info: ProgInfo, env_names, collector) -> None:
+        self.info = info
+        self.env_names = env_names  # set: params + in-scope loop vars
+        self.collector = collector  # None → refs are forbidden (pure)
+
+
+def _truthy_int(x):
+    if isinstance(x, np.ndarray):
+        return (x != 0).astype(np.int64)
+    return 1 if x else 0
+
+
+def _bool_arr(x):
+    # comparison result -> int (interpreter returns 1/0)
+    if isinstance(x, np.ndarray):
+        return x.astype(np.int64)
+    return 1 if x else 0
+
+
+def _has_refs(expr, sc: _Scope) -> bool:
+    if isinstance(expr, ArrayRef):
+        return True
+    if isinstance(expr, VarRef):
+        return expr.name not in sc.env_names
+    if isinstance(expr, Const):
+        return False
+    if isinstance(expr, BinOp):
+        return _has_refs(expr.left, sc) or _has_refs(expr.right, sc)
+    if isinstance(expr, UnOp):
+        return _has_refs(expr.operand, sc)
+    if isinstance(expr, Select):
+        return (
+            _has_refs(expr.cond, sc)
+            or _has_refs(expr.if_true, sc)
+            or _has_refs(expr.if_false, sc)
+        )
+    if isinstance(expr, Call):
+        return any(_has_refs(a, sc) for a in expr.args)
+    return True
+
+
+def compile_expr(expr, sc: _Scope):
+    """Compile ``expr`` to ``(fn, kind)``."""
+    if isinstance(expr, Const):
+        value = expr.value
+        kind = INT if isinstance(value, int) else FLT
+        return (lambda env, vals, _v=value: _v), kind
+    if isinstance(expr, VarRef):
+        name = expr.name
+        if name in sc.env_names:
+            return (lambda env, vals, _n=name: env[_n]), INT
+        if name in sc.info.scalars:
+            return _slot_ref(expr, sc)
+        raise VectorUnsupported(f"unbound variable {name!r}")
+    if isinstance(expr, ArrayRef):
+        return _slot_ref(expr, sc)
+    if isinstance(expr, BinOp):
+        return _compile_binop(expr, sc)
+    if isinstance(expr, UnOp):
+        fn, kind = compile_expr(expr.operand, sc)
+        if expr.op == "-":
+            return (lambda env, vals, _f=fn: -_f(env, vals)), kind
+        if expr.op == "!":
+            return (
+                lambda env, vals, _f=fn: _bool_arr(
+                    np.equal(_f(env, vals), 0)
+                )
+            ), INT
+        raise VectorUnsupported(f"unary op {expr.op!r}")
+    if isinstance(expr, Select):
+        return _compile_select(expr, sc)
+    if isinstance(expr, Call):
+        return _compile_call(expr, sc)
+    raise VectorUnsupported(f"expression {type(expr).__name__}")
+
+
+def _slot_ref(ref, sc: _Scope):
+    if sc.collector is None:
+        raise VectorUnsupported("data reference in a pure context")
+    idx, kind = sc.collector.add(ref, sc)
+    return (lambda env, vals, _i=idx: vals[_i]), kind
+
+
+def _compile_binop(expr: BinOp, sc: _Scope):
+    op = expr.op
+    if op in ("&&", "||"):
+        # The interpreter short-circuits; eager evaluation is only
+        # legal when the right side performs no loads.
+        if _has_refs(expr.right, sc):
+            raise VectorUnsupported("refs on short-circuit right side")
+        lf, _ = compile_expr(expr.left, sc)
+        rf, _ = compile_expr(expr.right, sc)
+        if op == "&&":
+
+            def fn_and(env, vals, _l=lf, _r=rf):
+                left = _truthy_int(_l(env, vals))
+                right = _truthy_int(_r(env, vals))
+                return left * right if isinstance(left, int) else left & right
+
+            return fn_and, INT
+
+        def fn_or(env, vals, _l=lf, _r=rf):
+            left = _truthy_int(_l(env, vals))
+            right = _truthy_int(_r(env, vals))
+            if isinstance(left, int) and isinstance(right, int):
+                return 1 if (left or right) else 0
+            return _truthy_int(np.logical_or(left, right))
+
+        return fn_or, INT
+
+    lf, lk = compile_expr(expr.left, sc)
+    rf, rk = compile_expr(expr.right, sc)
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        cmp = {
+            "==": np.equal,
+            "!=": np.not_equal,
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+        }[op]
+        return (
+            lambda env, vals, _l=lf, _r=rf, _c=cmp: _bool_arr(
+                _c(_l(env, vals), _r(env, vals))
+            )
+        ), INT
+    kind = FLT if FLT in (lk, rk) else INT
+    if op == "+":
+        return (lambda env, vals, _l=lf, _r=rf: _l(env, vals) + _r(env, vals)), kind
+    if op == "-":
+        return (lambda env, vals, _l=lf, _r=rf: _l(env, vals) - _r(env, vals)), kind
+    if op == "*":
+        return (lambda env, vals, _l=lf, _r=rf: _l(env, vals) * _r(env, vals)), kind
+    if op == "/":
+        if kind == INT:
+
+            def fn_idiv(env, vals, _l=lf, _r=rf):
+                right = _r(env, vals)
+                if np.any(np.equal(right, 0)):
+                    raise VectorFallback("integer division by zero")
+                return _l(env, vals) // right
+
+            return fn_idiv, INT
+
+        def fn_fdiv(env, vals, _l=lf, _r=rf):
+            right = _r(env, vals)
+            # 0/0 would yield a NaN whose bit pattern (hardware qNaN)
+            # differs from the interpreter's float("nan"); bail on any
+            # zero divisor and let the scalar rerun produce it.
+            if np.any(np.equal(right, 0)):
+                raise VectorFallback("float division by zero")
+            return np.true_divide(_l(env, vals), right)
+
+        return fn_fdiv, FLT
+    if op == "%":
+        if lk != INT or rk != INT:
+            raise VectorUnsupported("float modulo")
+
+        def fn_mod(env, vals, _l=lf, _r=rf):
+            right = _r(env, vals)
+            if np.any(np.equal(right, 0)):
+                raise VectorFallback("modulo by zero")
+            return _l(env, vals) % right
+
+        return fn_mod, INT
+    raise VectorUnsupported(f"binary op {op!r}")
+
+
+def _compile_select(expr: Select, sc: _Scope):
+    # The interpreter evaluates only the taken arm, so arms must be
+    # load-free to evaluate eagerly; the condition is always evaluated
+    # and may contain refs.
+    if _has_refs(expr.if_true, sc) or _has_refs(expr.if_false, sc):
+        raise VectorUnsupported("refs inside select arms")
+    cf, _ = compile_expr(expr.cond, sc)
+    tf, tk = compile_expr(expr.if_true, sc)
+    ff, fk = compile_expr(expr.if_false, sc)
+    if tk != fk:
+        raise VectorUnsupported("mixed-type select arms")
+
+    def fn(env, vals, _c=cf, _t=tf, _f=ff):
+        cond = _c(env, vals)
+        if isinstance(cond, np.ndarray):
+            return np.where(cond != 0, _t(env, vals), _f(env, vals))
+        return _t(env, vals) if cond else _f(env, vals)
+
+    return fn, tk
+
+
+def _compile_call(expr: Call, sc: _Scope):
+    func = expr.func
+    compiled = [compile_expr(a, sc) for a in expr.args]
+    fns = [c[0] for c in compiled]
+    kinds = [c[1] for c in compiled]
+    if func == "sqrt":
+
+        def fn_sqrt(env, vals, _a=fns[0]):
+            arg = _a(env, vals)
+            # interpreter: sqrt(neg) -> float("nan") literal; hardware
+            # sqrt yields a differently-signed qNaN — fall back.
+            if np.any(np.less(arg, 0)):
+                raise VectorFallback("sqrt of negative")
+            return np.sqrt(arg)
+
+        return fn_sqrt, FLT
+    if func == "abs":
+        return (lambda env, vals, _a=fns[0]: np.abs(_a(env, vals))), kinds[0]
+    if func in ("min", "max"):
+        if len(set(kinds)) != 1:
+            raise VectorUnsupported("mixed-type min/max")
+        reduce = np.minimum if func == "min" else np.maximum
+        is_float = kinds[0] == FLT
+
+        def fn_minmax(env, vals, _fns=tuple(fns), _r=reduce, _fl=is_float):
+            args = [f(env, vals) for f in _fns]
+            if _fl:
+                for a in args:
+                    if np.any(np.isnan(a)):
+                        # np.minimum propagates NaN; python min() does
+                        # not always — fall back.
+                        raise VectorFallback("NaN into min/max")
+            out = args[0]
+            for a in args[1:]:
+                out = _r(out, a)
+            return out
+
+        return fn_minmax, kinds[0]
+    if func == "exp":
+
+        def fn_exp(env, vals, _a=fns[0]):
+            arg = _a(env, vals)
+            if np.any(np.greater(arg, 709.0)):
+                raise VectorFallback("exp overflow")
+            return np.exp(arg)
+
+        return fn_exp, FLT
+    if func == "floor":
+        if kinds[0] == INT:
+            return fns[0], INT
+
+        def fn_floor(env, vals, _a=fns[0]):
+            arg = _a(env, vals)
+            if not np.all(np.isfinite(arg)) or np.any(
+                np.greater_equal(np.abs(arg), 2.0**62)
+            ):
+                raise VectorFallback("floor out of int64 range")
+            out = np.floor(arg)
+            if isinstance(out, np.ndarray):
+                return out.astype(np.int64)
+            return int(out)
+
+        return fn_floor, INT
+    if func == "mod":
+        if kinds != [INT, INT]:
+            raise VectorUnsupported("float mod()")
+
+        def fn_cmod(env, vals, _l=fns[0], _r=fns[1]):
+            right = _r(env, vals)
+            if np.any(np.equal(right, 0)):
+                raise VectorFallback("mod by zero")
+            return _l(env, vals) % right
+
+        return fn_cmod, INT
+    # sin/cos: libm results are not guaranteed bit-identical between
+    # math.* and numpy — keep those statements scalar.
+    raise VectorUnsupported(f"call {func!r}")
+
+
+# ----------------------------------------------------------------------
+# Reference slots (the interpreter's per-bundle load cache, compiled)
+# ----------------------------------------------------------------------
+
+
+class Slot:
+    """One data reference of a statement bundle, in first-touch order.
+
+    Mirrors the interpreter's ``_ref_through_cache``: the first slot of
+    a cache key loads (``N`` lanes = ``N`` loads), later slots with the
+    same key are register hits (``dup_of``).  Same-array slots whose
+    keys can coincide only at runtime carry ``runtime_dup`` — the
+    runner compares concrete offsets and subtracts matching lanes from
+    the load count (the gathered value is identical either way).
+    """
+
+    __slots__ = (
+        "ref",
+        "array",
+        "ndim",
+        "rows",
+        "index_fns",
+        "kind",
+        "elem",
+        "dup_of",
+        "runtime_dup",
+        "dynamic",
+        "in_count",
+        "uncached",
+    )
+
+    def __init__(self, ref, array, ndim, rows, index_fns, kind, elem):
+        self.ref = ref
+        self.array = array
+        self.ndim = ndim
+        self.rows = rows  # tuple of int_rows, or None when dynamic
+        self.index_fns = index_fns
+        self.kind = kind
+        self.elem = elem
+        self.dup_of = None
+        self.runtime_dup = []
+        self.dynamic = rows is None
+        self.in_count = False
+        self.uncached = False
+
+
+def _affine_rows(ref, sc: _Scope):
+    """Interned affine rows of a ref's indices, or None when dynamic."""
+    if isinstance(ref, VarRef):
+        return ()
+    rows = []
+    for index in ref.indices:
+        affine = to_affine(index, sc.env_names)
+        row = affine.int_row() if affine is not None else None
+        if row is None:
+            return None
+        rows.append(row)
+    return tuple(rows)
+
+
+class _Collector:
+    """Builds the ordered slot list for one statement bundle."""
+
+    def __init__(self):
+        self.slots: list[Slot] = []
+        self._by_key: dict = {}
+        self.in_count = False
+        self.uncached = False
+
+    def add(self, ref, sc: _Scope):
+        if isinstance(ref, ArrayRef):
+            array = ref.array
+            ndim = sc.info.ndims.get(array)
+            if ndim is None:
+                raise VectorUnsupported(f"undeclared array {array!r}")
+            if len(ref.indices) != ndim:
+                raise VectorUnsupported(f"arity mismatch on {array!r}")
+        else:
+            array = ref.name
+            ndim = 0
+        rows = _affine_rows(ref, sc)
+        key = (array, rows) if rows is not None else ("dyn", array, ref)
+        if not self.uncached and key in self._by_key:
+            idx = self._by_key[key]
+            return idx, self.slots[idx].kind
+        # Compile index closures *after* the cache probe but register
+        # any refs inside them first — matching the interpreter, which
+        # evaluates indices (loading indirect refs) before the load.
+        index_fns = []
+        if isinstance(ref, ArrayRef):
+            for index in ref.indices:
+                fn, kind = compile_expr(index, sc)
+                if kind == FLT:
+                    fn = _int_cast(fn)
+                index_fns.append(fn)
+        elem = sc.info.elems.get(array, "f64")
+        slot = Slot(
+            ref, array, ndim, rows, index_fns,
+            FLT if elem == "f64" else INT, elem,
+        )
+        slot.in_count = self.in_count
+        slot.uncached = self.uncached
+        idx = len(self.slots)
+        if not self.uncached:
+            # Runtime-coincidence candidates among earlier slots.
+            for j, other in enumerate(self.slots):
+                if other.array != array or other.ndim != ndim:
+                    continue
+                if other.dup_of is not None:
+                    continue
+                if (
+                    rows is not None
+                    and other.rows is not None
+                    and keys_never_alias((array, rows), (array, other.rows))
+                ):
+                    continue
+                slot.runtime_dup.append(j)
+            self._by_key[key] = idx
+        self.slots.append(slot)
+        return idx, slot.kind
+
+
+def _int_cast(fn):
+    def wrapped(env, vals, _f=fn):
+        out = _f(env, vals)
+        if isinstance(out, np.ndarray):
+            return out.astype(np.int64)
+        return int(out)
+
+    return wrapped
+
+
+def _compile_count(expr, sc: _Scope):
+    """A contribution count: constant fast path, else closure.
+
+    Count refs are flagged ``in_count`` — the nest legality pass
+    requires them to read arrays that the nest neither writes nor
+    bumps, because the interpreter evaluates def counts *after* the
+    store and other lanes' stores interleave before this lane's count
+    evaluation.
+    """
+    if isinstance(expr, Const) and isinstance(expr.value, int):
+        return expr.value, None
+    collector = sc.collector
+    saved = collector.in_count if collector is not None else None
+    if collector is not None:
+        collector.in_count = True
+    try:
+        fn, kind = compile_expr(expr, sc)
+    finally:
+        if collector is not None:
+            collector.in_count = saved
+    return None, (fn if kind == INT else _int_cast(fn))
+
+
+# ----------------------------------------------------------------------
+# Statement plans
+# ----------------------------------------------------------------------
+
+
+class StmtPlan:
+    """One vectorizable statement (assign / csadd / ctrinc)."""
+
+    __slots__ = (
+        "kind",
+        "stmt",
+        "slots",
+        "lhs_array",
+        "lhs_ndim",
+        "lhs_rows",
+        "lhs_index_fns",
+        "lhs_elem",
+        "rhs_fn",
+        "rhs_kind",
+        "uses",
+        "bumps",
+        "pre_ov",
+        "defn",
+        "cs_name",
+        "value_slot",
+        "value_fn",
+        "value_kind",
+        "count_const",
+        "count_fn",
+        "amount_const",
+        "amount_fn",
+        "rt_checks",
+        "cacheable",
+    )
+
+    def __init__(self, kind, stmt):
+        self.kind = kind
+        self.stmt = stmt
+        self.slots = []
+        self.lhs_array = None
+        self.lhs_ndim = 0
+        self.lhs_rows = None
+        self.lhs_index_fns = []
+        self.lhs_elem = "f64"
+        self.rhs_fn = None
+        self.rhs_kind = FLT
+        self.uses = []  # (slot_idx, count_const, count_fn, checksum)
+        self.bumps = []  # (array, ndim, rows|None, index_fns)
+        self.pre_ov = None  # (ctr_array, ctr_ndim, ctr_rows, ctr_index_fns,
+        #                     def_cs, e_use_cs, old_slot_idx)
+        self.defn = None  # (count_const, count_fn, cs, aux, aux_cs)
+        self.cs_name = None
+        self.value_slot = None
+        self.value_fn = None
+        self.value_kind = FLT
+        self.count_const = 1
+        self.count_fn = None
+        self.amount_const = None
+        self.amount_fn = None
+        self.rt_checks = []  # slot indices needing runtime disjointness
+        #                      from this statement's own write target
+
+
+def _counter_location(ref, sc: _Scope):
+    """Counter target: (array, ndim, rows|None, index_fns).
+
+    Indices go through the bundle cache (slots); the counter cell
+    itself is a raw load+store, never cached.
+    """
+    if isinstance(ref, ArrayRef):
+        ndim = sc.info.ndims.get(ref.array)
+        if ndim is None or len(ref.indices) != ndim:
+            raise VectorUnsupported(f"counter target {ref.array!r}")
+        rows = _affine_rows(ref, sc)
+        index_fns = []
+        for index in ref.indices:
+            fn, kind = compile_expr(index, sc)
+            index_fns.append(fn if kind == INT else _int_cast(fn))
+        return ref.array, ndim, rows, index_fns
+    return ref.name, 0, (), []
+
+
+def plan_assign(stmt: Assign, info: ProgInfo, env_names) -> StmtPlan:
+    """Compile one assignment bundle in interpreter evaluation order:
+
+    lhs indices -> rhs -> uses (ref, then count) -> counter bumps ->
+    pre-overwrite (lhs re-read, counter) -> store -> def count.
+    """
+    sp = StmtPlan("assign", stmt)
+    collector = _Collector()
+    sc = _Scope(info, env_names, collector)
+    instr = stmt.instrumentation
+    if instr is not None and instr.duplicate_store is not None:
+        raise VectorUnsupported("duplicate store")
+    if isinstance(stmt.lhs, ArrayRef):
+        sp.lhs_array = stmt.lhs.array
+        sp.lhs_ndim = info.ndims.get(stmt.lhs.array)
+        if sp.lhs_ndim is None or len(stmt.lhs.indices) != sp.lhs_ndim:
+            raise VectorUnsupported(f"lhs {stmt.lhs.array!r}")
+        sp.lhs_rows = _affine_rows(stmt.lhs, sc)
+        for index in stmt.lhs.indices:
+            fn, kind = compile_expr(index, sc)
+            sp.lhs_index_fns.append(fn if kind == INT else _int_cast(fn))
+    else:
+        sp.lhs_array = stmt.lhs.name
+        sp.lhs_ndim = 0
+        sp.lhs_rows = ()
+    sp.lhs_elem = info.elems.get(sp.lhs_array, "i64")
+    sp.rhs_fn, sp.rhs_kind = compile_expr(stmt.rhs, sc)
+    if instr is not None:
+        for use in instr.uses:
+            idx, _ = collector.add(use.ref, sc)
+            const, fn = _compile_count(use.count, sc)
+            sp.uses.append((idx, const, fn, use.checksum))
+        for counter_ref in instr.counter_increments:
+            sp.bumps.append(_counter_location(counter_ref, sc))
+        if instr.pre_overwrite is not None:
+            adj = instr.pre_overwrite
+            old_idx, _ = collector.add(stmt.lhs, sc)
+            ctr = _counter_location(adj.counter, sc)
+            sp.pre_ov = (
+                ctr[0], ctr[1], ctr[2], ctr[3],
+                adj.def_checksum, adj.e_use_checksum, old_idx,
+            )
+        if instr.definition is not None:
+            d = instr.definition
+            const, fn = _compile_count(d.count, sc)
+            sp.defn = (const, fn, d.checksum, d.aux, d.aux_checksum)
+    sp.slots = collector.slots
+    return sp
+
+
+def plan_csadd(stmt: ChecksumAdd, info: ProgInfo, env_names) -> StmtPlan:
+    sp = StmtPlan("csadd", stmt)
+    collector = _Collector()
+    sc = _Scope(info, env_names, collector)
+    sp.cs_name = stmt.checksum
+    value = stmt.value
+    is_data = isinstance(value, ArrayRef) or (
+        isinstance(value, VarRef) and value.name in info.scalars
+    )
+    if is_data:
+        sp.value_slot, _ = collector.add(value, sc)
+    else:
+        sp.value_fn, sp.value_kind = compile_expr(value, sc)
+    sp.count_const, sp.count_fn = _compile_count(stmt.count, sc)
+    sp.slots = collector.slots
+    return sp
+
+
+def plan_ctrinc(stmt: CounterIncrement, info: ProgInfo, env_names) -> StmtPlan:
+    sp = StmtPlan("ctrinc", stmt)
+    collector = _Collector()
+    sc = _Scope(info, env_names, collector)
+    # Interpreter order: amount first, then the bump's indices.
+    if isinstance(stmt.amount, Const) and isinstance(stmt.amount.value, int):
+        sp.amount_const = stmt.amount.value
+    else:
+        collector.in_count = True
+        try:
+            fn, kind = compile_expr(stmt.amount, sc)
+        finally:
+            collector.in_count = False
+        sp.amount_fn = fn if kind == INT else _int_cast(fn)
+    sp.bumps.append(_counter_location(stmt.counter, sc))
+    sp.slots = collector.slots
+    return sp
+
+
+# ----------------------------------------------------------------------
+# Chain plans (fixed-cell accumulation collapse)
+# ----------------------------------------------------------------------
+
+
+class ChainPlan:
+    """``for v: acc = acc (+|-) term`` with a per-lane-constant acc cell.
+
+    Executes as batched gathers over the (steps, lanes) domain plus an
+    exact sequential fold (one full-width numpy op per step — the same
+    left fold, rounding included, as the interpreter).  The acc slot is
+    special: its per-step value is the evolving fold state, its load
+    count is steps*lanes (the interpreter's per-bundle cache misses
+    every instance).  No counters, pre-overwrite or duplicate stores —
+    none of the Figure 10 inner products carry them.
+    """
+
+    __slots__ = (
+        "stmt",
+        "var",
+        "lo_fn",
+        "hi_fn",
+        "op",
+        "slots",
+        "acc_idx",
+        "lhs_array",
+        "lhs_ndim",
+        "lhs_rows",
+        "lhs_index_fns",
+        "lhs_elem",
+        "term_fn",
+        "term_kind",
+        "uses",
+        "defn",
+        "rt_checks",
+        "cacheable",
+    )
+
+
+def _contains_expr(haystack, needle) -> bool:
+    if haystack == needle:
+        return True
+    if isinstance(haystack, (BinOp,)):
+        return _contains_expr(haystack.left, needle) or _contains_expr(
+            haystack.right, needle
+        )
+    if isinstance(haystack, UnOp):
+        return _contains_expr(haystack.operand, needle)
+    if isinstance(haystack, Select):
+        return (
+            _contains_expr(haystack.cond, needle)
+            or _contains_expr(haystack.if_true, needle)
+            or _contains_expr(haystack.if_false, needle)
+        )
+    if isinstance(haystack, Call):
+        return any(_contains_expr(a, needle) for a in haystack.args)
+    if isinstance(haystack, ArrayRef):
+        return any(_contains_expr(i, needle) for i in haystack.indices)
+    return False
+
+
+def plan_chain(loop: Loop, info: ProgInfo, full_names, invariant_names):
+    if len(loop.body) != 1 or not isinstance(loop.body[0], Assign):
+        raise VectorUnsupported("not an accumulation loop")
+    stmt = loop.body[0]
+    instr = stmt.instrumentation
+    if instr is not None and (
+        instr.counter_increments
+        or instr.pre_overwrite is not None
+        or instr.duplicate_store is not None
+    ):
+        raise VectorUnsupported("instrumented side effects in chain")
+    rhs = stmt.rhs
+    if (
+        not isinstance(rhs, BinOp)
+        or rhs.op not in ("+", "-")
+        or rhs.left != stmt.lhs
+    ):
+        raise VectorUnsupported("rhs is not acc = acc op term")
+    if _contains_expr(rhs.right, stmt.lhs):
+        raise VectorUnsupported("term reads the accumulator cell")
+    ch = ChainPlan()
+    ch.stmt = stmt
+    ch.var = loop.var
+    # Bounds must be lane-invariant: compiled without the band vars in
+    # scope, so a band-var reference fails name resolution.
+    sc_pure = _Scope(info, frozenset(invariant_names), None)
+    ch.lo_fn = _pure_int(loop.lower, sc_pure)
+    ch.hi_fn = _pure_int(loop.upper, sc_pure)
+    ch.op = rhs.op
+    collector = _Collector()
+    scope_names = frozenset(full_names) | {loop.var}
+    sc = _Scope(info, scope_names, collector)
+    # The acc read is the first cache entry of every step's bundle.
+    ch.acc_idx, _ = collector.add(stmt.lhs, sc)
+    if isinstance(stmt.lhs, ArrayRef):
+        ch.lhs_array = stmt.lhs.array
+        ch.lhs_ndim = info.ndims.get(stmt.lhs.array, 0)
+        ch.lhs_rows = _affine_rows(stmt.lhs, sc)
+        ch.lhs_index_fns = []
+        for index in stmt.lhs.indices:
+            fn, kind = compile_expr(index, sc)
+            ch.lhs_index_fns.append(fn if kind == INT else _int_cast(fn))
+    else:
+        ch.lhs_array = stmt.lhs.name
+        ch.lhs_ndim = 0
+        ch.lhs_rows = ()
+        ch.lhs_index_fns = []
+    ch.lhs_elem = info.elems.get(ch.lhs_array, "i64")
+    if ch.lhs_rows is None:
+        raise VectorUnsupported("dynamic accumulation cell")
+    ch.term_fn, ch.term_kind = None, None  # set below
+    for row in ch.lhs_rows:
+        if dict(row[0]).get(loop.var, 0) != 0:
+            raise VectorUnsupported("acc cell varies with chain var")
+    ch.term_fn, ch.term_kind = compile_expr(rhs.right, sc)
+    if ch.term_kind == FLT and ch.lhs_elem == "i64":
+        # the interpreter truncates float(acc+term) at every store; an
+        # int64 fold cannot reproduce that per-step rounding.
+        raise VectorUnsupported("float term into integer accumulator")
+    ch.uses = []
+    ch.defn = None
+    if instr is not None:
+        for use in instr.uses:
+            idx, _ = collector.add(use.ref, sc)
+            const, fn = _compile_count(use.count, sc)
+            ch.uses.append((idx, const, fn, use.checksum))
+        if instr.definition is not None:
+            d = instr.definition
+            const, fn = _compile_count(d.count, sc)
+            ch.defn = (const, fn, d.checksum, d.aux, d.aux_checksum)
+    ch.slots = collector.slots
+    ch.rt_checks = []
+    return ch
+
+
+def _pure_int(expr, sc_pure: _Scope):
+    fn, kind = compile_expr(expr, sc_pure)
+    return fn if kind == INT else _int_cast(fn)
+
+
+# ----------------------------------------------------------------------
+# Plan tree nodes
+# ----------------------------------------------------------------------
+
+
+class EvalPlan:
+    """A sequential-context expression (loop bound, while/if condition):
+    evaluated at one instance with an *uncached* slot list — the
+    interpreter passes ``cache=None`` there, so every reference
+    occurrence performs its own load."""
+
+    __slots__ = ("fn", "slots")
+
+    def __init__(self, fn, slots):
+        self.fn = fn
+        self.slots = slots
+
+
+class SeqBlock:
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        self.items = items
+
+
+class SeqLoop:
+    __slots__ = ("var", "lower", "upper", "body")
+
+    def __init__(self, var, lower, upper, body):
+        self.var = var
+        self.lower = lower
+        self.upper = upper
+        self.body = body
+
+
+class SeqWhile:
+    __slots__ = ("cond", "counter", "body")
+
+    def __init__(self, cond, counter, body):
+        self.cond = cond
+        self.counter = counter
+        self.body = body
+
+
+class SeqIf:
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond, then_body, else_body):
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class SeqAssert:
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs):
+        self.pairs = pairs
+
+
+class SeqReset:
+    __slots__ = ("names",)
+
+    def __init__(self, names):
+        self.names = names
+
+
+class Band:
+    __slots__ = ("var", "lo_fn", "hi_fn")
+
+    def __init__(self, var, lo_fn, hi_fn):
+        self.var = var
+        self.lo_fn = lo_fn
+        self.hi_fn = hi_fn
+
+
+class NStmt:
+    __slots__ = ("sp",)
+
+    def __init__(self, sp):
+        self.sp = sp
+
+
+class NSeq:
+    __slots__ = ("var", "lo_fn", "hi_fn", "items")
+
+    def __init__(self, var, lo_fn, hi_fn, items):
+        self.var = var
+        self.lo_fn = lo_fn
+        self.hi_fn = hi_fn
+        self.items = items
+
+
+class NChain:
+    __slots__ = ("chain",)
+
+    def __init__(self, chain):
+        self.chain = chain
+
+
+class Nest:
+    """A vector nest: band loops expanded into lanes, ordered items."""
+
+    __slots__ = ("bands", "items")
+
+    def __init__(self, bands, items):
+        self.bands = bands
+        self.items = items
+
+
+class VectorPlan:
+    __slots__ = ("program", "info", "body")
+
+    def __init__(self, program, info, body):
+        self.program = program
+        self.info = info
+        self.body = body
+
+
+# ----------------------------------------------------------------------
+# Nest assembly and dependence legality
+# ----------------------------------------------------------------------
+
+
+def _classify_items(stmts, info, full_names, invariant_names):
+    items = []
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            items.append(NStmt(plan_assign(stmt, info, frozenset(full_names))))
+        elif isinstance(stmt, ChecksumAdd):
+            items.append(NStmt(plan_csadd(stmt, info, frozenset(full_names))))
+        elif isinstance(stmt, CounterIncrement):
+            items.append(NStmt(plan_ctrinc(stmt, info, frozenset(full_names))))
+        elif isinstance(stmt, Loop):
+            try:
+                items.append(
+                    NChain(plan_chain(stmt, info, full_names, invariant_names))
+                )
+            except VectorUnsupported:
+                sc_pure = _Scope(info, frozenset(invariant_names), None)
+                lo_fn = _pure_int(stmt.lower, sc_pure)
+                hi_fn = _pure_int(stmt.upper, sc_pure)
+                sub = _classify_items(
+                    stmt.body,
+                    info,
+                    set(full_names) | {stmt.var},
+                    set(invariant_names) | {stmt.var},
+                )
+                items.append(NSeq(stmt.var, lo_fn, hi_fn, sub))
+        else:
+            raise VectorUnsupported(
+                f"{type(stmt).__name__} inside a vector nest"
+            )
+    return items
+
+
+def _collect_accesses(items, writes, reads, bumps, preovs):
+    for item in items:
+        if isinstance(item, NStmt):
+            sp = item.sp
+            if sp.kind == "assign":
+                writes.append((sp.lhs_array, sp.lhs_rows, item, sp))
+            for idx, slot in enumerate(sp.slots):
+                reads.append((slot, idx, item, sp))
+            for array, ndim, rows, _fns in sp.bumps:
+                bumps.append((array, rows, item))
+            if sp.pre_ov is not None:
+                preovs.append((sp.pre_ov[0], sp.pre_ov[2], item, sp))
+        elif isinstance(item, NChain):
+            ch = item.chain
+            writes.append((ch.lhs_array, ch.lhs_rows, item, ch))
+            for idx, slot in enumerate(ch.slots):
+                reads.append((slot, idx, item, ch))
+        elif isinstance(item, NSeq):
+            _collect_accesses(item.items, writes, reads, bumps, preovs)
+
+
+def _rows_identical(a, b):
+    return a is not None and b is not None and a == b
+
+
+def _lane_separated(a, b, band_vars):
+    """Cross-lane disjointness: a shared dimension whose identical row
+    has a nonzero coefficient on the single band variable."""
+    if len(band_vars) != 1 or a is None or b is None:
+        return False
+    var = band_vars[0]
+    for ra, rb in zip(a, b):
+        if ra == rb and dict(ra[0]).get(var, 0) != 0:
+            return True
+    return False
+
+
+def _check_nest(band_vars, items):
+    """Dependence legality; attaches runtime checks to statements."""
+    writes, reads, bumps, preovs = [], [], [], []
+    _collect_accesses(items, writes, reads, bumps, preovs)
+    written = {w[0] for w in writes}
+    bumped = {b[0] for b in bumps} | {p[0] for p in preovs}
+    if written & bumped:
+        raise VectorUnsupported("array is both data and counter")
+    if band_vars:
+        for array, rows, _item, _plan in writes:
+            if rows is None:
+                raise VectorUnsupported(f"dynamic write to {array!r}")
+            if rows == () or integer_rows_rank(rows, band_vars) != len(
+                band_vars
+            ):
+                raise VectorUnsupported(
+                    f"write to {array!r} not injective over the band"
+                )
+    for slot, _idx, _item, _plan in reads:
+        if slot.array in bumped:
+            raise VectorUnsupported("counter array read as data")
+        if slot.in_count and slot.array in written:
+            raise VectorUnsupported("contribution count reads nest output")
+        if slot.dynamic and slot.array in written:
+            raise VectorUnsupported("dynamic read of a written array")
+    for array, rows, item, sp in preovs:
+        if rows is None:
+            raise VectorUnsupported("dynamic pre-overwrite counter")
+        if band_vars and (
+            rows == ()
+            or integer_rows_rank(rows, band_vars) != len(band_vars)
+        ):
+            raise VectorUnsupported("pre-overwrite counter not injective")
+        for barray, brows, bitem in bumps:
+            if barray != array:
+                continue
+            if bitem is not item or not _rows_identical(brows, rows):
+                raise VectorUnsupported(
+                    "counter shared beyond its pre-overwrite statement"
+                )
+        for oarray, _orows, oitem, _osp in preovs:
+            if oarray == array and oitem is not item:
+                raise VectorUnsupported("pre-overwrite counter shared")
+    # Same-array write/read and write/write pairs.  NOTE:
+    # keys_never_alias (constant-difference rows like X[i] vs X[i-1])
+    # proves distinct cells *within one lane* only — across lanes such
+    # rows do alias (the loop-carried case).  It is deliberately absent
+    # here; unresolved within-statement pairs get a runtime full-domain
+    # disjointness check, unresolved cross-item pairs reject the nest.
+    for warray, wrows, witem, wplan in writes:
+        for slot, idx, ritem, rplan in reads:
+            if slot.array != warray:
+                continue
+            chain_self = ritem is witem and isinstance(witem, NChain)
+            if chain_self and idx == wplan.acc_idx:
+                continue  # the acc read: handled by the fold itself
+            if not chain_self and _rows_identical(wrows, slot.rows):
+                continue
+            if not chain_self and _lane_separated(
+                wrows, slot.rows, band_vars
+            ):
+                continue
+            if chain_self and _lane_separated(wrows, slot.rows, band_vars):
+                # lane separation says nothing about same-lane cross-step
+                # aliasing inside the chain; fall through to runtime.
+                pass
+            if ritem is witem:
+                if idx not in rplan.rt_checks:
+                    rplan.rt_checks.append(idx)
+            else:
+                raise VectorUnsupported(
+                    f"unresolved cross-item dependence on {warray!r}"
+                )
+        for oarray, orows, oitem, _oplan in writes:
+            if oitem is witem or oarray != warray:
+                continue
+            if _rows_identical(wrows, orows):
+                continue
+            if _lane_separated(wrows, orows, band_vars):
+                continue
+            raise VectorUnsupported(
+                f"unresolved write/write dependence on {warray!r}"
+            )
+
+
+def _assemble(band_loops, body_stmts, outer_names, info):
+    """Build a Nest from a perfect loop chain prefix; raises on failure."""
+    names = set(outer_names)
+    bands = []
+    band_vars = []
+    for lp in band_loops:
+        sc_pure = _Scope(info, frozenset(names), None)
+        bands.append(Band(lp.var, _pure_int(lp.lower, sc_pure),
+                          _pure_int(lp.upper, sc_pure)))
+        names.add(lp.var)
+        band_vars.append(lp.var)
+    items = _classify_items(body_stmts, info, names, set(outer_names))
+    _check_nest(band_vars, items)
+    return Nest(bands, items)
+
+
+def _plan_loop(stmt: Loop, info: ProgInfo, names):
+    # Maximal perfectly-nested loop chain, banded with backtracking:
+    # try the deepest band first, retreat one level per legality
+    # failure (e.g. strsm's inner-product bounds reference the i loop,
+    # so [j, i] fails but [j] with a sequential i inside succeeds).
+    chain = [stmt]
+    cur = stmt
+    while len(cur.body) == 1 and isinstance(cur.body[0], Loop):
+        cur = cur.body[0]
+        chain.append(cur)
+    for depth in range(len(chain), 0, -1):
+        try:
+            return _assemble(chain[:depth], chain[depth - 1].body, names, info)
+        except VectorUnsupported:
+            continue
+    # A lone accumulation loop still collapses as a band-free chain
+    # (trisolv's back-substitution inner product).
+    try:
+        ch = plan_chain(stmt, info, set(names), set(names))
+        items = [NChain(ch)]
+        _check_nest([], items)
+        return Nest([], items)
+    except VectorUnsupported:
+        pass
+    return SeqLoop(
+        stmt.var,
+        _eval_plan(stmt.lower, info, names),
+        _eval_plan(stmt.upper, info, names),
+        _plan_body(stmt.body, info, set(names) | {stmt.var}),
+    )
+
+
+def _eval_plan(expr, info: ProgInfo, names) -> EvalPlan:
+    """Sequential-context expression: cache=None semantics (every
+    reference occurrence loads)."""
+    collector = _Collector()
+    collector.uncached = True
+    fn, _kind = compile_expr(expr, _Scope(info, frozenset(names), collector))
+    return EvalPlan(fn, collector.slots)
+
+
+def _leaf(sp) -> Nest:
+    items = [NStmt(sp)]
+    _check_nest([], items)
+    return Nest([], items)
+
+
+def _plan_statement(stmt, info: ProgInfo, names):
+    if isinstance(stmt, Assign):
+        return _leaf(plan_assign(stmt, info, frozenset(names)))
+    if isinstance(stmt, ChecksumAdd):
+        return _leaf(plan_csadd(stmt, info, frozenset(names)))
+    if isinstance(stmt, CounterIncrement):
+        return _leaf(plan_ctrinc(stmt, info, frozenset(names)))
+    if isinstance(stmt, Loop):
+        return _plan_loop(stmt, info, names)
+    if isinstance(stmt, WhileLoop):
+        return SeqWhile(
+            _eval_plan(stmt.cond, info, names),
+            stmt.counter,
+            _plan_body(stmt.body, info, names),
+        )
+    if isinstance(stmt, If):
+        return SeqIf(
+            _eval_plan(stmt.cond, info, names),
+            _plan_body(stmt.then_body, info, names),
+            _plan_body(stmt.else_body, info, names),
+        )
+    if isinstance(stmt, ChecksumAssert):
+        return SeqAssert(stmt.pairs)
+    if isinstance(stmt, ChecksumReset):
+        return SeqReset(stmt.names)
+    raise VectorUnsupported(f"statement {type(stmt).__name__}")
+
+
+def _plan_body(stmts, info: ProgInfo, names) -> SeqBlock:
+    return SeqBlock([_plan_statement(s, info, set(names)) for s in stmts])
+
+
+def plan_program(program: Program):
+    """Compile ``program`` to a VectorPlan, or None if any part of the
+    spine is unsupported (per-program scalar fallback).  Unsupported
+    *loops* degrade to SeqLoop spines (per-statement fallback) rather
+    than failing the program."""
+    global np
+    np = lazy_numpy()
+    if np is None:
+        return None
+    try:
+        info = ProgInfo(program)
+        names = set(info.params)
+        body = _plan_body(program.body, info, names)
+    except VectorUnsupported:
+        return None
+    return VectorPlan(program, info, body)

@@ -1,0 +1,1167 @@
+"""Vector-backend runner: execute a :class:`VectorPlan` transactionally.
+
+All work happens against private ``uint64`` mirrors of the memory
+regions plus local copies of the checksum sums and event counters; only
+a run that completes without a :class:`VectorFallback` is committed
+back.  A fallback (runtime aliasing, out-of-bounds, a bit-exactness
+guard, step-limit overrun, or any unexpected error) leaves the caller's
+``Memory``/``ChecksumState`` untouched so the scalar kernel can rerun
+from the exact same state.
+
+Profitability is measured, not estimated: the dispatcher's first run of
+a ``(kernel digest, params, channels)`` key is a *probe* — a timed,
+uncommitted vector run followed by the (authoritative) scalar run, both
+on the same state.  A vector run slower than :data:`PROFIT_MARGIN` of
+the scalar one (or any fallback) memoizes the key as scalar-only, which
+keeps short-trip programs (cg, seidel at default scales) off the vector
+path after one attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.runtime.memory import MASK64, lazy_numpy
+from repro.runtime.state import ChecksumMismatch
+from repro.runtime.vector.plan import (
+    FLT,
+    INT,
+    NChain,
+    NSeq,
+    NStmt,
+    Nest,
+    SeqAssert,
+    SeqBlock,
+    SeqIf,
+    SeqLoop,
+    SeqReset,
+    SeqWhile,
+    VectorFallback,
+)
+
+np = None  # bound on first execute_vector() call
+
+#: A probed vector run must beat this fraction of the *measured* scalar
+#: run to stay on the vector path for that (kernel, params, channels)
+#: key.  < 1.0 demands a real win, not a tie.
+PROFIT_MARGIN = 0.7
+
+#: (digest, params, channels) -> bool — measured profitability memo.
+_PROFIT: dict = {}
+
+#: Introspection counters (tests and the CLI read these).
+VECTOR_RUNS = 0
+VECTOR_FALLBACKS = 0
+
+
+def reset_stats() -> None:
+    global VECTOR_RUNS, VECTOR_FALLBACKS
+    VECTOR_RUNS = 0
+    VECTOR_FALLBACKS = 0
+
+
+def clear_profit_memo() -> None:
+    _PROFIT.clear()
+
+
+#: Access offsets and band expansions are pure functions of the scalar
+#: environment (params plus sequential loop variables) for affine
+#: subscripts, so repeat dispatches of the same plan node under the same
+#: scalars can reuse the located index arrays and load-count deltas.
+_EXPAND_CACHE: dict = {}
+_LOC_CACHE: dict = {}
+_CACHE_CAP = 65536
+_MISS = object()
+_EMPTY_BOUNDS: dict = {}
+
+
+def clear_dispatch_caches() -> None:
+    _EXPAND_CACHE.clear()
+    _LOC_CACHE.clear()
+    _FLAT_FORMS.clear()
+
+
+def _scalar_env_key(lane_env):
+    """Hashable view of the scalar part of a lane environment.
+
+    Band variables (numpy arrays) are excluded: they are themselves
+    deterministic functions of the scalars via the band bounds.
+    """
+    return tuple((k, v) for k, v in lane_env.items() if type(v) is int)
+
+
+def _gather_cached(slots, recs, loads_delta, ctx):
+    """Replay a cached gather: offsets are known, values are fresh."""
+    vals = [None] * len(slots)
+    views = ctx.views
+    for i, slot in enumerate(slots):
+        flat = recs[i].flat
+        if flat is None:
+            vals[i] = views[slot.array][0]
+        else:
+            vals[i] = views[slot.array][flat]
+    ctx.loads += loads_delta
+    return vals
+
+
+class _Halt(Exception):
+    """halt_on_mismatch tripped — stop executing, commit what ran."""
+
+
+class _Ctx:
+    __slots__ = (
+        "memory",
+        "env",
+        "mirrors",
+        "views",
+        "shapes",
+        "bases",
+        "steps",
+        "loads",
+        "stores",
+        "store_counts",
+        "sums",
+        "contrib",
+        "mismatches",
+        "first_detection",
+        "max_steps",
+        "halt_on_mismatch",
+        "channels",
+        "dispatches",
+        "execs",
+        "covered",
+    )
+
+    def __init__(self, memory, checksums, max_steps, halt_on_mismatch):
+        self.memory = memory
+        self.env = {}
+        self.mirrors = {}
+        self.views = {}
+        self.shapes = {}
+        self.bases = {}
+        for name, region in memory._regions.items():
+            mirror = memory.region_words_array(name)
+            self.mirrors[name] = mirror
+            self.views[name] = mirror.view(
+                np.float64 if region.elem_type == "f64" else np.int64
+            )
+            self.shapes[name] = region.shape
+            self.bases[name] = region.base
+        self.steps = 0
+        self.loads = 0
+        self.stores = 0
+        self.store_counts = {}
+        self.sums = [dict(s) for s in checksums.sums]
+        self.contrib = checksums.contribution_count
+        self.mismatches = []
+        self.first_detection = None
+        self.max_steps = max_steps
+        self.halt_on_mismatch = halt_on_mismatch
+        self.channels = checksums.channels
+        self.dispatches = 0
+        self.execs = 0
+        self.covered = 0
+
+
+# ----------------------------------------------------------------------
+# Checksum accumulation (vectorized ChecksumState.add)
+# ----------------------------------------------------------------------
+
+
+def _cs_add(ctx, which, bits, count, rot_idx, n_calls, domain):
+    """``n_calls`` interpreter add() calls folded into one update.
+
+    ``bits``: uint64 values (broadcastable to ``domain``); ``count``:
+    python int or int array; ``rot_idx`` = (base >> 3) + flat offset for
+    rotated channels, or None for address-free contributions.  uint64
+    multiply/add wrap mod 2^64 exactly like the scalar ``& MASK64``.
+
+    Broadcasts are never materialized: the operand product's size always
+    divides ``n_calls`` (each operand dim either matches the domain or
+    is 1), so the missing instances are a scalar replication factor —
+    ``sum(b)*f*c mod 2^64`` equals the elementwise sum.
+    """
+    ctx.contrib += n_calls
+    if not isinstance(bits, np.ndarray):
+        bits = np.asarray(bits, dtype=np.uint64)
+    if isinstance(count, int):
+        cnt = None
+        scale = count & MASK64
+    else:
+        cnt = count if count.dtype == np.uint64 else count.astype(np.uint64)
+        scale = 1
+    for channel in range(ctx.channels):
+        if channel == 0 or rot_idx is None:
+            vals = bits
+        else:
+            rot = (
+                np.asarray(rot_idx, np.int64).astype(np.uint64)
+                & np.uint64(31)
+            ) * np.uint64(channel) % np.uint64(64)
+            vals = (bits << rot) | (
+                bits >> ((np.uint64(64) - rot) & np.uint64(63))
+            )
+        prod = vals if cnt is None else vals * cnt
+        psum = int(prod.sum(dtype=np.uint64)) if prod.ndim else int(prod)
+        factor = n_calls // max(1, prod.size)
+        total = (psum * factor * scale) & MASK64
+        sums = ctx.sums[channel]
+        sums[which] = (sums.get(which, 0) + total) & MASK64
+
+
+# ----------------------------------------------------------------------
+# Slot gathering
+# ----------------------------------------------------------------------
+
+
+def _row_interval(row, var_bounds, env):
+    coeffs, const = row
+    lo = hi = const
+    for var, c in coeffs:
+        bound = var_bounds.get(var)
+        if bound is None:
+            v = env[var]
+            bound = (v, v)
+        if c >= 0:
+            lo += c * bound[0]
+            hi += c * bound[1]
+        else:
+            lo += c * bound[1]
+            hi += c * bound[0]
+    return lo, hi
+
+
+def _index_bounds(idx_arrays, d):
+    arr = np.asarray(idx_arrays[d])
+    return int(arr.min()), int(arr.max())
+
+
+class _SlotVal:
+    __slots__ = ("flat", "lohis")
+
+    def __init__(self, flat, lohis):
+        self.flat = flat  # int or int array (None for scalar regions)
+        self.lohis = lohis  # per-dim (lo, hi) intervals, or None
+
+
+#: (rows, shape) -> (coeff items, const) — the row-major flattening of
+#: an affine access, with strides folded into the coefficients.
+_FLAT_FORMS = {}
+
+
+def _flat_form(rows, shape):
+    key = (rows, shape)
+    hit = _FLAT_FORMS.get(key)
+    if hit is not None:
+        return hit
+    stride = 1
+    coeffs = {}
+    const = 0
+    for d in range(len(rows) - 1, -1, -1):
+        dim_coeffs, dim_const = rows[d]
+        const += dim_const * stride
+        for var, c in dim_coeffs:
+            coeffs[var] = coeffs.get(var, 0) + c * stride
+        stride *= shape[d]
+    entry = (tuple(coeffs.items()), const)
+    _FLAT_FORMS[key] = entry
+    return entry
+
+
+def _locate(rows, index_fns, ndim, shape, lane_env, vals, var_bounds, env, what):
+    """(flat offsets, per-dim bounds) of one access over the lanes.
+
+    Affine accesses whose conservative per-dim intervals stay in bounds
+    take the flattened-affine fast path (no index closures); otherwise
+    indices are evaluated exactly and rechecked, falling back only on a
+    genuine out-of-bounds (which the scalar rerun reports as the
+    interpreter's MemoryError64).
+    """
+    if rows is not None:
+        lohis = []
+        for d, row in enumerate(rows):
+            lo, hi = _row_interval(row, var_bounds, env)
+            if lo < 0 or hi >= shape[d]:
+                break
+            lohis.append((lo, hi))
+        else:
+            coeffs, const = _flat_form(rows, shape)
+            flat = const
+            for var, c in coeffs:
+                v = lane_env[var]
+                flat = flat + v if c == 1 else flat + v * c
+            return flat, lohis
+    idxs = [fn(lane_env, vals) for fn in index_fns]
+    lohis = []
+    for d in range(ndim):
+        lo, hi = _index_bounds(idxs, d)
+        if lo < 0 or hi >= shape[d]:
+            raise VectorFallback(what)
+        lohis.append((lo, hi))
+    flat = idxs[0]
+    for d in range(1, ndim):
+        flat = flat * shape[d] + idxs[d]
+    return flat, lohis
+
+
+def _gather(slots, lane_env, var_bounds, ninst, dom, ctx):
+    """Evaluate every slot of a bundle over the lane domain.
+
+    Returns (values, records).  Load accounting mirrors the
+    interpreter's per-instance bundle cache: every slot loads once per
+    instance, minus lanes where a later slot's concrete offset equals an
+    earlier same-array slot's offset (a cache hit at run time).
+    """
+    vals = [None] * len(slots)
+    recs = [None] * len(slots)
+    env = ctx.env
+    for i, slot in enumerate(slots):
+        name = slot.array
+        if slot.ndim == 0:
+            vals[i] = ctx.views[name][0]
+            recs[i] = _SlotVal(None, None)
+            hits = 0
+            for j in slot.runtime_dup:
+                if slots[j].array == name and slots[j].ndim == 0:
+                    hits = ninst  # same scalar cell: always a cache hit
+                    break
+            ctx.loads += ninst - hits
+            continue
+        flat, lohis = _locate(
+            slot.rows,
+            slot.index_fns,
+            slot.ndim,
+            ctx.shapes[name],
+            lane_env,
+            vals,
+            var_bounds,
+            env,
+            "index out of bounds",
+        )
+        vals[i] = ctx.views[name][flat]
+        recs[i] = _SlotVal(flat, lohis)
+        hits = 0
+        for j in slot.runtime_dup:
+            other = recs[j]
+            if other is None or other.flat is None:
+                continue
+            eq = np.equal(flat, other.flat)
+            hits = int(np.broadcast_to(eq, dom).sum())
+            if hits:
+                break
+        ctx.loads += ninst - hits
+    return vals, recs
+
+
+def _scatter_loc(loc, lane_env, var_bounds, vals, ctx):
+    """Flat offsets + bounds of a counter location (bump / pre_ov)."""
+    array, ndim, rows, index_fns = loc
+    if ndim == 0:
+        return array, 0, None
+    flat, _ = _locate(
+        rows,
+        index_fns,
+        ndim,
+        ctx.shapes[array],
+        lane_env,
+        vals,
+        var_bounds,
+        ctx.env,
+        "counter index out of bounds",
+    )
+    return array, ndim, flat
+
+
+# ----------------------------------------------------------------------
+# Runtime disjointness (the pair-legality escape hatch)
+# ----------------------------------------------------------------------
+
+
+def _disjoint(a_flat, a_lohis, b_flat, b_lohis):
+    """Whether two concrete access sets touch disjoint cells.
+
+    Tier 1: per-dimension intervals; tier 2: flat-offset intervals;
+    tier 3: exact membership (np.isin) as the last resort.
+    """
+    if a_lohis is not None and b_lohis is not None:
+        for (alo, ahi), (blo, bhi) in zip(a_lohis, b_lohis):
+            if ahi < blo or bhi < alo:
+                return True
+    af = np.asarray(a_flat)
+    bf = np.asarray(b_flat)
+    if int(af.min()) > int(bf.max()) or int(bf.min()) > int(af.max()):
+        return True
+    return not np.isin(af.ravel(), bf.ravel()).any()
+
+
+# ----------------------------------------------------------------------
+# Value encoding for stores and checksum bits
+# ----------------------------------------------------------------------
+
+
+def _bits_of(value, kind):
+    """uint64 bit patterns of gathered/computed values."""
+    if isinstance(value, np.ndarray) and value.dtype == np.uint64:
+        return value
+    arr = np.asarray(value)
+    if kind == FLT:
+        if arr.dtype != np.float64:
+            arr = arr.astype(np.float64)
+    elif arr.dtype != np.int64 and arr.dtype != np.uint64:
+        arr = arr.astype(np.int64)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    return arr.view(np.uint64)
+
+
+def _store_array(value, value_kind, elem):
+    """Convert a computed rhs to the stored dtype, bit-exactly.
+
+    Mirrors ``encode_value``: f64 targets take ``float(value)``
+    (int64→double rounds to nearest, same as CPython); i64 targets take
+    ``int(value)`` (truncation) — non-finite or out-of-range floats
+    would raise in the interpreter, so the vector path falls back.
+    """
+    arr = np.asarray(value)
+    if elem == "f64":
+        if arr.dtype != np.float64:
+            arr = arr.astype(np.float64)
+        return arr
+    if value_kind == FLT or arr.dtype == np.float64:
+        if not np.all(np.isfinite(arr)) or np.any(
+            np.greater_equal(np.abs(arr), 2.0**63)
+        ):
+            raise VectorFallback("float->int store out of range")
+        return arr.astype(np.int64)
+    if arr.dtype != np.int64:
+        arr = arr.astype(np.int64)
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Nest execution
+# ----------------------------------------------------------------------
+
+
+def _expand_bands(bands, ctx):
+    """Lane expansion: returns (lane_env, var_bounds, N) or None.
+
+    Ragged deeper bands use repeat + offset-corrected arange; the loop
+    *statements* are step-counted exactly like the interpreter (outer
+    once — by the caller's dispatch — deeper once per parent lane),
+    including bands whose trip count is zero.
+    """
+    lane_env = dict(ctx.env)
+    var_bounds = {}
+    lane_vals = {}
+    n = 1
+    for depth, band in enumerate(bands):
+        if depth == 0:
+            lo = int(band.lo_fn(lane_env, None))
+            hi = int(band.hi_fn(lane_env, None))
+            trips = hi - lo + 1
+            if trips <= 0:
+                return None
+            lane_vals[band.var] = np.arange(lo, hi + 1, dtype=np.int64)
+            var_bounds[band.var] = (lo, hi)
+            n = trips
+        else:
+            ctx.steps += n  # this band's Loop statement, per parent lane
+            lo = band.lo_fn(lane_env, None)
+            hi = band.hi_fn(lane_env, None)
+            lo = np.broadcast_to(np.asarray(lo, np.int64), (n,))
+            hi = np.broadcast_to(np.asarray(hi, np.int64), (n,))
+            trips = np.maximum(hi - lo + 1, 0)
+            total = int(trips.sum())
+            if total == 0:
+                return None
+            starts = np.zeros(n, dtype=np.int64)
+            np.cumsum(trips[:-1], out=starts[1:])
+            for var in lane_vals:
+                lane_vals[var] = np.repeat(lane_vals[var], trips)
+            lane_vals[band.var] = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(starts, trips)
+                + np.repeat(lo, trips)
+            )
+            alive = trips > 0
+            var_bounds[band.var] = (
+                int(lo[alive].min()),
+                int(hi[alive].max()),
+            )
+            n = total
+        lane_env.update(lane_vals)
+    return lane_env, var_bounds, n
+
+
+def _exec_nest(nest, ctx):
+    ctx.dispatches += 1
+    before = ctx.steps
+    if nest.bands:
+        ctx.steps += 1  # the outermost band's Loop statement
+        key = (nest, tuple(ctx.env.items()))
+        hit = _EXPAND_CACHE.get(key, _MISS)
+        if hit is _MISS:
+            s0 = ctx.steps
+            expanded = _expand_bands(nest.bands, ctx)
+            if len(_EXPAND_CACHE) < _CACHE_CAP:
+                _EXPAND_CACHE[key] = (expanded, ctx.steps - s0)
+        else:
+            expanded, delta = hit
+            ctx.steps += delta
+        if expanded is None:
+            ctx.covered += ctx.steps - before
+            return
+        lane_env, var_bounds, n = expanded
+    else:
+        lane_env, var_bounds, n = ctx.env, _EMPTY_BOUNDS, 1
+    for item in nest.items:
+        _exec_item(item, lane_env, var_bounds, n, ctx)
+    ctx.covered += ctx.steps - before
+
+
+def _exec_item(item, lane_env, var_bounds, n, ctx):
+    if type(item) is NStmt:
+        _exec_nstmt(item.sp, lane_env, var_bounds, n, ctx)
+    elif type(item) is NChain:
+        _exec_nchain(item.chain, lane_env, var_bounds, n, ctx)
+    else:  # NSeq
+        ctx.steps += n  # the sequenced Loop statement, once per lane
+        lo = int(item.lo_fn(lane_env, None))
+        hi = int(item.hi_fn(lane_env, None))
+        for v in range(lo, hi + 1):
+            env2 = dict(lane_env)
+            env2[item.var] = v
+            vb2 = dict(var_bounds)
+            vb2[item.var] = (v, v)
+            for sub in item.items:
+                _exec_item(sub, env2, vb2, n, ctx)
+
+
+def _rot_idx(ctx, array, flat):
+    """Rotation operand: (byte address >> 3) per lane."""
+    base = ctx.bases[array] >> 3
+    if flat is None:
+        return base
+    return base + flat
+
+
+def _loc_cacheable(sp):
+    """Whether every access offset of the statement is affine (and so
+    deterministic given the scalar environment)."""
+    for slot in sp.slots:
+        if slot.ndim and slot.rows is None:
+            return False
+    if sp.kind == "assign":
+        if sp.lhs_ndim and sp.lhs_rows is None:
+            return False
+        for loc in sp.bumps:
+            if loc[1] and loc[2] is None:
+                return False
+        if sp.pre_ov is not None and sp.pre_ov[1] and sp.pre_ov[2] is None:
+            return False
+    elif sp.kind == "ctrinc":
+        loc = sp.bumps[0]
+        if loc[1] and loc[2] is None:
+            return False
+    return True
+
+
+def _exec_nstmt(sp, lane_env, var_bounds, n, ctx):
+    ctx.steps += n
+    ctx.execs += 1
+    if sp.kind == "csadd":
+        _exec_csadd(sp, lane_env, var_bounds, n, ctx)
+        return
+    if sp.kind == "ctrinc":
+        _exec_ctrinc(sp, lane_env, var_bounds, n, ctx)
+        return
+    try:
+        cacheable = sp.cacheable
+    except AttributeError:
+        cacheable = sp.cacheable = _loc_cacheable(sp)
+    key = hit = None
+    if cacheable:
+        key = (sp, _scalar_env_key(lane_env))
+        hit = _LOC_CACHE.get(key)
+    if hit is not None:
+        recs, loads_delta, lhs_flat, lhs_lohis, bump_locs, pre_loc = hit
+        vals = _gather_cached(sp.slots, recs, loads_delta, ctx)
+        value = sp.rhs_fn(lane_env, vals)
+        # rt disjointness verdicts are offset-only: already proven
+    else:
+        loads0 = ctx.loads
+        vals, recs = _gather(sp.slots, lane_env, var_bounds, n, (n,), ctx)
+        if sp.lhs_ndim:
+            lhs_flat, lhs_lohis = _locate(
+                sp.lhs_rows,
+                sp.lhs_index_fns,
+                sp.lhs_ndim,
+                ctx.shapes[sp.lhs_array],
+                lane_env,
+                vals,
+                var_bounds,
+                ctx.env,
+                "store out of bounds",
+            )
+        else:
+            lhs_flat = 0
+            lhs_lohis = None
+        value = sp.rhs_fn(lane_env, vals)
+        # runtime write/read disjointness for unresolved static pairs
+        for idx in sp.rt_checks:
+            rec = recs[idx]
+            if rec.flat is None:
+                continue
+            if not _disjoint(lhs_flat, lhs_lohis, rec.flat, rec.lohis):
+                raise VectorFallback("runtime aliasing")
+        bump_locs = [
+            _scatter_loc(loc, lane_env, var_bounds, vals, ctx)
+            for loc in sp.bumps
+        ]
+        if sp.pre_ov is not None:
+            pre_loc = _scatter_loc(
+                sp.pre_ov[:4], lane_env, var_bounds, vals, ctx
+            )
+        else:
+            pre_loc = None
+        if key is not None and len(_LOC_CACHE) < _CACHE_CAP:
+            _LOC_CACHE[key] = (
+                recs,
+                ctx.loads - loads0,
+                lhs_flat,
+                lhs_lohis,
+                bump_locs,
+                pre_loc,
+            )
+    dom = (n,)
+    # use contributions
+    for idx, const, fn, cs in sp.uses:
+        slot = sp.slots[idx]
+        bits = _bits_of(vals[idx], slot.kind)
+        count = const if fn is None else fn(lane_env, vals)
+        rot = (
+            _rot_idx(ctx, slot.array, recs[idx].flat)
+            if ctx.channels > 1
+            else None
+        )
+        _cs_add(ctx, cs, bits, count, rot, n, dom)
+    # counter bumps (+1 load, +1 store each — raw, uncached)
+    for array, ndim, flat in bump_locs:
+        view = ctx.views[array]
+        if ndim == 0:
+            view[0] += n
+        else:
+            np.add.at(view, flat, 1)
+        ctx.loads += n
+        ctx.stores += n
+        ctx.store_counts[array] = ctx.store_counts.get(array, 0) + n
+    # pre-overwrite adjustment
+    if sp.pre_ov is not None:
+        def_cs, e_use_cs, old_idx = sp.pre_ov[4:]
+        array, ndim, flat = pre_loc
+        view = ctx.views[array]
+        counter = view[0] if ndim == 0 else view[flat]
+        ctx.loads += n
+        old_slot = sp.slots[old_idx]
+        old_bits = _bits_of(vals[old_idx], old_slot.kind)
+        old_rot = (
+            _rot_idx(ctx, old_slot.array, recs[old_idx].flat)
+            if ctx.channels > 1
+            else None
+        )
+        count = np.asarray(counter).astype(np.uint64) - np.uint64(1)
+        _cs_add(ctx, def_cs, old_bits, count, old_rot, n, dom)
+        _cs_add(ctx, e_use_cs, old_bits, 1, old_rot, n, dom)
+        if ndim == 0:
+            view[0] = 0
+        else:
+            view[flat] = 0
+        ctx.stores += n
+        ctx.store_counts[array] = ctx.store_counts.get(array, 0) + n
+    # the store itself
+    stored = _store_array(value, sp.rhs_kind, sp.lhs_elem)
+    view = ctx.views[sp.lhs_array]
+    if sp.lhs_ndim:
+        view[lhs_flat] = stored
+    else:
+        view[0] = stored if stored.shape == () else stored.reshape(())
+    ctx.stores += n
+    ctx.store_counts[sp.lhs_array] = (
+        ctx.store_counts.get(sp.lhs_array, 0) + n
+    )
+    # def contribution (count legal to pre-evaluate per the nest rules)
+    if sp.defn is not None:
+        const, fn, cs, aux, aux_cs = sp.defn
+        bits = _bits_of(stored, FLT if sp.lhs_elem == "f64" else INT)
+        rot = (
+            _rot_idx(ctx, sp.lhs_array, lhs_flat if sp.lhs_ndim else None)
+            if ctx.channels > 1
+            else None
+        )
+        count = const if fn is None else fn(lane_env, vals)
+        _cs_add(ctx, cs, bits, count, rot, n, dom)
+        if aux:
+            _cs_add(ctx, aux_cs, bits, 1, rot, n, dom)
+
+
+def _exec_csadd(sp, lane_env, var_bounds, n, ctx):
+    try:
+        cacheable = sp.cacheable
+    except AttributeError:
+        cacheable = sp.cacheable = _loc_cacheable(sp)
+    key = hit = None
+    if cacheable:
+        key = (sp, _scalar_env_key(lane_env))
+        hit = _LOC_CACHE.get(key)
+    if hit is not None:
+        recs, loads_delta = hit
+        vals = _gather_cached(sp.slots, recs, loads_delta, ctx)
+    else:
+        loads0 = ctx.loads
+        vals, recs = _gather(sp.slots, lane_env, var_bounds, n, (n,), ctx)
+        if key is not None and len(_LOC_CACHE) < _CACHE_CAP:
+            _LOC_CACHE[key] = (recs, ctx.loads - loads0)
+    if sp.value_slot is not None:
+        slot = sp.slots[sp.value_slot]
+        bits = _bits_of(vals[sp.value_slot], slot.kind)
+        rot = (
+            _rot_idx(ctx, slot.array, recs[sp.value_slot].flat)
+            if ctx.channels > 1
+            else None
+        )
+    else:
+        value = sp.value_fn(lane_env, vals)
+        bits = _bits_of(value, sp.value_kind)
+        rot = None
+    count = (
+        sp.count_const
+        if sp.count_fn is None
+        else sp.count_fn(lane_env, vals)
+    )
+    _cs_add(ctx, sp.cs_name, bits, count, rot, n, (n,))
+
+
+def _exec_ctrinc(sp, lane_env, var_bounds, n, ctx):
+    try:
+        cacheable = sp.cacheable
+    except AttributeError:
+        cacheable = sp.cacheable = _loc_cacheable(sp)
+    key = hit = None
+    if cacheable:
+        key = (sp, _scalar_env_key(lane_env))
+        hit = _LOC_CACHE.get(key)
+    if hit is not None:
+        recs, loads_delta, (array, ndim, flat) = hit
+        vals = _gather_cached(sp.slots, recs, loads_delta, ctx)
+    else:
+        loads0 = ctx.loads
+        vals, recs = _gather(sp.slots, lane_env, var_bounds, n, (n,), ctx)
+        array, ndim, flat = _scatter_loc(
+            sp.bumps[0], lane_env, var_bounds, vals, ctx
+        )
+        if key is not None and len(_LOC_CACHE) < _CACHE_CAP:
+            _LOC_CACHE[key] = (
+                recs,
+                ctx.loads - loads0,
+                (array, ndim, flat),
+            )
+    amount = (
+        sp.amount_const
+        if sp.amount_fn is None
+        else sp.amount_fn(lane_env, vals)
+    )
+    view = ctx.views[array]
+    if ndim == 0:
+        if isinstance(amount, (int, np.integer)):
+            total = n * int(amount)
+        else:
+            total = int(
+                np.broadcast_to(np.asarray(amount), (n,)).sum()
+            )
+        view[0] += total
+    else:
+        np.add.at(view, flat, amount)
+    ctx.loads += n
+    ctx.stores += n
+    ctx.store_counts[array] = ctx.store_counts.get(array, 0) + n
+
+
+def _chain_cacheable(ch):
+    if ch.lhs_ndim and ch.lhs_rows is None:
+        return False
+    for slot in ch.slots:
+        if slot.ndim and slot.rows is None:
+            return False
+    return True
+
+
+def _exec_nchain(ch, lane_env, var_bounds, n, ctx):
+    ctx.steps += n  # the chain's Loop statement, once per lane
+    ctx.execs += 1
+    try:
+        cacheable = ch.cacheable
+    except AttributeError:
+        cacheable = ch.cacheable = _chain_cacheable(ch)
+    key = hit = None
+    if cacheable:
+        key = (ch, _scalar_env_key(lane_env))
+        hit = _LOC_CACHE.get(key)
+    if hit is not None:
+        steps, var_arr, recs, loads_delta, acc_flat = hit
+        if steps <= 0:
+            return
+        env2 = dict(lane_env)
+        env2[ch.var] = var_arr
+        ninst = steps * n
+        ctx.steps += ninst
+        vals = _gather_cached(ch.slots, recs, loads_delta, ctx)
+    else:
+        lo = int(ch.lo_fn(lane_env, None))
+        hi = int(ch.hi_fn(lane_env, None))
+        steps = hi - lo + 1
+        if steps <= 0:
+            if key is not None and len(_LOC_CACHE) < _CACHE_CAP:
+                _LOC_CACHE[key] = (steps, None, None, 0, None)
+            return
+        env2 = dict(lane_env)
+        env2[ch.var] = np.arange(lo, hi + 1, dtype=np.int64).reshape(
+            steps, 1
+        )
+        vb2 = dict(var_bounds)
+        vb2[ch.var] = (lo, hi)
+        ninst = steps * n
+        ctx.steps += ninst
+        loads0 = ctx.loads
+        vals, recs = _gather(ch.slots, env2, vb2, ninst, (steps, n), ctx)
+        # acc cells: per-lane constant (checked at plan time)
+        if ch.lhs_ndim:
+            acc_flat, acc_lohis = _locate(
+                ch.lhs_rows,
+                ch.lhs_index_fns,
+                ch.lhs_ndim,
+                ctx.shapes[ch.lhs_array],
+                lane_env,
+                vals,
+                vb2,
+                ctx.env,
+                "acc out of bounds",
+            )
+            acc_flat = np.broadcast_to(
+                np.asarray(acc_flat, dtype=np.int64), (n,)
+            )
+        else:
+            acc_flat = np.zeros(1, dtype=np.int64)
+            acc_lohis = None
+        for idx in ch.rt_checks:
+            rec = recs[idx]
+            if rec.flat is None:
+                continue
+            if not _disjoint(acc_flat, acc_lohis, rec.flat, rec.lohis):
+                raise VectorFallback("chain aliasing")
+        if key is not None and len(_LOC_CACHE) < _CACHE_CAP:
+            _LOC_CACHE[key] = (
+                steps,
+                env2[ch.var],
+                recs,
+                ctx.loads - loads0,
+                acc_flat,
+            )
+    view = ctx.views[ch.lhs_array]
+    acc0 = np.broadcast_to(np.asarray(view[acc_flat]), (n,))
+    dtype = np.float64 if ch.lhs_elem == "f64" else np.int64
+    terms = np.broadcast_to(
+        np.asarray(ch.term_fn(env2, vals), dtype=dtype), (steps, n)
+    )
+    # Exact left fold: one full-width op per step keeps rounding (and
+    # subtraction non-associativity) identical to the scalar loop.
+    if n == 1 and ch.lhs_elem == "f64":
+        # Python floats are the same IEEE doubles; a scalar fold skips
+        # per-step numpy dispatch on the sequential (single-lane) case.
+        acc = float(acc0[0])
+        chain_vals = [acc]
+        if ch.op == "+":
+            for t in terms[:, 0].tolist():
+                acc = acc + t
+                chain_vals.append(acc)
+        else:
+            for t in terms[:, 0].tolist():
+                acc = acc - t
+                chain_vals.append(acc)
+        states = np.array(chain_vals, dtype=np.float64).reshape(
+            steps + 1, 1
+        )
+    else:
+        states = np.empty((steps + 1, n), dtype=dtype)
+        states[0] = acc0
+        if ch.op == "+":
+            for s in range(steps):
+                np.add(states[s], terms[s], out=states[s + 1])
+        else:
+            for s in range(steps):
+                np.subtract(states[s], terms[s], out=states[s + 1])
+    dom = (steps, n)
+    acc_rot = (
+        _rot_idx(ctx, ch.lhs_array, acc_flat) if ctx.channels > 1 else None
+    )
+    acc_kind = FLT if ch.lhs_elem == "f64" else INT
+    for idx, const, fn, cs in ch.uses:
+        count = const if fn is None else fn(env2, vals)
+        if idx == ch.acc_idx:
+            bits = _bits_of(states[:steps], acc_kind)
+            _cs_add(ctx, cs, bits, count, acc_rot, ninst, dom)
+        else:
+            slot = ch.slots[idx]
+            bits = _bits_of(vals[idx], slot.kind)
+            rot = (
+                _rot_idx(ctx, slot.array, recs[idx].flat)
+                if ctx.channels > 1
+                else None
+            )
+            _cs_add(ctx, cs, bits, count, rot, ninst, dom)
+    view[acc_flat] = states[steps]
+    ctx.stores += ninst
+    ctx.store_counts[ch.lhs_array] = (
+        ctx.store_counts.get(ch.lhs_array, 0) + ninst
+    )
+    if ch.defn is not None:
+        const, fn, cs, aux, aux_cs = ch.defn
+        count = const if fn is None else fn(env2, vals)
+        bits = _bits_of(states[1:], acc_kind)
+        _cs_add(ctx, cs, bits, count, acc_rot, ninst, dom)
+        if aux:
+            _cs_add(ctx, aux_cs, bits, 1, acc_rot, ninst, dom)
+
+
+# ----------------------------------------------------------------------
+# Sequential spine
+# ----------------------------------------------------------------------
+
+
+def _eval_seq(ep, ctx):
+    """Loop bound / condition with cache=None semantics: every slot is
+    a distinct reference occurrence and performs its own load."""
+    vals = [None] * len(ep.slots)
+    for i, slot in enumerate(ep.slots):
+        name = slot.array
+        if slot.ndim == 0:
+            vals[i] = ctx.views[name][0]
+            ctx.loads += 1
+            continue
+        shape = ctx.shapes[name]
+        idxs = [int(fn(ctx.env, vals)) for fn in slot.index_fns]
+        flat = 0
+        for d in range(slot.ndim):
+            if not 0 <= idxs[d] < shape[d]:
+                raise VectorFallback("index out of bounds")
+            flat = flat * shape[d] + idxs[d]
+        vals[i] = ctx.views[name][flat]
+        ctx.loads += 1
+    return ep.fn(ctx.env, vals)
+
+
+def _exec_block(block, ctx):
+    for node in block.items:
+        _exec_node(node, ctx)
+        if ctx.max_steps is not None and ctx.steps > ctx.max_steps:
+            raise VectorFallback("step limit")
+
+
+def _exec_node(node, ctx):
+    if isinstance(node, Nest):
+        _exec_nest(node, ctx)
+    elif isinstance(node, SeqLoop):
+        ctx.steps += 1
+        lower = int(_eval_seq(node.lower, ctx))
+        upper = int(_eval_seq(node.upper, ctx))
+        env = ctx.env
+        missing = object()
+        saved = env.get(node.var, missing)
+        try:
+            for v in range(lower, upper + 1):
+                env[node.var] = v
+                _exec_block(node.body, ctx)
+        finally:
+            if saved is missing:
+                env.pop(node.var, None)
+            else:
+                env[node.var] = saved
+    elif isinstance(node, SeqWhile):
+        ctx.steps += 1
+        while True:
+            cond = _eval_seq(node.cond, ctx)
+            if not (
+                bool(cond.any()) if isinstance(cond, np.ndarray) else cond
+            ):
+                break
+            if node.counter is not None:
+                view = ctx.views[node.counter]
+                view[0] = int(view[0]) + 1
+                ctx.loads += 1
+                ctx.stores += 1
+                ctx.store_counts[node.counter] = (
+                    ctx.store_counts.get(node.counter, 0) + 1
+                )
+            _exec_block(node.body, ctx)
+            if ctx.max_steps is not None and ctx.steps > ctx.max_steps:
+                raise VectorFallback("step limit")
+    elif isinstance(node, SeqIf):
+        ctx.steps += 1
+        cond = _eval_seq(node.cond, ctx)
+        if bool(cond.any()) if isinstance(cond, np.ndarray) else cond:
+            _exec_block(node.then_body, ctx)
+        else:
+            _exec_block(node.else_body, ctx)
+    elif isinstance(node, SeqAssert):
+        ctx.steps += 1
+        found = []
+        for channel in range(ctx.channels):
+            sums = ctx.sums[channel]
+            for left, right in node.pairs:
+                lv = sums.get(left, 0)
+                rv = sums.get(right, 0)
+                if lv != rv:
+                    found.append(
+                        ChecksumMismatch(
+                            channel=channel,
+                            left=left,
+                            right=right,
+                            left_value=lv,
+                            right_value=rv,
+                        )
+                    )
+        if found:
+            if ctx.first_detection is None:
+                ctx.first_detection = ctx.steps
+            ctx.mismatches.extend(found)
+            if ctx.halt_on_mismatch:
+                raise _Halt()
+    elif isinstance(node, SeqReset):
+        ctx.steps += 1
+        for sums in ctx.sums:
+            keys = node.names if node.names is not None else list(sums)
+            for key in keys:
+                sums[key] = 0
+    else:
+        raise VectorFallback(f"unknown plan node {type(node).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def _commit(ctx, checksums):
+    memory = ctx.memory
+    for name, count in ctx.store_counts.items():
+        region = memory._regions[name]
+        region.version += count
+        region.words[:] = ctx.mirrors[name].tolist()
+    memory.load_count += ctx.loads
+    memory.store_count += ctx.stores
+    for live, local in zip(checksums.sums, ctx.sums):
+        live.clear()
+        live.update(local)
+    checksums.contribution_count = ctx.contrib
+
+
+def profit_key(kernel, run_params, channels):
+    return (
+        kernel.digest,
+        tuple(sorted(run_params.items())),
+        channels,
+    )
+
+
+def profit_state(key):
+    """None = unprobed, True = vector, False = scalar-only."""
+    return _PROFIT.get(key)
+
+
+def record_profit(key, vector_seconds, scalar_seconds):
+    """Memoize a probe's verdict for ``key`` from two measured runs."""
+    _PROFIT[key] = vector_seconds < PROFIT_MARGIN * scalar_seconds
+
+
+def _attempt(kernel, run_params, memory, checksums, max_steps, halt_on_mismatch):
+    """Run the plan against private mirrors; never commits.
+
+    Returns the populated context, or ``None`` after memoizing the key
+    as scalar-only (fallback or unexpected error).
+    """
+    global np, VECTOR_FALLBACKS
+    if np is None:
+        np = lazy_numpy()
+    ctx = _Ctx(memory, checksums, max_steps, halt_on_mismatch)
+    ctx.env.update(run_params)
+    try:
+        with np.errstate(all="ignore"):
+            try:
+                _exec_block(kernel.vector_plan.body, ctx)
+            except _Halt:
+                pass
+    except VectorFallback:
+        _PROFIT[profit_key(kernel, run_params, checksums.channels)] = False
+        VECTOR_FALLBACKS += 1
+        return None
+    except Exception:
+        # Any unexpected error must not leak a half-applied run; the
+        # scalar kernel reproduces (or legitimately raises) instead.
+        if os.environ.get("REPRO_VECTOR_DEBUG"):
+            raise
+        _PROFIT[profit_key(kernel, run_params, checksums.channels)] = False
+        VECTOR_FALLBACKS += 1
+        return None
+    return ctx
+
+
+def probe(kernel, run_params, memory, checksums, max_steps, halt_on_mismatch):
+    """Timed, *uncommitted* vector run for the profitability probe.
+
+    Leaves ``memory``/``checksums`` untouched.  Returns elapsed seconds
+    or ``None`` on fallback (key memoized scalar-only).  The dispatcher
+    times the scalar run it performs anyway and finishes the probe with
+    :func:`record_profit`.
+    """
+    started = time.perf_counter()
+    ctx = _attempt(
+        kernel, run_params, memory, checksums, max_steps, halt_on_mismatch
+    )
+    if ctx is None:
+        return None
+    return time.perf_counter() - started
+
+
+def execute_vector(
+    kernel,
+    run_params,
+    memory,
+    checksums,
+    max_steps,
+    halt_on_mismatch,
+):
+    """Run ``kernel.vector_plan`` transactionally.
+
+    Returns a result dict on commit, or ``None`` on fallback (the
+    caller reruns the scalar kernel against the untouched state).
+    Callers normally :func:`probe` first; a key memoized scalar-only
+    short-circuits to ``None``.
+    """
+    global VECTOR_RUNS
+    if profit_state(
+        profit_key(kernel, run_params, checksums.channels)
+    ) is False:
+        return None
+    ctx = _attempt(
+        kernel, run_params, memory, checksums, max_steps, halt_on_mismatch
+    )
+    if ctx is None:
+        return None
+    _commit(ctx, checksums)
+    VECTOR_RUNS += 1
+    return {
+        "mismatches": ctx.mismatches,
+        "statements_executed": ctx.steps,
+        "first_detection_step": ctx.first_detection,
+    }
