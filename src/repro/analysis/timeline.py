@@ -1,0 +1,728 @@
+"""Static execution timeline of an instrumented program.
+
+The classifier (:mod:`repro.analysis.classify`) and the campaign
+oracle (:mod:`repro.analysis.oracle`) need to know, for every memory
+cell, *when* it is loaded and stored (in the global load/store ordinal
+streams the fault injectors trigger on) and *which checksum
+contributions* consume each loaded register copy.  This module replays
+the program symbolically to build exactly that: control flow
+(iterators, parameters, shadow counters) is evaluated concretely —
+it never depends on faultable data for the affine kernels — while
+data values are an opaque :data:`UNKNOWN`.
+
+The replay mirrors :class:`repro.runtime.interpreter.Interpreter`
+statement for statement, including the per-bundle load cache (a cell
+loaded once per instrumented assignment yields *one* load event, and
+every contribution of that bundle consumes the same register copy) and
+the typed counter load/store pairs.  Anything whose event stream would
+depend on data values — ``while`` loops, data-dependent subscripts or
+guards, ``ChecksumReset`` — raises :class:`TimelineUnsupported`; the
+callers then simply fall back to measured trials.
+
+Soundness-relevant annotations recorded along the way:
+
+* ``poison_all`` on a load event — its value steers control flow or
+  address arithmetic, so a strike on it invalidates the whole event
+  stream (never classify such a window as detected).
+* poison contributions ``(name, None, real=False)`` — the load feeds a
+  checksum contribution *non-linearly* (an expression-valued
+  ``ChecksumAdd`` or a data-dependent count), so channel ``name``
+  cannot be reasoned about for strikes covering this load.
+* real contributions with ``count=None`` — the contribution multiplies
+  the cell's value but by a statically unknown factor.
+* ``divide_hazard`` — some division's divisor is data-dependent, so a
+  corrupted value could crash the run instead of reaching a verifier
+  (suppresses *detected* predictions; masked windows are unaffected
+  because the faulty run never feeds corrupt data into the divisor).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Mapping
+
+from repro.ir.analysis import to_affine
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    ChecksumAdd,
+    ChecksumAssert,
+    ChecksumReset,
+    Const,
+    CounterIncrement,
+    If,
+    Loop,
+    Program,
+    Select,
+    UnOp,
+    VarRef,
+    WhileLoop,
+)
+from repro.runtime.memory import decode_value, encode_value
+
+MASK64 = (1 << 64) - 1
+
+DEFAULT_MAX_EVENTS = 20_000_000
+
+
+class TimelineUnsupported(Exception):
+    """The program's event stream cannot be derived statically."""
+
+
+class _Unknown:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNKNOWN"
+
+
+UNKNOWN = _Unknown()
+"""Sentinel for a data value the static replay cannot know."""
+
+
+class LoadEvent:
+    """One load in the global ordinal stream (1-based, dense)."""
+
+    __slots__ = ("ordinal", "contribs", "poison_all")
+
+    def __init__(self, ordinal: int) -> None:
+        self.ordinal = ordinal
+        self.contribs: list[tuple[str, int | None, bool]] = []
+        self.poison_all = False
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+
+class StoreEvent:
+    """One store: ``loads_before`` positions it between load ordinals."""
+
+    __slots__ = ("ordinal", "loads_before", "contribs", "indices")
+
+    def __init__(
+        self, ordinal: int, loads_before: int, indices: tuple[int, ...]
+    ) -> None:
+        self.ordinal = ordinal
+        self.loads_before = loads_before
+        self.contribs: list[tuple[str, int | None, bool]] = []
+        self.indices = indices
+
+    @property
+    def is_load(self) -> bool:
+        return False
+
+
+class Timeline:
+    """The complete static event stream of one (program, params) run."""
+
+    def __init__(self, program: Program, params: dict[str, int]) -> None:
+        self.program = program
+        self.params = params
+        self.shapes: dict[str, tuple[int, ...]] = {}
+        self.elem_types: dict[str, str] = {}
+        self.shadow: set[str] = set()
+        self.cells: dict[tuple[str, tuple[int, ...]], list] = {}
+        self.loads_by_array: dict[str, list[int]] = {}
+        self.stores_by_array: dict[str, list[StoreEvent]] = {}
+        self.asserts: list[tuple[int, int, tuple]] = []
+        self.total_loads = 0
+        self.total_stores = 0
+        self.statements = 0
+        self.divide_hazard = False
+
+    # -- queries used by the classifier / oracle ------------------------
+    def cell_events(self, array: str, cell: tuple[int, ...]) -> list:
+        return self.cells.get((array, cell), [])
+
+    def last_load_ordinal(self, array: str, cell: tuple[int, ...]) -> int:
+        """0 when the cell is never loaded."""
+        for event in reversed(self.cell_events(array, cell)):
+            if event.is_load:
+                return event.ordinal
+        return 0
+
+    def store_kills(
+        self, array: str, cell: tuple[int, ...], store_event: StoreEvent
+    ) -> bool:
+        """No load of ``(array, cell)`` strictly after ``store_event``
+        before the cell's next store — a value written (or clobbered)
+        at that point dies unread."""
+        key = (store_event.loads_before, 1, store_event.ordinal)
+        for event in self.cell_events(array, cell):
+            if event.is_load:
+                event_key = (event.ordinal, 0, 0)
+            else:
+                event_key = (event.loads_before, 1, event.ordinal)
+            if event_key <= key:
+                continue
+            return not event.is_load
+        return True
+
+    def final_assert_pairs(self) -> tuple[tuple[str, str], ...]:
+        """Pairs checked after the last load *and* store (dedup'd)."""
+        seen: dict[tuple[str, str], None] = {}
+        for loads_before, stores_before, pairs in self.asserts:
+            if (
+                loads_before == self.total_loads
+                and stores_before == self.total_stores
+            ):
+                for pair in pairs:
+                    seen.setdefault(tuple(pair), None)
+        return tuple(seen)
+
+
+class _Builder:
+    """Mirrors ``Interpreter`` exactly, recording events not values."""
+
+    def __init__(
+        self,
+        program: Program,
+        params: Mapping[str, int],
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        self.timeline = Timeline(program, {p: int(params[p]) for p in program.params})
+        self.program = program
+        self.params = self.timeline.params
+        self.max_events = max_events
+        self._load_count = 0
+        self._store_count = 0
+        self._steps = 0
+        self._env: dict[str, int] = dict(self.params)
+        self._scalar_types = {d.name: d.elem_type for d in program.scalars}
+        self._shadow_values: dict[tuple, object] = {}
+        self._collectors: list[list[LoadEvent]] = []
+        self._events = 0
+        self._declare_regions()
+        self._stmt_dispatch = {
+            Assign: self._exec_assign,
+            Loop: self._exec_loop,
+            If: self._exec_if,
+            ChecksumAdd: self._exec_checksum_add,
+            CounterIncrement: self._exec_counter_increment,
+            ChecksumAssert: self._exec_assert,
+        }
+
+    # ------------------------------------------------------------------
+    def build(self) -> Timeline:
+        self._exec_body(self.program.body)
+        t = self.timeline
+        t.total_loads = self._load_count
+        t.total_stores = self._store_count
+        t.statements = self._steps
+        return t
+
+    def _declare_regions(self) -> None:
+        t = self.timeline
+        for decl in self.program.arrays:
+            shape = []
+            for dim in decl.dims:
+                affine = to_affine(dim, set(self.program.params))
+                if affine is None:
+                    raise TimelineUnsupported(
+                        f"array {decl.name!r} extent is not affine"
+                    )
+                shape.append(int(affine.evaluate(self.params)))
+            if any(extent < 0 for extent in shape):
+                raise TimelineUnsupported(
+                    f"array {decl.name!r} has a negative extent"
+                )
+            t.shapes[decl.name] = tuple(shape)
+            t.elem_types[decl.name] = decl.elem_type
+            if decl.is_shadow:
+                t.shadow.add(decl.name)
+        for decl in self.program.scalars:
+            t.shapes[decl.name] = ()
+            t.elem_types[decl.name] = decl.elem_type
+            if decl.is_shadow:
+                t.shadow.add(decl.name)
+
+    # -- event recording -------------------------------------------------
+    def _bump_events(self) -> None:
+        self._events += 1
+        if self._events > self.max_events:
+            raise TimelineUnsupported(
+                f"event budget exceeded ({self.max_events})"
+            )
+
+    def _check_bounds(self, name: str, indices: tuple[int, ...]) -> None:
+        shape = self.timeline.shapes.get(name)
+        if shape is None:
+            raise TimelineUnsupported(f"undeclared region {name!r}")
+        if len(indices) != len(shape) or any(
+            not 0 <= index < extent for index, extent in zip(indices, shape)
+        ):
+            raise TimelineUnsupported(
+                f"out-of-bounds access {name}{list(indices)}"
+            )
+
+    def _record_load(self, name: str, indices: tuple[int, ...]) -> LoadEvent:
+        self._check_bounds(name, indices)
+        self._bump_events()
+        self._load_count += 1
+        event = LoadEvent(self._load_count)
+        self.timeline.cells.setdefault((name, indices), []).append(event)
+        self.timeline.loads_by_array.setdefault(name, []).append(
+            event.ordinal
+        )
+        for collector in self._collectors:
+            collector.append(event)
+        return event
+
+    def _record_store(self, name: str, indices: tuple[int, ...]) -> StoreEvent:
+        self._check_bounds(name, indices)
+        self._bump_events()
+        self._store_count += 1
+        event = StoreEvent(self._store_count, self._load_count, indices)
+        self.timeline.cells.setdefault((name, indices), []).append(event)
+        self.timeline.stores_by_array.setdefault(name, []).append(event)
+        return event
+
+    # -- statements ------------------------------------------------------
+    def _exec_body(self, body) -> None:
+        for stmt in body:
+            self._exec_statement(stmt)
+
+    def _exec_statement(self, stmt) -> None:
+        self._steps += 1
+        handler = self._stmt_dispatch.get(type(stmt))
+        if handler is None:
+            for node_type, candidate in self._stmt_dispatch.items():
+                if isinstance(stmt, node_type):
+                    handler = candidate
+                    break
+            else:
+                if isinstance(stmt, (WhileLoop, ChecksumReset)):
+                    raise TimelineUnsupported(
+                        f"{type(stmt).__name__} has a data-dependent "
+                        "event stream"
+                    )
+                raise TimelineUnsupported(f"unsupported statement {stmt!r}")
+        handler(stmt)
+
+    def _exec_loop(self, stmt: Loop) -> None:
+        lower = self._eval_control(stmt.lower)
+        upper = self._eval_control(stmt.upper)
+        saved = self._env.get(stmt.var)
+        for value in range(lower, upper + 1):
+            self._env[stmt.var] = value
+            self._exec_body(stmt.body)
+        if saved is None:
+            self._env.pop(stmt.var, None)
+        else:
+            self._env[stmt.var] = saved
+
+    def _exec_if(self, stmt: If) -> None:
+        if self._eval_control(stmt.cond):
+            self._exec_body(stmt.then_body)
+        else:
+            self._exec_body(stmt.else_body)
+
+    def _exec_assign(self, stmt: Assign) -> None:
+        cache: dict[tuple, tuple[object, LoadEvent]] = {}
+        instr = stmt.instrumentation
+        if isinstance(stmt.lhs, ArrayRef):
+            target = (stmt.lhs.array, self._eval_indices(stmt.lhs.indices, cache))
+        else:
+            target = (stmt.lhs.name, ())
+        value = self._eval(stmt.rhs, cache)
+        if instr:
+            for use in instr.uses:
+                _, event = self._ref_through_cache(use.ref, cache)
+                count = self._eval_count(use.count, cache, use.checksum)
+                event.contribs.append((use.checksum, count, True))
+            for counter_ref in instr.counter_increments:
+                self._bump_counter(counter_ref, cache, 1)
+            if instr.pre_overwrite:
+                self._pre_overwrite(stmt, instr.pre_overwrite, cache)
+        store_event = self._record_store(target[0], target[1])
+        if target[0] in self.timeline.shadow:
+            self._track_shadow(target, value)
+        cache.pop(target, None)
+        if instr and instr.duplicate_store is not None:
+            dup = instr.duplicate_store
+            if isinstance(dup, ArrayRef):
+                dup_target = (dup.array, self._eval_indices(dup.indices, cache))
+            else:
+                dup_target = (dup.name, ())
+            self._record_store(dup_target[0], dup_target[1])
+            if dup_target[0] in self.timeline.shadow:
+                self._track_shadow(dup_target, value)
+            cache.pop(dup_target, None)
+        if instr and instr.definition:
+            d = instr.definition
+            count = self._eval_count(d.count, cache, d.checksum)
+            store_event.contribs.append((d.checksum, count, True))
+            if d.aux:
+                store_event.contribs.append((d.aux_checksum, 1, True))
+
+    def _pre_overwrite(self, stmt: Assign, adjust, cache) -> None:
+        _, event = self._ref_through_cache(stmt.lhs, cache)
+        counter_value = self._load_counter(adjust.counter, cache)
+        if counter_value is UNKNOWN:
+            def_count = None
+        else:
+            def_count = int(counter_value) - 1
+        event.contribs.append((adjust.def_checksum, def_count, True))
+        event.contribs.append((adjust.e_use_checksum, 1, True))
+        self._store_counter(adjust.counter, cache, 0)
+
+    def _exec_checksum_add(self, stmt: ChecksumAdd) -> None:
+        cache: dict[tuple, tuple[object, LoadEvent]] = {}
+        if isinstance(stmt.value, (ArrayRef, VarRef)) and self._is_data_ref(
+            stmt.value
+        ):
+            _, event = self._ref_through_cache(stmt.value, cache)
+            count = self._eval_count(stmt.count, cache, stmt.checksum)
+            event.contribs.append((stmt.checksum, count, True))
+            return
+        # Expression-valued contribution: the added bits are a
+        # *non-linear* function of whatever was loaded to compute it, so
+        # every such load poisons channel ``stmt.checksum``.
+        self._collectors.append([])
+        try:
+            self._eval(stmt.value, cache)
+        finally:
+            loaded = self._collectors.pop()
+        for event in loaded:
+            event.contribs.append((stmt.checksum, None, False))
+        self._eval_count(stmt.count, cache, stmt.checksum)
+
+    def _exec_counter_increment(self, stmt: CounterIncrement) -> None:
+        cache: dict[tuple, tuple[object, LoadEvent]] = {}
+        amount = self._eval(stmt.amount, cache)
+        self._bump_counter(stmt.counter, cache, amount)
+
+    def _exec_assert(self, stmt: ChecksumAssert) -> None:
+        self.timeline.asserts.append(
+            (self._load_count, self._store_count, tuple(stmt.pairs))
+        )
+
+    # -- counters (shadow state) ----------------------------------------
+    def _counter_location(self, ref, cache) -> tuple[str, tuple[int, ...]]:
+        if isinstance(ref, ArrayRef):
+            return ref.array, self._eval_indices(ref.indices, cache)
+        return ref.name, ()
+
+    def _shadow_value(self, key: tuple) -> object:
+        return self._shadow_values.get(key, 0)
+
+    def _track_shadow(self, key: tuple, value) -> None:
+        if value is UNKNOWN:
+            self._shadow_values[key] = UNKNOWN
+            return
+        elem_type = self.timeline.elem_types.get(key[0], "i64")
+        self._shadow_values[key] = decode_value(
+            encode_value(value, elem_type), elem_type
+        )
+
+    def _load_counter(self, ref, cache):
+        name, indices = self._counter_location(ref, cache)
+        self._record_load(name, indices)
+        if name not in self.timeline.shadow:
+            raise TimelineUnsupported(
+                f"counter {name!r} is not a shadow region"
+            )
+        value = self._shadow_value((name, indices))
+        return value if value is UNKNOWN else int(value)
+
+    def _store_counter(self, ref, cache, value) -> None:
+        name, indices = self._counter_location(ref, cache)
+        self._record_store(name, indices)
+        if name in self.timeline.shadow:
+            self._track_shadow((name, indices), value)
+
+    def _bump_counter(self, ref, cache, amount) -> None:
+        # Mirror Interpreter._bump_counter: one typed load + one store.
+        name, indices = self._counter_location(ref, cache)
+        self._record_load(name, indices)
+        self._record_store(name, indices)
+        if name not in self.timeline.shadow:
+            raise TimelineUnsupported(
+                f"counter {name!r} is not a shadow region"
+            )
+        old = self._shadow_value((name, indices))
+        if old is UNKNOWN or amount is UNKNOWN:
+            self._shadow_values[(name, indices)] = UNKNOWN
+        else:
+            self._track_shadow((name, indices), int(old) + int(amount))
+
+    # -- expression evaluation ------------------------------------------
+    def _is_data_ref(self, ref) -> bool:
+        if isinstance(ref, ArrayRef):
+            return True
+        return ref.name in self._scalar_types
+
+    def _eval_indices(self, indices, cache) -> tuple[int, ...]:
+        if not indices:
+            return ()
+        self._collectors.append([])
+        try:
+            values = tuple(self._eval(index, cache) for index in indices)
+        finally:
+            loaded = self._collectors.pop()
+        for event in loaded:
+            event.poison_all = True
+        if any(value is UNKNOWN for value in values):
+            raise TimelineUnsupported("data-dependent subscript")
+        return tuple(int(value) for value in values)
+
+    def _eval_control(self, expr) -> int:
+        """Loop bounds / guards: evaluated outside any bundle cache."""
+        self._collectors.append([])
+        try:
+            value = self._eval(expr, None)
+        finally:
+            loaded = self._collectors.pop()
+        for event in loaded:
+            event.poison_all = True
+        if value is UNKNOWN:
+            raise TimelineUnsupported("data-dependent control flow")
+        return int(value)
+
+    def _eval_count(self, expr, cache, checksum: str):
+        """A contribution count; data-fed counts poison ``checksum``."""
+        self._collectors.append([])
+        try:
+            value = self._eval(expr, cache)
+        finally:
+            loaded = self._collectors.pop()
+        if value is UNKNOWN:
+            for event in loaded:
+                event.contribs.append((checksum, None, False))
+            return None
+        return int(value)
+
+    def _ref_through_cache(self, ref, cache):
+        if isinstance(ref, ArrayRef):
+            key = (ref.array, self._eval_indices(ref.indices, cache))
+        else:
+            key = (ref.name, ())
+        if cache is not None and key in cache:
+            return cache[key]
+        event = self._record_load(key[0], key[1])
+        if key[0] in self.timeline.shadow:
+            value = self._shadow_value(key)
+        else:
+            value = UNKNOWN
+        entry = (value, event)
+        if cache is not None:
+            cache[key] = entry
+        return entry
+
+    def _eval(self, expr, cache):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, VarRef):
+            if expr.name in self._env:
+                return self._env[expr.name]
+            if expr.name in self._scalar_types:
+                return self._ref_through_cache(expr, cache)[0]
+            raise TimelineUnsupported(f"unbound name {expr.name!r}")
+        if isinstance(expr, ArrayRef):
+            return self._ref_through_cache(expr, cache)[0]
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, cache)
+        if isinstance(expr, UnOp):
+            operand = self._eval(expr.operand, cache)
+            if expr.op == "-":
+                return UNKNOWN if operand is UNKNOWN else -operand
+            if expr.op == "!":
+                if operand is UNKNOWN:
+                    return UNKNOWN
+                return 0 if operand else 1
+            raise TimelineUnsupported(f"unknown unary op {expr.op!r}")
+        if isinstance(expr, Call):
+            return self._eval_call(expr, cache)
+        if isinstance(expr, Select):
+            return self._eval_select(expr, cache)
+        raise TimelineUnsupported(f"cannot evaluate {expr!r}")
+
+    def _eval_select(self, expr: Select, cache):
+        cond = self._eval(expr.cond, cache)
+        if cond is UNKNOWN:
+            if _has_data_reads(expr.if_true, self.timeline.shapes) or _has_data_reads(
+                expr.if_false, self.timeline.shapes
+            ):
+                raise TimelineUnsupported(
+                    "data-dependent select over data reads"
+                )
+            return UNKNOWN
+        if cond:
+            return self._eval(expr.if_true, cache)
+        return self._eval(expr.if_false, cache)
+
+    def _eval_binop(self, expr: BinOp, cache):
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self._eval(expr.left, cache)
+            if left is UNKNOWN:
+                if _has_data_reads(expr.right, self.timeline.shapes):
+                    raise TimelineUnsupported(
+                        "data-dependent short-circuit over data reads"
+                    )
+                return UNKNOWN
+            if op == "&&":
+                if not left:
+                    return 0
+                right = self._eval(expr.right, cache)
+                if right is UNKNOWN:
+                    return UNKNOWN
+                return 1 if right else 0
+            if left:
+                return 1
+            right = self._eval(expr.right, cache)
+            if right is UNKNOWN:
+                return UNKNOWN
+            return 1 if right else 0
+        left = self._eval(expr.left, cache)
+        right = self._eval(expr.right, cache)
+        if op in ("/", "%") and right is UNKNOWN:
+            # A corrupted divisor can raise instead of reaching a
+            # verifier; only *detected* predictions are affected.
+            self.timeline.divide_hazard = True
+        if left is UNKNOWN or right is UNKNOWN:
+            return UNKNOWN
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            result = {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[op]
+            return 1 if result else 0
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                if right == 0:
+                    raise TimelineUnsupported("integer division by zero")
+                return left // right
+            if right == 0:
+                import math
+
+                if left == 0:
+                    return float("nan")
+                sign = math.copysign(1.0, float(left)) * math.copysign(
+                    1.0, float(right)
+                )
+                return math.copysign(math.inf, sign)
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise TimelineUnsupported("modulo by zero")
+            return left % right
+        raise TimelineUnsupported(f"unknown binary op {op!r}")
+
+    def _eval_call(self, expr: Call, cache):
+        import math
+
+        args = [self._eval(a, cache) for a in expr.args]
+        func = expr.func
+        if func == "mod" and len(args) == 2 and args[1] is UNKNOWN:
+            self.timeline.divide_hazard = True
+        if any(a is UNKNOWN for a in args):
+            return UNKNOWN
+        if func == "sqrt":
+            if args[0] < 0:
+                return float("nan")
+            return math.sqrt(args[0])
+        if func == "abs":
+            return abs(args[0])
+        if func == "min":
+            return min(args)
+        if func == "max":
+            return max(args)
+        if func == "exp":
+            try:
+                return math.exp(args[0])
+            except OverflowError:
+                return math.inf
+        if func == "sin":
+            return math.sin(args[0])
+        if func == "cos":
+            return math.cos(args[0])
+        if func == "floor":
+            return math.floor(args[0])
+        if func == "mod":
+            return args[0] % args[1]
+        raise TimelineUnsupported(f"unknown intrinsic {func!r}")
+
+
+def _has_data_reads(expr, regions: dict) -> bool:
+    """Whether evaluating ``expr`` could touch declared memory."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ArrayRef):
+            return True
+        if isinstance(node, VarRef):
+            if node.name in regions:
+                return True
+        elif isinstance(node, BinOp):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, UnOp):
+            stack.append(node.operand)
+        elif isinstance(node, Call):
+            stack.extend(node.args)
+        elif isinstance(node, Select):
+            stack.extend((node.cond, node.if_true, node.if_false))
+    return False
+
+
+# ----------------------------------------------------------------------
+# Memoized entry point
+# ----------------------------------------------------------------------
+_MEMO: OrderedDict = OrderedDict()
+_MEMO_CAP = 8
+
+
+def _memo_key(program: Program, params: Mapping[str, int]) -> tuple:
+    from repro.ir.printer import program_to_text
+
+    digest = hashlib.sha256(program_to_text(program).encode()).hexdigest()
+    return digest, tuple(sorted((k, int(v)) for k, v in params.items()))
+
+
+def build_timeline(
+    program: Program,
+    params: Mapping[str, int],
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> Timeline:
+    """Build (or fetch the memoized) timeline for ``(program, params)``.
+
+    Raises :class:`TimelineUnsupported` for programs whose event stream
+    is data-dependent; failures are memoized too so repeated callers
+    don't replay the walk.
+    """
+    key = _memo_key(program, params)
+    if key in _MEMO:
+        _MEMO.move_to_end(key)
+        cached = _MEMO[key]
+        if isinstance(cached, TimelineUnsupported):
+            raise cached
+        return cached
+    try:
+        timeline = _Builder(program, params, max_events=max_events).build()
+    except TimelineUnsupported as exc:
+        _MEMO[key] = exc
+        while len(_MEMO) > _MEMO_CAP:
+            _MEMO.popitem(last=False)
+        raise
+    _MEMO[key] = timeline
+    while len(_MEMO) > _MEMO_CAP:
+        _MEMO.popitem(last=False)
+    return timeline
+
+
+def clear_timeline_memo() -> None:
+    _MEMO.clear()

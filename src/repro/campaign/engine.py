@@ -113,6 +113,14 @@ class CampaignResult:
     """Instrumentation-cache counters (hits/misses/disk_hits/...) of the
     driving process at campaign end (see
     :mod:`repro.instrument.cache`)."""
+    pruned: int = 0
+    """Trials short-circuited by the static oracle this run
+    (``spec.prune='static'``): their records carry a *predicted*
+    verdict (``extra.predicted``) instead of a measured one."""
+    vector: dict[str, int] | None = None
+    """Vector-backend counters (probes/runs/fallbacks/memoized winners)
+    of the driving process at campaign end (see
+    :func:`repro.runtime.vector.vector_stats`)."""
 
     def summary(self) -> CampaignSummary:
         return summarize_counts(self.counts)
@@ -168,6 +176,25 @@ def run_campaign(
         if handle is not None:
             write_record(handle, record)
 
+    # Static pruning: trials the oracle proves DETECTED or MASKED are
+    # consumed as predicted records (schema-compatible, resume-safe —
+    # a resumed run sees them as done) and never executed; everything
+    # value-dependent stays in ``pending`` for measurement.
+    pruned = 0
+    if pending and getattr(spec, "prune", "none") == "static":
+        from repro.analysis.oracle import StaticOracle
+
+        oracle = StaticOracle(spec, spec.prepare())
+        remaining = []
+        for index in pending:
+            predicted = oracle.predict(index)
+            if predicted is None:
+                remaining.append(index)
+            else:
+                pruned += 1
+                consume(predicted)
+        pending = remaining
+
     try:
         if workers <= 1 or len(pending) <= 1:
             prepared = spec.prepare() if pending else None
@@ -208,6 +235,7 @@ def run_campaign(
         kept.sort(key=lambda record: record.index)
     from repro.campaign.golden import cache_stats
     from repro.instrument.cache import cache_stats as instrument_cache_stats
+    from repro.runtime.vector import vector_stats
 
     return CampaignResult(
         spec=spec,
@@ -219,6 +247,8 @@ def run_campaign(
         workers=workers,
         golden_cache=cache_stats(),
         instrument_cache=instrument_cache_stats(),
+        pruned=pruned,
+        vector=vector_stats(),
     )
 
 

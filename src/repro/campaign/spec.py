@@ -305,6 +305,12 @@ class ProgramCampaignSpec:
     vector and scalar backends and fail loudly on any contract-field
     divergence (``--verify-vector``).  Purely a self-check: the scalar
     result stays authoritative, so records are unchanged."""
+    prune: str = "none"
+    """``static`` skips trials the static oracle
+    (:mod:`repro.analysis.oracle`) proves ``DETECTED`` or ``MASKED``,
+    recording a predicted verdict (``extra.predicted = True``) instead
+    of executing them — measured work concentrates on the
+    vulnerable/unknown frontier.  ``none`` (default) runs everything."""
 
     kind = "program"
 
@@ -347,6 +353,16 @@ class ProgramCampaignSpec:
             )
         if self.batch < 1:
             raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.prune not in ("none", "static"):
+            raise ValueError(
+                f"prune must be 'none' or 'static', got {self.prune!r}"
+            )
+        if self.prune == "static" and self.recover:
+            raise ValueError(
+                "prune='static' is not available with recover=True "
+                "(recovery trials re-execute; the static oracle does "
+                "not model them)"
+            )
         # Normalize dict-style inputs into hashable tuples.
         if isinstance(self.params, dict):
             object.__setattr__(self, "params", tuple(sorted(self.params.items())))
@@ -405,6 +421,9 @@ class ProgramCampaignSpec:
             # stays IN the digest — the cached _PreparedProgram carries
             # a kernel compiled at that level.
             "batch",
+            # Pruning only decides which trials execute, never what the
+            # golden run looks like.
+            "prune",
         ):
             data.pop(key, None)
         payload = json.dumps(data, sort_keys=True)

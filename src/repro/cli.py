@@ -94,6 +94,15 @@ def cmd_instrument(args) -> int:
     if args.instrument_cache:
         set_cache_dir(args.instrument_cache)
     instrumented, report = instrument_cached(program, options)
+    if args.lint:
+        from repro.analysis.lint import has_errors, lint_program
+
+        issues = lint_program(instrumented)
+        for issue in issues:
+            print(f"# lint: {issue}", file=sys.stderr)
+        if has_errors(issues):
+            print("# lint: instrumentation is ill-formed", file=sys.stderr)
+            return 1
     text = program_to_text(instrumented)
     if args.output:
         with open(args.output, "w") as handle:
@@ -191,6 +200,10 @@ def _run_with_recovery(args, program, params, values) -> int:
 
 
 def cmd_analyze(args) -> int:
+    if args.coverage or args.benchmark or args.all:
+        return _cmd_analyze_coverage(args)
+    if args.file is None:
+        raise SystemExit("analyze needs a program file, --benchmark, or --all")
     from repro.poly.dependences import compute_flow_dependences
     from repro.poly.model import extract_model
     from repro.poly.usecount import compute_live_in_counts, compute_use_counts
@@ -211,6 +224,93 @@ def cmd_analyze(args) -> int:
     print("\nlive-in counts:")
     for array, count in compute_live_in_counts(model, dependences).items():
         print(f"  {array}: {count}")
+    return 0
+
+
+def _cmd_analyze_coverage(args) -> int:
+    """Static fault-coverage prediction (docs/STATIC_ANALYSIS.md)."""
+    import json
+
+    from repro.analysis.coverage import analyze_all, analyze_benchmark
+    from repro.programs import ALL_BENCHMARKS
+
+    if args.file is not None:
+        raise SystemExit(
+            "coverage analysis takes --benchmark/--all, not a file"
+        )
+    if args.all:
+        artifact = analyze_all(
+            scale=args.scale, bits=args.bits, channels=args.channels
+        )
+        entries = artifact["benchmarks"]
+    else:
+        if args.benchmark not in ALL_BENCHMARKS:
+            raise SystemExit(
+                f"unknown benchmark '{args.benchmark}' "
+                f"(choices: {', '.join(sorted(ALL_BENCHMARKS))})"
+            )
+        entry = analyze_benchmark(
+            args.benchmark,
+            scale=args.scale,
+            bits=args.bits,
+            channels=args.channels,
+        )
+        artifact = {
+            "version": 1,
+            "scale": args.scale,
+            "bits": args.bits,
+            "channels": args.channels,
+            "benchmarks": {args.benchmark: entry},
+        }
+        entries = artifact["benchmarks"]
+    header = (
+        f"{'benchmark':10s} {'basis':12s} {'model':13s} "
+        f"{'detected':>9s} {'masked':>9s} {'vulnerable':>10s} "
+        f"{'unknown':>9s} {'no_inj':>7s}"
+    )
+    print(header)
+    for name, entry in entries.items():
+        for model, data in entry["models"].items():
+            classes = data["classes"]
+            print(
+                f"{name:10s} {entry['basis']:12s} {model:13s} "
+                f"{classes.get('detected', 0.0):9.4f} "
+                f"{classes.get('masked', 0.0):9.4f} "
+                f"{classes.get('vulnerable', 0.0):10.4f} "
+                f"{classes.get('unknown', 0.0):9.4f} "
+                f"{classes.get('no_injection', 0.0):7.4f}"
+            )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(artifact, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import has_errors, lint_program
+
+    if (args.file is None) == (args.benchmark is None):
+        raise SystemExit("lint needs a program file OR --benchmark")
+    params = _parse_params(args.param) or None
+    if args.benchmark is not None:
+        from repro.campaign.spec import ProgramCampaignSpec
+
+        spec = ProgramCampaignSpec(
+            trials=1, seed=0, benchmark=args.benchmark, scale=args.scale
+        )
+        prepared = spec.prepare()
+        program, params = prepared.program, prepared.params
+        what = f"benchmark {args.benchmark} (instrumented, {args.scale})"
+    else:
+        program = _load(args.file)
+        what = args.file
+    issues = lint_program(program, params)
+    print(f"lint {what}: {len(issues)} finding(s)")
+    for issue in issues:
+        print(f"  {issue}")
+    if has_errors(issues):
+        return 1
     return 0
 
 
@@ -235,6 +335,7 @@ def _campaign_spec_from_args(args):
         opt_level=args.opt_level,
         batch=args.batch,
         verify_vector=args.verify_vector,
+        prune=args.prune,
     )
     if args.benchmark is not None:
         from repro.programs import ALL_BENCHMARKS
@@ -287,9 +388,18 @@ def _print_campaign_result(result) -> int:
     )
     if result.log_path:
         print(f"log: {result.log_path}")
+    pruned = getattr(result, "pruned", 0)
+    if pruned:
+        print(
+            f"pruned: {pruned} trial(s) statically predicted "
+            "(not executed; see docs/STATIC_ANALYSIS.md)"
+        )
     print(summary.format())
     if result.golden_cache is not None:
         print(_format_cache_stats(result.golden_cache))
+    vector = getattr(result, "vector", None)
+    if vector and any(vector.values()):
+        print(_format_vector_stats(vector))
     instrument_stats = getattr(result, "instrument_cache", None)
     if instrument_stats is not None and (
         instrument_stats["hits"]
@@ -319,6 +429,15 @@ def _format_instrument_cache_stats(stats: dict) -> str:
         f"misses={stats['misses']} disk_hits={stats['disk_hits']} "
         f"evictions={stats['evictions']} "
         f"size={stats['size']}/{stats['limit']}"
+    )
+
+
+def _format_vector_stats(stats: dict) -> str:
+    return (
+        f"vector backend: runs={stats['runs']} "
+        f"fallbacks={stats['fallbacks']} probes={stats['probes']} "
+        f"engaged_keys={stats['engaged_keys']} "
+        f"scalar_keys={stats['scalar_keys']}"
     )
 
 
@@ -377,6 +496,16 @@ def cmd_campaign_report(args) -> int:
         fault_model = contents.spec_dict.get("fault_model")
         if fault_model is not None:
             print(f"fault model: {fault_model}")
+        predicted = sum(
+            1
+            for record in contents.records
+            if record.extra and record.extra.get("predicted")
+        )
+        if predicted:
+            print(
+                f"pruned: {predicted} trial(s) statically predicted "
+                "(not executed)"
+            )
         if done < spec.trials:
             print(
                 f"incomplete: resume with "
@@ -391,6 +520,11 @@ def cmd_campaign_report(args) -> int:
     istats = instrument_cache_stats()
     if istats["hits"] or istats["misses"] or istats["disk_hits"]:
         print(_format_instrument_cache_stats(istats))
+    from repro.runtime.vector import vector_stats
+
+    vstats = vector_stats()
+    if any(vstats.values()):
+        print(_format_vector_stats(vstats))
     return 0
 
 
@@ -419,6 +553,9 @@ def main(argv: list[str] | None = None) -> int:
     p_inst.add_argument("--instrument-cache", default=None, metavar="DIR",
                         help="on-disk instrumentation cache directory "
                         "(content-addressed; see docs/COMPILE_PERF.md)")
+    p_inst.add_argument("--lint", action="store_true",
+                        help="lint the instrumented output "
+                        "(issues to stderr; exit 1 on errors)")
     p_inst.set_defaults(func=cmd_instrument)
 
     p_run = sub.add_parser("run", help="execute a program on the simulator")
@@ -453,9 +590,46 @@ def main(argv: list[str] | None = None) -> int:
                        help="replay budget per detection episode")
     p_run.set_defaults(func=cmd_run)
 
-    p_an = sub.add_parser("analyze", help="show dependences and use counts")
-    p_an.add_argument("file")
+    p_an = sub.add_parser(
+        "analyze",
+        help="static analysis: dependences/use counts for a file, or "
+        "predicted fault coverage for benchmarks (--benchmark/--all)",
+    )
+    p_an.add_argument("file", nargs="?", default=None,
+                      help="mini-language program (dependence/use-count "
+                      "mode)")
+    p_an.add_argument("--benchmark", default=None,
+                      help="predict fault coverage for one Table 2 "
+                      "benchmark (docs/STATIC_ANALYSIS.md)")
+    p_an.add_argument("--all", action="store_true",
+                      help="predict fault coverage for every benchmark")
+    p_an.add_argument("--coverage", action="store_true",
+                      help="force coverage mode (implied by "
+                      "--benchmark/--all)")
+    p_an.add_argument("--scale", choices=("small", "default"),
+                      default="small")
+    p_an.add_argument("--bits", type=int, default=2)
+    p_an.add_argument("--channels", type=int, default=1)
+    p_an.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the ANALYSIS_coverage.json artifact")
     p_an.set_defaults(func=cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="well-formedness checks for instrumented IR "
+        "(exit 1 on errors)",
+    )
+    p_lint.add_argument("file", nargs="?", default=None,
+                        help="instrumented mini-language program")
+    p_lint.add_argument("--benchmark", default=None,
+                        help="instrument + lint a Table 2 benchmark")
+    p_lint.add_argument("--scale", choices=("small", "default"),
+                        default="small")
+    p_lint.add_argument("--param", action="append", default=[],
+                        metavar="n=16",
+                        help="parameters enabling the dynamic "
+                        "channel-balance check (file mode)")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_camp = sub.add_parser(
         "campaign",
@@ -531,6 +705,11 @@ def main(argv: list[str] | None = None) -> int:
                         "vector and scalar backends and fail on any "
                         "contract-field divergence (self-check; records "
                         "are unchanged)")
+    p_crun.add_argument("--prune", choices=("none", "static"),
+                        default="none",
+                        help="static: skip trials the static analysis "
+                        "proves detected/masked, recording predicted "
+                        "verdicts (docs/STATIC_ANALYSIS.md)")
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_cres = camp_sub.add_parser(

@@ -477,6 +477,65 @@ def format_fault_models(rows: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def static_prediction(
+    benchmarks: list[str] | None = None,
+    models: list[str] | None = None,
+    scale: str = "small",
+    bits: int = 2,
+) -> dict:
+    """Static coverage prediction for the same (benchmark × model) grid.
+
+    Delegates to :func:`repro.analysis.coverage.analyze_all` — no
+    trials execute; the class fractions are computed on the static
+    timeline (docs/STATIC_ANALYSIS.md).  The result is the
+    ``ANALYSIS_coverage.json`` artifact shape and doubles as the
+    ``"static"`` section of the ``--fault-models --json`` output.
+    """
+    from repro.analysis.coverage import analyze_all
+
+    kwargs = {"scale": scale, "bits": bits}
+    if models:
+        kwargs["models"] = tuple(models)
+    return analyze_all(benchmarks=benchmarks, **kwargs)
+
+
+def format_static(artifact: dict) -> str:
+    """The static-prediction table: class fractions per cell."""
+    header = (
+        f"{'benchmark':<10} {'basis':<12} {'model':<14} {'detected':>9} "
+        f"{'masked':>8} {'vulner':>8} {'unknown':>8} {'no_inj':>7}"
+    )
+    lines = [
+        "Static coverage prediction (no trials executed; "
+        "docs/STATIC_ANALYSIS.md)",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    for name, entry in artifact["benchmarks"].items():
+        for model, data in entry["models"].items():
+            classes = data["classes"]
+            lines.append(
+                f"{name:<10} {entry['basis']:<12} {model:<14} "
+                f"{100 * classes.get('detected', 0.0):>8.1f}% "
+                f"{100 * classes.get('masked', 0.0):>7.1f}% "
+                f"{100 * classes.get('vulnerable', 0.0):>7.1f}% "
+                f"{100 * classes.get('unknown', 0.0):>7.1f}% "
+                f"{100 * classes.get('no_injection', 0.0):>6.1f}%"
+            )
+    conservative = [
+        name
+        for name, entry in artifact["benchmarks"].items()
+        if entry["basis"] == "conservative"
+    ]
+    if conservative:
+        lines.append(
+            "\nconservative (timeline unavailable, everything unknown): "
+            + ", ".join(conservative)
+        )
+    return "\n".join(lines)
+
+
 def format_detection(rows: list[dict], recover: bool = False) -> str:
     title = "Detection coverage (random 2-bit cell faults, resilient builds)"
     if recover:
@@ -551,11 +610,18 @@ def main(argv: list[str] | None = None) -> None:
         "listed",
     )
     parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print the static coverage prediction table (alone: no "
+        "trials execute; with --fault-models: appended after the "
+        "measured table and as the JSON 'static' section)",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
-        help="with --fault-models: also write the coverage rows as a "
-        "JSON artifact",
+        help="with --fault-models or --analyze: also write the rows "
+        "as a JSON artifact",
     )
     parser.add_argument("--trials", type=int, default=100)
     parser.add_argument("--seed", type=int, default=0)
@@ -592,22 +658,40 @@ def main(argv: list[str] | None = None) -> None:
             backend=args.backend,
         )
         print(format_fault_models(rows))
+        static = None
+        if args.analyze:
+            static = static_prediction(
+                args.benchmarks,
+                models=args.fault_models or None,
+                scale=args.scale,
+            )
+            print()
+            print(format_static(static))
+        if args.json:
+            import json
+
+            payload = {
+                "rows": rows,
+                "models": aggregate_fault_models(rows),
+            }
+            if static is not None:
+                payload["static"] = static
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"\nwrote {args.json}")
+        return
+    if args.analyze:
+        static = static_prediction(args.benchmarks, scale=args.scale)
+        print(format_static(static))
         if args.json:
             import json
 
             with open(args.json, "w") as handle:
-                json.dump(
-                    {
-                        "rows": rows,
-                        "models": aggregate_fault_models(rows),
-                    },
-                    handle,
-                    indent=2,
-                )
+                json.dump({"static": static}, handle, indent=2)
             print(f"\nwrote {args.json}")
         return
     if args.json:
-        parser.error("--json needs --fault-models")
+        parser.error("--json needs --fault-models or --analyze")
     if args.detect:
         rows = detection_coverage(
             args.benchmarks,

@@ -63,10 +63,19 @@ def vector_enabled() -> bool:
 
 
 def vector_stats() -> dict[str, int]:
-    """Introspection counters (read fresh — tests reset them)."""
+    """Introspection counters (read fresh — tests reset them).
+
+    ``probes`` counts timed profitability trials, ``runs`` committed
+    vector executions, ``fallbacks`` aborted attempts;
+    ``engaged_keys``/``scalar_keys`` split the profitability memo by its
+    measured verdict (memoized winners)."""
     from repro.runtime.vector import runner
 
+    verdicts = list(runner._PROFIT.values())
     return {
         "runs": runner.VECTOR_RUNS,
         "fallbacks": runner.VECTOR_FALLBACKS,
+        "probes": runner.VECTOR_PROBES,
+        "engaged_keys": sum(1 for verdict in verdicts if verdict),
+        "scalar_keys": sum(1 for verdict in verdicts if not verdict),
     }

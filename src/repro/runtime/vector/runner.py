@@ -53,12 +53,14 @@ _PROFIT: dict = {}
 #: Introspection counters (tests and the CLI read these).
 VECTOR_RUNS = 0
 VECTOR_FALLBACKS = 0
+VECTOR_PROBES = 0
 
 
 def reset_stats() -> None:
-    global VECTOR_RUNS, VECTOR_FALLBACKS
+    global VECTOR_RUNS, VECTOR_FALLBACKS, VECTOR_PROBES
     VECTOR_RUNS = 0
     VECTOR_FALLBACKS = 0
+    VECTOR_PROBES = 0
 
 
 def clear_profit_memo() -> None:
@@ -1124,6 +1126,8 @@ def probe(kernel, run_params, memory, checksums, max_steps, halt_on_mismatch):
     times the scalar run it performs anyway and finishes the probe with
     :func:`record_profit`.
     """
+    global VECTOR_PROBES
+    VECTOR_PROBES += 1
     started = time.perf_counter()
     ctx = _attempt(
         kernel, run_params, memory, checksums, max_steps, halt_on_mismatch

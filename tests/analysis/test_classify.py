@@ -1,0 +1,114 @@
+"""Unit tests for the static outcome classifier.
+
+The classifier's contracts: class fractions form a distribution, the
+detection probability follows the v2 counting argument, windows past
+the last event are masked, and the per-benchmark classification is
+internally consistent with the timeline it was built from.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb
+
+import pytest
+
+from repro.analysis.classify import (
+    CLASSES,
+    DETECTED,
+    MASKED,
+    ProgramClassifier,
+    detect_probability,
+    v2,
+)
+from repro.analysis.timeline import build_timeline
+from repro.campaign import ProgramCampaignSpec
+
+
+@pytest.fixture(scope="module")
+def jacobi():
+    spec = ProgramCampaignSpec(
+        trials=1, seed=0, benchmark="jacobi1d", scale="small"
+    )
+    prepared = spec.prepare()
+    timeline = build_timeline(prepared.program, prepared.params)
+    return ProgramClassifier(timeline)
+
+
+def test_v2():
+    assert v2(1) == 0
+    assert v2(2) == 1
+    assert v2(12) == 2
+    assert v2(1 << 63) == 63
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_detect_probability_counting(k):
+    """P[detect] = 1 − C(v,k)/C(64,k): the flip set must avoid the v
+    low positions that cancel out of the mod-2^64 delta."""
+    for valuation in (0, 1, 5, 62, 63):
+        expected = 1 - Fraction(comb(valuation, k), comb(64, k))
+        assert detect_probability(valuation, k) == pytest.approx(
+            float(expected)
+        )
+    assert detect_probability(0, k) == 1.0
+
+
+def test_detect_probability_monotone():
+    probs = [detect_probability(v, 2) for v in range(64)]
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+
+def test_window_past_end_is_masked(jacobi):
+    timeline = jacobi.timeline
+    (array, cell), _ = next(iter(timeline.cells.items()))
+    window = jacobi.window_at(array, cell, timeline.total_loads + 1)
+    assert window.masked
+    assert jacobi.classify(array, cell, timeline.total_loads + 1, (0,)) == (
+        MASKED
+    )
+
+
+def test_untouched_cell_is_masked(jacobi):
+    timeline = jacobi.timeline
+    for name, shape in timeline.shapes.items():
+        if name in timeline.shadow or not shape:
+            continue
+        for idx in range(shape[0]):
+            cell = (idx,) + (0,) * (len(shape) - 1)
+            if (name, cell) not in timeline.cells:
+                assert jacobi.window_at(name, cell, 1).masked
+                return
+    pytest.skip("every cell of every array is touched")
+
+
+def test_fractions_form_distribution(jacobi):
+    timeline = jacobi.timeline
+    for (array, cell) in list(timeline.cells)[:8]:
+        for t in (1, max(1, timeline.total_loads // 2)):
+            window = jacobi.window_at(array, cell, t)
+            fractions = jacobi.window_fractions(window, 2)
+            assert set(fractions) <= set(CLASSES)
+            assert sum(fractions.values()) == pytest.approx(1.0)
+            assert all(0.0 <= f <= 1.0 for f in fractions.values())
+
+
+def test_classify_agrees_with_fractions(jacobi):
+    """A hard DETECTED/MASKED classification implies the matching
+    fraction is certain."""
+    timeline = jacobi.timeline
+    for (array, cell) in list(timeline.cells)[:8]:
+        window = jacobi.window_at(array, cell, 1)
+        outcome = jacobi.classify(array, cell, 1, (0,))
+        if outcome == MASKED:
+            assert jacobi.window_fractions(window, 1)[MASKED] == 1.0
+        if outcome == DETECTED:
+            # bit 0 detects whenever min_v2 + 0 < 64 — certain for k=1
+            # only when every single-bit flip detects (min_v2 == 0).
+            assert jacobi.window_detects(window, (0,))
+
+
+def test_detection_allowed_on_balanced_benchmark(jacobi):
+    assert jacobi.final_pairs
+    assert set(jacobi.valid_pairs) == set(jacobi.final_pairs)
+    assert jacobi.detection_allowed

@@ -1,0 +1,124 @@
+"""Lint checks: clean on real builds, loud on tampered ones."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.lint import has_errors, lint_program
+from repro.campaign import ProgramCampaignSpec
+from repro.instrument.pipeline import (
+    InstrumentationOptions,
+    instrument_program,
+)
+from repro.ir.nodes import ChecksumAssert
+from repro.ir.parser import parse_program
+from repro.programs import ALL_BENCHMARKS
+
+SNIPPET = """
+program lint_target(n) {
+  array A[n];
+  array B[n];
+  for i = 0 .. n - 1 {
+    S1: A[i] = A[i] + 1.0;
+  }
+  for i = 0 .. n - 1 {
+    S2: B[i] = A[i] * 2.0;
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def instrumented():
+    program = parse_program(SNIPPET)
+    return instrument_program(
+        program,
+        InstrumentationOptions(
+            index_set_splitting=True, hoist_inspectors=True
+        ),
+    )[0]
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+def test_benchmarks_error_free(name):
+    """Every shipped instrumented build must lint clean, including the
+    dynamic channel-balance check on the static timeline."""
+    spec = ProgramCampaignSpec(
+        trials=1, seed=0, benchmark=name, scale="small"
+    )
+    prepared = spec.prepare()
+    issues = lint_program(prepared.program, prepared.params)
+    errors = [i for i in issues if i.severity == "error"]
+    assert not errors, [str(i) for i in errors]
+
+
+def test_clean_program_has_no_errors(instrumented):
+    issues = lint_program(instrumented, {"n": 6})
+    assert not has_errors(issues)
+
+
+def test_dropped_assert_reported(instrumented):
+    stripped = replace(
+        instrumented,
+        body=tuple(
+            s
+            for s in instrumented.body
+            if not isinstance(s, ChecksumAssert)
+        ),
+    )
+    issues = lint_program(stripped)
+    codes = {i.code for i in issues if i.severity == "error"}
+    assert "no-final-assert" in codes
+    assert "uncovered-channel" in codes
+
+
+def test_non_shadow_counter_reported():
+    # cg's build carries inspector/use counters in shadow regions;
+    # flipping every shadow flag off makes the counters target "data"
+    # regions, which the linter must refuse.
+    prepared = ProgramCampaignSpec(
+        trials=1, seed=0, benchmark="cg", scale="small"
+    ).prepare()
+    program = prepared.program
+    assert any(
+        d.is_shadow for d in (*program.arrays, *program.scalars)
+    )
+    tampered = replace(
+        program,
+        arrays=tuple(
+            replace(decl, is_shadow=False) for decl in program.arrays
+        ),
+        scalars=tuple(
+            replace(decl, is_shadow=False) for decl in program.scalars
+        ),
+    )
+    issues = lint_program(tampered)
+    assert any(i.code == "counter-not-shadow" for i in issues)
+    assert has_errors(issues)
+
+
+def test_unreachable_guard_reported():
+    program = parse_program(
+        """
+program dead_guard(n) {
+  array A[n];
+  for i = 0 .. n - 1 {
+    if (i < 0) {
+      S1: A[i] = 1.0;
+    }
+  }
+}
+"""
+    )
+    issues = lint_program(program)
+    assert any(i.code == "unreachable-guard" for i in issues)
+    # A warning, not an error: dead code erodes coverage but cannot
+    # corrupt anything.
+    assert not has_errors(issues)
+
+
+def test_issue_str_format():
+    issues = lint_program(parse_program(SNIPPET))
+    assert issues == []  # uninstrumented programs have nothing to lint

@@ -1,0 +1,98 @@
+"""Static timeline construction: the event stream must be exact.
+
+Everything in ``repro.analysis`` rests on the timeline replaying the
+instrumented program's load/store stream event-for-event.  These
+tests pin the totals against the measured golden run on real
+benchmarks and check the cell-level query helpers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import (
+    TimelineUnsupported,
+    build_timeline,
+    clear_timeline_memo,
+)
+from repro.campaign import ProgramCampaignSpec
+
+AFFINE = ["jacobi1d", "trisolv", "dsyrk", "seidel"]
+IRREGULAR = ["cg", "moldyn"]
+
+
+def _prepared(benchmark):
+    spec = ProgramCampaignSpec(
+        trials=1, seed=0, benchmark=benchmark, scale="small"
+    )
+    return spec.prepare()
+
+
+@pytest.mark.parametrize("name", AFFINE)
+def test_totals_match_golden_run(name):
+    prepared = _prepared(name)
+    timeline = build_timeline(prepared.program, prepared.params)
+    assert timeline.total_loads == prepared.total_loads
+    assert timeline.total_stores == prepared.total_stores
+    assert timeline.total_loads > 0
+
+
+@pytest.mark.parametrize("name", IRREGULAR)
+def test_irregular_benchmarks_refused(name):
+    """Data-dependent control has no static event stream — the
+    timeline must refuse rather than guess."""
+    prepared = _prepared(name)
+    with pytest.raises(TimelineUnsupported):
+        build_timeline(prepared.program, prepared.params)
+
+
+def test_cell_queries_consistent():
+    prepared = _prepared("jacobi1d")
+    timeline = build_timeline(prepared.program, prepared.params)
+    for (array, cell), events in timeline.cells.items():
+        loads = [e.ordinal for e in events if e.is_load]
+        last = timeline.last_load_ordinal(array, cell)
+        if loads:
+            assert last == max(loads)
+        else:
+            assert last == 0
+    # Per-array load ordinal lists partition the global load stream.
+    total = sum(len(v) for v in timeline.loads_by_array.values())
+    assert total == timeline.total_loads
+
+
+def _event_key(event):
+    # Stores happen between loads: a store with loads_before=S precedes
+    # every load with ordinal > S (same ordering store_kills uses).
+    if event.is_load:
+        return (event.ordinal, 0, 0)
+    return (event.loads_before, 1, event.ordinal)
+
+
+def test_store_kills():
+    """A store kills a cell iff no later load reads it before the
+    cell's next store."""
+    prepared = _prepared("jacobi1d")
+    timeline = build_timeline(prepared.program, prepared.params)
+    checked = 0
+    for (array, cell), events in timeline.cells.items():
+        ordered = sorted(events, key=_event_key)
+        for position, event in enumerate(ordered):
+            if event.is_load:
+                continue
+            # The first later event decides: a load reads the stored
+            # value (not killed); a store overwrites it clean (killed);
+            # no later event = never read again (killed).
+            following = ordered[position + 1:]
+            expected = not (following and following[0].is_load)
+            assert timeline.store_kills(array, cell, event) == expected
+            checked += 1
+    assert checked > 0
+
+
+def test_memoized():
+    clear_timeline_memo()
+    prepared = _prepared("trisolv")
+    first = build_timeline(prepared.program, prepared.params)
+    second = build_timeline(prepared.program, prepared.params)
+    assert first is second

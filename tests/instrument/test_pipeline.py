@@ -61,6 +61,20 @@ def test_fault_free_balance_and_transparency(name, config):
 
 
 @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_instrumented_builds_lint_clean(name, config):
+    """Every instrumentation configuration of every benchmark passes
+    the static well-formedness checks (``repro lint``)."""
+    from repro.analysis.lint import lint_program
+
+    module = ALL_BENCHMARKS[name]
+    instrumented, _ = instrument_program(module.program(), CONFIGS[config])
+    issues = lint_program(instrumented, module.SMALL_PARAMS)
+    errors = [i for i in issues if i.severity == "error"]
+    assert not errors, f"{name}/{config}: " + "; ".join(map(str, errors))
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
 def test_multi_channel_balance(name):
     """Two-checksum runs (Section 6.1) also balance fault-free."""
     module = ALL_BENCHMARKS[name]

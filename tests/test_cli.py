@@ -84,6 +84,49 @@ class TestAnalyze:
         assert "S1 -> S2" in out
         assert "use counts" in out
 
+    def test_analyze_coverage_benchmark(self, tmp_path, capsys):
+        artifact = str(tmp_path / "ANALYSIS_coverage.json")
+        code = main(
+            ["analyze", "--benchmark", "jacobi1d", "--json", artifact]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "random_cell" in out
+        assert "timeline" in out
+        import json
+
+        data = json.load(open(artifact))
+        entry = data["benchmarks"]["jacobi1d"]
+        assert entry["basis"] == "timeline"
+        assert set(entry["models"]) == {
+            "random_cell", "addrgen_load", "addrgen_store",
+            "stuck_bit", "burst",
+        }
+
+    def test_analyze_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--coverage"])
+
+
+class TestLint:
+    def test_lint_benchmark_clean(self, capsys):
+        assert main(["lint", "--benchmark", "jacobi1d"]) == 0
+        assert "finding" in capsys.readouterr().out
+
+    def test_lint_file_mode(self, demo_file, tmp_path, capsys):
+        out = str(tmp_path / "resilient.mini")
+        main(["instrument", demo_file, "-o", out])
+        assert main(["lint", out, "--param", "n=6"]) == 0
+
+    def test_lint_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+    def test_instrument_lint_flag(self, demo_file, tmp_path, capsys):
+        out = str(tmp_path / "resilient.mini")
+        code = main(["instrument", demo_file, "--lint", "-o", out])
+        assert code == 0
+
 
 class TestCampaign:
     def test_small_campaign(self, demo_file, capsys):
@@ -126,6 +169,25 @@ class TestCampaign:
         assert main(["campaign", "report", log]) == 0
         report_out = capsys.readouterr().out
         assert "4/4 trials" in report_out
+
+    def test_prune_static(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "run",
+                "--benchmark",
+                "jacobi1d",
+                "--scale",
+                "small",
+                "--trials",
+                "12",
+                "--prune",
+                "static",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "statically predicted" in out
 
     def test_resume_completes_truncated_log(self, demo_file, tmp_path, capsys):
         log = str(tmp_path / "trials.jsonl")
