@@ -30,9 +30,17 @@ from repro.campaign.records import (
     read_log,
     write_header,
     write_record,
+    write_stats,
 )
 from repro.campaign.spec import CampaignSpec, spec_from_dict
 from repro.campaign.stats import CampaignSummary, summarize_counts
+from repro.service.store import (
+    COUNTER_FIELDS,
+    counters_add,
+    counters_delta,
+    counters_snapshot,
+    store_stats,
+)
 
 # ----------------------------------------------------------------------
 # Worker-side state.  The spec is shipped once via the pool initializer;
@@ -42,13 +50,17 @@ from repro.campaign.stats import CampaignSummary, summarize_counts
 _WORKER_SPEC: CampaignSpec | None = None
 _WORKER_PREPARED = None
 _WORKER_BATCH = None
+_WORKER_COUNTERS = None
 
 
 def _init_worker(spec: CampaignSpec) -> None:
-    global _WORKER_SPEC, _WORKER_PREPARED, _WORKER_BATCH
+    global _WORKER_SPEC, _WORKER_PREPARED, _WORKER_BATCH, _WORKER_COUNTERS
     _WORKER_SPEC = spec
     _WORKER_PREPARED = None
     _WORKER_BATCH = None
+    # Snapshot before the lazy prepare so a fork-inherited cache state
+    # is subtracted out and the prepare's own hits/misses are reported.
+    _WORKER_COUNTERS = counters_snapshot()
 
 
 def _batch_size(spec: CampaignSpec) -> int:
@@ -62,22 +74,50 @@ def _batch_groups(indices: Sequence[int], size: int) -> list[list[int]]:
     ]
 
 
-def _run_chunk(indices: Sequence[int]) -> list[TrialRecord]:
+def _execute_trials(spec, prepared, indices, batch_context=None):
+    """Yield the records for ``indices`` (batch-aware).
+
+    The one trial loop shared by the serial path, the pool workers and
+    the service dispatcher's workers — bit-identity across all three
+    is this function being the only way trials run.
+    """
+    size = _batch_size(spec)
+    if size > 1:
+        from repro.campaign.batch import BatchContext
+
+        context = batch_context or BatchContext(spec, prepared)
+        for group in _batch_groups(indices, size):
+            yield from context.run(group)
+    else:
+        for index in indices:
+            yield spec.run_trial(index, prepared)
+
+
+def _worker_counters_delta() -> dict:
+    """Counter growth since the last call (or worker init), for the
+    driver to aggregate."""
+    global _WORKER_COUNTERS
+    now = counters_snapshot()
+    delta = counters_delta(now, _WORKER_COUNTERS)
+    _WORKER_COUNTERS = now
+    return delta
+
+
+def _run_chunk(indices: Sequence[int]) -> dict:
     global _WORKER_PREPARED, _WORKER_BATCH
     assert _WORKER_SPEC is not None, "worker used before initialization"
     if _WORKER_PREPARED is None:
         _WORKER_PREPARED = _WORKER_SPEC.prepare()
-    size = _batch_size(_WORKER_SPEC)
-    if size > 1:
+    if _batch_size(_WORKER_SPEC) > 1 and _WORKER_BATCH is None:
         from repro.campaign.batch import BatchContext
 
-        if _WORKER_BATCH is None:
-            _WORKER_BATCH = BatchContext(_WORKER_SPEC, _WORKER_PREPARED)
-        records: list[TrialRecord] = []
-        for group in _batch_groups(indices, size):
-            records.extend(_WORKER_BATCH.run(group))
-        return records
-    return [_WORKER_SPEC.run_trial(i, _WORKER_PREPARED) for i in indices]
+        _WORKER_BATCH = BatchContext(_WORKER_SPEC, _WORKER_PREPARED)
+    records = list(
+        _execute_trials(
+            _WORKER_SPEC, _WORKER_PREPARED, indices, _WORKER_BATCH
+        )
+    )
+    return {"records": records, "counters": _worker_counters_delta()}
 
 
 def _chunked(indices: Sequence[int], workers: int) -> list[list[int]]:
@@ -106,21 +146,29 @@ class CampaignResult:
     log_path: str | None = None
     workers: int = 1
     golden_cache: dict[str, int] | None = None
-    """Golden-run cache counters (hits/misses/evictions/size/limit) of
-    the driving process at campaign end.  Workers keep their own caches;
-    a miss here means this process computed a fresh golden run."""
+    """Golden-run cache counters (hits/misses/evictions/size/limit),
+    aggregated across the driving process *and* every worker (workers
+    ship monotone counter deltas back with each chunk/shard)."""
     instrument_cache: dict[str, int] | None = None
-    """Instrumentation-cache counters (hits/misses/disk_hits/...) of the
-    driving process at campaign end (see
+    """Instrumentation-cache counters (hits/misses/disk_hits/...),
+    aggregated like ``golden_cache`` (see
     :mod:`repro.instrument.cache`)."""
     pruned: int = 0
     """Trials short-circuited by the static oracle this run
     (``spec.prune='static'``): their records carry a *predicted*
     verdict (``extra.predicted``) instead of a measured one."""
     vector: dict[str, int] | None = None
-    """Vector-backend counters (probes/runs/fallbacks/memoized winners)
-    of the driving process at campaign end (see
+    """Vector-backend counters (probes/runs/fallbacks/memoized winners),
+    aggregated across driver and workers (see
     :func:`repro.runtime.vector.vector_stats`)."""
+    store: dict[str, dict] | None = None
+    """Per-namespace artifact-store stats (every namespace the run
+    touched — golden, kernel, instrument, ISL memos), aggregated across
+    driver and workers."""
+    service: dict | None = None
+    """Dispatcher metrics when the campaign ran through
+    :func:`repro.service.run_service_campaign` (shards, reissues,
+    per-shard throughput); ``None`` for plain engine runs."""
 
     def summary(self) -> CampaignSummary:
         return summarize_counts(self.counts)
@@ -144,27 +192,10 @@ def run_campaign(
     if spec.trials < 0:
         raise ValueError("trials must be >= 0")
     start = time.perf_counter()
-    done: dict[int, TrialRecord] = {}
-    if resume:
-        if log_path is None:
-            raise ValueError("resume=True needs a log_path")
-        if os.path.exists(log_path):
-            contents = read_log(log_path)
-            _check_header(contents, spec)
-            done = {
-                r.index: r for r in contents.records if r.index < spec.trials
-            }
+    driver_base = counters_snapshot()
+    done = _load_done(spec, log_path, resume)
     pending = [i for i in range(spec.trials) if i not in done]
-
-    handle = None
-    if log_path is not None:
-        # Rewrite from scratch: on resume this drops any torn tail line
-        # and re-serializes the recovered prefix before new appends.
-        handle = open(log_path, "w")
-        write_header(handle, spec.to_dict())
-        for index in sorted(done):
-            write_record(handle, done[index])
-        handle.flush()
+    handle = _open_log(log_path, spec, done)
 
     counts: Counter[str] = Counter(r.verdict for r in done.values())
     kept: list[TrialRecord] = list(done.values()) if keep_records else []
@@ -176,10 +207,132 @@ def run_campaign(
         if handle is not None:
             write_record(handle, record)
 
-    # Static pruning: trials the oracle proves DETECTED or MASKED are
-    # consumed as predicted records (schema-compatible, resume-safe —
-    # a resumed run sees them as done) and never executed; everything
-    # value-dependent stays in ``pending`` for measurement.
+    pending, pruned = _prune_predicted(spec, pending, consume)
+
+    worker_totals: dict = {}
+    try:
+        if workers <= 1 or len(pending) <= 1:
+            prepared = spec.prepare() if pending else None
+            for record in _execute_trials(spec, prepared, pending):
+                consume(record)
+        else:
+            method = mp_context or (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            context = multiprocessing.get_context(method)
+            chunks = _chunked(pending, workers)
+            with context.Pool(
+                processes=min(workers, len(chunks)),
+                initializer=_init_worker,
+                initargs=(spec,),
+            ) as pool:
+                for chunk in pool.imap_unordered(_run_chunk, chunks):
+                    for record in chunk["records"]:
+                        consume(record)
+                    counters_add(worker_totals, chunk["counters"])
+                    if handle is not None:
+                        handle.flush()
+        if handle is not None:
+            write_stats(handle, aggregate_stats(worker_totals, driver_base))
+    finally:
+        if handle is not None:
+            handle.close()
+
+    if keep_records:
+        kept.sort(key=lambda record: record.index)
+    return _build_result(
+        spec=spec,
+        counts=dict(counts),
+        records=kept if keep_records else None,
+        elapsed=time.perf_counter() - start,
+        resumed_trials=len(done),
+        log_path=log_path,
+        workers=workers,
+        pruned=pruned,
+        worker_totals=worker_totals,
+        driver_base=driver_base,
+    )
+
+
+def aggregate_stats(
+    worker_totals: dict | None, driver_base: dict | None = None
+) -> dict:
+    """Merged store + vector counters of *this run*: the driver's
+    counter growth since ``driver_base`` plus every worker's shipped
+    deltas — the log's stats trailer payload.  ``size``/``limit``
+    gauges come from the driver's live namespaces."""
+    combined: dict = {"store": {}, "vector": {}}
+    counters_add(combined, counters_delta(counters_snapshot(), driver_base))
+    if worker_totals:
+        counters_add(combined, worker_totals)
+    local = store_stats()
+    store: dict[str, dict] = {}
+    for name in sorted(set(combined["store"]) | set(local)):
+        flat = combined["store"].get(name, {})
+        entry = {field: flat.get(field, 0) for field in COUNTER_FIELDS}
+        gauges = local.get(name, {})
+        entry["size"] = gauges.get("size", 0)
+        entry["limit"] = gauges.get("limit", 0)
+        store[name] = entry
+    return {"store": store, "vector": combined["vector"]}
+
+
+def _build_result(
+    *, worker_totals, driver_base=None, service=None, **kwargs
+) -> CampaignResult:
+    from repro.campaign.golden import cache_stats
+    from repro.instrument.cache import cache_stats as instrument_cache_stats
+
+    stats = aggregate_stats(worker_totals, driver_base)
+    store = stats["store"]
+    return CampaignResult(
+        golden_cache=store.get("golden", cache_stats()),
+        instrument_cache=store.get("instrument", instrument_cache_stats()),
+        vector=stats["vector"],
+        store=store,
+        service=service,
+        **kwargs,
+    )
+
+
+def _load_done(
+    spec: CampaignSpec, log_path: str | None, resume: bool
+) -> dict[int, TrialRecord]:
+    """Records recoverable from an existing log (resume runs only)."""
+    if not resume:
+        return {}
+    if log_path is None:
+        raise ValueError("resume=True needs a log_path")
+    if not os.path.exists(log_path):
+        return {}
+    contents = read_log(log_path)
+    _check_header(contents, spec)
+    return {r.index: r for r in contents.records if r.index < spec.trials}
+
+
+def _open_log(log_path: str | None, spec: CampaignSpec, done: dict):
+    """Start (or restart) the campaign log.
+
+    Rewrites from scratch: on resume this drops any torn tail line and
+    re-serializes the recovered prefix before new appends.
+    """
+    if log_path is None:
+        return None
+    handle = open(log_path, "w")
+    write_header(handle, spec.to_dict())
+    for index in sorted(done):
+        write_record(handle, done[index])
+    handle.flush()
+    return handle
+
+
+def _prune_predicted(spec: CampaignSpec, pending: list[int], consume):
+    """Static pruning: trials the oracle proves DETECTED or MASKED are
+    consumed as predicted records (schema-compatible, resume-safe — a
+    resumed run sees them as done) and never executed; everything
+    value-dependent stays pending for measurement."""
     pruned = 0
     if pending and getattr(spec, "prune", "none") == "static":
         from repro.analysis.oracle import StaticOracle
@@ -194,62 +347,7 @@ def run_campaign(
                 pruned += 1
                 consume(predicted)
         pending = remaining
-
-    try:
-        if workers <= 1 or len(pending) <= 1:
-            prepared = spec.prepare() if pending else None
-            size = _batch_size(spec)
-            if pending and size > 1:
-                from repro.campaign.batch import BatchContext
-
-                context = BatchContext(spec, prepared)
-                for group in _batch_groups(pending, size):
-                    for record in context.run(group):
-                        consume(record)
-            else:
-                for index in pending:
-                    consume(spec.run_trial(index, prepared))
-        else:
-            method = mp_context or (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
-            context = multiprocessing.get_context(method)
-            chunks = _chunked(pending, workers)
-            with context.Pool(
-                processes=min(workers, len(chunks)),
-                initializer=_init_worker,
-                initargs=(spec,),
-            ) as pool:
-                for chunk_records in pool.imap_unordered(_run_chunk, chunks):
-                    for record in chunk_records:
-                        consume(record)
-                    if handle is not None:
-                        handle.flush()
-    finally:
-        if handle is not None:
-            handle.close()
-
-    if keep_records:
-        kept.sort(key=lambda record: record.index)
-    from repro.campaign.golden import cache_stats
-    from repro.instrument.cache import cache_stats as instrument_cache_stats
-    from repro.runtime.vector import vector_stats
-
-    return CampaignResult(
-        spec=spec,
-        counts=dict(counts),
-        records=kept if keep_records else None,
-        elapsed=time.perf_counter() - start,
-        resumed_trials=len(done),
-        log_path=log_path,
-        workers=workers,
-        golden_cache=cache_stats(),
-        instrument_cache=instrument_cache_stats(),
-        pruned=pruned,
-        vector=vector_stats(),
-    )
+    return pending, pruned
 
 
 def resume_campaign(

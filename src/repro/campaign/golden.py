@@ -1,4 +1,4 @@
-"""Process-wide golden-run cache.
+"""Golden-run cache, backed by the unified artifact store.
 
 Every injection trial needs the fault-free reference: the total load
 count (the injection window), the clean final state (to tell silent
@@ -8,76 +8,98 @@ dominate campaign cost, so fault-free executions are computed **once
 per process** and shared — in the campaign engine the key is the spec
 digest, in the Figure 10 harness it is (benchmark, scale, variant).
 
-Worker processes each hold their own copy of the cache (one golden run
-per worker, amortized over its whole trial share); the cache is never
-pickled across the pool boundary.
+The storage itself is the ``golden`` namespace of
+:mod:`repro.service.store`: an LRU-bounded in-memory layer (golden
+states carry full memory images; a long-lived process sweeping many
+specs must not grow without bound) plus the store's opt-in shared disk
+directory, so worker processes — and *later campaigns on the same
+spec* — warm from one persisted golden run instead of re-executing it.
+Compiled kernels inside a prepared campaign context are not picklable;
+the disk codec strips them and records the opt level, and a load
+recompiles through the kernel namespace (itself disk-backed by
+generated source, so the rebuild is an exec, not a codegen run).
 
-The cache is LRU-bounded (golden states carry full memory images, and
-a long-lived process sweeping many specs would otherwise grow without
-limit) and keeps hit/miss/eviction counters that ``campaign report``
-surfaces, so cache thrash in a sweep is visible instead of silent.
+Counters route through the store, so ``campaign run``/``report`` can
+show *aggregate* hit/miss numbers merged across worker processes
+instead of silently dropping every worker's private view on pool
+teardown.  The module-level API is unchanged from the pre-store cache.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from dataclasses import replace
 from typing import Callable, Hashable, TypeVar
+
+from repro.service.store import namespace
 
 T = TypeVar("T")
 
-_CACHE: "OrderedDict[Hashable, object]" = OrderedDict()
-_CACHE_LIMIT = 64
-_hits = 0
-_misses = 0
-_evictions = 0
+_DEFAULT_LIMIT = 64
+
+
+def _encode(value):
+    """Disk codec: strip the unpicklable compiled kernel, remember how
+    to rebuild it.  Recovery-prepared contexts (which own a plan full
+    of kernel entries) stay memory-only."""
+    from repro.campaign.spec import _PreparedProgram
+
+    if isinstance(value, _PreparedProgram):
+        if value.plan is not None:
+            return None
+        if value.kernel is None:
+            return ("prepared", value, None)
+        return ("prepared", replace(value, kernel=None), value.kernel_opt_level)
+    return ("raw", value, None)
+
+
+def _decode(payload):
+    if not (isinstance(payload, tuple) and len(payload) == 3):
+        return None
+    tag, value, opt_level = payload
+    if tag == "prepared" and opt_level is not None:
+        from repro.runtime.compile import CompileError, compile_program
+
+        try:
+            kernel = compile_program(value.program, opt_level=opt_level)
+        except CompileError:
+            kernel = None
+        value = replace(value, kernel=kernel)
+    elif tag not in ("prepared", "raw"):
+        return None
+    return value
+
+
+def _ns():
+    return namespace(
+        "golden",
+        limit=_DEFAULT_LIMIT,
+        disk=True,
+        encode=_encode,
+        decode=_decode,
+    )
 
 
 def golden_run(key: Hashable, runner: Callable[[], T]) -> T:
     """Return the cached value for ``key``, computing it on first use."""
-    global _hits, _misses, _evictions
-    if key in _CACHE:
-        _hits += 1
-        _CACHE.move_to_end(key)
-        return _CACHE[key]  # type: ignore[return-value]
-    _misses += 1
-    value = runner()
-    _CACHE[key] = value
-    while len(_CACHE) > _CACHE_LIMIT:
-        _CACHE.popitem(last=False)
-        _evictions += 1
-    return value
+    return _ns().get_or_compute(key, runner)
 
 
 def cached_keys() -> list[Hashable]:
-    return list(_CACHE)
+    return _ns().keys()
 
 
 def cache_stats() -> dict[str, int]:
     """Hit/miss/eviction counters plus current size and bound."""
-    return {
-        "hits": _hits,
-        "misses": _misses,
-        "evictions": _evictions,
-        "size": len(_CACHE),
-        "limit": _CACHE_LIMIT,
-    }
+    return _ns().stats()
 
 
 def set_cache_limit(limit: int) -> None:
     """Re-bound the cache (evicting oldest entries if shrinking)."""
-    global _CACHE_LIMIT, _evictions
-    if limit < 1:
-        raise ValueError("cache limit must be positive")
-    _CACHE_LIMIT = limit
-    while len(_CACHE) > _CACHE_LIMIT:
-        _CACHE.popitem(last=False)
-        _evictions += 1
+    _ns().set_limit(limit)
 
 
 def clear_cache() -> None:
     """Drop all cached golden runs (tests, or after program edits)."""
-    global _hits, _misses, _evictions
-    _CACHE.clear()
-    _hits = 0
-    _misses = 0
-    _evictions = 0
+    ns = _ns()
+    ns.clear()
+    ns.set_limit(_DEFAULT_LIMIT)

@@ -130,6 +130,14 @@ def write_record(handle: TextIO, record: TrialRecord) -> None:
     handle.write(json.dumps(record.to_json()) + "\n")
 
 
+def write_stats(handle: TextIO, stats: dict) -> None:
+    """Append a stats trailer: aggregate artifact-store / vector /
+    service counters of the run that wrote the log.  Readers that
+    predate the trailer skip the line (unknown ``type``); resume
+    rewrites drop it, so it always describes a *completed* run."""
+    handle.write(json.dumps({"type": "stats", **stats}) + "\n")
+
+
 def write_log(path: str, spec_dict: dict, records: Iterable[TrialRecord]) -> None:
     """Write a complete log atomically enough for our purposes."""
     with open(path, "w") as handle:
@@ -146,6 +154,8 @@ class LogContents:
     records: list[TrialRecord]
     truncated: bool
     """Whether an undecodable tail (a half-written line) was skipped."""
+    stats: dict | None = None
+    """The stats trailer (:func:`write_stats`), when the log has one."""
 
     def by_index(self) -> dict[int, TrialRecord]:
         return {record.index: record for record in self.records}
@@ -163,6 +173,7 @@ def read_log(path: str) -> LogContents:
     spec_dict: dict | None = None
     records: dict[int, TrialRecord] = {}
     truncated = False
+    stats: dict | None = None
     with open(path) as handle:
         for line in handle:
             stripped = line.strip()
@@ -185,5 +196,12 @@ def read_log(path: str) -> LogContents:
                     truncated = True
                     break
                 records[record.index] = record
+            elif data.get("type") == "stats":
+                stats = {k: v for k, v in data.items() if k != "type"}
     ordered = [records[index] for index in sorted(records)]
-    return LogContents(spec_dict=spec_dict, records=ordered, truncated=truncated)
+    return LogContents(
+        spec_dict=spec_dict,
+        records=ordered,
+        truncated=truncated,
+        stats=stats,
+    )

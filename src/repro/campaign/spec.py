@@ -236,6 +236,9 @@ class _PreparedProgram:
     plan: Any = None
     """Recovery plan (``repro.recovery.RecoveryPlan``) shared by every
     trial; ``None`` unless the spec has ``recover=True``."""
+    kernel_opt_level: int | None = None
+    """Opt level ``kernel`` was compiled at — lets the artifact store's
+    disk codec drop the unpicklable kernel and recompile on load."""
 
 
 @dataclass(frozen=True)
@@ -541,6 +544,7 @@ class ProgramCampaignSpec:
             golden_finals=golden_finals,
             targets=tuple(targets),
             kernel=kernel,
+            kernel_opt_level=self.opt_level if kernel is not None else None,
         )
 
     def _prepare_recovery(

@@ -407,6 +407,14 @@ def _print_campaign_result(result) -> int:
         or instrument_stats["disk_hits"]
     ):
         print(_format_instrument_cache_stats(instrument_stats))
+    service = getattr(result, "service", None)
+    if service is not None:
+        print(_format_service_stats(service))
+    store = getattr(result, "store", None)
+    if store is not None:
+        line = _format_store_stats(store)
+        if line:
+            print(line)
     if summary.counts.get("sdc") or summary.counts.get("benign"):
         print(
             "note: benign/sdc trials hit dead or pre-definition data "
@@ -441,24 +449,101 @@ def _format_vector_stats(stats: dict) -> str:
     )
 
 
-def cmd_campaign_run(args) -> int:
-    import os
+def _format_service_stats(service: dict) -> str:
+    reports = service.get("reports") or []
+    rates = [r["trials_per_sec"] for r in reports if r.get("trials_per_sec")]
+    rate = f" avg_shard_rate={sum(rates) / len(rates):.1f}/s" if rates else ""
+    return (
+        f"service: workers={service.get('workers')} "
+        f"shards={service.get('shards')} "
+        f"shard_trials={service.get('shard_trials')} "
+        f"reissued={service.get('reissued')}" + rate
+    )
 
-    from repro.campaign import run_campaign
+
+def _format_store_stats(store: dict) -> str | None:
+    """One aggregate line over the touched artifact-store namespaces."""
+    from repro.service.store import namespace_hit_rate
+
+    touched = {
+        name: entry
+        for name, entry in store.items()
+        if entry.get("hits") or entry.get("misses") or entry.get("disk_hits")
+    }
+    if not touched:
+        return None
+    parts = " ".join(
+        f"{name}={entry.get('hits', 0)}h/{entry.get('disk_hits', 0)}d/"
+        f"{entry.get('misses', 0)}m"
+        for name, entry in sorted(touched.items())
+    )
+    rate = namespace_hit_rate(touched)
+    return f"artifact store: {parts} hit_rate={100 * rate:.1f}%"
+
+
+def _campaign_env_from_args(args) -> None:
+    import os
 
     if args.instrument_cache:
         # Via the environment so multiprocessing workers inherit it.
-        os.environ[
-            "REPRO_INSTRUMENT_CACHE"
-        ] = args.instrument_cache
-    spec = _campaign_spec_from_args(args)
-    try:
-        result = run_campaign(
-            spec,
-            workers=args.workers,
-            log_path=args.log,
-            resume=args.resume,
+        os.environ["REPRO_INSTRUMENT_CACHE"] = args.instrument_cache
+    if getattr(args, "store", None):
+        # Shared artifact-store directory, likewise worker-inherited.
+        os.environ["REPRO_ARTIFACT_STORE"] = args.store
+
+
+def _progress_printer():
+    def show(progress) -> None:
+        low, high = progress.detection_interval
+        report = progress.last_report
+        tail = (
+            f" | shard {report.shard_id} x{report.trials} "
+            f"@{report.trials_per_sec:.1f}/s (worker {report.worker})"
+            if report is not None
+            else " | shard reissued"
         )
+        print(
+            f"[serve] {progress.done_trials}/{progress.total_trials} trials "
+            f"({progress.completed_shards}/{progress.total_shards} shards, "
+            f"{progress.trials_per_sec:.1f}/s, detection CI "
+            f"[{100 * low:.1f}%, {100 * high:.1f}%])" + tail,
+            flush=True,
+        )
+
+    return show
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import run_campaign
+
+    _campaign_env_from_args(args)
+    spec = _campaign_spec_from_args(args)
+    use_service = getattr(args, "service", False) or getattr(
+        args, "serve", False
+    )
+    try:
+        if use_service:
+            from repro.service import run_service_campaign
+
+            result = run_service_campaign(
+                spec,
+                workers=max(1, args.workers),
+                shard_trials=getattr(args, "shard_trials", None),
+                log_path=args.log,
+                resume=args.resume,
+                progress=(
+                    _progress_printer()
+                    if getattr(args, "serve", False)
+                    else None
+                ),
+            )
+        else:
+            result = run_campaign(
+                spec,
+                workers=args.workers,
+                log_path=args.log,
+                resume=args.resume,
+            )
     except (ValueError, RuntimeError) as error:
         raise SystemExit(str(error)) from None
     return _print_campaign_result(result)
@@ -512,6 +597,31 @@ def cmd_campaign_report(args) -> int:
                 f"`repro campaign resume {args.log}`"
             )
     print(summarize(contents.records).format())
+    if contents.stats is not None:
+        # The stats trailer carries the *aggregate* counters of the run
+        # that wrote the log (driver + every worker) — authoritative
+        # over anything this reporting process computed locally.
+        store = contents.stats.get("store") or {}
+        golden = store.get("golden")
+        if golden and (golden.get("hits") or golden.get("misses")):
+            print(_format_cache_stats(golden))
+        instrument = store.get("instrument")
+        if instrument and (
+            instrument.get("hits")
+            or instrument.get("misses")
+            or instrument.get("disk_hits")
+        ):
+            print(_format_instrument_cache_stats(instrument))
+        vstats = contents.stats.get("vector") or {}
+        if any(vstats.values()):
+            print(_format_vector_stats(vstats))
+        service = contents.stats.get("service")
+        if service is not None:
+            print(_format_service_stats(service))
+        line = _format_store_stats(store)
+        if line:
+            print(line)
+        return 0
     stats = cache_stats()
     if stats["hits"] or stats["misses"]:
         print(_format_cache_stats(stats))
@@ -637,80 +747,104 @@ def main(argv: list[str] | None = None) -> int:
     )
     camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
 
+    def _add_campaign_run_args(p_crun):
+        p_crun.add_argument("file", nargs="?", default=None,
+                            help="mini-language program (or use --benchmark)")
+        p_crun.add_argument("--benchmark", default=None,
+                            help="a Table 2 benchmark name instead of a file")
+        p_crun.add_argument("--scale", choices=("small", "default"),
+                            default="small")
+        p_crun.add_argument("--param", action="append", default=[],
+                            metavar="n=16")
+        p_crun.add_argument("--init", action="append", default=[],
+                            metavar="A=randspd")
+        p_crun.add_argument("--trials", type=int, default=100)
+        p_crun.add_argument("--bits", type=int, default=2)
+        from repro.runtime.faults import FAULT_MODELS
+
+        p_crun.add_argument("--fault-model", choices=FAULT_MODELS,
+                            default="random_cell",
+                            help="what each trial injects: value flips "
+                            "(random_cell), address-generation faults "
+                            "(addrgen_load/addrgen_store), an intermittent "
+                            "stuck bit (stuck_bit), or a multi-cell burst "
+                            "(burst); see docs/FAULT_MODELS.md")
+        p_crun.add_argument("--stuck-window", type=int, default=0,
+                            help="stuck_bit: load events the defect stays "
+                            "active (0 = max(16, total_loads // 16))")
+        p_crun.add_argument("--burst-cells", type=int, default=4,
+                            help="burst: consecutive cells struck")
+        p_crun.add_argument("--seed", type=int, default=0)
+        p_crun.add_argument("--workers", type=int, default=1,
+                            help="worker processes (verdicts are identical "
+                            "for any worker count)")
+        p_crun.add_argument("--log", default=None,
+                            help="JSONL trial log (enables resume)")
+        p_crun.add_argument("--resume", action="store_true",
+                            help="recover finished trials from --log first")
+        p_crun.add_argument("--no-split", action="store_true")
+        p_crun.add_argument("--no-hoist", action="store_true")
+        p_crun.add_argument("--channels", type=int, default=1)
+        p_crun.add_argument("--backend", choices=("interp", "compiled", "vector"),
+                            default="compiled",
+                            help="per-trial execution backend (bit-identical "
+                            "results; compiled is faster; vector additionally "
+                            "dispatches injector-free runs to the whole-array "
+                            "backend)")
+        p_crun.add_argument("--opt-level", type=int, choices=(0, 1, 2),
+                            default=2,
+                            help="compiled-backend optimization level "
+                            "(verdicts are identical at every level)")
+        p_crun.add_argument("--batch", type=int, default=1, metavar="T",
+                            help="run T trials per batch against one shared "
+                            "memory image (records are canonical-identical "
+                            "to --batch 1)")
+        p_crun.add_argument("--instrument-cache", default=None, metavar="DIR",
+                            help="on-disk instrumentation cache shared by all "
+                            "workers (sets REPRO_INSTRUMENT_CACHE)")
+        p_crun.add_argument("--recover", action="store_true",
+                            help="run every trial under the recovery "
+                            "controller; verdicts become recovered / "
+                            "recovery_failed / sdc_after_recovery")
+        p_crun.add_argument("--recover-retries", type=int, default=3,
+                            help="replay budget per detection episode")
+        p_crun.add_argument("--verify-vector", action="store_true",
+                            help="run injector-free legs through BOTH the "
+                            "vector and scalar backends and fail on any "
+                            "contract-field divergence (self-check; records "
+                            "are unchanged)")
+        p_crun.add_argument("--prune", choices=("none", "static"),
+                            default="none",
+                            help="static: skip trials the static analysis "
+                            "proves detected/masked, recording predicted "
+                            "verdicts (docs/STATIC_ANALYSIS.md)")
+        p_crun.add_argument("--store", default=None, metavar="DIR",
+                            help="shared artifact-store directory for "
+                            "golden runs / kernels / instrumented programs "
+                            "(sets REPRO_ARTIFACT_STORE; see "
+                            "docs/SERVICE.md)")
+        p_crun.add_argument("--shard-trials", type=int, default=None,
+                            metavar="T",
+                            help="service mode: trials per dispatched "
+                            "shard (default: auto, capped at 32)")
+
     p_crun = camp_sub.add_parser(
         "run", help="run a campaign (parallel, optionally logged)"
     )
-    p_crun.add_argument("file", nargs="?", default=None,
-                        help="mini-language program (or use --benchmark)")
-    p_crun.add_argument("--benchmark", default=None,
-                        help="a Table 2 benchmark name instead of a file")
-    p_crun.add_argument("--scale", choices=("small", "default"),
-                        default="small")
-    p_crun.add_argument("--param", action="append", default=[],
-                        metavar="n=16")
-    p_crun.add_argument("--init", action="append", default=[],
-                        metavar="A=randspd")
-    p_crun.add_argument("--trials", type=int, default=100)
-    p_crun.add_argument("--bits", type=int, default=2)
-    from repro.runtime.faults import FAULT_MODELS
+    _add_campaign_run_args(p_crun)
+    p_crun.add_argument("--service", action="store_true",
+                        help="run through the shard dispatcher "
+                        "(crash-safe reissue, aggregate cache stats; "
+                        "records are bit-identical to --workers mode)")
+    p_crun.set_defaults(func=cmd_campaign_run, serve=False)
 
-    p_crun.add_argument("--fault-model", choices=FAULT_MODELS,
-                        default="random_cell",
-                        help="what each trial injects: value flips "
-                        "(random_cell), address-generation faults "
-                        "(addrgen_load/addrgen_store), an intermittent "
-                        "stuck bit (stuck_bit), or a multi-cell burst "
-                        "(burst); see docs/FAULT_MODELS.md")
-    p_crun.add_argument("--stuck-window", type=int, default=0,
-                        help="stuck_bit: load events the defect stays "
-                        "active (0 = max(16, total_loads // 16))")
-    p_crun.add_argument("--burst-cells", type=int, default=4,
-                        help="burst: consecutive cells struck")
-    p_crun.add_argument("--seed", type=int, default=0)
-    p_crun.add_argument("--workers", type=int, default=1,
-                        help="worker processes (verdicts are identical "
-                        "for any worker count)")
-    p_crun.add_argument("--log", default=None,
-                        help="JSONL trial log (enables resume)")
-    p_crun.add_argument("--resume", action="store_true",
-                        help="recover finished trials from --log first")
-    p_crun.add_argument("--no-split", action="store_true")
-    p_crun.add_argument("--no-hoist", action="store_true")
-    p_crun.add_argument("--channels", type=int, default=1)
-    p_crun.add_argument("--backend", choices=("interp", "compiled", "vector"),
-                        default="compiled",
-                        help="per-trial execution backend (bit-identical "
-                        "results; compiled is faster; vector additionally "
-                        "dispatches injector-free runs to the whole-array "
-                        "backend)")
-    p_crun.add_argument("--opt-level", type=int, choices=(0, 1, 2),
-                        default=2,
-                        help="compiled-backend optimization level "
-                        "(verdicts are identical at every level)")
-    p_crun.add_argument("--batch", type=int, default=1, metavar="T",
-                        help="run T trials per batch against one shared "
-                        "memory image (records are canonical-identical "
-                        "to --batch 1)")
-    p_crun.add_argument("--instrument-cache", default=None, metavar="DIR",
-                        help="on-disk instrumentation cache shared by all "
-                        "workers (sets REPRO_INSTRUMENT_CACHE)")
-    p_crun.add_argument("--recover", action="store_true",
-                        help="run every trial under the recovery "
-                        "controller; verdicts become recovered / "
-                        "recovery_failed / sdc_after_recovery")
-    p_crun.add_argument("--recover-retries", type=int, default=3,
-                        help="replay budget per detection episode")
-    p_crun.add_argument("--verify-vector", action="store_true",
-                        help="run injector-free legs through BOTH the "
-                        "vector and scalar backends and fail on any "
-                        "contract-field divergence (self-check; records "
-                        "are unchanged)")
-    p_crun.add_argument("--prune", choices=("none", "static"),
-                        default="none",
-                        help="static: skip trials the static analysis "
-                        "proves detected/masked, recording predicted "
-                        "verdicts (docs/STATIC_ANALYSIS.md)")
-    p_crun.set_defaults(func=cmd_campaign_run)
+    p_cserve = camp_sub.add_parser(
+        "serve",
+        help="run a campaign through the shard dispatcher with live "
+        "per-shard progress (see docs/SERVICE.md)",
+    )
+    _add_campaign_run_args(p_cserve)
+    p_cserve.set_defaults(func=cmd_campaign_run, service=True, serve=True)
 
     p_cres = camp_sub.add_parser(
         "resume", help="finish a killed campaign from its JSONL log"

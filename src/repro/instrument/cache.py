@@ -9,17 +9,21 @@ re-instrument identical inputs, so :func:`instrument_cached` memoizes
 
     ``program_to_text(program)`` + the options field tuple.
 
-Two layers:
+Storage is the ``instrument`` namespace of
+:mod:`repro.service.store`: an in-memory LRU with hit/miss/eviction
+counters, plus an on-disk layer holding one pickle per key.  The disk
+directory resolves in order:
 
-* an **in-memory LRU** (process-wide, bounded, with hit/miss/eviction
-  counters mirroring :mod:`repro.campaign.golden` so ``campaign
-  report`` can surface them), and
-* an **opt-in on-disk directory** (``set_cache_dir`` or the
-  ``REPRO_INSTRUMENT_CACHE`` environment variable — the env var so
-  campaign worker processes inherit it) holding one pickle per key.
-  Disk entries are written atomically (temp file + rename) and read
-  tolerantly: a corrupted, truncated or unreadable entry is treated as
-  a miss and recomputed, never an error.
+* ``set_cache_dir`` / the ``REPRO_INSTRUMENT_CACHE`` environment
+  variable (the historical opt-in; entries live directly in that
+  directory as ``<key>.pkl``), else
+* the unified artifact store's shared directory
+  (``REPRO_ARTIFACT_STORE`` / ``set_store_dir``), under its
+  ``instrument/`` subdirectory.
+
+Either way the store's disk semantics apply: writes are atomic (temp
+file + rename) and reads tolerant — a corrupted, truncated or
+unreadable entry is treated as a miss and recomputed, never an error.
 
 ``Program`` is a frozen dataclass, so sharing the cached instance is
 safe; treat the cached :class:`InstrumentationReport` as read-only.
@@ -31,9 +35,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
-import tempfile
-from collections import OrderedDict
 from dataclasses import fields
 from pathlib import Path
 
@@ -44,12 +45,17 @@ from repro.instrument.pipeline import (
 )
 from repro.ir.nodes import Program
 from repro.ir.printer import program_to_text
+from repro.service.store import namespace
 
 ENV_CACHE_DIR = "REPRO_INSTRUMENT_CACHE"
 
 _Entry = tuple[Program, InstrumentationReport]
 
 _CODE_DIGEST: str | None = None
+
+_DEFAULT_LIMIT = 128
+
+_CACHE_DIR: Path | None = None
 
 
 def instrumenter_code_digest() -> str:
@@ -78,13 +84,26 @@ def instrumenter_code_digest() -> str:
     return _CODE_DIGEST
 
 
-_CACHE: "OrderedDict[str, _Entry]" = OrderedDict()
-_CACHE_LIMIT = 128
-_CACHE_DIR: Path | None = None
-_hits = 0
-_misses = 0
-_evictions = 0
-_disk_hits = 0
+def _validate(payload):
+    """Disk decode hook: only a well-formed entry is served."""
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and isinstance(payload[0], Program)
+        and isinstance(payload[1], InstrumentationReport)
+    ):
+        return payload
+    return None
+
+
+def _ns():
+    return namespace(
+        "instrument",
+        limit=_DEFAULT_LIMIT,
+        disk=True,
+        decode=_validate,
+        dir_resolver=_legacy_dir,
+    )
 
 
 def cache_key(
@@ -129,93 +148,35 @@ def instrument_cached(
     backend_fingerprint: str | None = None,
 ) -> _Entry:
     """``instrument_program`` memoized under the content-addressed key."""
-    global _hits, _misses, _evictions, _disk_hits
     key = cache_key(program, options, backend_fingerprint)
-    entry = _CACHE.get(key)
-    if entry is not None:
-        _hits += 1
-        _CACHE.move_to_end(key)
-        return entry
-    entry = _disk_load(key)
-    if entry is not None:
-        _disk_hits += 1
-    else:
-        _misses += 1
-        entry = instrument_program(program, options)
-        _disk_store(key, entry)
-    _CACHE[key] = entry
-    while len(_CACHE) > _CACHE_LIMIT:
-        _CACHE.popitem(last=False)
-        _evictions += 1
-    return entry
+    return _ns().get_or_compute(
+        key, lambda: instrument_program(program, options)
+    )
 
 
 # ----------------------------------------------------------------------
 # On-disk layer (opt-in)
 # ----------------------------------------------------------------------
-def cache_dir() -> Path | None:
-    """The active on-disk directory, if any (explicit beats env var)."""
+def _legacy_dir() -> Path | None:
+    """The instrument-specific directory, if configured.  Returning
+    ``None`` lets the namespace fall back to the unified store dir."""
     if _CACHE_DIR is not None:
         return _CACHE_DIR
     env = os.environ.get(ENV_CACHE_DIR)
     return Path(env) if env else None
 
 
+def cache_dir() -> Path | None:
+    """The active on-disk directory, if any (explicit beats env var,
+    which beats the shared artifact-store directory)."""
+    return _ns().directory()
+
+
 def set_cache_dir(path: str | os.PathLike | None) -> None:
-    """Enable (or with ``None`` disable) the on-disk layer."""
+    """Enable (or with ``None`` disable) the instrument-specific disk
+    directory.  The shared store directory, when set, still applies."""
     global _CACHE_DIR
     _CACHE_DIR = Path(path) if path is not None else None
-
-
-def _entry_path(key: str) -> Path | None:
-    directory = cache_dir()
-    if directory is None:
-        return None
-    return directory / f"{key}.pkl"
-
-
-def _disk_load(key: str) -> _Entry | None:
-    path = _entry_path(key)
-    if path is None:
-        return None
-    try:
-        with open(path, "rb") as handle:
-            entry = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, IndexError, ValueError):
-        return None
-    if (
-        isinstance(entry, tuple)
-        and len(entry) == 2
-        and isinstance(entry[0], Program)
-        and isinstance(entry[1], InstrumentationReport)
-    ):
-        return entry
-    return None
-
-
-def _disk_store(key: str, entry: _Entry) -> None:
-    path = _entry_path(key)
-    if path is None:
-        return
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-    except OSError:
-        # A read-only or full cache directory degrades to memory-only.
-        pass
 
 
 # ----------------------------------------------------------------------
@@ -223,32 +184,14 @@ def _disk_store(key: str, entry: _Entry) -> None:
 # ----------------------------------------------------------------------
 def cache_stats() -> dict[str, int]:
     """Hit/miss/eviction/disk-hit counters plus current size and bound."""
-    return {
-        "hits": _hits,
-        "misses": _misses,
-        "evictions": _evictions,
-        "disk_hits": _disk_hits,
-        "size": len(_CACHE),
-        "limit": _CACHE_LIMIT,
-    }
+    return _ns().stats()
 
 
 def set_cache_limit(limit: int) -> None:
     """Re-bound the in-memory layer (evicting oldest when shrinking)."""
-    global _CACHE_LIMIT, _evictions
-    if limit < 1:
-        raise ValueError("cache limit must be positive")
-    _CACHE_LIMIT = limit
-    while len(_CACHE) > _CACHE_LIMIT:
-        _CACHE.popitem(last=False)
-        _evictions += 1
+    _ns().set_limit(limit)
 
 
 def clear_cache() -> None:
     """Drop the in-memory layer and reset counters (disk is untouched)."""
-    global _hits, _misses, _evictions, _disk_hits
-    _CACHE.clear()
-    _hits = 0
-    _misses = 0
-    _evictions = 0
-    _disk_hits = 0
+    _ns().clear()

@@ -23,16 +23,33 @@ enumeration.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Hashable
 
+from repro.service.store import namespace
+
 _ENABLED = True
 
-_EMPTY_MEMO: "OrderedDict[Hashable, bool]" = OrderedDict()
+# The three memos are memory-only namespaces of the unified artifact
+# store: their keys are interned/structural objects that do not
+# round-trip a process boundary, so they never opt into the disk layer
+# — but their counters aggregate across campaign workers like every
+# other namespace.
 _EMPTY_MEMO_LIMIT = 1 << 16
-_memo_hits = 0
-_memo_misses = 0
+_FM_MEMO_LIMIT = 1 << 14
+_COUNT_MEMO_LIMIT = 1 << 12
+
+
+def _empty_ns():
+    return namespace("isl_empty", limit=_EMPTY_MEMO_LIMIT)
+
+
+def _fm_ns():
+    return namespace("isl_fm", limit=_FM_MEMO_LIMIT)
+
+
+def _count_ns():
+    return namespace("isl_count", limit=_COUNT_MEMO_LIMIT)
 
 
 def fast_path_enabled() -> bool:
@@ -59,52 +76,28 @@ def slow_path():
 
 def memo_lookup(key: Hashable) -> bool | None:
     """Cached emptiness verdict for a constraint system, if any."""
-    global _memo_hits, _memo_misses
     if not _ENABLED:
         return None
-    verdict = _EMPTY_MEMO.get(key)
-    if verdict is None:
-        _memo_misses += 1
-        return None
-    _memo_hits += 1
-    _EMPTY_MEMO.move_to_end(key)
-    return verdict
+    return _empty_ns().lookup(key)
 
 
 def memo_store(key: Hashable, verdict: bool) -> None:
     if not _ENABLED:
         return
-    _EMPTY_MEMO[key] = verdict
-    while len(_EMPTY_MEMO) > _EMPTY_MEMO_LIMIT:
-        _EMPTY_MEMO.popitem(last=False)
-
-
-_FM_MEMO: "OrderedDict[Hashable, tuple[tuple, bool]]" = OrderedDict()
-_FM_MEMO_LIMIT = 1 << 14
+    _empty_ns().store(key, verdict)
 
 
 def fm_memo_lookup(key: Hashable) -> tuple[tuple, bool] | None:
     """Cached Fourier–Motzkin elimination result, if any."""
     if not _ENABLED:
         return None
-    entry = _FM_MEMO.get(key)
-    if entry is not None:
-        _FM_MEMO.move_to_end(key)
-    return entry
+    return _fm_ns().lookup(key)
 
 
 def fm_memo_store(key: Hashable, constraints: tuple, exact: bool) -> None:
     if not _ENABLED:
         return
-    _FM_MEMO[key] = (constraints, exact)
-    while len(_FM_MEMO) > _FM_MEMO_LIMIT:
-        _FM_MEMO.popitem(last=False)
-
-
-_COUNT_MEMO: "OrderedDict[Hashable, object]" = OrderedDict()
-_COUNT_MEMO_LIMIT = 1 << 12
-_count_hits = 0
-_count_misses = 0
+    _fm_ns().store(key, (constraints, exact))
 
 
 def count_memo_lookup(key: Hashable):
@@ -116,48 +109,38 @@ def count_memo_lookup(key: Hashable):
     cached :class:`~repro.isl.piecewise.PiecewisePolynomial` is
     immutable, so returning the same instance is safe.
     """
-    global _count_hits, _count_misses
     if not _ENABLED:
         return None
-    entry = _COUNT_MEMO.get(key)
-    if entry is None:
-        _count_misses += 1
-        return None
-    _count_hits += 1
-    _COUNT_MEMO.move_to_end(key)
-    return entry
+    return _count_ns().lookup(key)
 
 
 def count_memo_store(key: Hashable, value) -> None:
     if not _ENABLED:
         return
-    _COUNT_MEMO[key] = value
-    while len(_COUNT_MEMO) > _COUNT_MEMO_LIMIT:
-        _COUNT_MEMO.popitem(last=False)
+    _count_ns().store(key, value)
 
 
 def memo_stats() -> dict[str, int]:
+    empty = _empty_ns().stats()
+    fm = _fm_ns().stats()
+    count = _count_ns().stats()
     return {
-        "hits": _memo_hits,
-        "misses": _memo_misses,
-        "size": len(_EMPTY_MEMO),
-        "limit": _EMPTY_MEMO_LIMIT,
-        "fm_size": len(_FM_MEMO),
-        "fm_limit": _FM_MEMO_LIMIT,
-        "count_hits": _count_hits,
-        "count_misses": _count_misses,
-        "count_size": len(_COUNT_MEMO),
-        "count_limit": _COUNT_MEMO_LIMIT,
+        "hits": empty["hits"],
+        "misses": empty["misses"],
+        "size": empty["size"],
+        "limit": empty["limit"],
+        "fm_hits": fm["hits"],
+        "fm_misses": fm["misses"],
+        "fm_size": fm["size"],
+        "fm_limit": fm["limit"],
+        "count_hits": count["hits"],
+        "count_misses": count["misses"],
+        "count_size": count["size"],
+        "count_limit": count["limit"],
     }
 
 
 def clear_memo() -> None:
     """Drop all cached verdicts (benchmarks, tests)."""
-    global _memo_hits, _memo_misses, _count_hits, _count_misses
-    _EMPTY_MEMO.clear()
-    _FM_MEMO.clear()
-    _COUNT_MEMO.clear()
-    _memo_hits = 0
-    _memo_misses = 0
-    _count_hits = 0
-    _count_misses = 0
+    for ns in (_empty_ns(), _fm_ns(), _count_ns()):
+        ns.clear()

@@ -29,7 +29,6 @@ import hashlib
 import math
 import struct
 import time
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -446,14 +445,128 @@ def ir_digest(program: Program) -> str:
     return hashlib.sha256(repr(program).encode("utf-8")).hexdigest()
 
 
-#: LRU keyed by ``(ir digest, opt level, batch shape)`` — a level-0 and
-#: a level-2 kernel of the same program must never alias.
-_KERNEL_CACHE: "OrderedDict[tuple, CompiledKernel | CompileError]" = (
-    OrderedDict()
-)
+#: Cached under keys ``(ir digest, opt level, batch shape)`` — a
+#: level-0 and a level-2 kernel of the same program must never alias.
 KERNEL_CACHE_LIMIT = 128
-_hits = 0
-_misses = 0
+
+
+def _assemble_kernel(
+    program: Program,
+    digest: str,
+    level: int,
+    batch_shape: tuple[int, ...] | None,
+    source: str,
+    checkpoint_source: str,
+    fast_source: str | None,
+) -> CompiledKernel:
+    """``exec`` already-generated sources into a kernel.
+
+    Shared by the compile path and the artifact store's disk decode —
+    a persisted kernel is its generated sources, so loading one pays a
+    ``compile``/``exec``, never a codegen run.
+    """
+    namespace = dict(_BASE_NAMESPACE)
+    exec(  # noqa: S102 - generated from a closed IR, no user strings
+        compile(source, f"<compiled {program.name}>", "exec"), namespace
+    )
+    exec(  # noqa: S102 - same closed-IR provenance
+        compile(
+            checkpoint_source,
+            f"<checkpoint {program.name}>",
+            "exec",
+        ),
+        namespace,
+    )
+    fast_entry = None
+    if fast_source is not None:
+        # Separate namespace: both sources define ``_kernel``.
+        fast_namespace = dict(_BASE_NAMESPACE)
+        exec(  # noqa: S102 - same closed-IR provenance
+            compile(
+                fast_source, f"<compiled-fast {program.name}>", "exec"
+            ),
+            fast_namespace,
+        )
+        fast_entry = fast_namespace["_kernel"]
+    return CompiledKernel(
+        program=program,
+        digest=digest,
+        source=source,
+        entry=namespace["_kernel"],
+        checkpoint_source=checkpoint_source,
+        checkpoint_entry=namespace["_checkpoint"],
+        restore_entry=namespace["_restore"],
+        opt_level=level,
+        batch_shape=batch_shape,
+        fast_source=fast_source,
+        fast_entry=fast_entry,
+    )
+
+
+def _build_kernel(
+    program: Program,
+    digest: str,
+    level: int,
+    batch_shape: tuple[int, ...] | None,
+) -> CompiledKernel:
+    opt = config_for_level(level)
+    source = generate_source(program, opt)
+    checkpoint_source = generate_checkpoint_source(program)
+    fast_source = None
+    if level >= 2:
+        fast_opt = config_for_level(level, inline_mem=True)
+        fast_source = generate_source(program, fast_opt)
+    return _assemble_kernel(
+        program, digest, level, batch_shape, source, checkpoint_source,
+        fast_source,
+    )
+
+
+def _kernel_encode(entry):
+    """Disk codec: a kernel's ``exec``'d functions cannot pickle, but
+    its generated sources can; a failed compile persists as its message."""
+    if isinstance(entry, CompileError):
+        return {"kind": "error", "message": str(entry)}
+    return {
+        "kind": "kernel",
+        "program": entry.program,
+        "digest": entry.digest,
+        "level": entry.opt_level,
+        "batch_shape": entry.batch_shape,
+        "source": entry.source,
+        "checkpoint_source": entry.checkpoint_source,
+        "fast_source": entry.fast_source,
+    }
+
+
+def _kernel_decode(payload):
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("kind") == "error":
+        return CompileError(payload.get("message", "cached compile failure"))
+    if payload.get("kind") != "kernel":
+        return None
+    return _assemble_kernel(
+        payload["program"],
+        payload["digest"],
+        payload["level"],
+        payload["batch_shape"],
+        payload["source"],
+        payload["checkpoint_source"],
+        payload["fast_source"],
+    )
+
+
+def _kernel_ns():
+    from repro.service.store import namespace
+
+    return namespace(
+        "kernel",
+        limit=KERNEL_CACHE_LIMIT,
+        disk=True,
+        encode=_kernel_encode,
+        decode=_kernel_decode,
+    )
 
 
 def compile_program(
@@ -469,8 +582,11 @@ def compile_program(
     inlined-memory entry used only on injector-free runs.  Raises
     :class:`CompileError` when the program cannot be lowered; the
     failure itself is cached so repeated attempts stay cheap.
+
+    The cache is the ``kernel`` namespace of the unified artifact store;
+    with a shared disk directory configured, a kernel compiled by one
+    process re-assembles everywhere else from its persisted sources.
     """
-    global _hits, _misses
     level = DEFAULT_OPT_LEVEL if opt_level is None else int(opt_level)
     if level not in OPT_LEVELS:
         raise ValueError(
@@ -479,89 +595,30 @@ def compile_program(
     if batch_shape is not None:
         batch_shape = tuple(int(n) for n in batch_shape)
     digest = ir_digest(program)
+    if not cache:
+        return _build_kernel(program, digest, level, batch_shape)
     key = (digest, level, batch_shape)
-    if cache:
-        entry = _KERNEL_CACHE.get(key)
-        if entry is not None:
-            _KERNEL_CACHE.move_to_end(key)
-            _hits += 1
-            if isinstance(entry, CompileError):
-                raise entry
-            return entry
-        _misses += 1
-    opt = config_for_level(level)
-    try:
-        source = generate_source(program, opt)
-        checkpoint_source = generate_checkpoint_source(program)
-        namespace = dict(_BASE_NAMESPACE)
-        exec(  # noqa: S102 - generated from a closed IR, no user strings
-            compile(source, f"<compiled {program.name}>", "exec"), namespace
-        )
-        exec(  # noqa: S102 - same closed-IR provenance
-            compile(
-                checkpoint_source,
-                f"<checkpoint {program.name}>",
-                "exec",
-            ),
-            namespace,
-        )
-        fast_source = None
-        fast_entry = None
-        if level >= 2:
-            # Separate namespace: both sources define ``_kernel``.
-            fast_opt = config_for_level(level, inline_mem=True)
-            fast_source = generate_source(program, fast_opt)
-            fast_namespace = dict(_BASE_NAMESPACE)
-            exec(  # noqa: S102 - same closed-IR provenance
-                compile(
-                    fast_source, f"<compiled-fast {program.name}>", "exec"
-                ),
-                fast_namespace,
-            )
-            fast_entry = fast_namespace["_kernel"]
-        kernel = CompiledKernel(
-            program=program,
-            digest=digest,
-            source=source,
-            entry=namespace["_kernel"],
-            checkpoint_source=checkpoint_source,
-            checkpoint_entry=namespace["_checkpoint"],
-            restore_entry=namespace["_restore"],
-            opt_level=level,
-            batch_shape=batch_shape,
-            fast_source=fast_source,
-            fast_entry=fast_entry,
-        )
-    except CompileError as error:
-        if cache:
-            _remember(key, error)
-        raise
-    if cache:
-        _remember(key, kernel)
-    return kernel
 
+    def build():
+        try:
+            return _build_kernel(program, digest, level, batch_shape)
+        except CompileError as error:
+            return error
 
-def _remember(key: tuple, entry) -> None:
-    _KERNEL_CACHE[key] = entry
-    _KERNEL_CACHE.move_to_end(key)
-    while len(_KERNEL_CACHE) > KERNEL_CACHE_LIMIT:
-        _KERNEL_CACHE.popitem(last=False)
+    entry = _kernel_ns().get_or_compute(key, build)
+    if isinstance(entry, CompileError):
+        raise entry
+    return entry
 
 
 def kernel_cache_stats() -> dict[str, int]:
-    return {
-        "hits": _hits,
-        "misses": _misses,
-        "size": len(_KERNEL_CACHE),
-        "limit": KERNEL_CACHE_LIMIT,
-    }
+    return _kernel_ns().stats()
 
 
 def clear_kernel_cache() -> None:
-    global _hits, _misses
-    _KERNEL_CACHE.clear()
-    _hits = 0
-    _misses = 0
+    ns = _kernel_ns()
+    ns.clear()
+    ns.set_limit(KERNEL_CACHE_LIMIT)
 
 
 def run_compiled(

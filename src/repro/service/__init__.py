@@ -1,0 +1,60 @@
+"""Campaign service layer: shard dispatch + the unified artifact store.
+
+Two pieces (see ``docs/SERVICE.md``):
+
+* :mod:`repro.service.store` — the **content-addressed artifact
+  store**: one digest-keyed get-or-compute layer (in-memory LRU plus an
+  opt-in shared disk directory) behind every process-wide cache the
+  toolchain keeps — golden runs, compiled kernels, instrumented
+  programs, and the ISL memos — with per-namespace hit/miss/eviction
+  stats.  N campaign workers warm up from one golden run, and a second
+  campaign over the same spec is pure cache hits.
+
+* :mod:`repro.service.dispatcher` — the **async shard dispatcher**:
+  cuts a campaign into index-range shards, fans them out to a worker
+  pool over a transport-agnostic :class:`WorkerEndpoint` protocol
+  (local processes today, multi-host backends later), streams JSONL
+  trial records back as they complete, merges Wilson CIs incrementally
+  for live progress, and reissues shards lost to worker crashes.  A
+  serviced campaign's records are bit-identical to
+  ``campaign run --workers N`` — per-trial SHA-256 seeding makes every
+  trial a pure function of ``(spec, index)``.
+"""
+
+from repro.service.dispatcher import (
+    LocalProcessEndpoint,
+    ServiceProgress,
+    Shard,
+    ShardFailed,
+    ShardReport,
+    WorkerEndpoint,
+    run_service_campaign,
+)
+from repro.service.store import (
+    ENV_STORE_DIR,
+    Namespace,
+    clear_store,
+    namespace,
+    namespace_hit_rate,
+    set_store_dir,
+    store_dir,
+    store_stats,
+)
+
+__all__ = [
+    "ENV_STORE_DIR",
+    "LocalProcessEndpoint",
+    "Namespace",
+    "ServiceProgress",
+    "Shard",
+    "ShardFailed",
+    "ShardReport",
+    "WorkerEndpoint",
+    "clear_store",
+    "namespace",
+    "namespace_hit_rate",
+    "run_service_campaign",
+    "set_store_dir",
+    "store_dir",
+    "store_stats",
+]

@@ -176,8 +176,11 @@ class TestLogFormat:
         lines = [json.loads(line) for line in open(log)]
         assert lines[0]["type"] == "header"
         assert lines[0]["spec"] == CHECKSUM_SPEC.to_dict()
-        assert len(lines) == 1 + CHECKSUM_SPEC.trials
-        assert {line["type"] for line in lines[1:]} == {"trial"}
+        # header + one line per trial + the stats trailer
+        assert len(lines) == 1 + CHECKSUM_SPEC.trials + 1
+        assert {line["type"] for line in lines[1:-1]} == {"trial"}
+        assert lines[-1]["type"] == "stats"
+        assert "store" in lines[-1]
 
     def test_reader_tolerates_garbage_tail(self, tmp_path):
         log = str(tmp_path / "trials.jsonl")

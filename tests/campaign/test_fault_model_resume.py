@@ -154,7 +154,7 @@ def test_injection_dicts_survive_json_round_trip(tmp_path):
         result = run_campaign(spec, workers=1, log_path=log)
         with open(log) as handle:
             lines = [json.loads(line) for line in handle]
-        records = lines[1:]
+        records = [line for line in lines[1:] if line["type"] == "trial"]
         assert len(records) == spec.trials
         by_index = {r.index: r for r in result.records}
         for line in records:
